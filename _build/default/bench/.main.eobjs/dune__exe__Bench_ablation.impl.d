@@ -1,0 +1,1 @@
+bench/bench_ablation.ml: Common Datapath Gf_core Gf_pipeline Gf_workload List Metrics Tablefmt

@@ -1,0 +1,1 @@
+bench/bench_fig16.ml: Common Datapath Gf_core Gf_workload List Metrics Tablefmt

@@ -1,0 +1,1 @@
+bench/bench_fig17.ml: Common Datapath Gf_workload Metrics Tablefmt

@@ -1,0 +1,1 @@
+bench/bench_fig18.ml: Array Common Datapath Float Gf_workload List Printf Tablefmt

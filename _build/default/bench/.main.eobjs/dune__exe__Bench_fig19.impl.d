@@ -1,0 +1,1 @@
+bench/bench_fig19.ml: Common Gf_sim Gf_workload List Printf Tablefmt

@@ -1,0 +1,1 @@
+bench/bench_fig4.ml: Common Gf_workload List Printf Tablefmt

@@ -1,0 +1,1 @@
+bench/bench_headline.ml: Common Float Gf_core Gf_sim Gf_workload List Metrics Tablefmt

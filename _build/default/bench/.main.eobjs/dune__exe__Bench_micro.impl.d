@@ -1,0 +1,1 @@
+bench/bench_micro.ml: Analyze Array Bechamel Benchmark Common Gf_cache Gf_core Gf_pipeline Gf_workload Hashtbl Instance List Measure Printf Staged Tablefmt Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/bench_sec636.ml: Array Common Format Gf_cache Gf_core Gf_nic Gf_pipeline Gf_workload List Tablefmt Unix

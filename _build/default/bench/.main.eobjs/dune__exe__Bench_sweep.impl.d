@@ -1,0 +1,1 @@
+bench/bench_sweep.ml: Common Datapath Float Gf_core Gf_workload Hashtbl List Metrics Printf Tablefmt

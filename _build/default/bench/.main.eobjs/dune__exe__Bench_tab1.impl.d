@@ -1,0 +1,1 @@
+bench/bench_tab1.ml: Catalog Common List Tablefmt

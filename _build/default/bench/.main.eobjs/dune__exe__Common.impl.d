@@ -1,0 +1,1 @@
+bench/common.ml: Float Gf_core Gf_pipeline Gf_pipelines Gf_sim Gf_util Gf_workload Hashtbl Option Printf String Unix

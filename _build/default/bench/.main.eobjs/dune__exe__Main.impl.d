@@ -1,0 +1,1 @@
+bench/main.ml: Arg Bench_ablation Bench_fig16 Bench_fig17 Bench_fig18 Bench_fig19 Bench_fig4 Bench_headline Bench_micro Bench_sec636 Bench_sweep Bench_tab1 Common List Printf String Unix

@@ -1,0 +1,63 @@
+(* Fig. 16: partitioning-scheme ablation on OLS — random cuts (RND) vs the
+   paper's disjoint partitioning (DP) vs the ideal 1-1 mapping (a SmartNIC
+   table per vSwitch table). *)
+
+open Common
+module Ruleset = Gf_workload.Ruleset
+module Partitioner = Gf_core.Partitioner
+
+let run () =
+  section "Fig. 16: partitioning schemes on OLS (RND vs DP vs 1-1)";
+  let w = workload "OLS" Ruleset.High in
+  let mf = headline "OLS" Ruleset.High "megaflow" in
+  let schemes =
+    [
+      ("RND", Partitioner.Random, 4, scaled 8192);
+      ("DP", Partitioner.Disjoint, 4, scaled 8192);
+      (* The ideal mapping needs as many SmartNIC tables as the longest
+         traversal; capacity is uncapped so the comparison is about entry
+         consumption. *)
+      ("1-1", Partitioner.One_to_one, 18, scaled 100_000);
+    ]
+  in
+  let t =
+    Tablefmt.create ~title:"OLS, high locality; baseline Megaflow (32K)"
+      [ "Scheme"; "Miss reduction vs MF"; "Cache entries"; "Entries vs DP" ]
+  in
+  let dp_entries = ref 0 in
+  let rows =
+    List.map
+      (fun (name, scheme, tables, capacity) ->
+        say "  [fig16] scheme %s ..." name;
+        let cfg =
+          {
+            Datapath.gigaflow_4x8k with
+            Datapath.gf = Gf_core.Config.v ~tables ~table_capacity:capacity ~scheme ();
+            sw_enabled = false;
+          }
+        in
+        let r = run_datapath cfg w in
+        if name = "DP" then dp_entries := r.peak_entries;
+        (name, r))
+      schemes
+  in
+  List.iter
+    (fun (name, r) ->
+      let reduction =
+        1.0
+        -. float_of_int (Metrics.hw_miss_count r.metrics)
+           /. float_of_int (max 1 (Metrics.hw_miss_count mf.metrics))
+      in
+      Tablefmt.add_row t
+        [
+          name;
+          Tablefmt.fmt_pct ~dp:1 reduction;
+          Tablefmt.fmt_int r.peak_entries;
+          Tablefmt.fmt_times ~dp:2
+            (float_of_int r.peak_entries /. float_of_int (max 1 !dp_entries));
+        ])
+    rows;
+  Tablefmt.print t;
+  note "Paper: RND cuts misses 11%% while filling the cache; DP cuts 89%%";
+  note "with 31%% of the entries; the ideal 1-1 mapping reaches 94%% but";
+  note "consumes 2.8x more entries than DP."

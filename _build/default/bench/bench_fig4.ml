@@ -1,0 +1,23 @@
+(* Fig. 4: average frequency of a k-field header tuple recurring in a
+   ClassBench-style ruleset (200,000 rules), k = 5 down to 1. *)
+
+open Common
+module Classbench = Gf_workload.Classbench
+
+let run () =
+  section "Fig. 4: header-tuple sharing in the ClassBench-style ruleset";
+  let n = scaled 200_000 in
+  let rules = Classbench.generate (Classbench.create ~seed:!seed ()) n in
+  let t =
+    Tablefmt.create ~title:(Printf.sprintf "%d rules" n)
+      [ "Matching fields"; "Avg rules sharing a tuple" ]
+  in
+  List.iter
+    (fun k ->
+      let s = Classbench.five_tuple_sharing rules ~k in
+      Tablefmt.add_row t [ string_of_int k; Tablefmt.fmt_float ~dp:2 s ])
+    [ 5; 4; 3; 2; 1 ];
+  Tablefmt.print t;
+  note "Paper: sharing rises steeply as fields decrease; the full 5-tuple";
+  note "is nearly unique (~1.03) while 1-4 field tuples are shared by";
+  note "hundreds of rules on average."

@@ -1,0 +1,99 @@
+(* Bechamel microbenchmarks of the core operations: classifier lookups, the
+   LTM cache walk, slowpath execution, partitioning and rule generation. *)
+
+open Common
+module Ruleset = Gf_workload.Ruleset
+module Executor = Gf_pipeline.Executor
+module Partitioner = Gf_core.Partitioner
+module Rulegen = Gf_core.Rulegen
+module Gigaflow = Gf_core.Gigaflow
+module Megaflow = Gf_cache.Megaflow
+open Bechamel
+open Toolkit
+
+let benchmarks () =
+  (* A modest shared workload: one pipeline, prewarmed caches. *)
+  let profile =
+    {
+      Gf_workload.Classbench.acl_profile with
+      Gf_workload.Classbench.endpoints = 1024;
+      subnets = 128;
+      services = 256;
+    }
+  in
+  let w =
+    Gf_workload.Pipebench.make ~profile ~combos:8192 ~unique_flows:10_000
+      ~duration:30.0 ~info:(info "PSC") ~locality:Ruleset.High ~seed:!seed ()
+  in
+  let pipeline = Gf_workload.Pipebench.pipeline w in
+  let flows = w.Gf_workload.Pipebench.flows in
+  let gf = Gigaflow.create (Gf_core.Config.v ~tables:4 ~table_capacity:8192 ()) in
+  let mf = Megaflow.create ~capacity:32_768 () in
+  Array.iteri
+    (fun i flow ->
+      if i < 8000 then begin
+        ignore (Gigaflow.handle_miss gf ~now:0.0 ~pipeline flow);
+        match Executor.execute pipeline flow with
+        | Ok tr -> ignore (Megaflow.install mf ~now:0.0 ~version:0 tr)
+        | Error _ -> ()
+      end)
+    flows;
+  let traversals =
+    Array.to_list flows |> List.filteri (fun i _ -> i < 64)
+    |> List.filter_map (fun flow ->
+           match Executor.execute pipeline flow with Ok tr -> Some tr | Error _ -> None)
+    |> Array.of_list
+  in
+  let idx = ref 0 in
+  let next arr =
+    idx := (!idx + 1) land 0xFFFF;
+    arr.(!idx mod Array.length arr)
+  in
+  [
+    Test.make ~name:"slowpath: pipeline execute (PSC)"
+      (Staged.stage (fun () -> ignore (Executor.execute pipeline (next flows))));
+    Test.make ~name:"megaflow: hw cache lookup"
+      (Staged.stage (fun () -> ignore (Megaflow.lookup mf ~now:1.0 (next flows))));
+    Test.make ~name:"gigaflow: LTM cache walk"
+      (Staged.stage (fun () -> ignore (Gigaflow.lookup gf ~now:1.0 ~pipeline (next flows))));
+    Test.make ~name:"partitioner: disjoint DP"
+      (Staged.stage (fun () ->
+           ignore
+             (Partitioner.partition Partitioner.Disjoint ~max_segments:4
+                (next traversals))));
+    Test.make ~name:"rulegen: rules_of_partition"
+      (Staged.stage (fun () ->
+           let tr = next traversals in
+           let segs = Partitioner.partition Partitioner.Disjoint ~max_segments:4 tr in
+           ignore (Rulegen.rules_of_partition ~version:0 tr segs)));
+  ]
+
+let run () =
+  section "Microbenchmarks (Bechamel): core operation costs";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let tests = benchmarks () in
+  let results =
+    List.map
+      (fun test ->
+        let results = Benchmark.all cfg instances test in
+        (Test.name test, results))
+      tests
+  in
+  let t = Tablefmt.create [ "Operation"; "ns/op (monotonic clock)" ] in
+  List.iter
+    (fun (name, raw) ->
+      let analyzed =
+        Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+          (Instance.monotonic_clock) raw
+      in
+      Hashtbl.iter
+        (fun _ result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Tablefmt.add_row t [ name; Printf.sprintf "%.0f" est ]
+          | _ -> Tablefmt.add_row t [ name; "n/a" ])
+        analyzed)
+    results;
+  Tablefmt.print t;
+  note "Simulator throughput context: one packet = one cache walk; a miss";
+  note "adds slowpath execution + partitioning + rule generation."

@@ -1,0 +1,19 @@
+(* Table 1: the real-world vSwitch pipelines. *)
+
+open Common
+
+let run () =
+  section "Table 1: real-world Open vSwitch pipelines";
+  let t = Tablefmt.create [ "Pipeline"; "Description"; "Tables"; "Traversals" ] in
+  List.iter
+    (fun info ->
+      Tablefmt.add_row t
+        [
+          info.Catalog.code;
+          info.Catalog.description;
+          string_of_int (Catalog.table_count info);
+          string_of_int (Catalog.traversal_count info);
+        ])
+    Catalog.all;
+  Tablefmt.print t;
+  note "Paper: OFD 10/5, PSC 7/2, OLS 30/23, ANT 22/20, OTL 8/11."

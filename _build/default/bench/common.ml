@@ -1,0 +1,149 @@
+(* Shared infrastructure for the benchmark harness.
+
+   Every paper table/figure is regenerated from end-to-end datapath runs.
+   Workloads and runs are memoized: Figs. 8-13 and Table 2 all read the same
+   ten headline runs (5 pipelines x 2 localities per backend). *)
+
+module Catalog = Gf_pipelines.Catalog
+module Pipebench = Gf_workload.Pipebench
+module Ruleset = Gf_workload.Ruleset
+module Trace = Gf_workload.Trace
+module Datapath = Gf_sim.Datapath
+module Metrics = Gf_sim.Metrics
+module Gigaflow = Gf_core.Gigaflow
+module Ltm_cache = Gf_core.Ltm_cache
+module Coverage = Gf_core.Coverage
+module Pipeline = Gf_pipeline.Pipeline
+module Tablefmt = Gf_util.Tablefmt
+
+let seed = ref 42
+let scale = ref 1.0
+let quiet_build = ref false
+
+let scaled n = max 1 (int_of_float (float_of_int n *. !scale))
+
+(* Paper-scale workload parameters. *)
+let combos () = scaled 131_072
+let unique_flows () = scaled 100_000
+let duration = 60.0
+
+let pipelines = [ "OFD"; "PSC"; "OLS"; "ANT"; "OTL" ]
+let localities = [ Ruleset.High; Ruleset.Low ]
+
+let info code = Option.get (Catalog.find code)
+
+let say fmt = Printf.printf (fmt ^^ "\n%!")
+
+(* ------------------------- workload cache ------------------------- *)
+
+let workloads : (string * Ruleset.locality, Pipebench.workload) Hashtbl.t =
+  Hashtbl.create 16
+
+let workload code locality =
+  let key = (code, locality) in
+  match Hashtbl.find_opt workloads key with
+  | Some w -> w
+  | None ->
+      if not !quiet_build then
+        say "  [build] workload %s/%s (%d combos, %d flows)" code
+          (Ruleset.locality_name locality) (combos ()) (unique_flows ());
+      let w =
+        Pipebench.make ~combos:(combos ()) ~unique_flows:(unique_flows ()) ~duration
+          ~info:(info code) ~locality ~seed:!seed ()
+      in
+      Hashtbl.replace workloads key w;
+      w
+
+(* --------------------------- run results --------------------------- *)
+
+type run = {
+  metrics : Metrics.t;
+  peak_entries : int;
+  max_coverage : float;  (** Max over periodic samples; = entries for MF. *)
+  max_sharing : float;  (** Mean shares per LTM entry at the richest sample. *)
+  flow_cycles : (int, int) Hashtbl.t;  (** Slowpath cycles per flow id. *)
+  wall_seconds : float;
+}
+
+let run_datapath ?(sample_every = 50_000) cfg w =
+  let pipeline = Pipebench.pipeline w in
+  let dp = Datapath.create cfg pipeline in
+  let entry_tag = Pipeline.entry pipeline in
+  let peak = ref 0 and max_cov = ref 0.0 and max_share = ref 0.0 in
+  let count = ref 0 in
+  let flow_cycles = Hashtbl.create 1024 in
+  let sample () =
+    let occ = Datapath.hw_occupancy dp in
+    if occ > !peak then peak := occ;
+    match Datapath.gigaflow dp with
+    | Some gf ->
+        let cache = Gigaflow.cache gf in
+        let cov = Coverage.count cache ~entry_tag in
+        if cov > !max_cov then max_cov := cov;
+        let share = Ltm_cache.mean_sharing cache in
+        if (not (Float.is_nan share)) && share > !max_share then max_share := share
+    | None -> if float_of_int occ > !max_cov then max_cov := float_of_int occ
+  in
+  let t0 = Unix.gettimeofday () in
+  let metrics =
+    Datapath.run
+      ~on_packet:(fun _ _ _ ->
+        incr count;
+        if !count mod sample_every = 0 then sample ())
+      ~miss_sink:(fun ~flow_id ~cycles ->
+        Hashtbl.replace flow_cycles flow_id
+          (cycles + Option.value ~default:0 (Hashtbl.find_opt flow_cycles flow_id)))
+      dp w.Pipebench.trace
+  in
+  sample ();
+  {
+    metrics;
+    peak_entries = !peak;
+    max_coverage = !max_cov;
+    max_sharing = !max_share;
+    flow_cycles;
+    wall_seconds = Unix.gettimeofday () -. t0;
+  }
+
+(* Headline configurations: the paper's Megaflow (32K) vs Gigaflow (4x8K),
+   both scaled alongside the workload so pressure ratios are preserved. *)
+let mf_config () =
+  { Datapath.megaflow_32k with Datapath.mf_capacity = scaled 32_768 }
+
+let gf_config () =
+  {
+    Datapath.gigaflow_4x8k with
+    Datapath.gf = Gf_core.Config.v ~tables:4 ~table_capacity:(scaled 8192) ();
+  }
+
+let headline_runs : (string * Ruleset.locality * string, run) Hashtbl.t =
+  Hashtbl.create 32
+
+(* [backend] is "megaflow" or "gigaflow". *)
+let headline code locality backend =
+  let key = (code, locality, backend) in
+  match Hashtbl.find_opt headline_runs key with
+  | Some r -> r
+  | None ->
+      let w = workload code locality in
+      let cfg = if backend = "megaflow" then mf_config () else gf_config () in
+      say "  [run] %s/%s/%s ..." code (Ruleset.locality_name locality) backend;
+      let r = run_datapath cfg w in
+      say "  [run] %s/%s/%s: hit %.2f%%, %.0fs" code
+        (Ruleset.locality_name locality) backend
+        (100.0 *. Metrics.hw_hit_rate r.metrics)
+        r.wall_seconds;
+      Hashtbl.replace headline_runs key r;
+      r
+
+let locality_label = function Ruleset.High -> "high" | Ruleset.Low -> "low"
+
+(* ------------------------------ output ------------------------------ *)
+
+let section title =
+  say "";
+  say "%s" (String.make 78 '=');
+  say "%s" title;
+  say "%s" (String.make 78 '=')
+
+let note fmt = Printf.printf ("  " ^^ fmt ^^ "\n%!")

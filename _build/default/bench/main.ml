@@ -1,0 +1,76 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md for the experiment index).
+
+   Usage:
+     dune exec bench/main.exe                 # everything, paper scale
+     dune exec bench/main.exe -- --only fig8,fig9
+     dune exec bench/main.exe -- --scale 0.25 # quarter-scale quick pass
+     dune exec bench/main.exe -- --list       # available experiment ids *)
+
+let registry : (string * string * (unit -> unit)) list =
+  [
+    ("tab1", "Table 1: real-world pipelines", Bench_tab1.run);
+    ("fig4", "Fig. 4: header-tuple sharing", Bench_fig4.run);
+    ("headline", "Figs. 8-13 + Table 2: end-to-end comparison", Bench_headline.run);
+    ("sweep", "Figs. 3, 14, 15: table-count sweep", Bench_sweep.run);
+    ("fig16", "Fig. 16: partitioning schemes (RND/DP/1-1)", Bench_fig16.run);
+    ("fig17", "Fig. 17: TSS vs NuevoMatch software search", Bench_fig17.run);
+    ("fig18", "Fig. 18: dynamic workload arrival", Bench_fig18.run);
+    ("fig19", "Fig. 19: CPU core scaling", Bench_fig19.run);
+    ("sec636", "Sec. 6.3.6: latencies, revalidation, resources", Bench_sec636.run);
+    ("ablation", "Ablations: unwildcarding & adaptive fallback", Bench_ablation.run);
+    ("micro", "Bechamel microbenchmarks", Bench_micro.run);
+  ]
+
+(* Aliases so every figure id from DESIGN.md resolves. *)
+let aliases =
+  [
+    ("fig3", "sweep"); ("fig8", "headline"); ("fig9", "headline");
+    ("fig10", "headline"); ("fig11", "headline"); ("fig12", "headline");
+    ("fig13", "headline"); ("tab2", "headline"); ("fig14", "sweep");
+    ("fig15", "sweep");
+  ]
+
+let resolve id =
+  let id = String.lowercase_ascii (String.trim id) in
+  match List.assoc_opt id aliases with Some target -> target | None -> id
+
+let () =
+  let only = ref [] in
+  let list_only = ref false in
+  let spec =
+    [
+      ( "--only",
+        Arg.String
+          (fun s -> only := !only @ List.map resolve (String.split_on_char ',' s)),
+        "IDS  comma-separated experiment ids (see --list)" );
+      ("--scale", Arg.Set_float Common.scale, "F  scale workload sizes by F (default 1.0)");
+      ("--seed", Arg.Set_int Common.seed, "N  master random seed (default 42)");
+      ("--list", Arg.Set list_only, " list experiment ids and exit");
+      ("--quiet-build", Arg.Set Common.quiet_build, " suppress workload build logs");
+    ]
+  in
+  Arg.parse spec
+    (fun anon -> only := !only @ [ resolve anon ])
+    "gigaflow benchmark harness";
+  if !list_only then begin
+    List.iter (fun (id, descr, _) -> Printf.printf "%-10s %s\n" id descr) registry;
+    exit 0
+  end;
+  let selected =
+    match !only with
+    | [] -> registry
+    | ids ->
+        List.filter (fun (id, _, _) -> List.mem id ids) registry
+  in
+  if selected = [] then begin
+    prerr_endline "no matching experiments; try --list";
+    exit 1
+  end;
+  Printf.printf
+    "Gigaflow reproduction benchmarks (seed %d, scale %.2f)\n\
+     Workloads: %d combos, %d unique flows per pipeline/locality\n%!"
+    !Common.seed !Common.scale (Common.combos ()) (Common.unique_flows ());
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun (_, _, run) -> run ()) selected;
+  Printf.printf "\nTotal bench time: %.0f s\n%!" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,223 @@
+(* gigaflow-sim: command-line driver for the Gigaflow reproduction.
+
+   Subcommands:
+     run        end-to-end datapath simulation on a generated workload
+     pipelines  list the built-in vSwitch pipelines (paper Table 1)
+     workload   generate a workload and print its statistics
+     resources  FPGA occupancy estimate for a cache geometry *)
+
+open Cmdliner
+module Catalog = Gf_pipelines.Catalog
+module Ruleset = Gf_workload.Ruleset
+module Pipebench = Gf_workload.Pipebench
+module Datapath = Gf_sim.Datapath
+module Metrics = Gf_sim.Metrics
+module Tablefmt = Gf_util.Tablefmt
+
+let pipeline_arg =
+  let doc = "Pipeline code: OFD, PSC, OLS, ANT or OTL." in
+  Arg.(value & opt string "PSC" & info [ "p"; "pipeline" ] ~docv:"CODE" ~doc)
+
+let locality_conv = Arg.enum [ ("high", Ruleset.High); ("low", Ruleset.Low) ]
+
+let locality_arg =
+  Arg.(
+    value
+    & opt locality_conv Ruleset.High
+    & info [ "l"; "locality" ] ~docv:"LOC" ~doc:"Traffic locality: high or low.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+let flows_arg =
+  Arg.(value & opt int 100_000 & info [ "flows" ] ~docv:"N" ~doc:"Unique flows.")
+
+let combos_arg =
+  Arg.(value & opt int 131_072 & info [ "combos" ] ~docv:"N" ~doc:"Rule chains in the generated ruleset.")
+
+let backend_conv =
+  Arg.enum
+    [ ("megaflow", Datapath.Megaflow_offload); ("gigaflow", Datapath.Gigaflow_offload) ]
+
+let backend_arg =
+  Arg.(
+    value
+    & opt backend_conv Datapath.Gigaflow_offload
+    & info [ "b"; "backend" ] ~docv:"B" ~doc:"SmartNIC cache: megaflow or gigaflow.")
+
+let tables_arg =
+  Arg.(value & opt int 4 & info [ "tables" ] ~docv:"K" ~doc:"Gigaflow LTM tables.")
+
+let capacity_arg =
+  Arg.(value & opt int 8192 & info [ "capacity" ] ~docv:"N" ~doc:"Entries per Gigaflow table (Megaflow uses 4x this).")
+
+let find_pipeline code =
+  match Catalog.find code with
+  | Some info -> info
+  | None ->
+      Printf.eprintf "unknown pipeline %S (try: OFD PSC OLS ANT OTL)\n" code;
+      exit 2
+
+let run_cmd =
+  let run code locality seed flows combos backend tables capacity =
+    let info = find_pipeline code in
+    Printf.printf "Building workload: %s, %s locality, %d flows...\n%!" info.Catalog.code
+      (Ruleset.locality_name locality) flows;
+    let w = Pipebench.make ~combos ~unique_flows:flows ~info ~locality ~seed () in
+    let cfg =
+      match backend with
+      | Datapath.Megaflow_offload ->
+          { Datapath.megaflow_32k with Datapath.mf_capacity = tables * capacity }
+      | Datapath.Gigaflow_offload ->
+          {
+            Datapath.gigaflow_4x8k with
+            Datapath.gf = Gf_core.Config.v ~tables ~table_capacity:capacity ();
+          }
+    in
+    let dp = Datapath.create cfg (Pipebench.pipeline w) in
+    Printf.printf "Replaying %d packets...\n%!"
+      (Gf_workload.Trace.packet_count w.Pipebench.trace);
+    (* Sample Gigaflow coverage/sharing periodically: the interesting values
+       are at steady state, not after the final idle sweep. *)
+    let entry_tag = Gf_pipeline.Pipeline.entry (Pipebench.pipeline w) in
+    let max_cov = ref 0.0 and max_share = ref 0.0 and count = ref 0 in
+    let sample () =
+      match Datapath.gigaflow dp with
+      | Some gf ->
+          let cache = Gf_core.Gigaflow.cache gf in
+          let c = Gf_core.Coverage.count cache ~entry_tag in
+          if c > !max_cov then max_cov := c;
+          let s = Gf_core.Ltm_cache.mean_sharing cache in
+          if (not (Float.is_nan s)) && s > !max_share then max_share := s
+      | None -> ()
+    in
+    let m =
+      Datapath.run
+        ~on_packet:(fun _ _ _ ->
+          incr count;
+          if !count mod 10_000 = 0 then sample ())
+        dp w.Pipebench.trace
+    in
+    sample ();
+    let t = Tablefmt.create [ "Metric"; "Value" ] in
+    let add k v = Tablefmt.add_row t [ k; v ] in
+    add "backend" (Datapath.backend_name backend);
+    add "packets" (Tablefmt.fmt_int m.Metrics.packets);
+    add "SmartNIC hit rate" (Tablefmt.fmt_pct (Metrics.hw_hit_rate m));
+    add "SmartNIC misses" (Tablefmt.fmt_int (Metrics.hw_miss_count m));
+    add "software-cache hits" (Tablefmt.fmt_int m.Metrics.sw_hits);
+    add "slowpath executions" (Tablefmt.fmt_int m.Metrics.slowpaths);
+    add "entries (peak)" (Tablefmt.fmt_int m.Metrics.hw_entries_peak);
+    add "installs" (Tablefmt.fmt_int m.Metrics.hw_installs);
+    add "shared sub-traversals" (Tablefmt.fmt_int m.Metrics.hw_shared);
+    add "mean latency" (Printf.sprintf "%.2f us" (Metrics.mean_latency_us m));
+    Tablefmt.print t;
+    (match Datapath.gigaflow dp with
+    | Some _ ->
+        Printf.printf "Rule-space coverage (peak): %s\n" (Tablefmt.fmt_si !max_cov);
+        Printf.printf "Mean sub-traversal sharing (peak): %.2f\n" !max_share
+    | None -> ())
+  in
+  let term =
+    Term.(
+      const run $ pipeline_arg $ locality_arg $ seed_arg $ flows_arg $ combos_arg
+      $ backend_arg $ tables_arg $ capacity_arg)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run an end-to-end datapath simulation.") term
+
+let pipelines_cmd =
+  let show () =
+    let t = Tablefmt.create [ "Code"; "Tables"; "Traversals"; "Description" ] in
+    List.iter
+      (fun info ->
+        Tablefmt.add_row t
+          [
+            info.Catalog.code;
+            string_of_int (Catalog.table_count info);
+            string_of_int (Catalog.traversal_count info);
+            info.Catalog.description;
+          ])
+      Catalog.all;
+    Tablefmt.print t
+  in
+  Cmd.v
+    (Cmd.info "pipelines" ~doc:"List the built-in vSwitch pipelines (paper Table 1).")
+    Term.(const show $ const ())
+
+let workload_cmd =
+  let show code locality seed flows combos =
+    let info = find_pipeline code in
+    let w = Pipebench.make ~combos ~unique_flows:flows ~info ~locality ~seed () in
+    let t = Tablefmt.create [ "Property"; "Value" ] in
+    Tablefmt.add_row t [ "pipeline"; info.Catalog.code ];
+    Tablefmt.add_row t [ "locality"; Ruleset.locality_name locality ];
+    Tablefmt.add_row t [ "rule chains (combos)"; Tablefmt.fmt_int (Ruleset.combo_count w.Pipebench.ruleset) ];
+    Tablefmt.add_row t
+      [ "pipeline rules installed"; Tablefmt.fmt_int (Ruleset.rule_count w.Pipebench.ruleset) ];
+    Tablefmt.add_row t [ "unique flows"; Tablefmt.fmt_int (Array.length w.Pipebench.flows) ];
+    Tablefmt.add_row t
+      [ "trace packets"; Tablefmt.fmt_int (Gf_workload.Trace.packet_count w.Pipebench.trace) ];
+    Tablefmt.print t
+  in
+  Cmd.v
+    (Cmd.info "workload" ~doc:"Generate a Pipebench workload and print statistics.")
+    Term.(const show $ pipeline_arg $ locality_arg $ seed_arg $ flows_arg $ combos_arg)
+
+let resources_cmd =
+  let show tables capacity =
+    let e = Gf_nic.Resources.estimate ~tables ~table_capacity:capacity in
+    Printf.printf "Gigaflow %dx%d on an Alveo U250: %s%s\n" tables capacity
+      (Format.asprintf "%a" Gf_nic.Resources.pp e)
+      (if Gf_nic.Resources.fits e then "" else "  [EXCEEDS BUDGET]")
+  in
+  Cmd.v
+    (Cmd.info "resources" ~doc:"Estimate FPGA occupancy for a cache geometry.")
+    Term.(const show $ tables_arg $ capacity_arg)
+
+let export_p4_cmd =
+  let show tables capacity =
+    print_string (Gf_nic.P4gen.emit ~tables ~table_capacity:capacity)
+  in
+  Cmd.v
+    (Cmd.info "export-p4"
+       ~doc:"Emit the P4_16 LTM pipeline for a cache geometry (paper Fig. 6).")
+    Term.(const show $ tables_arg $ capacity_arg)
+
+let dump_flows_cmd =
+  let show code seed combos =
+    let info = find_pipeline code in
+    let rs = Ruleset.build ~combos ~info ~seed () in
+    print_string (Gf_pipeline.Ofp_text.dump_pipeline (Ruleset.pipeline rs))
+  in
+  Cmd.v
+    (Cmd.info "dump-flows"
+       ~doc:"Generate a ruleset and dump it in ovs-ofctl flow syntax.")
+    Term.(const show $ pipeline_arg $ seed_arg $ combos_arg)
+
+let export_trace_cmd =
+  let show code locality seed flows combos path =
+    let info = find_pipeline code in
+    let w = Pipebench.make ~combos ~unique_flows:flows ~info ~locality ~seed () in
+    Gf_workload.Serial.save ~path
+      (Gf_workload.Serial.trace_to_string w.Pipebench.trace);
+    Printf.printf "wrote %d packets to %s\n"
+      (Gf_workload.Trace.packet_count w.Pipebench.trace)
+      path
+  in
+  let path_arg =
+    Arg.(value & opt string "trace.txt" & info [ "o"; "out" ] ~docv:"PATH" ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "export-trace" ~doc:"Generate a workload and save its packet trace.")
+    Term.(const show $ pipeline_arg $ locality_arg $ seed_arg $ flows_arg $ combos_arg $ path_arg)
+
+let () =
+  let doc = "Gigaflow: pipeline-aware sub-traversal caching (ASPLOS'25 reproduction)" in
+  let info = Cmd.info "gigaflow-sim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            run_cmd; pipelines_cmd; workload_cmd; resources_cmd; export_p4_cmd;
+            dump_flows_cmd; export_trace_cmd;
+          ]))

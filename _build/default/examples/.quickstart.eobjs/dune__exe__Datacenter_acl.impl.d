@@ -1,0 +1,1 @@
+examples/datacenter_acl.ml: Array Gf_core Gf_pipelines Gf_sim Gf_util Gf_workload List Option Printf

@@ -1,0 +1,1 @@
+examples/dynamic_workload.ml: Array Float Gf_core Gf_pipelines Gf_sim Gf_util Gf_workload Option Printf

@@ -1,0 +1,1 @@
+examples/dynamic_workload.mli:

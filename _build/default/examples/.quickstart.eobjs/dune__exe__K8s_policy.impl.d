@@ -1,0 +1,1 @@
+examples/k8s_policy.ml: Array Format Gf_core Gf_flow Gf_pipeline Gf_pipelines Gf_util Gf_workload List Option Printf String

@@ -1,0 +1,1 @@
+examples/k8s_policy.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Gf_core Gf_flow Gf_pipeline List Printf String

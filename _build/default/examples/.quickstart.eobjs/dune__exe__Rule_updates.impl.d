@@ -1,0 +1,1 @@
+examples/rule_updates.ml: Array Gf_cache Gf_core Gf_flow Gf_pipeline Gf_pipelines Gf_workload Option Printf Unix

@@ -1,0 +1,1 @@
+examples/rule_updates.mli:

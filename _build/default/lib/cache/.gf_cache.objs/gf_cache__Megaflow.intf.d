@@ -1,0 +1,1 @@
+lib/cache/megaflow.mli: Cache_stats Gf_classifier Gf_flow Gf_pipeline

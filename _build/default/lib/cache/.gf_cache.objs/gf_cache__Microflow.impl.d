@@ -1,0 +1,1 @@
+lib/cache/microflow.ml: Cache_stats Gf_flow Gf_pipeline Hashtbl List

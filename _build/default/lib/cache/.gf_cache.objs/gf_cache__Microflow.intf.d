@@ -1,0 +1,1 @@
+lib/cache/microflow.mli: Cache_stats Gf_flow Gf_pipeline

@@ -1,0 +1,33 @@
+type t = {
+  mutable lookups : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable installs : int;
+  mutable shared : int;
+  mutable rejected : int;
+  mutable evictions : int;
+}
+
+let create () =
+  { lookups = 0; hits = 0; misses = 0; installs = 0; shared = 0; rejected = 0; evictions = 0 }
+
+let reset t =
+  t.lookups <- 0;
+  t.hits <- 0;
+  t.misses <- 0;
+  t.installs <- 0;
+  t.shared <- 0;
+  t.rejected <- 0;
+  t.evictions <- 0
+
+let hit_rate t =
+  if t.lookups = 0 then nan else float_of_int t.hits /. float_of_int t.lookups
+
+let record_lookup t ~hit =
+  t.lookups <- t.lookups + 1;
+  if hit then t.hits <- t.hits + 1 else t.misses <- t.misses + 1
+
+let pp fmt t =
+  Format.fprintf fmt
+    "lookups=%d hits=%d misses=%d installs=%d shared=%d rejected=%d evictions=%d"
+    t.lookups t.hits t.misses t.installs t.shared t.rejected t.evictions

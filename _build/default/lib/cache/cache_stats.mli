@@ -1,0 +1,23 @@
+(** Shared hit/miss/installation counters for all cache flavours. *)
+
+type t = {
+  mutable lookups : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable installs : int;  (** new entries written *)
+  mutable shared : int;
+      (** installations satisfied by an already-present identical entry
+          (Gigaflow sub-traversal sharing; always 0 for Megaflow) *)
+  mutable rejected : int;  (** installations refused for lack of space *)
+  mutable evictions : int;  (** idle expiry + revalidation removals *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+val hit_rate : t -> float
+(** Hits over lookups; [nan] when no lookups. *)
+
+val record_lookup : t -> hit:bool -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,135 @@
+module Flow = Gf_flow.Flow
+module Fmatch = Gf_flow.Fmatch
+module Entry = Gf_classifier.Entry
+module Searcher = Gf_classifier.Searcher
+module Action = Gf_pipeline.Action
+module Traversal = Gf_pipeline.Traversal
+module Executor = Gf_pipeline.Executor
+
+type hit = { terminal : Action.terminal; out_flow : Flow.t }
+
+type payload = {
+  commit : (Gf_flow.Field.t * int) list;
+  terminal : Action.terminal;
+  parent_input : Flow.t; (* representative flow for revalidation *)
+  version : int;
+  mutable last_used : float;
+}
+
+type t = {
+  capacity : int;
+  searcher : payload Searcher.t;
+  by_fmatch : (Fmatch.t, int) Hashtbl.t; (* match -> classifier key *)
+  by_key : (int, Fmatch.t * payload) Hashtbl.t;
+  stats : Cache_stats.t;
+  mutable next_key : int;
+}
+
+let create ?(search = `Tss) ~capacity () =
+  assert (capacity > 0);
+  {
+    capacity;
+    searcher = Searcher.create search;
+    by_fmatch = Hashtbl.create capacity;
+    by_key = Hashtbl.create capacity;
+    stats = Cache_stats.create ();
+    next_key = 0;
+  }
+
+let capacity t = t.capacity
+let occupancy t = Hashtbl.length t.by_key
+let stats t = t.stats
+let search_algo t = Searcher.algo t.searcher
+
+let apply_commit commit flow =
+  List.fold_left (fun f (field, v) -> Flow.set f field v) flow commit
+
+let lookup t ~now flow =
+  let result, work = Searcher.lookup_disjoint t.searcher flow in
+  match result with
+  | Some entry ->
+      let payload = entry.Entry.payload in
+      payload.last_used <- now;
+      Cache_stats.record_lookup t.stats ~hit:true;
+      (Some { terminal = payload.terminal; out_flow = apply_commit payload.commit flow }, work)
+  | None ->
+      Cache_stats.record_lookup t.stats ~hit:false;
+      (None, work)
+
+(* Collapse a traversal into (match, commit, terminal). *)
+let collapse traversal =
+  let wildcard = Traversal.megaflow_wildcard traversal in
+  let fmatch = Fmatch.v ~pattern:traversal.Traversal.input ~mask:wildcard in
+  let commit =
+    Traversal.segment_commit traversal ~first:0
+      ~last:(Array.length traversal.Traversal.steps - 1)
+  in
+  (fmatch, commit, traversal.Traversal.terminal)
+
+let install t ~now ~version traversal =
+  let fmatch, commit, terminal = collapse traversal in
+  match Hashtbl.find_opt t.by_fmatch fmatch with
+  | Some key ->
+      (match Hashtbl.find_opt t.by_key key with
+      | Some (_, payload) -> payload.last_used <- now
+      | None -> ());
+      `Exists
+  | None ->
+      if occupancy t >= t.capacity then begin
+        t.stats.Cache_stats.rejected <- t.stats.Cache_stats.rejected + 1;
+        `Rejected
+      end
+      else begin
+        let key = t.next_key in
+        t.next_key <- key + 1;
+        let payload =
+          { commit; terminal; parent_input = traversal.Traversal.input; version; last_used = now }
+        in
+        Searcher.insert t.searcher (Entry.v ~key ~fmatch ~priority:0 payload);
+        Hashtbl.replace t.by_fmatch fmatch key;
+        Hashtbl.replace t.by_key key (fmatch, payload);
+        t.stats.Cache_stats.installs <- t.stats.Cache_stats.installs + 1;
+        `Installed
+      end
+
+let remove_key t key =
+  match Hashtbl.find_opt t.by_key key with
+  | None -> ()
+  | Some (fmatch, _) ->
+      Hashtbl.remove t.by_key key;
+      Hashtbl.remove t.by_fmatch fmatch;
+      ignore (Searcher.remove t.searcher key);
+      t.stats.Cache_stats.evictions <- t.stats.Cache_stats.evictions + 1
+
+let expire t ~now ~max_idle =
+  let stale =
+    Hashtbl.fold
+      (fun key (_, payload) acc ->
+        if now -. payload.last_used > max_idle then key :: acc else acc)
+      t.by_key []
+  in
+  List.iter (remove_key t) stale;
+  List.length stale
+
+let revalidate t pipeline =
+  let work = ref 0 in
+  let victims =
+    Hashtbl.fold
+      (fun key (fmatch, payload) acc ->
+        match Executor.execute pipeline payload.parent_input with
+        | Error _ -> key :: acc
+        | Ok traversal ->
+            work := !work + Traversal.length traversal;
+            let fmatch', commit', terminal' = collapse traversal in
+            if
+              Fmatch.equal fmatch fmatch'
+              && payload.commit = commit'
+              && Action.terminal_equal payload.terminal terminal'
+            then acc
+            else key :: acc)
+      t.by_key []
+  in
+  List.iter (remove_key t) victims;
+  (List.length victims, !work)
+
+let entries_fmatches t = Hashtbl.fold (fun f _ acc -> f :: acc) t.by_fmatch []

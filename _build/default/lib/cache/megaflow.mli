@@ -1,0 +1,51 @@
+(** The Megaflow cache: OVS's single-lookup wildcard cache (the paper's
+    baseline, K = 1).
+
+    Each entry collapses a whole traversal into one ternary rule: match =
+    input flow masked by the traversal's re-based consulted wildcard; action
+    = the commit (composed set-field rewrites) plus the terminal decision.
+    The consulted wildcard carries the priority-dependency bits, so every
+    entry — and therefore any overlap between entries — reproduces the
+    slowpath decision exactly (property-tested), which licenses the ranked
+    first-match search.
+
+    The search structure is pluggable (TSS or NuevoMatch — Fig. 17); lookup
+    reports the work units spent for the latency model. *)
+
+type hit = {
+  terminal : Gf_pipeline.Action.terminal;
+  out_flow : Gf_flow.Flow.t;
+}
+
+type t
+
+val create : ?search:Gf_classifier.Searcher.algo -> capacity:int -> unit -> t
+(** [search] defaults to [`Tss]. *)
+
+val capacity : t -> int
+val occupancy : t -> int
+val stats : t -> Cache_stats.t
+val search_algo : t -> Gf_classifier.Searcher.algo
+
+val lookup : t -> now:float -> Gf_flow.Flow.t -> hit option * int
+(** Result and classifier work units. Refreshes last-used on hit. *)
+
+val install : t -> now:float -> version:int -> Gf_pipeline.Traversal.t ->
+  [ `Installed | `Exists | `Rejected ]
+(** Collapse the traversal and insert.  [`Exists] when an identical match is
+    already cached (its last-used time is refreshed); [`Rejected] when the
+    cache is full ([version] is the pipeline version, kept for
+    revalidation bookkeeping). *)
+
+val expire : t -> now:float -> max_idle:float -> int
+(** Evict entries idle longer than [max_idle]; returns how many. *)
+
+val revalidate : t -> Gf_pipeline.Pipeline.t -> int * int
+(** Re-run every entry's parent flow through the (possibly updated) pipeline
+    and evict entries whose regenerated match/action differ (paper
+    section 4.3.1).  Returns [(evicted, work)] where [work] is the total
+    number of table lookups performed — the cost the paper's section 6.3.6
+    compares against Gigaflow's sub-traversal revalidation. *)
+
+val entries_fmatches : t -> Gf_flow.Fmatch.t list
+(** Current entry matches (diagnostics / tests). *)

@@ -1,0 +1,33 @@
+(** The exact-match (Microflow) cache: first level of the OVS cache
+    hierarchy, capturing temporal locality.
+
+    Keyed on the full header vector; one lookup, no wildcards.  Entries
+    expire after [max_idle] of disuse and are evicted LRU when the cache is
+    full. *)
+
+type hit = {
+  terminal : Gf_pipeline.Action.terminal;
+  out_flow : Gf_flow.Flow.t;
+}
+
+type t
+
+val create : capacity:int -> t
+val capacity : t -> int
+val occupancy : t -> int
+val stats : t -> Cache_stats.t
+
+val lookup : t -> now:float -> Gf_flow.Flow.t -> hit option
+(** Refreshes the entry's last-used time on a hit. *)
+
+val install : t -> now:float -> Gf_flow.Flow.t -> hit -> unit
+(** Evicts the least recently used entry if full; replaces an existing entry
+    for the same flow. *)
+
+val expire : t -> now:float -> max_idle:float -> int
+(** Remove entries idle longer than [max_idle]; returns how many. *)
+
+val invalidate_all : t -> int
+(** Flush (e.g. on any pipeline rule change — exact-match entries carry no
+    dependency information, so OVS-style full invalidation is the only safe
+    response). Returns how many entries were dropped. *)

@@ -1,0 +1,1 @@
+lib/classifier/classifier_intf.ml: Entry Gf_flow

@@ -1,0 +1,1 @@
+lib/classifier/entry.ml: Gf_flow

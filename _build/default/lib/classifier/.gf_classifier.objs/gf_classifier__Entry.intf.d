@@ -1,0 +1,1 @@
+lib/classifier/entry.mli: Gf_flow

@@ -1,0 +1,1 @@
+lib/classifier/linear.ml: Entry Hashtbl

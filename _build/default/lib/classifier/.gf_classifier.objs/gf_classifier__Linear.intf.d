@@ -1,0 +1,1 @@
+lib/classifier/linear.mli: Classifier_intf

@@ -1,0 +1,1 @@
+lib/classifier/nuevomatch.ml: Array Entry Float Gf_flow Hashtbl List Tss

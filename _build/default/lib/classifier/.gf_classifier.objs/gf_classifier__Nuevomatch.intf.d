@@ -1,0 +1,1 @@
+lib/classifier/nuevomatch.mli: Classifier_intf Gf_flow

@@ -1,0 +1,1 @@
+lib/classifier/searcher.ml: Classifier_intf Entry Gf_flow Linear Nuevomatch Tss

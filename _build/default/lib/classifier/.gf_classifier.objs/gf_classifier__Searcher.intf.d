@@ -1,0 +1,1 @@
+lib/classifier/searcher.mli: Entry Gf_flow

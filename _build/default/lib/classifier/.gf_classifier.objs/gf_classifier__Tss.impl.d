@@ -1,0 +1,1 @@
+lib/classifier/tss.ml: Entry Gf_flow Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/classifier/tss.mli: Classifier_intf Entry Gf_flow

@@ -1,0 +1,31 @@
+(** Common signature of the software packet classifiers.
+
+    [lookup] returns the winning entry together with the {b work units}
+    spent: an abstract count of memory probes (TSS tuples scanned, learned-
+    model evaluations + secondary-search steps, or entries scanned for the
+    linear reference).  The latency model converts work units to time. *)
+
+module type S = sig
+  type 'a t
+
+  val algorithm : string
+  (** Short name, e.g. ["tss"]. *)
+
+  val create : unit -> 'a t
+
+  val insert : 'a t -> 'a Entry.t -> unit
+  (** Raises [Invalid_argument] on a duplicate key. *)
+
+  val remove : 'a t -> int -> bool
+  (** Remove by key; returns whether an entry was removed. *)
+
+  val size : 'a t -> int
+
+  val lookup : 'a t -> Gf_flow.Flow.t -> 'a Entry.t option * int
+  (** Highest-priority match (ties toward lowest key) and work units. *)
+
+  val entries : 'a t -> 'a Entry.t list
+  (** In unspecified order. *)
+
+  val clear : 'a t -> unit
+end

@@ -1,0 +1,7 @@
+type 'a t = { key : int; fmatch : Gf_flow.Fmatch.t; priority : int; payload : 'a }
+
+let v ~key ~fmatch ~priority payload = { key; fmatch; priority; payload }
+
+let matches t flow = Gf_flow.Fmatch.matches t.fmatch flow
+
+let better a b = a.priority > b.priority || (a.priority = b.priority && a.key < b.key)

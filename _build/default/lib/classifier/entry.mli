@@ -1,0 +1,21 @@
+(** The entry type shared by all software packet classifiers.
+
+    A classifier stores prioritised ternary entries and answers
+    highest-priority-match queries; the Megaflow cache, the Gigaflow LTM
+    tables and standalone rule tables all instantiate it with their own
+    payload type. *)
+
+type 'a t = {
+  key : int;  (** Unique id within one classifier instance. *)
+  fmatch : Gf_flow.Fmatch.t;
+  priority : int;
+  payload : 'a;
+}
+
+val v : key:int -> fmatch:Gf_flow.Fmatch.t -> priority:int -> 'a -> 'a t
+
+val matches : 'a t -> Gf_flow.Flow.t -> bool
+
+val better : 'a t -> 'a t -> bool
+(** [better a b] iff [a] wins over [b]: higher priority, ties toward the
+    lower key (deterministic). *)

@@ -1,0 +1,36 @@
+type 'a t = { by_key : (int, 'a Entry.t) Hashtbl.t }
+
+let algorithm = "linear"
+
+let create () = { by_key = Hashtbl.create 64 }
+
+let insert t entry =
+  if Hashtbl.mem t.by_key entry.Entry.key then
+    invalid_arg "Linear.insert: duplicate key";
+  Hashtbl.add t.by_key entry.Entry.key entry
+
+let remove t key =
+  if Hashtbl.mem t.by_key key then begin
+    Hashtbl.remove t.by_key key;
+    true
+  end
+  else false
+
+let size t = Hashtbl.length t.by_key
+
+let lookup t flow =
+  let best = ref None in
+  let scanned = ref 0 in
+  Hashtbl.iter
+    (fun _ entry ->
+      incr scanned;
+      if Entry.matches entry flow then
+        match !best with
+        | Some b when not (Entry.better entry b) -> ()
+        | _ -> best := Some entry)
+    t.by_key;
+  (!best, !scanned)
+
+let entries t = Hashtbl.fold (fun _ e acc -> e :: acc) t.by_key []
+
+let clear t = Hashtbl.reset t.by_key

@@ -1,0 +1,6 @@
+(** Reference classifier: priority-ordered linear scan.
+
+    O(n) per lookup; exists to specify correct behaviour.  TSS and
+    NuevoMatch are property-tested against it. *)
+
+include Classifier_intf.S

@@ -1,0 +1,153 @@
+module Flow = Gf_flow.Flow
+module Mask = Gf_flow.Mask
+module Fmatch = Gf_flow.Fmatch
+
+type 'a tuple = {
+  mask : Mask.t;
+  buckets : (Flow.t, 'a Entry.t list) Hashtbl.t; (* best-first lists *)
+  mutable max_priority : int;
+  mutable count : int;
+}
+
+type 'a t = {
+  by_key : (int, 'a Entry.t) Hashtbl.t;
+  tuples : (Mask.t, 'a tuple) Hashtbl.t;
+  mutable ordered : 'a tuple list; (* max_priority desc; valid when not dirty *)
+  mutable ranked : 'a tuple list; (* hit-frequency order for first-match mode *)
+  mutable dirty : bool;
+  scratch : Flow.Scratch.t; (* transient masked-key buffer for lookups *)
+}
+
+let algorithm = "tss"
+
+let create () =
+  {
+    by_key = Hashtbl.create 64;
+    tuples = Hashtbl.create 16;
+    ordered = [];
+    ranked = [];
+    dirty = false;
+    scratch = Flow.Scratch.create ();
+  }
+
+let entry_order (a : 'a Entry.t) (b : 'a Entry.t) =
+  if Entry.better a b then -1 else if Entry.better b a then 1 else 0
+
+let insert t entry =
+  if Hashtbl.mem t.by_key entry.Entry.key then invalid_arg "Tss.insert: duplicate key";
+  Hashtbl.add t.by_key entry.Entry.key entry;
+  let mask = Fmatch.mask entry.Entry.fmatch in
+  let tuple =
+    match Hashtbl.find_opt t.tuples mask with
+    | Some tu -> tu
+    | None ->
+        let tu = { mask; buckets = Hashtbl.create 32; max_priority = min_int; count = 0 } in
+        Hashtbl.add t.tuples mask tu;
+        t.ranked <- t.ranked @ [ tu ];
+        tu
+  in
+  let key = Fmatch.pattern entry.Entry.fmatch in
+  let existing = Option.value ~default:[] (Hashtbl.find_opt tuple.buckets key) in
+  Hashtbl.replace tuple.buckets key (List.sort entry_order (entry :: existing));
+  tuple.count <- tuple.count + 1;
+  if entry.Entry.priority > tuple.max_priority then tuple.max_priority <- entry.Entry.priority;
+  t.dirty <- true
+
+let recompute_max tuple =
+  let m = ref min_int in
+  Hashtbl.iter
+    (fun _ entries ->
+      List.iter (fun (e : 'a Entry.t) -> if e.priority > !m then m := e.priority) entries)
+    tuple.buckets;
+  tuple.max_priority <- !m
+
+let remove t key =
+  match Hashtbl.find_opt t.by_key key with
+  | None -> false
+  | Some entry ->
+      Hashtbl.remove t.by_key key;
+      let mask = Fmatch.mask entry.Entry.fmatch in
+      (match Hashtbl.find_opt t.tuples mask with
+      | None -> ()
+      | Some tuple ->
+          let bucket_key = Fmatch.pattern entry.Entry.fmatch in
+          (match Hashtbl.find_opt tuple.buckets bucket_key with
+          | None -> ()
+          | Some entries ->
+              let remaining = List.filter (fun (e : 'a Entry.t) -> e.key <> key) entries in
+              if remaining = [] then Hashtbl.remove tuple.buckets bucket_key
+              else Hashtbl.replace tuple.buckets bucket_key remaining);
+          tuple.count <- tuple.count - 1;
+          if tuple.count <= 0 then begin
+            Hashtbl.remove t.tuples mask;
+            t.ranked <- List.filter (fun tu -> tu != tuple) t.ranked
+          end
+          else if entry.Entry.priority >= tuple.max_priority then recompute_max tuple);
+      t.dirty <- true;
+      true
+
+let size t = Hashtbl.length t.by_key
+
+let ensure t =
+  if t.dirty then begin
+    t.ordered <-
+      Hashtbl.fold (fun _ tu acc -> tu :: acc) t.tuples []
+      |> List.sort (fun a b -> compare b.max_priority a.max_priority);
+    t.dirty <- false
+  end
+
+let lookup t flow =
+  ensure t;
+  let rec go tuples best probes =
+    match tuples with
+    | [] -> (best, probes)
+    | tuple :: rest -> (
+        match best with
+        | Some (b : 'a Entry.t) when b.priority > tuple.max_priority -> (best, probes)
+        | _ ->
+            let probes = probes + 1 in
+            let key = Mask.apply_scratch tuple.mask flow t.scratch in
+            let candidate =
+              match Hashtbl.find_opt tuple.buckets key with
+              | Some (e :: _) -> Some e
+              | Some [] | None -> None
+            in
+            let best =
+              match (best, candidate) with
+              | None, c -> c
+              | b, None -> b
+              | Some b, Some c -> if Entry.better c b then Some c else Some b
+            in
+            go rest best probes)
+  in
+  go t.ordered None 0
+
+(* First-match walk over hit-frequency-ranked tuples: sound when entries are
+   pairwise disjoint (at most one can match), which Megaflow guarantees by
+   construction.  A hit promotes its tuple to the front, so hot tuples are
+   probed first — the ranked-subtable optimisation of OVS's dpcls. *)
+let lookup_first t flow =
+  let rec go acc tuples probes =
+    match tuples with
+    | [] -> (None, probes)
+    | tuple :: rest -> (
+        let probes = probes + 1 in
+        let key = Mask.apply_scratch tuple.mask flow t.scratch in
+        match Hashtbl.find_opt tuple.buckets key with
+        | Some (e :: _) ->
+            if acc <> [] then t.ranked <- tuple :: List.rev_append acc rest;
+            (Some e, probes)
+        | Some [] | None -> go (tuple :: acc) rest probes)
+  in
+  go [] t.ranked 0
+
+let entries t = Hashtbl.fold (fun _ e acc -> e :: acc) t.by_key []
+
+let clear t =
+  Hashtbl.reset t.by_key;
+  Hashtbl.reset t.tuples;
+  t.ordered <- [];
+  t.ranked <- [];
+  t.dirty <- false
+
+let tuple_count t = Hashtbl.length t.tuples

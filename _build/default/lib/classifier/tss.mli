@@ -1,0 +1,20 @@
+(** Tuple Space Search (Srinivasan, Suri & Varghese, SIGCOMM'99).
+
+    Entries are grouped by mask into tuples; each tuple is a hash table from
+    the pre-masked pattern to its best entry.  Lookup probes tuples in
+    decreasing max-priority order and stops as soon as the current winner
+    strictly out-prioritises every remaining tuple.  Work units = tuples
+    probed (the O(M) cost the paper and NuevoMatch target). *)
+
+include Classifier_intf.S
+
+val tuple_count : 'a t -> int
+(** Number of distinct masks currently stored. *)
+
+val lookup_first : 'a t -> Gf_flow.Flow.t -> 'a Entry.t option * int
+(** First-match walk over hit-frequency-ranked tuples (a matching tuple is
+    promoted to the front, like OVS's ranked subtables).  {b Only} correct
+    when any matching entry is acceptable to the caller — the Megaflow
+    cache's situation, where overlapping entries always agree (every entry
+    reproduces the slowpath decision; property-tested).  Misses still probe
+    every tuple. *)

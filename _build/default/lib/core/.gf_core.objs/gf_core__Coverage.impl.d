@@ -1,0 +1,1 @@
+lib/core/coverage.ml: Array Config Hashtbl List Ltm_cache Ltm_rule Ltm_table Option

@@ -1,0 +1,1 @@
+lib/core/gigaflow.ml: Array Config Gf_pipeline Gf_util List Ltm_cache Partitioner Rulegen

@@ -1,0 +1,1 @@
+lib/core/gigaflow.mli: Config Gf_flow Gf_pipeline Ltm_cache Partitioner

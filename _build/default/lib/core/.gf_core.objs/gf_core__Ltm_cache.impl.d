@@ -1,0 +1,1 @@
+lib/core/ltm_cache.ml: Array Config Gf_cache Gf_flow Gf_pipeline Hashtbl List Ltm_rule Ltm_table Option

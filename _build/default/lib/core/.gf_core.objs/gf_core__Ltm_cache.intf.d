@@ -1,0 +1,1 @@
+lib/core/ltm_cache.mli: Config Gf_cache Gf_flow Gf_pipeline Ltm_rule Ltm_table

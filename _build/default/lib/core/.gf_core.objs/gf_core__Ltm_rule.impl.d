@@ -1,0 +1,1 @@
+lib/core/ltm_rule.ml: Array Format Gf_flow Gf_pipeline List

@@ -1,0 +1,1 @@
+lib/core/ltm_rule.mli: Format Gf_flow Gf_pipeline

@@ -1,0 +1,1 @@
+lib/core/ltm_table.ml: Gf_classifier Hashtbl Ltm_rule Option

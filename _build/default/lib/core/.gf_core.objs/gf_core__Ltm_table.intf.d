@@ -1,0 +1,1 @@
+lib/core/ltm_table.mli: Gf_flow Ltm_rule

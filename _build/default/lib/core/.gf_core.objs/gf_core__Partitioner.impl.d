@@ -1,0 +1,1 @@
+lib/core/partitioner.ml: Array Gf_flow Gf_pipeline Gf_util Hashtbl List Queue

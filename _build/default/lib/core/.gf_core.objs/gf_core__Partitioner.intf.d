@@ -1,0 +1,1 @@
+lib/core/partitioner.mli: Gf_flow Gf_pipeline Gf_util

@@ -1,0 +1,1 @@
+lib/core/rulegen.ml: Array Gf_flow Gf_pipeline List Ltm_rule Partitioner

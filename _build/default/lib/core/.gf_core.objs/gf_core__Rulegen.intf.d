@@ -1,0 +1,1 @@
+lib/core/rulegen.mli: Gf_pipeline Ltm_rule Partitioner

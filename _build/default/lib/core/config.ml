@@ -1,0 +1,32 @@
+type t = {
+  tables : int;
+  table_capacity : int;
+  scheme : Partitioner.scheme;
+  max_idle : float;
+  adaptive : bool;
+  adaptive_threshold : float;
+}
+
+let default =
+  {
+    tables = 4;
+    table_capacity = 8192;
+    scheme = Partitioner.Disjoint;
+    max_idle = 10.0;
+    adaptive = false;
+    adaptive_threshold = 0.15;
+  }
+
+let v ?(tables = default.tables) ?(table_capacity = default.table_capacity)
+    ?(scheme = default.scheme) ?(max_idle = default.max_idle)
+    ?(adaptive = default.adaptive) ?(adaptive_threshold = default.adaptive_threshold)
+    () =
+  { tables; table_capacity; scheme; max_idle; adaptive; adaptive_threshold }
+
+let total_capacity t = t.tables * t.table_capacity
+
+let validate t =
+  if t.tables < 1 then Error "tables must be >= 1"
+  else if t.table_capacity < 1 then Error "table_capacity must be >= 1"
+  else if t.max_idle <= 0.0 then Error "max_idle must be positive"
+  else Ok ()

@@ -1,0 +1,40 @@
+(** Gigaflow cache configuration.
+
+    The paper's headline configuration is 4 tables x 8K entries ("Gigaflow
+    (4x8K)") against a Megaflow baseline of one 32K-entry table — equal
+    total SRAM/TCAM budget. *)
+
+type t = {
+  tables : int;  (** K, the number of LTM tables (paper: 2-5, default 4). *)
+  table_capacity : int;  (** Entries per table (paper: 8K or 100K). *)
+  scheme : Partitioner.scheme;  (** Partitioning algorithm (default DP). *)
+  max_idle : float;
+      (** Seconds of disuse before an entry may be evicted (OVS-style
+          max-idle; paper section 4.3.2).  Default 10 s, matching OVS. *)
+  adaptive : bool;
+      (** The paper's section 7 traffic-profile-guided optimisation: sample
+          recent sub-traversal sharing and, when sharing is scarce (a
+          low-locality environment), fall back to installing whole-traversal
+          (Megaflow-style) entries so the cache never does worse than the
+          baseline.  Default off (the paper's evaluated configuration). *)
+  adaptive_threshold : float;
+      (** Minimum fraction of probe installations satisfied by sharing for
+          sub-traversal caching to stay on (default 0.15). *)
+}
+
+val default : t
+(** 4 x 8192, disjoint partitioning, 10 s max-idle. *)
+
+val v :
+  ?tables:int ->
+  ?table_capacity:int ->
+  ?scheme:Partitioner.scheme ->
+  ?max_idle:float ->
+  ?adaptive:bool ->
+  ?adaptive_threshold:float ->
+  unit ->
+  t
+
+val total_capacity : t -> int
+
+val validate : t -> (unit, string) result

@@ -1,0 +1,63 @@
+(* Tag state: Some table_id = expecting that vSwitch table; None = done. *)
+
+let edges_of_cache cache =
+  let k = (Ltm_cache.config cache).Config.tables in
+  let edges = Array.make k [] in
+  Ltm_cache.iter_rules cache (fun ~table stored ->
+      let rule = stored.Ltm_table.rule in
+      edges.(table) <- (rule.Ltm_rule.tag_in, rule.Ltm_rule.next) :: edges.(table));
+  edges
+
+let count cache ~entry_tag =
+  let edges = edges_of_cache cache in
+  (* ways maps a tag state to the number of distinct chains reaching it. *)
+  let ways : (int option, float) Hashtbl.t = Hashtbl.create 16 in
+  Hashtbl.replace ways (Some entry_tag) 1.0;
+  Array.iter
+    (fun table_edges ->
+      let next_ways : (int option, float) Hashtbl.t = Hashtbl.create 16 in
+      (* Skip edge: a packet may pass the table unmatched. *)
+      Hashtbl.iter (fun tag w -> Hashtbl.replace next_ways tag w) ways;
+      List.iter
+        (fun (tag_in, next) ->
+          match Hashtbl.find_opt ways (Some tag_in) with
+          | None -> ()
+          | Some w ->
+              let dst =
+                match next with
+                | Ltm_rule.Next_tag tag -> Some tag
+                | Ltm_rule.Done _ -> None
+              in
+              Hashtbl.replace next_ways dst
+                (w +. Option.value ~default:0.0 (Hashtbl.find_opt next_ways dst)))
+        table_edges;
+      Hashtbl.reset ways;
+      Hashtbl.iter (Hashtbl.replace ways) next_ways)
+    edges;
+  Option.value ~default:0.0 (Hashtbl.find_opt ways None)
+
+let brute_force cache ~entry_tag =
+  let edges = edges_of_cache cache in
+  let k = Array.length edges in
+  let rec go i tag =
+    match tag with
+    | None -> 1
+    | Some tag_id ->
+        if i >= k then 0
+        else
+          let skip = go (i + 1) (Some tag_id) in
+          let matched =
+            List.fold_left
+              (fun acc (tag_in, next) ->
+                if tag_in = tag_id then
+                  acc
+                  + go (i + 1)
+                      (match next with
+                      | Ltm_rule.Next_tag t -> Some t
+                      | Ltm_rule.Done _ -> None)
+                else acc)
+              0 edges.(i)
+          in
+          skip + matched
+  in
+  go 0 (Some entry_tag)

@@ -1,0 +1,18 @@
+(** Rule-space coverage: how many distinct end-to-end flow rules the cache
+    contents can serve (the paper's Table 2 metric).
+
+    For Megaflow, coverage is simply the number of entries.  For Gigaflow,
+    sub-traversals compose: any tag-consistent chain of entries across the K
+    tables is an implicit end-to-end rule, so coverage is the number of
+    distinct chains from the entry tag to the terminal state — counted by a
+    dynamic program over (table, tag) states with skip edges (a packet
+    passes an LTM table it does not match). *)
+
+val count : Ltm_cache.t -> entry_tag:int -> float
+(** Number of end-to-end rule combinations currently reachable.  Float,
+    because cross-products overflow 63-bit integers long before they stop
+    being informative. *)
+
+val brute_force : Ltm_cache.t -> entry_tag:int -> int
+(** Exhaustive chain enumeration; exponential, only for tests on tiny
+    caches. *)

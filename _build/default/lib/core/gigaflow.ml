@@ -1,0 +1,128 @@
+module Traversal = Gf_pipeline.Traversal
+module Executor = Gf_pipeline.Executor
+module Pipeline = Gf_pipeline.Pipeline
+
+type slowpath_work = {
+  pipeline_lookups : int;
+  tuple_probes : int;
+  partition_work : int;
+  rulegen_work : int;
+}
+
+type miss_outcome = {
+  traversal : Traversal.t;
+  install : Ltm_cache.install_result;
+  segments : Partitioner.segment list;
+  work : slowpath_work;
+}
+
+(* Traffic-profile-guided fallback (paper section 7): every [probe_period]-th
+   miss is partitioned normally regardless of mode, measuring how much
+   sub-traversal sharing the current traffic offers; per [window] of misses
+   the mode flips between sub-traversal caching and whole-traversal
+   (Megaflow-style) entries. *)
+type adaptive_state = {
+  mutable fallback : bool;
+  mutable misses_in_window : int;
+  mutable probe_fresh : int;
+  mutable probe_shared : int;
+}
+
+let probe_period = 8
+let window = 1024
+
+type t = {
+  config : Config.t;
+  cache : Ltm_cache.t;
+  rng : Gf_util.Rng.t;
+  adaptive : adaptive_state;
+}
+
+let create ?(rng_seed = 0x61F1) config =
+  {
+    config;
+    cache = Ltm_cache.create config;
+    rng = Gf_util.Rng.create rng_seed;
+    adaptive =
+      { fallback = false; misses_in_window = 0; probe_fresh = 0; probe_shared = 0 };
+  }
+
+let cache t = t.cache
+let config t = t.config
+
+let in_fallback t = t.adaptive.fallback
+
+let lookup t ~now ~pipeline flow =
+  Ltm_cache.lookup t.cache ~now ~entry_tag:(Pipeline.entry pipeline) flow
+
+let handle_miss t ~now ~pipeline flow =
+  match Executor.execute pipeline flow with
+  | Error e -> Error e
+  | Ok traversal ->
+      let n = Traversal.length traversal in
+      let budget = max 1 (Ltm_cache.available_tables t.cache) in
+      let a = t.adaptive in
+      let probe =
+        t.config.Config.adaptive && a.misses_in_window mod probe_period = 0
+      in
+      let segments =
+        if t.config.Config.adaptive && a.fallback && not probe then
+          (* Low-locality fallback: one Megaflow-style whole-traversal
+             entry. *)
+          [ { Partitioner.first = 0; last = n - 1 } ]
+        else
+          Partitioner.partition ~rng:t.rng t.config.Config.scheme
+            ~max_segments:budget traversal
+      in
+      let rules =
+        Rulegen.rules_of_partition ~version:(Pipeline.version pipeline) traversal segments
+      in
+      let install = Ltm_cache.install t.cache ~now rules in
+      if t.config.Config.adaptive then begin
+        a.misses_in_window <- a.misses_in_window + 1;
+        (match install with
+        | Ltm_cache.Installed { fresh; shared } when probe ->
+            a.probe_fresh <- a.probe_fresh + fresh;
+            a.probe_shared <- a.probe_shared + shared
+        | Ltm_cache.Installed _ | Ltm_cache.Rejected -> ());
+        if a.misses_in_window >= window then begin
+          let total = a.probe_fresh + a.probe_shared in
+          let sharing =
+            if total = 0 then 0.0 else float_of_int a.probe_shared /. float_of_int total
+          in
+          a.fallback <- sharing < t.config.Config.adaptive_threshold;
+          a.misses_in_window <- 0;
+          a.probe_fresh <- 0;
+          a.probe_shared <- 0
+        end
+      end;
+      let tuple_probes =
+        Array.fold_left
+          (fun acc s -> acc + s.Traversal.probes)
+          0 traversal.Traversal.steps
+      in
+      let partition_work =
+        match t.config.Config.scheme with
+        | Partitioner.Disjoint ->
+            (* The DP evaluates every (first, last) segment plus the O(N^2 K)
+               table fill; count the dominant term. *)
+            n * n * min budget n
+        | Partitioner.Random | Partitioner.One_to_one -> n
+      in
+      Ok
+        {
+          traversal;
+          install;
+          segments;
+          work =
+            {
+              pipeline_lookups = n;
+              tuple_probes;
+              partition_work;
+              rulegen_work = List.length rules;
+            };
+        }
+
+let expire t ~now = Ltm_cache.expire t.cache ~now ~max_idle:t.config.Config.max_idle
+
+let revalidate t pipeline = Ltm_cache.revalidate t.cache pipeline

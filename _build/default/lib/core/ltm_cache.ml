@@ -1,0 +1,215 @@
+module Action = Gf_pipeline.Action
+module Flow = Gf_flow.Flow
+module Cache_stats = Gf_cache.Cache_stats
+
+type hit = { terminal : Action.terminal; out_flow : Flow.t; tables_matched : int }
+
+type install_result = Installed of { fresh : int; shared : int } | Rejected
+
+type t = {
+  config : Config.t;
+  tables : Ltm_table.t array;
+  stats : Cache_stats.t;
+}
+
+let create config =
+  (match Config.validate config with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Ltm_cache.create: " ^ msg));
+  {
+    config;
+    tables =
+      Array.init config.Config.tables (fun _ ->
+          Ltm_table.create ~capacity:config.Config.table_capacity);
+    stats = Cache_stats.create ();
+  }
+
+let config t = t.config
+let stats t = t.stats
+
+let occupancy t = Array.fold_left (fun acc table -> acc + Ltm_table.occupancy table) 0 t.tables
+
+let table_occupancies t = Array.map Ltm_table.occupancy t.tables
+
+let available_tables t =
+  Array.fold_left (fun acc table -> if Ltm_table.is_full table then acc else acc + 1) 0 t.tables
+
+let apply_commit commit flow =
+  List.fold_left (fun f (field, v) -> Flow.set f field v) flow commit
+
+let lookup t ~now ~entry_tag flow =
+  let k = Array.length t.tables in
+  let rec walk i tag flow matched work =
+    if i >= k then (None, work)
+    else begin
+      let stored, w = Ltm_table.lookup t.tables.(i) ~tag flow in
+      let work = work + w in
+      match stored with
+      | None -> walk (i + 1) tag flow matched work
+      | Some s -> (
+          s.Ltm_table.last_used <- now;
+          let rule = s.Ltm_table.rule in
+          let flow = apply_commit rule.Ltm_rule.commit flow in
+          match rule.Ltm_rule.next with
+          | Ltm_rule.Done terminal ->
+              (Some { terminal; out_flow = flow; tables_matched = matched + 1 }, work)
+          | Ltm_rule.Next_tag tag -> walk (i + 1) tag flow (matched + 1) work)
+    end
+  in
+  let result, work = walk 0 entry_tag flow 0 0 in
+  Cache_stats.record_lookup t.stats ~hit:(Option.is_some result);
+  (result, work)
+
+(* Placement planning: segments must land in strictly increasing table
+   positions; segment i (0-based, m total) must sit at a position p with
+   enough tables after it for the remaining segments (p <= K - (m - i)).
+   Reuse of an identical entry is free; otherwise the first non-full
+   feasible table is taken.  All-or-nothing. *)
+let plan t rules =
+  let k = Array.length t.tables in
+  let m = List.length rules in
+  if m > k then None
+  else begin
+    let placements = ref [] in
+    let rec go i min_pos = function
+      | [] -> Some (List.rev !placements)
+      | rule :: rest -> (
+          let max_pos = k - (m - i) in
+          let rec find_reuse p =
+            if p > max_pos then None
+            else
+              match Ltm_table.find_identical t.tables.(p) rule with
+              | Some stored -> Some (p, `Reuse stored)
+              | None -> find_reuse (p + 1)
+          in
+          let rec find_free p =
+            if p > max_pos then None
+            else if not (Ltm_table.is_full t.tables.(p)) then Some (p, `Fresh rule)
+            else find_free (p + 1)
+          in
+          match
+            match find_reuse min_pos with
+            | Some r -> Some r
+            | None -> find_free min_pos
+          with
+          | None -> None
+          | Some (p, action) ->
+              placements := (p, action) :: !placements;
+              go (i + 1) (p + 1) rest)
+    in
+    go 0 0 rules
+  end
+
+let install t ~now rules =
+  match plan t rules with
+  | None ->
+      t.stats.Cache_stats.rejected <- t.stats.Cache_stats.rejected + 1;
+      Rejected
+  | Some placements ->
+      let fresh = ref 0 and shared = ref 0 in
+      List.iter
+        (fun (p, action) ->
+          match action with
+          | `Reuse stored ->
+              stored.Ltm_table.shares <- stored.Ltm_table.shares + 1;
+              stored.Ltm_table.last_used <- now;
+              incr shared
+          | `Fresh rule ->
+              ignore (Ltm_table.insert t.tables.(p) ~now rule);
+              incr fresh)
+        placements;
+      t.stats.Cache_stats.installs <- t.stats.Cache_stats.installs + !fresh;
+      t.stats.Cache_stats.shared <- t.stats.Cache_stats.shared + !shared;
+      Installed { fresh = !fresh; shared = !shared }
+
+let expire t ~now ~max_idle =
+  let total = ref 0 in
+  Array.iter
+    (fun table ->
+      let victims =
+        Ltm_table.fold table ~init:[] ~f:(fun acc stored ->
+            if now -. stored.Ltm_table.last_used > max_idle then stored :: acc else acc)
+      in
+      List.iter (Ltm_table.remove table) victims;
+      total := !total + List.length victims)
+    t.tables;
+  t.stats.Cache_stats.evictions <- t.stats.Cache_stats.evictions + !total;
+  !total
+
+(* Re-derive the rule a stored entry should be and compare signatures. *)
+let revalidate_stored pipeline (stored : Ltm_table.stored) =
+  let rule = stored.Ltm_table.rule in
+  let origin = rule.Ltm_rule.origin in
+  let prefix =
+    Gf_pipeline.Executor.trace ~start:rule.Ltm_rule.tag_in
+      ~max_steps:origin.Ltm_rule.length pipeline origin.Ltm_rule.parent_flow
+  in
+  let steps = prefix.Gf_pipeline.Executor.prefix_steps in
+  let executed = Array.length steps in
+  let consistent =
+    executed = origin.Ltm_rule.length
+    &&
+    let next_ok =
+      match (rule.Ltm_rule.next, prefix.Gf_pipeline.Executor.status) with
+      | Ltm_rule.Done terminal, `Terminal terminal' ->
+          Action.terminal_equal terminal terminal'
+      | Ltm_rule.Next_tag tag, `More tag' -> tag = tag'
+      | Ltm_rule.Done _, (`More _ | `Stuck _)
+      | Ltm_rule.Next_tag _, (`Terminal _ | `Stuck _) ->
+          false
+    in
+    next_ok
+    &&
+    let last = executed - 1 in
+    let wildcard = Gf_pipeline.Traversal.wildcard_of_steps steps ~first:0 ~last in
+    let fmatch = Gf_flow.Fmatch.v ~pattern:origin.Ltm_rule.parent_flow ~mask:wildcard in
+    let commit = Gf_pipeline.Traversal.commit_of_steps steps ~first:0 ~last in
+    Gf_flow.Fmatch.equal fmatch rule.Ltm_rule.fmatch && commit = rule.Ltm_rule.commit
+  in
+  (consistent, executed)
+
+let revalidate t pipeline =
+  let evicted = ref 0 and work = ref 0 in
+  Array.iter
+    (fun table ->
+      let victims =
+        Ltm_table.fold table ~init:[] ~f:(fun acc stored ->
+            let consistent, executed = revalidate_stored pipeline stored in
+            work := !work + executed;
+            if consistent then acc else stored :: acc)
+      in
+      List.iter (Ltm_table.remove table) victims;
+      evicted := !evicted + List.length victims)
+    t.tables;
+  t.stats.Cache_stats.evictions <- t.stats.Cache_stats.evictions + !evicted;
+  (!evicted, !work)
+
+let sharing_histogram t =
+  let counts = Hashtbl.create 16 in
+  Array.iter
+    (fun table ->
+      Ltm_table.iter table (fun stored ->
+          let s = stored.Ltm_table.shares in
+          Hashtbl.replace counts s (1 + Option.value ~default:0 (Hashtbl.find_opt counts s))))
+    t.tables;
+  Hashtbl.fold (fun shares n acc -> (shares, n) :: acc) counts []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let mean_sharing t =
+  let total = ref 0 and n = ref 0 in
+  Array.iter
+    (fun table ->
+      Ltm_table.iter table (fun stored ->
+          total := !total + stored.Ltm_table.shares;
+          incr n))
+    t.tables;
+  if !n = 0 then nan else float_of_int !total /. float_of_int !n
+
+let iter_rules t f =
+  Array.iteri (fun i table -> Ltm_table.iter table (fun stored -> f ~table:i stored)) t.tables
+
+let clear t =
+  Array.iteri
+    (fun i _ ->
+      t.tables.(i) <- Ltm_table.create ~capacity:t.config.Config.table_capacity)
+    t.tables

@@ -1,0 +1,71 @@
+(** The Gigaflow LTM cache: K feed-forward LTM tables walked in order with
+    tag gating (paper section 4.1).
+
+    A packet enters with its tag set to the pipeline's entry table id.  Each
+    LTM table is probed with (tag, headers); a match applies the rule's
+    commit and tag update, a non-match passes the packet through unchanged
+    (tag gating makes skipping safe — the example of the paper's Fig. 5c,
+    where a rule in GF1 jumps straight to GF3).  The walk is a {b hit} iff
+    the tag reaches the terminal state; otherwise the packet goes to the
+    slowpath. *)
+
+type hit = {
+  terminal : Gf_pipeline.Action.terminal;
+  out_flow : Gf_flow.Flow.t;
+  tables_matched : int;  (** How many LTM tables contributed a rule. *)
+}
+
+type install_result =
+  | Installed of { fresh : int; shared : int }
+      (** [fresh] new entries written; [shared] segments satisfied by
+          existing identical entries. *)
+  | Rejected  (** No feasible placement (tables full). *)
+
+type t
+
+val create : Config.t -> t
+val config : t -> Config.t
+val stats : t -> Gf_cache.Cache_stats.t
+
+val occupancy : t -> int
+(** Total entries across all tables. *)
+
+val table_occupancies : t -> int array
+
+val available_tables : t -> int
+(** Number of non-full tables — the partitioner's segment budget for the
+    next installation (paper section 4.2.1's GF set). *)
+
+val lookup : t -> now:float -> entry_tag:int -> Gf_flow.Flow.t -> hit option * int
+(** [entry_tag] is the pipeline's entry table id.  Returns the hit (if the
+    walk completed) and total work units. Touches matched entries. *)
+
+val install : t -> now:float -> Ltm_rule.t list -> install_result
+(** Install the rules of one partitioned traversal, in segment order.  Each
+    segment reuses an identical existing entry when one exists in a
+    feasible table (sharing), otherwise takes a slot in the first feasible
+    non-full table.  All-or-nothing: on infeasibility, nothing is
+    installed. *)
+
+val expire : t -> now:float -> max_idle:float -> int
+(** Evict entries idle longer than [max_idle]; returns how many.  This is
+    the selective sub-traversal eviction of paper section 4.3.2. *)
+
+val revalidate : t -> Gf_pipeline.Pipeline.t -> int * int
+(** Re-trace every entry's parent flow from its tagged vSwitch table for the
+    entry's sub-traversal length and evict entries whose regenerated
+    rule differs (paper section 4.3.1).  Returns [(evicted, work)] with
+    [work] = total table lookups re-executed; sub-traversals being shorter
+    than full traversals is what makes this ~2x cheaper than Megaflow
+    revalidation (paper section 6.3.6). *)
+
+val sharing_histogram : t -> (int * int) list
+(** [(shares, entry count)] pairs, sorted by [shares] — data behind the
+    paper's Fig. 11. *)
+
+val mean_sharing : t -> float
+(** Average number of installations resolved per entry. *)
+
+val iter_rules : t -> (table:int -> Ltm_table.stored -> unit) -> unit
+
+val clear : t -> unit

@@ -1,0 +1,38 @@
+module Fmatch = Gf_flow.Fmatch
+module Traversal = Gf_pipeline.Traversal
+
+let check_cover traversal segments =
+  let n = Traversal.length traversal in
+  let rec go expected = function
+    | [] ->
+        if expected <> n then invalid_arg "Rulegen: segments do not cover traversal"
+    | s :: rest ->
+        if s.Partitioner.first <> expected || s.Partitioner.last < s.Partitioner.first
+        then invalid_arg "Rulegen: segments not contiguous"
+        else go (s.Partitioner.last + 1) rest
+  in
+  go 0 segments
+
+let rules_of_partition ~version traversal segments =
+  check_cover traversal segments;
+  let steps = traversal.Traversal.steps in
+  let n = Array.length steps in
+  List.map
+    (fun { Partitioner.first; last } ->
+      let entry_flow = steps.(first).Traversal.flow_in in
+      let wildcard = Traversal.segment_wildcard traversal ~first ~last in
+      let fmatch = Fmatch.v ~pattern:entry_flow ~mask:wildcard in
+      let commit = Traversal.segment_commit traversal ~first ~last in
+      let next =
+        if last = n - 1 then Ltm_rule.Done traversal.Traversal.terminal
+        else Ltm_rule.Next_tag steps.(last + 1).Traversal.table_id
+      in
+      {
+        Ltm_rule.tag_in = steps.(first).Traversal.table_id;
+        fmatch;
+        priority = last - first + 1;
+        commit;
+        next;
+        origin = { parent_flow = entry_flow; length = last - first + 1; version };
+      })
+    segments

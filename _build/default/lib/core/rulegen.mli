@@ -1,0 +1,27 @@
+(** LTM rule creation from a partitioned traversal (paper section 4.2.3).
+
+    For each sub-traversal the generated rule carries:
+    - wildcard [omega] = union of the consulted wildcards of its lookups,
+      re-based onto the segment-entry flow (bits of fields overwritten
+      earlier in the segment are implied, not matched);
+    - match predicate [M] = segment-entry flow AND [omega];
+    - priority [rho] = number of tables spanned (the LTM criterion);
+    - tag [tau] = id of the sub-traversal's first vSwitch table; the action
+      updates the tag to the next expected table id, or emits the terminal
+      decision for the final segment;
+    - commit = the composition of the segment's set-field actions.
+
+    Because each lookup's consulted wildcard already includes the
+    unwildcarded bits of every higher-priority rule probed, the generated
+    entries satisfy the paper's rule-dependency requirement: a cache hit can
+    never shadow a higher-priority vSwitch rule. *)
+
+val rules_of_partition :
+  version:int ->
+  Gf_pipeline.Traversal.t ->
+  Partitioner.segment list ->
+  Ltm_rule.t list
+(** Segments must be contiguous, ordered and cover the whole traversal
+    (which {!Partitioner.partition} guarantees); raises [Invalid_argument]
+    otherwise.  [version] is the pipeline version recorded for
+    revalidation. *)

@@ -1,0 +1,1 @@
+lib/flow/field.ml: Array Format Gf_util Stdlib String

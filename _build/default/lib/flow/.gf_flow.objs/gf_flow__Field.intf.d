@@ -1,0 +1,1 @@
+lib/flow/field.mli: Format Stdlib

@@ -1,0 +1,1 @@
+lib/flow/flow.ml: Array Field Format List Stdlib

@@ -1,0 +1,1 @@
+lib/flow/flow.mli: Field Format

@@ -1,0 +1,1 @@
+lib/flow/fmatch.ml: Array Field Flow Format Gf_util List Mask

@@ -1,0 +1,1 @@
+lib/flow/fmatch.mli: Field Flow Format Mask

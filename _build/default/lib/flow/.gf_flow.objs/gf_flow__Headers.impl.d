@@ -1,0 +1,1 @@
+lib/flow/headers.ml: Field Flow List Printf String

@@ -1,0 +1,1 @@
+lib/flow/mask.ml: Array Field Flow Format Gf_util List Stdlib

@@ -1,0 +1,1 @@
+lib/flow/mask.mli: Field Flow Format

@@ -1,0 +1,88 @@
+type t =
+  | In_port
+  | Eth_src
+  | Eth_dst
+  | Eth_type
+  | Vlan
+  | Ip_src
+  | Ip_dst
+  | Ip_proto
+  | Tp_src
+  | Tp_dst
+
+let all =
+  [| In_port; Eth_src; Eth_dst; Eth_type; Vlan; Ip_src; Ip_dst; Ip_proto; Tp_src; Tp_dst |]
+
+let count = Array.length all
+
+let index = function
+  | In_port -> 0
+  | Eth_src -> 1
+  | Eth_dst -> 2
+  | Eth_type -> 3
+  | Vlan -> 4
+  | Ip_src -> 5
+  | Ip_dst -> 6
+  | Ip_proto -> 7
+  | Tp_src -> 8
+  | Tp_dst -> 9
+
+let of_index i =
+  if i < 0 || i >= count then invalid_arg "Field.of_index";
+  all.(i)
+
+let width = function
+  | In_port -> 16
+  | Eth_src -> 48
+  | Eth_dst -> 48
+  | Eth_type -> 16
+  | Vlan -> 12
+  | Ip_src -> 32
+  | Ip_dst -> 32
+  | Ip_proto -> 8
+  | Tp_src -> 16
+  | Tp_dst -> 16
+
+let full_mask f = Gf_util.Bitops.mask_of_width (width f)
+
+let name = function
+  | In_port -> "in_port"
+  | Eth_src -> "eth_src"
+  | Eth_dst -> "eth_dst"
+  | Eth_type -> "eth_type"
+  | Vlan -> "vlan"
+  | Ip_src -> "ip_src"
+  | Ip_dst -> "ip_dst"
+  | Ip_proto -> "ip_proto"
+  | Tp_src -> "tp_src"
+  | Tp_dst -> "tp_dst"
+
+let of_name s =
+  let rec go i =
+    if i >= count then None
+    else if String.equal (name all.(i)) s then Some all.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let pp fmt f = Format.pp_print_string fmt (name f)
+
+let compare a b = Stdlib.compare (index a) (index b)
+let equal a b = index a = index b
+
+module Set = struct
+  include Stdlib.Set.Make (struct
+    type nonrec t = t
+
+    let compare = compare
+  end)
+
+  let pp fmt s =
+    Format.fprintf fmt "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ",")
+         pp)
+      (elements s)
+
+  let disjoint = disjoint
+end

@@ -1,0 +1,56 @@
+(** The fixed header-field vocabulary of the datapath.
+
+    Gigaflow's LTM table (paper Fig. 6) matches on ten standard header fields
+    plus an exact-match table tag.  We model exactly those ten fields; every
+    flow, wildcard and rule in the repository is a vector over this set. *)
+
+type t =
+  | In_port      (** ingress (virtual) port, 16 bits *)
+  | Eth_src      (** Ethernet source MAC, 48 bits *)
+  | Eth_dst      (** Ethernet destination MAC, 48 bits *)
+  | Eth_type     (** EtherType, 16 bits *)
+  | Vlan         (** VLAN id, 12 bits *)
+  | Ip_src       (** IPv4 source, 32 bits *)
+  | Ip_dst       (** IPv4 destination, 32 bits *)
+  | Ip_proto     (** IPv4 protocol, 8 bits *)
+  | Tp_src       (** L4 source port, 16 bits *)
+  | Tp_dst       (** L4 destination port, 16 bits *)
+
+val count : int
+(** Number of fields (10). *)
+
+val all : t array
+(** All fields in index order. *)
+
+val index : t -> int
+(** Dense index in [\[0, count)]. *)
+
+val of_index : int -> t
+(** Inverse of [index]; raises [Invalid_argument] out of range. *)
+
+val width : t -> int
+(** Bit width of the field. *)
+
+val full_mask : t -> int
+(** All-ones mask of the field's width. *)
+
+val name : t -> string
+(** Short lowercase name, e.g. ["ip_dst"]. *)
+
+val of_name : string -> t option
+
+val pp : Format.formatter -> t -> unit
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+(** Sets of fields; used to describe what a vSwitch table matches on and to
+    compute disjointness between sub-traversals. *)
+module Set : sig
+  include Stdlib.Set.S with type elt = t
+
+  val pp : Format.formatter -> t -> unit
+
+  val disjoint : t -> t -> bool
+  (** No common field. (Re-exported from [Stdlib.Set.S] for clarity.) *)
+end

@@ -1,0 +1,64 @@
+type t = int array
+(* Invariant: length = Field.count; slot i holds the value of
+   [Field.of_index i], truncated to the field width. *)
+
+let zero = Array.make Field.count 0
+
+let truncate f v = v land Field.full_mask f
+
+let make bindings =
+  let a = Array.make Field.count 0 in
+  List.iter (fun (f, v) -> a.(Field.index f) <- truncate f v) bindings;
+  a
+
+let get t f = t.(Field.index f)
+
+let set t f v =
+  let a = Array.copy t in
+  a.(Field.index f) <- truncate f v;
+  a
+
+let equal a b = a = b
+let compare = Stdlib.compare
+
+let hash t =
+  (* FNV-1a over the slots; cheap and good enough for hashtable keys. *)
+  let h = ref 0x3bf29ce484222325 in
+  Array.iter
+    (fun v ->
+      h := (!h lxor v) * 0x100000001b3;
+      h := !h land max_int)
+    t;
+  !h
+
+let to_array t = Array.copy t
+
+let of_array a =
+  if Array.length a <> Field.count then invalid_arg "Flow.of_array";
+  Array.mapi (fun i v -> truncate (Field.of_index i) v) a
+
+let pp fmt t =
+  let first = ref true in
+  Array.iteri
+    (fun i v ->
+      if v <> 0 then begin
+        if not !first then Format.pp_print_char fmt ' ';
+        first := false;
+        Format.fprintf fmt "%s=%#x" (Field.name (Field.of_index i)) v
+      end)
+    t;
+  if !first then Format.pp_print_string fmt "<zero>"
+
+let to_string t = Format.asprintf "%a" pp t
+
+module Scratch = struct
+  type nonrec t = int array
+
+  let create () = Array.make Field.count 0
+
+  let fill_masked s ~mask flow =
+    for i = 0 to Field.count - 1 do
+      s.(i) <- mask.(i) land flow.(i)
+    done;
+    s
+end

@@ -1,0 +1,70 @@
+let ethertype_ipv4 = 0x0800
+let ethertype_arp = 0x0806
+let proto_tcp = 6
+let proto_udp = 17
+let proto_icmp = 1
+
+let ipv4 s =
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] -> (
+      try
+        let oct x =
+          let v = int_of_string x in
+          if v < 0 || v > 255 then failwith "octet" else v
+        in
+        (oct a lsl 24) lor (oct b lsl 16) lor (oct c lsl 8) lor oct d
+      with _ -> invalid_arg ("Headers.ipv4: " ^ s))
+  | _ -> invalid_arg ("Headers.ipv4: " ^ s)
+
+let ipv4_to_string v =
+  Printf.sprintf "%d.%d.%d.%d" ((v lsr 24) land 0xff) ((v lsr 16) land 0xff)
+    ((v lsr 8) land 0xff) (v land 0xff)
+
+let mac s =
+  match String.split_on_char ':' s with
+  | [ _; _; _; _; _; _ ] as parts -> (
+      try
+        List.fold_left
+          (fun acc p ->
+            let v = int_of_string ("0x" ^ p) in
+            if v < 0 || v > 255 then failwith "byte" else (acc lsl 8) lor v)
+          0 parts
+      with _ -> invalid_arg ("Headers.mac: " ^ s))
+  | _ -> invalid_arg ("Headers.mac: " ^ s)
+
+let mac_to_string v =
+  Printf.sprintf "%02x:%02x:%02x:%02x:%02x:%02x" ((v lsr 40) land 0xff)
+    ((v lsr 32) land 0xff) ((v lsr 24) land 0xff) ((v lsr 16) land 0xff)
+    ((v lsr 8) land 0xff) (v land 0xff)
+
+let ip_flow ~proto ?(in_port = 1) ?(eth_src = 0x020000000001) ?(eth_dst = 0x020000000002)
+    ?(vlan = 0) ~src ~dst ~sport ~dport () =
+  Flow.make
+    [
+      (Field.In_port, in_port);
+      (Field.Eth_src, eth_src);
+      (Field.Eth_dst, eth_dst);
+      (Field.Eth_type, ethertype_ipv4);
+      (Field.Vlan, vlan);
+      (Field.Ip_src, src);
+      (Field.Ip_dst, dst);
+      (Field.Ip_proto, proto);
+      (Field.Tp_src, sport);
+      (Field.Tp_dst, dport);
+    ]
+
+let tcp ?in_port ?eth_src ?eth_dst ?vlan ~src ~dst ~sport ~dport () =
+  ip_flow ~proto:proto_tcp ?in_port ?eth_src ?eth_dst ?vlan ~src ~dst ~sport ~dport ()
+
+let udp ?in_port ?eth_src ?eth_dst ?vlan ~src ~dst ~sport ~dport () =
+  ip_flow ~proto:proto_udp ?in_port ?eth_src ?eth_dst ?vlan ~src ~dst ~sport ~dport ()
+
+let l2 ?(in_port = 1) ?(vlan = 0) ~eth_src ~eth_dst () =
+  Flow.make
+    [
+      (Field.In_port, in_port);
+      (Field.Eth_src, eth_src);
+      (Field.Eth_dst, eth_dst);
+      (Field.Eth_type, ethertype_arp);
+      (Field.Vlan, vlan);
+    ]

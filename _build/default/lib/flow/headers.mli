@@ -1,0 +1,49 @@
+(** Convenience constructors for realistic packet header vectors.
+
+    Keeps workload generators and examples readable: build TCP/UDP/ARP-style
+    flows without spelling out every field. *)
+
+val ethertype_ipv4 : int
+val ethertype_arp : int
+val proto_tcp : int
+val proto_udp : int
+val proto_icmp : int
+
+val ipv4 : string -> int
+(** [ipv4 "10.0.0.1"] parses dotted-quad notation. Raises
+    [Invalid_argument] on malformed input. *)
+
+val ipv4_to_string : int -> string
+
+val mac : string -> int
+(** [mac "aa:bb:cc:00:11:22"] parses a MAC address. *)
+
+val mac_to_string : int -> string
+
+val tcp :
+  ?in_port:int ->
+  ?eth_src:int ->
+  ?eth_dst:int ->
+  ?vlan:int ->
+  src:int ->
+  dst:int ->
+  sport:int ->
+  dport:int ->
+  unit ->
+  Flow.t
+(** An IPv4/TCP flow signature. [src]/[dst] are IPv4 addresses. *)
+
+val udp :
+  ?in_port:int ->
+  ?eth_src:int ->
+  ?eth_dst:int ->
+  ?vlan:int ->
+  src:int ->
+  dst:int ->
+  sport:int ->
+  dport:int ->
+  unit ->
+  Flow.t
+
+val l2 : ?in_port:int -> ?vlan:int -> eth_src:int -> eth_dst:int -> unit -> Flow.t
+(** A plain L2 frame (no IP payload). *)

@@ -1,0 +1,90 @@
+type t = int array
+(* Same representation as Flow.t: slot i masks [Field.of_index i]. *)
+
+let truncate f v = v land Field.full_mask f
+
+let empty = Array.make Field.count 0
+
+let full = Array.map Field.full_mask Field.all
+
+let make bindings =
+  let a = Array.make Field.count 0 in
+  List.iter (fun (f, v) -> a.(Field.index f) <- truncate f v) bindings;
+  a
+
+let exact_fields fields =
+  let a = Array.make Field.count 0 in
+  List.iter (fun f -> a.(Field.index f) <- Field.full_mask f) fields;
+  a
+
+let prefix f len = make [ (f, Gf_util.Bitops.prefix_mask ~width:(Field.width f) len) ]
+
+let get t f = t.(Field.index f)
+
+let set t f v =
+  let a = Array.copy t in
+  a.(Field.index f) <- truncate f v;
+  a
+
+let union a b = Array.init Field.count (fun i -> a.(i) lor b.(i))
+let inter a b = Array.init Field.count (fun i -> a.(i) land b.(i))
+
+let equal a b = a = b
+let compare = Stdlib.compare
+
+let hash t =
+  let h = ref 0x3bf29ce484222325 in
+  Array.iter
+    (fun v ->
+      h := (!h lxor v) * 0x100000001b3;
+      h := !h land max_int)
+    t;
+  !h
+
+let is_empty t = Array.for_all (fun v -> v = 0) t
+
+let bits t = Array.fold_left (fun acc v -> acc + Gf_util.Bitops.popcount v) 0 t
+
+let fields t =
+  let s = ref Field.Set.empty in
+  Array.iteri (fun i v -> if v <> 0 then s := Field.Set.add (Field.of_index i) !s) t;
+  !s
+
+let disjoint a b =
+  let rec go i = i >= Field.count || ((a.(i) = 0 || b.(i) = 0) && go (i + 1)) in
+  go 0
+
+let subsumes ~loose ~tight =
+  let rec go i =
+    i >= Field.count || (loose.(i) land tight.(i) = loose.(i) && go (i + 1))
+  in
+  go 0
+
+let apply t flow =
+  let fa = Flow.to_array flow in
+  Flow.of_array (Array.init Field.count (fun i -> fa.(i) land t.(i)))
+
+let apply_scratch t flow scratch = Flow.Scratch.fill_masked scratch ~mask:t flow
+
+let matches t ~pattern flow =
+  let pa = Flow.to_array pattern and fa = Flow.to_array flow in
+  let rec go i =
+    i >= Field.count || (pa.(i) land t.(i) = fa.(i) land t.(i) && go (i + 1))
+  in
+  go 0
+
+let pp fmt t =
+  let first = ref true in
+  Array.iteri
+    (fun i v ->
+      if v <> 0 then begin
+        if not !first then Format.pp_print_char fmt ' ';
+        first := false;
+        let f = Field.of_index i in
+        if v = Field.full_mask f then Format.fprintf fmt "%s=*exact*" (Field.name f)
+        else Format.fprintf fmt "%s=%#x" (Field.name f) v
+      end)
+    t;
+  if !first then Format.pp_print_string fmt "<any>"
+
+let to_string t = Format.asprintf "%a" pp t

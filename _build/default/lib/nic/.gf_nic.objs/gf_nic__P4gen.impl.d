@@ -1,0 +1,1 @@
+lib/nic/p4gen.ml: Buffer Gf_core Printf

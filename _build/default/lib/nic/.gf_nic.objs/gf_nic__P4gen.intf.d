@@ -1,0 +1,1 @@
+lib/nic/p4gen.mli: Gf_core

@@ -1,0 +1,72 @@
+type deployment = Offload_fpga | Dpdk_host | Dpdk_arm | Kernel_host | Kernel_arm
+
+let deployment_name = function
+  | Offload_fpga -> "OVS/Offload (Alveo U250)"
+  | Dpdk_host -> "OVS/DPDK (host CPU)"
+  | Dpdk_arm -> "OVS/DPDK (BlueField-2 ARM)"
+  | Kernel_host -> "OVS/Kernel (host CPU)"
+  | Kernel_arm -> "OVS/Kernel (BlueField-2 ARM)"
+
+(* Measured means from the paper, section 6.3.6. *)
+let cache_hit_us = function
+  | Offload_fpga -> 8.62
+  | Dpdk_host -> 12.61
+  | Dpdk_arm -> 51.26
+  | Kernel_host -> 671.48
+  | Kernel_arm -> 3606.37
+
+let cache_hit_stddev_us = function
+  | Offload_fpga -> 0.4
+  | Dpdk_host -> 1.1
+  | Dpdk_arm -> 9.7
+  | Kernel_host -> 13.4
+  | Kernel_arm -> 237.1
+
+let hw_hit_us = 9.0
+
+(* One PCIe round trip plus ring handoff and wakeup: calibrated so that a
+   software cache hit lands at the paper's OVS/DPDK figure (~12.6 us). *)
+let upcall_us = 5.5
+
+(* Fixed software forwarding cost (parse, action execution, tx). *)
+let sw_base_us = 5.0
+
+let cpu_hz = 2.6e9
+
+(* Per-unit cycle costs, calibrated so that the slowpath breakdown
+   reproduces the paper's Fig. 13 shape (see DESIGN.md):
+   - a hash-table tuple probe, including mask application: ~450 cycles
+   - per-table translation overhead (flow extraction, action build): ~1200
+   - one DP inner-loop operation of the partitioner: ~45
+   - generating one LTM rule (mask unions + commit diff): ~800 *)
+let probe_cycles = 450
+let xlate_cycles = 1200
+let dp_cycles = 45
+let rulegen_cycles = 800
+
+let cycles_userspace ~pipeline_lookups ~tuple_probes =
+  (tuple_probes * probe_cycles) + (pipeline_lookups * xlate_cycles)
+
+let cycles_partition ~partition_work = partition_work * dp_cycles
+
+let cycles_rulegen ~rulegen_work = rulegen_work * rulegen_cycles
+
+let us_of_cycles c = float_of_int c /. cpu_hz *. 1e6
+
+(* Software classifier search cost per work unit.  A TSS tuple probe is a
+   hash-table access over a masked key (~cache-miss bound); a learned-model
+   work unit (RQ-RMI inference step or local-search step) is arithmetic on
+   hot data — the NuevoMatch paper reports ~35 ns per inference vs
+   hundreds of ns per tuple probe. *)
+let sw_search_us ?(algo = `Tss) ~work () =
+  let per_unit = match algo with `Nuevomatch -> 0.035 | `Tss | `Linear -> 0.25 in
+  per_unit *. float_of_int work
+
+let install_us = 1.8 (* PCIe table write, per new entry *)
+
+let slowpath_us ~pipeline_lookups ~tuple_probes ~partition_work ~rulegen_work ~installs =
+  us_of_cycles
+    (cycles_userspace ~pipeline_lookups ~tuple_probes
+    + cycles_partition ~partition_work
+    + cycles_rulegen ~rulegen_work)
+  +. (float_of_int installs *. install_us)

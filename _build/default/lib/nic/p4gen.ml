@@ -1,0 +1,199 @@
+let ltm_table_name k = Printf.sprintf "gf%d" k
+
+(* The emitted program mirrors the paper's Fig. 6: every LTM table performs
+   an exact match on the 8-bit table tag and ternary matches on the ingress
+   port and the standard L2/L3/L4 five-tuple fields; actions rewrite header
+   fields, update the tag, and forward/drop.  A final stage punts packets
+   whose tag never reached DONE to the slowpath port. *)
+let emit ~tables ~table_capacity =
+  let buf = Buffer.create 8192 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  line "/* Gigaflow LTM cache pipeline — generated; do not edit.";
+  line "   Geometry: %d tables x %d entries (paper Fig. 6 table layout). */" tables
+    table_capacity;
+  line "#include <core.p4>";
+  line "#include <v1model.p4>";
+  line "";
+  line "const bit<8>  TAG_DONE      = 0xFF;";
+  line "const bit<9>  SLOWPATH_PORT = 510;";
+  line "const bit<16> TYPE_IPV4     = 0x0800;";
+  line "";
+  line "header ethernet_t {";
+  line "  bit<48> dst;";
+  line "  bit<48> src;";
+  line "  bit<16> ether_type;";
+  line "}";
+  line "";
+  line "header vlan_t {";
+  line "  bit<3>  pcp;";
+  line "  bit<1>  cfi;";
+  line "  bit<12> vid;";
+  line "  bit<16> ether_type;";
+  line "}";
+  line "";
+  line "header ipv4_t {";
+  line "  bit<4>  version;";
+  line "  bit<4>  ihl;";
+  line "  bit<8>  diffserv;";
+  line "  bit<16> total_len;";
+  line "  bit<16> identification;";
+  line "  bit<3>  flags;";
+  line "  bit<13> frag_offset;";
+  line "  bit<8>  ttl;";
+  line "  bit<8>  protocol;";
+  line "  bit<16> hdr_checksum;";
+  line "  bit<32> src;";
+  line "  bit<32> dst;";
+  line "}";
+  line "";
+  line "header l4_t {";
+  line "  bit<16> sport;";
+  line "  bit<16> dport;";
+  line "}";
+  line "";
+  line "struct headers_t {";
+  line "  ethernet_t eth;";
+  line "  vlan_t     vlan;";
+  line "  ipv4_t     ipv4;";
+  line "  l4_t       l4;";
+  line "}";
+  line "";
+  line "struct meta_t {";
+  line "  bit<8>  table_tag;   // tau: next expected vSwitch table";
+  line "  bit<16> tp_src;";
+  line "  bit<16> tp_dst;";
+  line "  bit<1>  done;";
+  line "}";
+  line "";
+  line "parser LtmParser(packet_in pkt, out headers_t hdr, inout meta_t meta,";
+  line "                 inout standard_metadata_t std) {";
+  line "  state start {";
+  line "    pkt.extract(hdr.eth);";
+  line "    transition select(hdr.eth.ether_type) {";
+  line "      0x8100:    parse_vlan;";
+  line "      TYPE_IPV4: parse_ipv4;";
+  line "      default:   accept;";
+  line "    }";
+  line "  }";
+  line "  state parse_vlan {";
+  line "    pkt.extract(hdr.vlan);";
+  line "    transition select(hdr.vlan.ether_type) {";
+  line "      TYPE_IPV4: parse_ipv4;";
+  line "      default:   accept;";
+  line "    }";
+  line "  }";
+  line "  state parse_ipv4 {";
+  line "    pkt.extract(hdr.ipv4);";
+  line "    transition select(hdr.ipv4.protocol) {";
+  line "      6:  parse_l4;";
+  line "      17: parse_l4;";
+  line "      default: accept;";
+  line "    }";
+  line "  }";
+  line "  state parse_l4 {";
+  line "    pkt.extract(hdr.l4);";
+  line "    meta.tp_src = hdr.l4.sport;";
+  line "    meta.tp_dst = hdr.l4.dport;";
+  line "    transition accept;";
+  line "  }";
+  line "}";
+  line "";
+  line "control LtmIngress(inout headers_t hdr, inout meta_t meta,";
+  line "                   inout standard_metadata_t std) {";
+  line "  action set_ethernet(bit<48> smac, bit<48> dmac) {";
+  line "    hdr.eth.src = smac;";
+  line "    hdr.eth.dst = dmac;";
+  line "  }";
+  line "  action set_ip(bit<32> saddr, bit<32> daddr) {";
+  line "    hdr.ipv4.src = saddr;";
+  line "    hdr.ipv4.dst = daddr;";
+  line "  }";
+  line "  action set_transport(bit<16> sport, bit<16> dport) {";
+  line "    meta.tp_src = sport;";
+  line "    meta.tp_dst = dport;";
+  line "  }";
+  line "  action update_table_tag(bit<8> next_tag) {";
+  line "    meta.table_tag = next_tag;";
+  line "  }";
+  line "  action forward(bit<9> port) {";
+  line "    std.egress_spec = port;";
+  line "    meta.table_tag = TAG_DONE;";
+  line "    meta.done = 1;";
+  line "  }";
+  line "  action drop_packet() {";
+  line "    mark_to_drop(std);";
+  line "    meta.table_tag = TAG_DONE;";
+  line "    meta.done = 1;";
+  line "  }";
+  for k = 1 to tables do
+    line "";
+    line "  // LTM table GF%d: exact match on the tag, ternary on headers" k;
+    line "  table %s {" (ltm_table_name k);
+    line "    key = {";
+    line "      meta.table_tag    : exact;    // tau";
+    line "      std.ingress_port  : ternary;  // in_port";
+    line "      hdr.eth.src       : ternary;";
+    line "      hdr.eth.dst       : ternary;";
+    line "      hdr.eth.ether_type: ternary;";
+    line "      hdr.vlan.vid      : ternary;";
+    line "      hdr.ipv4.src      : ternary;";
+    line "      hdr.ipv4.dst      : ternary;";
+    line "      hdr.ipv4.protocol : ternary;";
+    line "      meta.tp_src       : ternary;";
+    line "      meta.tp_dst       : ternary;";
+    line "    }";
+    line "    actions = {";
+    line "      set_ethernet;";
+    line "      set_ip;";
+    line "      set_transport;";
+    line "      update_table_tag;";
+    line "      forward;";
+    line "      drop_packet;";
+    line "      NoAction;";
+    line "    }";
+    line "    size = %d;" table_capacity;
+    line "    default_action = NoAction();  // pass through; tag gating makes skips safe";
+    line "  }"
+  done;
+  line "";
+  line "  apply {";
+  line "    meta.done = 0;";
+  for k = 1 to tables do
+    line "    if (meta.done == 0) { %s.apply(); }" (ltm_table_name k)
+  done;
+  line "    if (meta.done == 0) {";
+  line "      // Incomplete tag chain: punt to the slowpath vSwitch.";
+  line "      std.egress_spec = SLOWPATH_PORT;";
+  line "    }";
+  line "  }";
+  line "}";
+  line "";
+  line "control LtmEgress(inout headers_t hdr, inout meta_t meta,";
+  line "                  inout standard_metadata_t std) {";
+  line "  apply {";
+  line "    if (hdr.l4.isValid()) {";
+  line "      hdr.l4.sport = meta.tp_src;";
+  line "      hdr.l4.dport = meta.tp_dst;";
+  line "    }";
+  line "  }";
+  line "}";
+  line "";
+  line "control LtmVerifyChecksum(inout headers_t hdr, inout meta_t meta) { apply {} }";
+  line "control LtmComputeChecksum(inout headers_t hdr, inout meta_t meta) { apply {} }";
+  line "";
+  line "control LtmDeparser(packet_out pkt, in headers_t hdr) {";
+  line "  apply {";
+  line "    pkt.emit(hdr.eth);";
+  line "    pkt.emit(hdr.vlan);";
+  line "    pkt.emit(hdr.ipv4);";
+  line "    pkt.emit(hdr.l4);";
+  line "  }";
+  line "}";
+  line "";
+  line "V1Switch(LtmParser(), LtmVerifyChecksum(), LtmIngress(), LtmEgress(),";
+  line "         LtmComputeChecksum(), LtmDeparser()) main;";
+  Buffer.contents buf
+
+let emit_for (config : Gf_core.Config.t) =
+  emit ~tables:config.Gf_core.Config.tables
+    ~table_capacity:config.Gf_core.Config.table_capacity

@@ -1,0 +1,6 @@
+let write_entry_us = 1.8
+let delete_entry_us = 0.9
+let doorbell_us = 0.6
+
+let batch_us ~ops =
+  if ops <= 0 then 0.0 else doorbell_us +. (float_of_int ops *. write_entry_us)

@@ -1,0 +1,40 @@
+type estimate = {
+  luts_pct : float;
+  ffs_pct : float;
+  bram_pct : float;
+  power_w : float;
+}
+
+(* Anchor point: the paper's 4 x 8K configuration. *)
+let ref_tables = 4.0
+let ref_entries = 4.0 *. 8192.0
+
+(* Fixed shell (OpenNIC, MACs, PCIe DMA) vs per-table parser/match logic,
+   split so the anchor reproduces the paper's figures. *)
+let lut_base = 23.0
+let lut_per_table = 6.0
+let ff_base = 17.0
+let ff_per_table = 4.0
+let bram_base = 9.0
+let bram_per_entry = 40.0 /. ref_entries
+let power_base = 18.0
+let power_per_table = 2.5
+let power_per_entry = 10.0 /. ref_entries
+
+let estimate ~tables ~table_capacity =
+  let t = float_of_int tables in
+  let entries = float_of_int (tables * table_capacity) in
+  ignore ref_tables;
+  {
+    luts_pct = lut_base +. (lut_per_table *. t);
+    ffs_pct = ff_base +. (ff_per_table *. t);
+    bram_pct = bram_base +. (bram_per_entry *. entries);
+    power_w = power_base +. (power_per_table *. t) +. (power_per_entry *. entries);
+  }
+
+let fits e =
+  e.luts_pct <= 100.0 && e.ffs_pct <= 100.0 && e.bram_pct <= 100.0 && e.power_w <= 75.0
+
+let pp fmt e =
+  Format.fprintf fmt "LUT %.0f%%, FF %.0f%%, BRAM/URAM %.0f%%, %.0f W" e.luts_pct
+    e.ffs_pct e.bram_pct e.power_w

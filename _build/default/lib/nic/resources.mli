@@ -1,0 +1,23 @@
+(** FPGA resource and power occupancy model for the LTM pipeline.
+
+    The paper's prototype (4 ternary MATs on an Alveo U250, P4SDNet) uses
+    47% of LUTs, 33% of FFs, 49% of BRAM/URAM and 38 W (section 5).  This
+    module scales those measurements with the cache geometry so
+    configuration sweeps can report estimated occupancy: logic grows with
+    the number of tables, memory with total entry bits (each entry stores
+    ~2x its 139 match bits for value+mask plus action/priority state). *)
+
+type estimate = {
+  luts_pct : float;
+  ffs_pct : float;
+  bram_pct : float;
+  power_w : float;
+}
+
+val estimate : tables:int -> table_capacity:int -> estimate
+
+val fits : estimate -> bool
+(** All resources <= 100% and power within the 75 W PCIe budget the paper
+    cites. *)
+
+val pp : Format.formatter -> estimate -> unit

@@ -1,0 +1,1 @@
+lib/pipeline/action.ml: Format Gf_flow List

@@ -1,0 +1,1 @@
+lib/pipeline/action.mli: Format Gf_flow

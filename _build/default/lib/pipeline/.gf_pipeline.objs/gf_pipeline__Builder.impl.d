@@ -1,0 +1,1 @@
+lib/pipeline/builder.ml: Action Gf_flow List Oftable Pipeline Printf Result

@@ -1,0 +1,1 @@
+lib/pipeline/builder.mli: Gf_flow Pipeline

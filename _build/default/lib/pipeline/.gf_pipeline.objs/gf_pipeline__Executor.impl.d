@@ -1,0 +1,1 @@
+lib/pipeline/executor.ml: Action Array Format List Ofrule Oftable Option Pipeline Traversal

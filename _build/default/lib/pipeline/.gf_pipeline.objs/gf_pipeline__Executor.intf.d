@@ -1,0 +1,1 @@
+lib/pipeline/executor.mli: Action Format Gf_flow Pipeline Traversal

@@ -1,0 +1,1 @@
+lib/pipeline/ofp_text.ml: Action Buffer Gf_flow Gf_util List Ofrule Oftable Pipeline Printf Result String

@@ -1,0 +1,1 @@
+lib/pipeline/ofp_text.mli: Action Gf_flow Pipeline

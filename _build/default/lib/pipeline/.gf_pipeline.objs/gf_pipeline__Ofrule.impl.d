@@ -1,0 +1,1 @@
+lib/pipeline/ofrule.ml: Action Format Gf_flow

@@ -1,0 +1,1 @@
+lib/pipeline/ofrule.mli: Action Format Gf_flow

@@ -1,0 +1,1 @@
+lib/pipeline/oftable.ml: Action Array Format Gf_flow Gf_util Hashtbl List Ofrule Option Printf

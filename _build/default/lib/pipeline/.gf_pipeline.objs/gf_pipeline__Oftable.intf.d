@@ -1,0 +1,1 @@
+lib/pipeline/oftable.mli: Action Format Gf_flow Ofrule

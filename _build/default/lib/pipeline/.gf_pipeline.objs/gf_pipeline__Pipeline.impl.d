@@ -1,0 +1,1 @@
+lib/pipeline/pipeline.ml: Format Hashtbl List Oftable Printf

@@ -1,0 +1,1 @@
+lib/pipeline/pipeline.mli: Format Ofrule Oftable

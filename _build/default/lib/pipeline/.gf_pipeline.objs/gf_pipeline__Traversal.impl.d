@@ -1,0 +1,1 @@
+lib/pipeline/traversal.ml: Action Array Format Gf_flow List Ofrule Printf String

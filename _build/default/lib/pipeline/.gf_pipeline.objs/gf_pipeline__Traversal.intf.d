@@ -1,0 +1,1 @@
+lib/pipeline/traversal.mli: Action Format Gf_flow Ofrule

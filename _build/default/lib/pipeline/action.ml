@@ -1,0 +1,44 @@
+type terminal = Output of int | Drop | Controller
+
+type control = Goto of int | Terminal of terminal
+
+type t = { set_fields : (Gf_flow.Field.t * int) list; control : control }
+
+let goto ?(set_fields = []) table = { set_fields; control = Goto table }
+
+let output ?(set_fields = []) port = { set_fields; control = Terminal (Output port) }
+
+let drop ?(set_fields = []) () = { set_fields; control = Terminal Drop }
+
+let controller () = { set_fields = []; control = Terminal Controller }
+
+let apply_sets t flow =
+  List.fold_left (fun f (field, v) -> Gf_flow.Flow.set f field v) flow t.set_fields
+
+let terminal_equal a b =
+  match (a, b) with
+  | Output p, Output q -> p = q
+  | Drop, Drop -> true
+  | Controller, Controller -> true
+  | (Output _ | Drop | Controller), _ -> false
+
+let equal a b =
+  a.set_fields = b.set_fields
+  &&
+  match (a.control, b.control) with
+  | Goto x, Goto y -> x = y
+  | Terminal x, Terminal y -> terminal_equal x y
+  | (Goto _ | Terminal _), _ -> false
+
+let pp_terminal fmt = function
+  | Output p -> Format.fprintf fmt "output:%d" p
+  | Drop -> Format.pp_print_string fmt "drop"
+  | Controller -> Format.pp_print_string fmt "controller"
+
+let pp fmt t =
+  List.iter
+    (fun (f, v) -> Format.fprintf fmt "set %s=%#x; " (Gf_flow.Field.name f) v)
+    t.set_fields;
+  match t.control with
+  | Goto table -> Format.fprintf fmt "goto:%d" table
+  | Terminal term -> pp_terminal fmt term

@@ -1,0 +1,37 @@
+(** OpenFlow-style actions attached to vSwitch pipeline rules.
+
+    A rule carries a list of header modifications plus a control decision:
+    continue to another table (goto), or terminate the traversal with an
+    output port or a drop.  The same action vocabulary is reused by cache
+    entries (Megaflow and Gigaflow LTM), where the modifications are the
+    "commit" computed by rule generation (paper section 4.2.3). *)
+
+type terminal =
+  | Output of int  (** forward to (virtual) port *)
+  | Drop
+  | Controller     (** punt to the control plane; treated as a slowpath-only
+                       decision and never cached *)
+
+type control =
+  | Goto of int        (** resubmit to the vSwitch table with this id *)
+  | Terminal of terminal
+
+type t = {
+  set_fields : (Gf_flow.Field.t * int) list;
+      (** header rewrites, applied left to right *)
+  control : control;
+}
+
+val goto : ?set_fields:(Gf_flow.Field.t * int) list -> int -> t
+val output : ?set_fields:(Gf_flow.Field.t * int) list -> int -> t
+val drop : ?set_fields:(Gf_flow.Field.t * int) list -> unit -> t
+val controller : unit -> t
+
+val apply_sets : t -> Gf_flow.Flow.t -> Gf_flow.Flow.t
+(** Apply only the header rewrites. *)
+
+val terminal_equal : terminal -> terminal -> bool
+val equal : t -> t -> bool
+
+val pp_terminal : Format.formatter -> terminal -> unit
+val pp : Format.formatter -> t -> unit

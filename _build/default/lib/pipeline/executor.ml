@@ -1,0 +1,66 @@
+type error = Loop_limit of int | Bad_goto of int
+
+type prefix = {
+  prefix_steps : Traversal.step array;
+  status :
+    [ `Terminal of Action.terminal | `More of int | `Stuck of int ];
+}
+
+let default_max_steps = 256
+
+let trace ?start ~max_steps pipeline input =
+  let rec go table_id flow steps_rev count =
+    if count >= max_steps then
+      { prefix_steps = Array.of_list (List.rev steps_rev); status = `More table_id }
+    else
+      match Pipeline.table_opt pipeline table_id with
+      | None ->
+          { prefix_steps = Array.of_list (List.rev steps_rev); status = `Stuck table_id }
+      | Some table ->
+          let result = Oftable.lookup table flow in
+          let outcome, action =
+            match result.Oftable.outcome with
+            | `Hit rule -> (`Rule rule, rule.Ofrule.action)
+            | `Miss -> (`Table_miss, Oftable.miss_action table)
+          in
+          let flow_out = Action.apply_sets action flow in
+          let step =
+            {
+              Traversal.table_id;
+              outcome;
+              action;
+              wildcard = result.Oftable.consulted;
+              flow_in = flow;
+              flow_out;
+              probes = result.Oftable.probes;
+            }
+          in
+          let steps_rev = step :: steps_rev in
+          (match action.Action.control with
+          | Action.Goto next -> go next flow_out steps_rev (count + 1)
+          | Action.Terminal terminal ->
+              {
+                prefix_steps = Array.of_list (List.rev steps_rev);
+                status = `Terminal terminal;
+              })
+  in
+  go (Option.value ~default:(Pipeline.entry pipeline) start) input [] 0
+
+let execute ?(max_steps = default_max_steps) ?start pipeline input =
+  let prefix = trace ?start ~max_steps pipeline input in
+  match prefix.status with
+  | `Terminal terminal ->
+      let steps = prefix.prefix_steps in
+      let output = steps.(Array.length steps - 1).Traversal.flow_out in
+      Ok { Traversal.input; steps; terminal; output }
+  | `More _ -> Error (Loop_limit max_steps)
+  | `Stuck id -> Error (Bad_goto id)
+
+let terminal_of ?max_steps pipeline flow =
+  match execute ?max_steps pipeline flow with
+  | Ok t -> Ok (t.Traversal.terminal, t.Traversal.output)
+  | Error e -> Error e
+
+let pp_error fmt = function
+  | Loop_limit n -> Format.fprintf fmt "loop limit exceeded (%d steps)" n
+  | Bad_goto id -> Format.fprintf fmt "goto unknown table %d" id

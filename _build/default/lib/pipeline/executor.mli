@@ -1,0 +1,47 @@
+(** Slowpath execution: run a flow through the pipeline and record the
+    traversal (paper section 4.2.1).
+
+    The executor follows goto control flow from the entry table, applying
+    set-field actions, until a terminal action (output/drop/controller) is
+    reached.  Loops are cut off at [max_steps] (vSwitch pipelines may contain
+    loops in general; the paper unrolls control flow into linear traversals,
+    which is exactly what tracing does). *)
+
+type error =
+  | Loop_limit of int  (** more than [max_steps] lookups *)
+  | Bad_goto of int  (** goto to a non-existent table id *)
+
+type prefix = {
+  prefix_steps : Traversal.step array;
+  status :
+    [ `Terminal of Action.terminal  (** pipeline finished within the budget *)
+    | `More of int  (** budget exhausted; next table would be this id *)
+    | `Stuck of int  (** goto to a non-existent table id *) ];
+}
+
+val trace :
+  ?start:int -> max_steps:int -> Pipeline.t -> Gf_flow.Flow.t -> prefix
+(** Execute at most [max_steps] lookups and return the partial trace.  This
+    is the primitive behind {!execute} and behind Gigaflow's sub-traversal
+    revalidation, which re-runs only the [length] steps a cached rule
+    covers. *)
+
+val execute :
+  ?max_steps:int ->
+  ?start:int ->
+  Pipeline.t ->
+  Gf_flow.Flow.t ->
+  (Traversal.t, error) result
+(** [max_steps] defaults to 256 (the OVS resubmit depth cited in the paper).
+    [start] defaults to the pipeline entry table; revalidation uses it to
+    re-execute a sub-traversal from its parent table (paper section 4.3.1). *)
+
+val terminal_of :
+  ?max_steps:int ->
+  Pipeline.t ->
+  Gf_flow.Flow.t ->
+  (Action.terminal * Gf_flow.Flow.t, error) result
+(** Like {!execute} but returns only the decision — what a cache hit must
+    reproduce.  Used pervasively by consistency tests. *)
+
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,364 @@
+module Field = Gf_flow.Field
+module Fmatch = Gf_flow.Fmatch
+module Headers = Gf_flow.Headers
+
+type flow_line = {
+  table : int;
+  priority : int;
+  fmatch : Fmatch.t;
+  action : Action.t;
+}
+
+let ( let* ) = Result.bind
+
+let int_of ~what s =
+  match int_of_string_opt s with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "invalid %s: %S" what s)
+
+let mac_of ~what s =
+  match Headers.mac s with
+  | v -> Ok v
+  | exception Invalid_argument _ -> Error (Printf.sprintf "invalid %s: %S" what s)
+
+let ip_prefix_of ~what s =
+  match String.split_on_char '/' s with
+  | [ ip ] -> (
+      match Headers.ipv4 ip with
+      | v -> Ok (v, 32)
+      | exception Invalid_argument _ -> Error (Printf.sprintf "invalid %s: %S" what s))
+  | [ ip; len ] -> (
+      match (Headers.ipv4 ip, int_of_string_opt len) with
+      | v, Some l when l >= 0 && l <= 32 -> Ok (v, l)
+      | _, (Some _ | None) ->
+          Error (Printf.sprintf "invalid prefix length in %s: %S" what s)
+      | exception Invalid_argument _ ->
+          Error (Printf.sprintf "invalid %s: %S" what s))
+  | _ -> Error (Printf.sprintf "invalid %s: %S" what s)
+
+(* Split "a,b(c,d),e" on top-level commas only (resubmit(,N) has one). *)
+let split_top_commas s =
+  let parts = ref [] and buf = Buffer.create 16 and depth = ref 0 in
+  String.iter
+    (fun c ->
+      match c with
+      | '(' ->
+          incr depth;
+          Buffer.add_char buf c
+      | ')' ->
+          decr depth;
+          Buffer.add_char buf c
+      | ',' when !depth = 0 ->
+          parts := Buffer.contents buf :: !parts;
+          Buffer.clear buf
+      | c -> Buffer.add_char buf c)
+    s;
+  parts := Buffer.contents buf :: !parts;
+  List.rev_map String.trim !parts |> List.rev |> List.filter (fun p -> p <> "")
+
+let parse_one_action token =
+  let prefixed prefix =
+    let n = String.length prefix in
+    if String.length token > n && String.sub token 0 n = prefix then
+      Some (String.sub token n (String.length token - n))
+    else None
+  in
+  match String.lowercase_ascii token with
+  | "drop" -> Ok `Drop
+  | "controller" -> Ok `Controller
+  | _ -> (
+      match prefixed "output:" with
+      | Some port ->
+          let* p = int_of ~what:"output port" port in
+          Ok (`Output p)
+      | None -> (
+          match prefixed "goto_table:" with
+          | Some t ->
+              let* t = int_of ~what:"goto table" t in
+              Ok (`Goto t)
+          | None -> (
+              match prefixed "resubmit(," with
+              | Some rest when String.length rest > 0 && rest.[String.length rest - 1] = ')'
+                ->
+                  let* t =
+                    int_of ~what:"resubmit table"
+                      (String.sub rest 0 (String.length rest - 1))
+                  in
+                  Ok (`Goto t)
+              | Some _ | None -> (
+                  let mods =
+                    [
+                      ("mod_dl_src:", Field.Eth_src, `Mac);
+                      ("mod_dl_dst:", Field.Eth_dst, `Mac);
+                      ("mod_nw_src:", Field.Ip_src, `Ip);
+                      ("mod_nw_dst:", Field.Ip_dst, `Ip);
+                      ("mod_tp_src:", Field.Tp_src, `Int);
+                      ("mod_tp_dst:", Field.Tp_dst, `Int);
+                      ("mod_vlan_vid:", Field.Vlan, `Int);
+                    ]
+                  in
+                  let rec try_mods = function
+                    | [] -> Error (Printf.sprintf "unknown action: %S" token)
+                    | (prefix, field, kind) :: rest -> (
+                        match prefixed prefix with
+                        | None -> try_mods rest
+                        | Some value ->
+                            let* v =
+                              match kind with
+                              | `Mac -> mac_of ~what:prefix value
+                              | `Ip -> (
+                                  match Headers.ipv4 value with
+                                  | v -> Ok v
+                                  | exception Invalid_argument _ ->
+                                      Error (Printf.sprintf "invalid ip in %S" token))
+                              | `Int -> int_of ~what:prefix value
+                            in
+                            Ok (`Set (field, v)))
+                  in
+                  try_mods mods))))
+
+let parse_actions s =
+  let tokens = split_top_commas s in
+  if tokens = [] then Error "empty actions"
+  else begin
+    let* parsed =
+      List.fold_left
+        (fun acc token ->
+          let* acc = acc in
+          let* a = parse_one_action token in
+          Ok (a :: acc))
+        (Ok []) tokens
+    in
+    let parsed = List.rev parsed in
+    let set_fields =
+      List.filter_map (function `Set (f, v) -> Some (f, v) | _ -> None) parsed
+    in
+    let controls =
+      List.filter_map
+        (function
+          | `Goto t -> Some (Action.Goto t)
+          | `Output p -> Some (Action.Terminal (Action.Output p))
+          | `Drop -> Some (Action.Terminal Action.Drop)
+          | `Controller -> Some (Action.Terminal Action.Controller)
+          | `Set _ -> None)
+        parsed
+    in
+    match controls with
+    | [ control ] -> Ok { Action.set_fields; control }
+    | [] -> Error "actions need exactly one of output/drop/controller/goto_table"
+    | _ -> Error "multiple forwarding decisions in one action list"
+  end
+
+let parse_match_key fmatch key value =
+  let exact field v = Ok (Fmatch.with_prefix fmatch field ~value:v ~len:(Field.width field)) in
+  match key with
+  | "in_port" ->
+      let* v = int_of ~what:"in_port" value in
+      exact Field.In_port v
+  | "dl_src" ->
+      let* v = mac_of ~what:"dl_src" value in
+      exact Field.Eth_src v
+  | "dl_dst" ->
+      let* v = mac_of ~what:"dl_dst" value in
+      exact Field.Eth_dst v
+  | "dl_type" ->
+      let* v = int_of ~what:"dl_type" value in
+      exact Field.Eth_type v
+  | "dl_vlan" ->
+      let* v = int_of ~what:"dl_vlan" value in
+      exact Field.Vlan v
+  | "nw_src" ->
+      let* v, len = ip_prefix_of ~what:"nw_src" value in
+      Ok (Fmatch.with_prefix fmatch Field.Ip_src ~value:v ~len)
+  | "nw_dst" ->
+      let* v, len = ip_prefix_of ~what:"nw_dst" value in
+      Ok (Fmatch.with_prefix fmatch Field.Ip_dst ~value:v ~len)
+  | "nw_proto" ->
+      let* v = int_of ~what:"nw_proto" value in
+      exact Field.Ip_proto v
+  | "tp_src" ->
+      let* v = int_of ~what:"tp_src" value in
+      exact Field.Tp_src v
+  | "tp_dst" ->
+      let* v = int_of ~what:"tp_dst" value in
+      exact Field.Tp_dst v
+  | _ -> Error (Printf.sprintf "unknown match key: %S" key)
+
+let parse_shorthand fmatch token =
+  let eth ty = Ok (Fmatch.with_prefix fmatch Field.Eth_type ~value:ty ~len:16) in
+  let ip_proto p =
+    let* fm = eth Headers.ethertype_ipv4 in
+    Ok (Fmatch.with_prefix fm Field.Ip_proto ~value:p ~len:8)
+  in
+  match token with
+  | "ip" -> eth Headers.ethertype_ipv4
+  | "arp" -> eth Headers.ethertype_arp
+  | "tcp" -> ip_proto Headers.proto_tcp
+  | "udp" -> ip_proto Headers.proto_udp
+  | "icmp" -> ip_proto Headers.proto_icmp
+  | _ -> Error (Printf.sprintf "unknown match shorthand: %S" token)
+
+let parse_flow line =
+  (* Separate actions=... (everything after it, commas included) from the
+     match part. *)
+  let line = String.trim line in
+  let marker = "actions=" in
+  let rec find_marker i =
+    if i + String.length marker > String.length line then None
+    else if String.sub line i (String.length marker) = marker then Some i
+    else find_marker (i + 1)
+  in
+  match find_marker 0 with
+  | None -> Error "missing actions="
+  | Some i ->
+      let match_part = String.sub line 0 i in
+      let actions_part =
+        String.sub line (i + String.length marker)
+          (String.length line - i - String.length marker)
+      in
+      let* action = parse_actions actions_part in
+      let tokens =
+        String.split_on_char ',' match_part
+        |> List.map String.trim
+        |> List.filter (fun t -> t <> "")
+      in
+      let* table, priority, fmatch =
+        List.fold_left
+          (fun acc token ->
+            let* table, priority, fmatch = acc in
+            match String.index_opt token '=' with
+            | None ->
+                let* fmatch = parse_shorthand fmatch token in
+                Ok (table, priority, fmatch)
+            | Some eq -> (
+                let key = String.sub token 0 eq in
+                let value = String.sub token (eq + 1) (String.length token - eq - 1) in
+                match key with
+                | "table" ->
+                    let* t = int_of ~what:"table" value in
+                    Ok (t, priority, fmatch)
+                | "priority" ->
+                    let* p = int_of ~what:"priority" value in
+                    Ok (table, p, fmatch)
+                | _ ->
+                    let* fmatch = parse_match_key fmatch key value in
+                    Ok (table, priority, fmatch)))
+          (Ok (0, 32768, Fmatch.any))
+          tokens
+      in
+      Ok { table; priority; fmatch; action }
+
+let parse_flows text =
+  let lines = String.split_on_char '\n' text in
+  let rec go n acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        let trimmed = String.trim line in
+        if trimmed = "" || trimmed.[0] = '#' then go (n + 1) acc rest
+        else (
+          match parse_flow trimmed with
+          | Ok flow -> go (n + 1) (flow :: acc) rest
+          | Error e -> Error (Printf.sprintf "line %d: %s" n e))
+  in
+  go 1 [] lines
+
+let print_match fmatch =
+  let pattern = Fmatch.pattern fmatch and mask = Fmatch.mask fmatch in
+  let parts = ref [] in
+  let add s = parts := s :: !parts in
+  let get f = Gf_flow.Flow.get pattern f in
+  let mask_of f = Gf_flow.Mask.get mask f in
+  let full f = mask_of f = Field.full_mask f in
+  if mask_of Field.In_port <> 0 then add (Printf.sprintf "in_port=%d" (get Field.In_port));
+  if mask_of Field.Eth_src <> 0 then
+    add (Printf.sprintf "dl_src=%s" (Headers.mac_to_string (get Field.Eth_src)));
+  if mask_of Field.Eth_dst <> 0 then
+    add (Printf.sprintf "dl_dst=%s" (Headers.mac_to_string (get Field.Eth_dst)));
+  if mask_of Field.Eth_type <> 0 then
+    add (Printf.sprintf "dl_type=0x%04x" (get Field.Eth_type));
+  if mask_of Field.Vlan <> 0 then add (Printf.sprintf "dl_vlan=%d" (get Field.Vlan));
+  let ip field key =
+    let m = mask_of field in
+    if m <> 0 then begin
+      let len = Gf_util.Bitops.popcount m in
+      if full field then
+        add (Printf.sprintf "%s=%s" key (Headers.ipv4_to_string (get field)))
+      else add (Printf.sprintf "%s=%s/%d" key (Headers.ipv4_to_string (get field)) len)
+    end
+  in
+  ip Field.Ip_src "nw_src";
+  ip Field.Ip_dst "nw_dst";
+  if mask_of Field.Ip_proto <> 0 then
+    add (Printf.sprintf "nw_proto=%d" (get Field.Ip_proto));
+  if mask_of Field.Tp_src <> 0 then add (Printf.sprintf "tp_src=%d" (get Field.Tp_src));
+  if mask_of Field.Tp_dst <> 0 then add (Printf.sprintf "tp_dst=%d" (get Field.Tp_dst));
+  String.concat "," (List.rev !parts)
+
+let print_action (a : Action.t) =
+  let mods =
+    List.map
+      (fun (f, v) ->
+        match f with
+        | Field.Eth_src -> "mod_dl_src:" ^ Headers.mac_to_string v
+        | Field.Eth_dst -> "mod_dl_dst:" ^ Headers.mac_to_string v
+        | Field.Ip_src -> "mod_nw_src:" ^ Headers.ipv4_to_string v
+        | Field.Ip_dst -> "mod_nw_dst:" ^ Headers.ipv4_to_string v
+        | Field.Tp_src -> Printf.sprintf "mod_tp_src:%d" v
+        | Field.Tp_dst -> Printf.sprintf "mod_tp_dst:%d" v
+        | Field.Vlan -> Printf.sprintf "mod_vlan_vid:%d" v
+        | Field.In_port | Field.Eth_type | Field.Ip_proto ->
+            Printf.sprintf "set_field:%d" v (* not expressible; best effort *))
+      a.Action.set_fields
+  in
+  let control =
+    match a.Action.control with
+    | Action.Goto t -> Printf.sprintf "goto_table:%d" t
+    | Action.Terminal (Action.Output p) -> Printf.sprintf "output:%d" p
+    | Action.Terminal Action.Drop -> "drop"
+    | Action.Terminal Action.Controller -> "controller"
+  in
+  String.concat "," (mods @ [ control ])
+
+let print_flow f =
+  let m = print_match f.fmatch in
+  Printf.sprintf "table=%d,priority=%d%s%s,actions=%s" f.table f.priority
+    (if m = "" then "" else ",")
+    m (print_action f.action)
+
+let load_into pipeline text =
+  let* flows = parse_flows text in
+  let* () =
+    List.fold_left
+      (fun acc f ->
+        let* () = acc in
+        if Pipeline.table_opt pipeline f.table = None then
+          Error (Printf.sprintf "unknown table %d" f.table)
+        else Ok ())
+      (Ok ()) flows
+  in
+  List.iter
+    (fun f ->
+      Pipeline.add_rule pipeline ~table:f.table
+        (Ofrule.v ~id:(Pipeline.fresh_rule_id pipeline) ~priority:f.priority
+           ~fmatch:f.fmatch ~action:f.action))
+    flows;
+  Ok (List.length flows)
+
+let dump_pipeline pipeline =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun table ->
+      List.iter
+        (fun (r : Ofrule.t) ->
+          Buffer.add_string buf
+            (print_flow
+               {
+                 table = Oftable.id table;
+                 priority = r.priority;
+                 fmatch = r.fmatch;
+                 action = r.action;
+               });
+          Buffer.add_char buf '\n')
+        (Oftable.rules table))
+    (Pipeline.tables pipeline);
+  Buffer.contents buf

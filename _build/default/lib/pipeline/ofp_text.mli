@@ -1,0 +1,46 @@
+(** ovs-ofctl-style textual flow syntax.
+
+    Parses and prints rules in the familiar `ovs-ofctl add-flow` dialect so
+    pipelines can be loaded from (and dumped to) plain text:
+
+    {v
+    table=4,priority=100,ip,nw_dst=10.1.2.0/24,actions=mod_dl_dst:02:00:00:00:0f:fe,goto_table:5
+    table=5,priority=90,tcp,tp_dst=443,actions=output:7
+    table=5,priority=0,actions=drop
+    v}
+
+    Supported match keys: [in_port], [dl_src], [dl_dst], [dl_type] (also the
+    [ip], [tcp], [udp], [icmp], [arp] shorthands), [dl_vlan], [nw_src],
+    [nw_dst] (with optional [/len]), [nw_proto], [tp_src], [tp_dst].
+    Supported actions: [output:N], [drop], [controller],
+    [goto_table:N]/[resubmit(,N)], [mod_dl_src:MAC], [mod_dl_dst:MAC],
+    [mod_nw_src:IP], [mod_nw_dst:IP], [mod_tp_src:N], [mod_tp_dst:N],
+    [mod_vlan_vid:N]. *)
+
+type flow_line = {
+  table : int;  (** Defaults to 0 when absent. *)
+  priority : int;  (** Defaults to 32768, as in OpenFlow. *)
+  fmatch : Gf_flow.Fmatch.t;
+  action : Action.t;
+}
+
+val parse_flow : string -> (flow_line, string) result
+(** Parse one flow line.  Unknown keys or malformed values produce a
+    descriptive [Error]. *)
+
+val parse_flows : string -> (flow_line list, string) result
+(** Parse a whole add-flows file: one flow per line; blank lines and
+    [#]-comments are skipped.  The error names the offending line number. *)
+
+val print_flow : flow_line -> string
+(** Render in the same dialect; [parse_flow (print_flow f)] round-trips to
+    an equivalent flow. *)
+
+val load_into : Pipeline.t -> string -> (int, string) result
+(** Parse a flow file and add every rule to the pipeline (fresh rule ids).
+    Returns the number of rules added.  Fails without modifying anything if
+    any line is malformed or names an unknown table. *)
+
+val dump_pipeline : Pipeline.t -> string
+(** Dump every rule of every table, one flow line each (akin to
+    [ovs-ofctl dump-flows]). *)

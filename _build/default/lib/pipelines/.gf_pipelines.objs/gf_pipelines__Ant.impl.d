@@ -1,0 +1,1 @@
+lib/pipelines/ant.ml: Gf_flow Gf_pipeline List

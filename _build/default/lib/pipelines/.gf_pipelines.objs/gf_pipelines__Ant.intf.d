@@ -1,0 +1,1 @@
+lib/pipelines/ant.mli: Gf_pipeline

@@ -1,0 +1,1 @@
+lib/pipelines/catalog.ml: Ant Gf_pipeline List Ofd Ols Otl Psc String

@@ -1,0 +1,1 @@
+lib/pipelines/catalog.mli: Gf_pipeline

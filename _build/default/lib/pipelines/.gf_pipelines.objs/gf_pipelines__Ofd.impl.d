@@ -1,0 +1,1 @@
+lib/pipelines/ofd.ml: Gf_flow Gf_pipeline

@@ -1,0 +1,1 @@
+lib/pipelines/ofd.mli: Gf_pipeline

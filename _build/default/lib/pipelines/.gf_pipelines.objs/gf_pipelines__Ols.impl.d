@@ -1,0 +1,1 @@
+lib/pipelines/ols.ml: Gf_flow Gf_pipeline List

@@ -1,0 +1,1 @@
+lib/pipelines/ols.mli: Gf_pipeline

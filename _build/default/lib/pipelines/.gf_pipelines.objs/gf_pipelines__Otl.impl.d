@@ -1,0 +1,1 @@
+lib/pipelines/otl.ml: Gf_flow Gf_pipeline List

@@ -1,0 +1,1 @@
+lib/pipelines/otl.mli: Gf_pipeline

@@ -1,0 +1,1 @@
+lib/pipelines/psc.ml: Gf_flow Gf_pipeline

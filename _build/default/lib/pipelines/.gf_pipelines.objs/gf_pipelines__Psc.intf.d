@@ -1,0 +1,1 @@
+lib/pipelines/psc.mli: Gf_pipeline

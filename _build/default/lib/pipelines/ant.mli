@@ -1,0 +1,11 @@
+(** See {!Catalog} for the common access path; this module contributes one
+    of the paper's Table 1 pipelines. *)
+
+val name : string
+(** The paper's short code. *)
+
+val description : string
+
+val spec : Gf_pipeline.Builder.spec
+(** Tables (with declared match fields) and traversal templates; validated
+    by the test suite against Table 1's table/traversal counts. *)

@@ -1,0 +1,25 @@
+type info = {
+  code : string;
+  description : string;
+  spec : Gf_pipeline.Builder.spec;
+}
+
+let all =
+  [
+    { code = Ofd.name; description = Ofd.description; spec = Ofd.spec };
+    { code = Psc.name; description = Psc.description; spec = Psc.spec };
+    { code = Ols.name; description = Ols.description; spec = Ols.spec };
+    { code = Ant.name; description = Ant.description; spec = Ant.spec };
+    { code = Otl.name; description = Otl.description; spec = Otl.spec };
+  ]
+
+let find code =
+  let code = String.uppercase_ascii code in
+  List.find_opt (fun info -> String.equal info.code code) all
+
+let table_count info = List.length info.spec.Gf_pipeline.Builder.tables
+
+let traversal_count info =
+  List.length (Gf_pipeline.Builder.unique_paths info.spec)
+
+let instantiate info = Gf_pipeline.Builder.instantiate info.spec

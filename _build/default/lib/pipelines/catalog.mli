@@ -1,0 +1,19 @@
+(** The catalog of real-world vSwitch pipelines (paper Table 1). *)
+
+type info = {
+  code : string;  (** Short code used throughout the paper: OFD, PSC, ... *)
+  description : string;
+  spec : Gf_pipeline.Builder.spec;
+}
+
+val all : info list
+(** In the paper's Table 1 order: OFD, PSC, OLS, ANT, OTL. *)
+
+val find : string -> info option
+(** Case-insensitive lookup by code. *)
+
+val table_count : info -> int
+val traversal_count : info -> int
+(** Number of distinct table-id paths among the templates. *)
+
+val instantiate : info -> Gf_pipeline.Pipeline.t

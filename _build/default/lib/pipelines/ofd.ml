@@ -1,0 +1,104 @@
+(** OFD — the OpenFlow Data Plane Abstraction (OF-DPA) pipeline used to
+    integrate hardware/software switches in CORD; paper Table 1: 10 tables,
+    5 unique traversals.
+
+    Models OF-DPA's fixed stage layout: ingress port, VLAN, termination MAC,
+    unicast/multicast routing, bridging, policy ACL and the group stages. *)
+
+open Gf_flow.Field
+module B = Gf_pipeline.Builder
+
+let name = "OFD"
+let description = "OpenFlow Data Plane Abstraction (OF-DPA) pipeline (CORD)"
+
+let t_port = 0
+let t_vlan = 1
+let t_term_mac = 2
+let t_ucast = 3
+let t_mcast = 4
+let t_bridging = 5
+let t_acl = 6
+let t_l2_group = 7
+let t_l3_group = 8
+let t_egress = 9
+
+let spec : B.spec =
+  {
+    B.spec_name = name;
+    entry_table = t_port;
+    tables =
+      [
+        { B.table_id = t_port; table_name = "ingress_port"; fields = [ In_port ] };
+        { B.table_id = t_vlan; table_name = "vlan"; fields = [ In_port; Vlan ] };
+        {
+          B.table_id = t_term_mac;
+          table_name = "termination_mac";
+          fields = [ Vlan; Eth_dst; Eth_type ];
+        };
+        { B.table_id = t_ucast; table_name = "unicast_routing"; fields = [ Ip_dst ] };
+        { B.table_id = t_mcast; table_name = "multicast_routing"; fields = [ Ip_dst ] };
+        { B.table_id = t_bridging; table_name = "bridging"; fields = [ Eth_dst ] };
+        {
+          B.table_id = t_acl;
+          table_name = "policy_acl";
+          fields = [ Ip_src; Ip_dst; Ip_proto; Tp_src; Tp_dst ];
+        };
+        { B.table_id = t_l2_group; table_name = "l2_interface_group"; fields = [ Eth_dst ] };
+        { B.table_id = t_l3_group; table_name = "l3_unicast_group"; fields = [ Eth_dst ] };
+        { B.table_id = t_egress; table_name = "egress_vlan"; fields = [ In_port; Vlan ] };
+      ];
+    traversals =
+      (let admission =
+         [
+           { B.table = t_port; hop_fields = [ In_port ] };
+           { B.table = t_vlan; hop_fields = [ In_port; Vlan ] };
+         ]
+       in
+       [
+         (* Bridged traffic with a policy-ACL check. *)
+         {
+           B.hops =
+             admission
+             @ [
+                 { B.table = t_bridging; hop_fields = [ Eth_dst ] };
+                 { B.table = t_acl; hop_fields = [ Ip_proto; Tp_dst ] };
+                 { B.table = t_l2_group; hop_fields = [ Eth_dst ] };
+               ];
+         };
+         (* Unicast routed traffic. *)
+         {
+           B.hops =
+             admission
+             @ [
+                 { B.table = t_term_mac; hop_fields = [ Vlan; Eth_dst; Eth_type ] };
+                 { B.table = t_ucast; hop_fields = [ Ip_dst ] };
+                 { B.table = t_acl; hop_fields = [ Ip_proto; Tp_dst ] };
+                 { B.table = t_l3_group; hop_fields = [ Eth_dst ] };
+               ];
+         };
+         (* Multicast routed traffic. *)
+         {
+           B.hops =
+             admission
+             @ [
+                 { B.table = t_term_mac; hop_fields = [ Vlan; Eth_dst; Eth_type ] };
+                 { B.table = t_mcast; hop_fields = [ Ip_dst ] };
+                 { B.table = t_acl; hop_fields = [ Ip_src; Ip_proto ] };
+                 { B.table = t_l3_group; hop_fields = [ Eth_dst ] };
+               ];
+         };
+         (* Traffic stopped (or punted) by the policy ACL. *)
+         {
+           B.hops =
+             admission
+             @ [
+                 { B.table = t_bridging; hop_fields = [ Eth_dst ] };
+                 { B.table = t_acl; hop_fields = [ Ip_src; Ip_dst; Ip_proto ] };
+               ];
+         };
+         (* VLAN cross-connect fast path. *)
+         {
+           B.hops = admission @ [ { B.table = t_egress; hop_fields = [ In_port; Vlan ] } ];
+         };
+       ]);
+  }

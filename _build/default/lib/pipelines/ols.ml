@@ -1,0 +1,173 @@
+(** OLS — the OVN logical switch pipeline (ovn-northd's ls_in/ls_out
+    stages), which manages virtual network topologies with logical segments
+    on top of OVS; paper Table 1: 30 tables, 23 unique traversals.
+
+    Tables 0-19 model the ingress (ls_in) stages — port security, FDB,
+    pre-ACL/ACL, load balancing, ARP/DHCP/DNS responders, L2 lookup — and
+    tables 20-29 the egress (ls_out) stages.  Traversals are the distinct
+    stage combinations OVN datapath flows exhibit (policied vs plain pods,
+    load-balanced services, responders, drops, ...). *)
+
+open Gf_flow.Field
+module B = Gf_pipeline.Builder
+
+let name = "OLS"
+let description = "OVN logical switch pipeline (OVN ls_in/ls_out stages)"
+
+(* Ingress stages. *)
+let t_port_sec_l2 = 0
+let t_port_sec_ip = 1
+let t_port_sec_nd = 2
+let t_lookup_fdb = 3
+let t_put_fdb = 4
+let t_pre_acl = 5
+let t_pre_lb = 6
+let t_pre_stateful = 7
+let t_acl_hint = 8
+let t_acl = 9
+let t_qos_mark = 10
+let t_lb = 11
+let t_stateful = 12
+let t_arp_rsp = 13
+let t_dhcp_opts = 14
+let t_dhcp_rsp = 15
+let t_dns_lkup = 16
+let t_dns_rsp = 17
+let t_ext_port = 18
+let t_l2_lkup = 19
+
+(* Egress stages. *)
+let t_out_pre_lb = 20
+let t_out_pre_acl = 21
+let t_out_pre_stateful = 22
+let t_out_lb = 23
+let t_out_acl_hint = 24
+let t_out_acl = 25
+let t_out_qos = 26
+let t_out_stateful = 27
+let t_out_port_sec_ip = 28
+let t_out_port_sec_l2 = 29
+
+let spec : B.spec =
+  {
+    B.spec_name = name;
+    entry_table = t_port_sec_l2;
+    tables =
+      [
+        { B.table_id = t_port_sec_l2; table_name = "ls_in_port_sec_l2"; fields = [ In_port; Eth_src; Vlan ] };
+        { B.table_id = t_port_sec_ip; table_name = "ls_in_port_sec_ip"; fields = [ Eth_src; Ip_src ] };
+        { B.table_id = t_port_sec_nd; table_name = "ls_in_port_sec_nd"; fields = [ Eth_src; Eth_type ] };
+        { B.table_id = t_lookup_fdb; table_name = "ls_in_lookup_fdb"; fields = [ Eth_src ] };
+        { B.table_id = t_put_fdb; table_name = "ls_in_put_fdb"; fields = [ Eth_src ] };
+        { B.table_id = t_pre_acl; table_name = "ls_in_pre_acl"; fields = [ Ip_src; Ip_dst ] };
+        { B.table_id = t_pre_lb; table_name = "ls_in_pre_lb"; fields = [ Ip_dst; Ip_proto ] };
+        { B.table_id = t_pre_stateful; table_name = "ls_in_pre_stateful"; fields = [ Ip_proto ] };
+        { B.table_id = t_acl_hint; table_name = "ls_in_acl_hint"; fields = [ Ip_proto ] };
+        { B.table_id = t_acl; table_name = "ls_in_acl"; fields = [ Ip_src; Ip_dst; Ip_proto; Tp_src; Tp_dst ] };
+        { B.table_id = t_qos_mark; table_name = "ls_in_qos_mark"; fields = [ Ip_src; Ip_proto ] };
+        { B.table_id = t_lb; table_name = "ls_in_lb"; fields = [ Ip_dst; Ip_proto; Tp_dst ] };
+        { B.table_id = t_stateful; table_name = "ls_in_stateful"; fields = [ Ip_proto ] };
+        { B.table_id = t_arp_rsp; table_name = "ls_in_arp_rsp"; fields = [ Eth_type; Ip_dst ] };
+        { B.table_id = t_dhcp_opts; table_name = "ls_in_dhcp_options"; fields = [ Ip_proto; Tp_dst ] };
+        { B.table_id = t_dhcp_rsp; table_name = "ls_in_dhcp_response"; fields = [ Ip_proto; Tp_dst ] };
+        { B.table_id = t_dns_lkup; table_name = "ls_in_dns_lookup"; fields = [ Ip_proto; Tp_dst ] };
+        { B.table_id = t_dns_rsp; table_name = "ls_in_dns_response"; fields = [ Ip_proto; Tp_dst ] };
+        { B.table_id = t_ext_port; table_name = "ls_in_external_port"; fields = [ In_port; Eth_type ] };
+        { B.table_id = t_l2_lkup; table_name = "ls_in_l2_lkup"; fields = [ Eth_dst ] };
+        { B.table_id = t_out_pre_lb; table_name = "ls_out_pre_lb"; fields = [ Ip_dst; Ip_proto ] };
+        { B.table_id = t_out_pre_acl; table_name = "ls_out_pre_acl"; fields = [ Ip_src; Ip_dst ] };
+        { B.table_id = t_out_pre_stateful; table_name = "ls_out_pre_stateful"; fields = [ Ip_proto ] };
+        { B.table_id = t_out_lb; table_name = "ls_out_lb"; fields = [ Ip_dst; Ip_proto; Tp_dst ] };
+        { B.table_id = t_out_acl_hint; table_name = "ls_out_acl_hint"; fields = [ Ip_proto ] };
+        { B.table_id = t_out_acl; table_name = "ls_out_acl"; fields = [ Ip_src; Ip_dst; Ip_proto; Tp_src; Tp_dst ] };
+        { B.table_id = t_out_qos; table_name = "ls_out_qos"; fields = [ Ip_dst; Ip_proto ] };
+        { B.table_id = t_out_stateful; table_name = "ls_out_stateful"; fields = [ Ip_proto ] };
+        { B.table_id = t_out_port_sec_ip; table_name = "ls_out_port_sec_ip"; fields = [ Eth_dst; Ip_dst ] };
+        { B.table_id = t_out_port_sec_l2; table_name = "ls_out_port_sec_l2"; fields = [ Eth_dst; Vlan ] };
+      ];
+    traversals =
+      (let hop table hop_fields = { B.table; hop_fields } in
+       let psl2 = hop t_port_sec_l2 [ In_port; Eth_src ] in
+       let psl2v = hop t_port_sec_l2 [ In_port; Eth_src; Vlan ] in
+       let psip = hop t_port_sec_ip [ Eth_src; Ip_src ] in
+       let psnd = hop t_port_sec_nd [ Eth_src; Eth_type ] in
+       let fdb = hop t_lookup_fdb [ Eth_src ] in
+       let putfdb = hop t_put_fdb [ Eth_src ] in
+       let pre_acl = hop t_pre_acl [ Ip_dst ] in
+       let pre_lb = hop t_pre_lb [ Ip_dst; Ip_proto ] in
+       let pre_st = hop t_pre_stateful [] in
+       let acl_hint = hop t_acl_hint [] in
+       let acl5 = hop t_acl [ Ip_proto; Tp_dst ] in
+       let acl_l4 = hop t_acl [ Ip_proto; Tp_src; Tp_dst ] in
+       let qos = hop t_qos_mark [ Ip_src; Ip_proto ] in
+       let lb = hop t_lb [ Ip_dst; Ip_proto; Tp_dst ] in
+       let stateful = hop t_stateful [] in
+       let arp = hop t_arp_rsp [ Eth_type; Ip_dst ] in
+       let dhcp = hop t_dhcp_opts [ Ip_proto; Tp_dst ] in
+       let dhcp_rsp = hop t_dhcp_rsp [ Ip_proto; Tp_dst ] in
+       let dns = hop t_dns_lkup [ Ip_proto; Tp_dst ] in
+       let dns_rsp = hop t_dns_rsp [ Ip_proto; Tp_dst ] in
+       let ext = hop t_ext_port [ In_port; Eth_type ] in
+       let l2 = hop t_l2_lkup [ Eth_dst ] in
+       let o_pre_lb = hop t_out_pre_lb [ Ip_dst; Ip_proto ] in
+       let o_pre_acl = hop t_out_pre_acl [ Ip_dst ] in
+       let o_pre_st = hop t_out_pre_stateful [] in
+       let o_lb = hop t_out_lb [ Ip_dst; Ip_proto; Tp_dst ] in
+       let o_acl_hint = hop t_out_acl_hint [] in
+       let o_acl = hop t_out_acl [ Ip_proto; Tp_dst ] in
+       let o_acl_l4 = hop t_out_acl [ Ip_proto; Tp_src; Tp_dst ] in
+       let o_qos = hop t_out_qos [ Ip_dst; Ip_proto ] in
+       let o_st = hop t_out_stateful [] in
+       let o_psip = hop t_out_port_sec_ip [ Eth_dst; Ip_dst ] in
+       let o_psl2 = hop t_out_port_sec_l2 [ Eth_dst ] in
+       List.map
+         (fun hops -> { B.hops })
+         [
+           (* 1: plain known-MAC L2 forwarding *)
+           [ psl2; fdb; l2; o_psl2 ];
+           (* 2: L2 with FDB learning *)
+           [ psl2; fdb; putfdb; l2; o_psl2 ];
+           (* 3: VLAN-tagged L2 with ND port security *)
+           [ psl2v; psnd; fdb; l2; o_psl2 ];
+           (* 4: L2 with IP port security both ways *)
+           [ psl2; psip; fdb; l2; o_psip; o_psl2 ];
+           (* 5: ARP responder *)
+           [ psl2; psnd; arp; l2; o_psl2 ];
+           (* 6: DHCP request/response *)
+           [ psl2; psip; pre_lb; dhcp; dhcp_rsp; l2; o_psl2 ];
+           (* 7: DNS lookup/response *)
+           [ psl2; psip; dns; dns_rsp; l2; o_psl2 ];
+           (* 8: stateful ACL allow (ingress only) *)
+           [ psl2; psip; pre_acl; pre_st; acl_hint; acl5; stateful; l2; o_psl2 ];
+           (* 9: stateful ACL allow with egress ACL *)
+           [ psl2; psip; pre_acl; pre_st; acl_hint; acl5; stateful; l2; o_pre_acl; o_pre_st; o_acl; o_psl2 ];
+           (* 10: L4-only ACL allow *)
+           [ psl2; psip; pre_acl; acl_l4; l2; o_psl2 ];
+           (* 11: ACL drop at ingress *)
+           [ psl2; psip; pre_acl; acl5 ];
+           (* 12: load-balanced service (VIP DNAT) *)
+           [ psl2; psip; pre_lb; pre_st; lb; stateful; l2; o_pre_lb; o_psl2 ];
+           (* 13: load-balanced service with ingress ACL *)
+           [ psl2; psip; pre_lb; pre_st; acl_hint; acl5; lb; stateful; l2; o_pre_lb; o_psl2 ];
+           (* 14: LB with egress LB stage (return traffic) *)
+           [ psl2; psip; pre_lb; pre_st; lb; stateful; l2; o_pre_lb; o_pre_st; o_lb; o_psl2 ];
+           (* 15: QoS-marked traffic *)
+           [ psl2; psip; pre_acl; qos; l2; o_qos; o_psl2 ];
+           (* 16: QoS + ACL *)
+           [ psl2; psip; pre_acl; acl_hint; acl5; qos; l2; o_qos; o_psl2 ];
+           (* 17: external/localnet port path *)
+           [ psl2; ext; l2; o_psl2 ];
+           (* 18: external port with egress ACL *)
+           [ psl2; ext; l2; o_pre_acl; o_acl_l4; o_psl2 ];
+           (* 19: egress ACL drop *)
+           [ psl2; psip; fdb; l2; o_pre_acl; o_pre_st; o_acl ];
+           (* 20: unknown MAC flood *)
+           [ psl2; fdb; putfdb; l2 ];
+           (* 21: full stateful service chain (ACL + LB + QoS + egress checks) *)
+           [ psl2; psip; pre_acl; pre_lb; pre_st; acl_hint; acl5; lb; stateful; l2; o_pre_lb; o_acl_hint; o_acl; o_st; o_psl2 ];
+           (* 22: hint-assisted fast ACL (conntrack established) *)
+           [ psl2; psip; pre_st; acl_hint; stateful; l2; o_psl2 ];
+           (* 23: established egress-only check *)
+           [ psl2; fdb; l2; o_pre_st; o_acl_hint; o_st; o_psl2 ];
+         ]);
+  }

@@ -1,0 +1,66 @@
+(** PSC — the L2L3-ACL Open vSwitch pipeline used in PISCES (Shahbaz et al.,
+    SIGCOMM'16); paper Table 1: 7 tables, 2 unique traversals.
+
+    Classic learning-switch-plus-router shape: port and VLAN admission, MAC
+    learning, then either L2 forwarding or L3 routing guarded by a 5-tuple
+    ACL, and a common egress table. *)
+
+open Gf_flow.Field
+module B = Gf_pipeline.Builder
+
+let name = "PSC"
+let description = "L2L3-ACL OVS pipeline as used in PISCES"
+
+let t_port = 0
+let t_vlan = 1
+let t_mac_learn = 2
+let t_l2_fwd = 3
+let t_l3_route = 4
+let t_acl = 5
+let t_egress = 6
+
+let spec : B.spec =
+  {
+    B.spec_name = name;
+    entry_table = t_port;
+    tables =
+      [
+        { B.table_id = t_port; table_name = "port_admission"; fields = [ In_port ] };
+        { B.table_id = t_vlan; table_name = "vlan_ingress"; fields = [ In_port; Vlan ] };
+        { B.table_id = t_mac_learn; table_name = "mac_learning"; fields = [ In_port; Eth_src ] };
+        { B.table_id = t_l2_fwd; table_name = "l2_forwarding"; fields = [ Eth_dst ] };
+        { B.table_id = t_l3_route; table_name = "l3_routing"; fields = [ Eth_type; Ip_dst ] };
+        {
+          B.table_id = t_acl;
+          table_name = "acl";
+          fields = [ Ip_src; Ip_dst; Ip_proto; Tp_src; Tp_dst ];
+        };
+        { B.table_id = t_egress; table_name = "egress"; fields = [ Eth_dst ] };
+      ];
+    traversals =
+      [
+        (* Pure L2 switching. *)
+        {
+          B.hops =
+            [
+              { B.table = t_port; hop_fields = [ In_port ] };
+              { B.table = t_vlan; hop_fields = [ In_port; Vlan ] };
+              { B.table = t_mac_learn; hop_fields = [ In_port; Eth_src ] };
+              { B.table = t_l2_fwd; hop_fields = [ Eth_dst ] };
+              { B.table = t_egress; hop_fields = [ Eth_dst ] };
+            ];
+        };
+        (* Routed traffic through the ACL. *)
+        {
+          B.hops =
+            [
+              { B.table = t_port; hop_fields = [ In_port ] };
+              { B.table = t_vlan; hop_fields = [ In_port; Vlan ] };
+              { B.table = t_mac_learn; hop_fields = [ In_port; Eth_src ] };
+              { B.table = t_l3_route; hop_fields = [ Eth_type; Ip_dst ] };
+              { B.table = t_acl; hop_fields = [ Ip_proto; Tp_dst ] };
+              { B.table = t_egress; hop_fields = [ Eth_dst ] };
+            ];
+        };
+      ];
+  }

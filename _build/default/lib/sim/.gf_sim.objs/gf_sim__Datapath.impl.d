@@ -1,0 +1,1 @@
+lib/sim/datapath.ml: Array Gf_cache Gf_classifier Gf_core Gf_nic Gf_pipeline Gf_util Gf_workload Metrics

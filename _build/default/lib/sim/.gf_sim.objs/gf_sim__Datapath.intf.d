@@ -1,0 +1,1 @@
+lib/sim/datapath.mli: Gf_cache Gf_classifier Gf_core Gf_flow Gf_pipeline Gf_workload Metrics

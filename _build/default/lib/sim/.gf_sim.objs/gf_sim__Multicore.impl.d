@@ -1,0 +1,1 @@
+lib/sim/multicore.ml: Array Hashtbl

@@ -1,0 +1,1 @@
+lib/sim/multicore.mli: Hashtbl

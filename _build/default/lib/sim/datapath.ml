@@ -1,0 +1,282 @@
+module Action = Gf_pipeline.Action
+module Pipeline = Gf_pipeline.Pipeline
+module Executor = Gf_pipeline.Executor
+module Megaflow = Gf_cache.Megaflow
+module Gigaflow = Gf_core.Gigaflow
+module Ltm_cache = Gf_core.Ltm_cache
+module Latency = Gf_nic.Latency
+module Cache_stats = Gf_cache.Cache_stats
+
+type backend = Megaflow_offload | Gigaflow_offload
+
+let backend_name = function
+  | Megaflow_offload -> "Megaflow"
+  | Gigaflow_offload -> "Gigaflow"
+
+type config = {
+  backend : backend;
+  gf : Gf_core.Config.t;
+  mf_capacity : int;
+  sw_enabled : bool;
+  sw_search : Gf_classifier.Searcher.algo;
+  sw_capacity : int;
+  emc_capacity : int;
+      (* software exact-match cache (OVS's EMC/Microflow level); 0 disables *)
+  max_idle : float;
+  expire_every : float;
+}
+
+let base =
+  {
+    backend = Megaflow_offload;
+    gf = Gf_core.Config.default;
+    mf_capacity = 32_768;
+    sw_enabled = true;
+    sw_search = `Tss;
+    sw_capacity = 1_000_000;
+    emc_capacity = 8192; (* OVS's EMC default entry count *)
+    max_idle = 10.0;
+    expire_every = 1.0;
+  }
+
+let megaflow_32k = base
+
+let gigaflow_4x8k = { base with backend = Gigaflow_offload }
+
+type hw = Hw_mf of Megaflow.t | Hw_gf of Gigaflow.t
+
+type t = {
+  cfg : config;
+  pipeline : Pipeline.t;
+  hw : hw;
+  emc : Gf_cache.Microflow.t option; (* first software level: exact match *)
+  sw : Megaflow.t option;
+  metrics : Metrics.t;
+  mutable last_expire : float;
+}
+
+let create cfg pipeline =
+  let hw =
+    match cfg.backend with
+    | Megaflow_offload -> Hw_mf (Megaflow.create ~capacity:cfg.mf_capacity ())
+    | Gigaflow_offload ->
+        Hw_gf (Gigaflow.create { cfg.gf with Gf_core.Config.max_idle = cfg.max_idle })
+  in
+  let sw =
+    if cfg.sw_enabled then
+      Some (Megaflow.create ~search:cfg.sw_search ~capacity:cfg.sw_capacity ())
+    else None
+  in
+  let emc =
+    if cfg.sw_enabled && cfg.emc_capacity > 0 then
+      Some (Gf_cache.Microflow.create ~capacity:cfg.emc_capacity)
+    else None
+  in
+  { cfg; pipeline; hw; emc; sw; metrics = Metrics.create (); last_expire = 0.0 }
+
+let config t = t.cfg
+let pipeline t = t.pipeline
+
+let gigaflow t = match t.hw with Hw_gf gf -> Some gf | Hw_mf _ -> None
+let hw_megaflow t = match t.hw with Hw_mf mf -> Some mf | Hw_gf _ -> None
+
+let hw_occupancy t =
+  match t.hw with
+  | Hw_mf mf -> Megaflow.occupancy mf
+  | Hw_gf gf -> Ltm_cache.occupancy (Gigaflow.cache gf)
+
+let hw_stats t =
+  match t.hw with
+  | Hw_mf mf -> Megaflow.stats mf
+  | Hw_gf gf -> Ltm_cache.stats (Gigaflow.cache gf)
+
+type outcome = Hw_hit | Sw_hit | Slowpath
+
+let maybe_expire t ~now =
+  if now -. t.last_expire >= t.cfg.expire_every then begin
+    t.last_expire <- now;
+    let evicted =
+      match t.hw with
+      | Hw_mf mf -> Megaflow.expire mf ~now ~max_idle:t.cfg.max_idle
+      | Hw_gf gf -> Gigaflow.expire gf ~now
+    in
+    t.metrics.Metrics.hw_evictions <- t.metrics.Metrics.hw_evictions + evicted;
+    (match t.emc with
+    | Some emc -> ignore (Gf_cache.Microflow.expire emc ~now ~max_idle:t.cfg.max_idle)
+    | None -> ());
+    match t.sw with
+    | Some sw -> ignore (Megaflow.expire sw ~now ~max_idle:(4.0 *. t.cfg.max_idle))
+    | None -> ()
+  end
+
+let hw_lookup t ~now flow =
+  match t.hw with
+  | Hw_mf mf ->
+      let hit, _work = Megaflow.lookup mf ~now flow in
+      (match hit with
+      | Some h -> Some h.Megaflow.terminal
+      | None -> None)
+  | Hw_gf gf -> (
+      let hit, _work = Gigaflow.lookup gf ~now ~pipeline:t.pipeline flow in
+      match hit with
+      | Some h -> Some h.Ltm_cache.terminal
+      | None -> None)
+
+(* Full slowpath: execute the pipeline, install into the SmartNIC and the
+   software cache.  Returns (terminal option, service latency us, cpu
+   cycles). *)
+let slowpath t ~now flow =
+  let m = t.metrics in
+  match t.hw with
+  | Hw_gf gf -> (
+      match Gigaflow.handle_miss gf ~now ~pipeline:t.pipeline flow with
+      | Error _ -> (None, Latency.upcall_us, 0)
+      | Ok outcome ->
+          let w = outcome.Gigaflow.work in
+          let installs =
+            match outcome.Gigaflow.install with
+            | Ltm_cache.Installed { fresh; shared } ->
+                m.Metrics.hw_installs <- m.Metrics.hw_installs + fresh;
+                m.Metrics.hw_shared <- m.Metrics.hw_shared + shared;
+                fresh
+            | Ltm_cache.Rejected ->
+                m.Metrics.hw_rejected <- m.Metrics.hw_rejected + 1;
+                0
+          in
+          (match t.sw with
+          | Some sw ->
+              ignore
+                (Megaflow.install sw ~now ~version:(Pipeline.version t.pipeline)
+                   outcome.Gigaflow.traversal)
+          | None -> ());
+          let cu =
+            Latency.cycles_userspace ~pipeline_lookups:w.Gigaflow.pipeline_lookups
+              ~tuple_probes:w.Gigaflow.tuple_probes
+          in
+          let cp = Latency.cycles_partition ~partition_work:w.Gigaflow.partition_work in
+          let cr = Latency.cycles_rulegen ~rulegen_work:w.Gigaflow.rulegen_work in
+          m.Metrics.cycles_userspace <- m.Metrics.cycles_userspace + cu;
+          m.Metrics.cycles_partition <- m.Metrics.cycles_partition + cp;
+          m.Metrics.cycles_rulegen <- m.Metrics.cycles_rulegen + cr;
+          let lat =
+            Latency.slowpath_us ~pipeline_lookups:w.Gigaflow.pipeline_lookups
+              ~tuple_probes:w.Gigaflow.tuple_probes
+              ~partition_work:w.Gigaflow.partition_work
+              ~rulegen_work:w.Gigaflow.rulegen_work ~installs
+          in
+          (Some outcome.Gigaflow.traversal.Gf_pipeline.Traversal.terminal, lat, cu + cp + cr))
+  | Hw_mf mf -> (
+      match Executor.execute t.pipeline flow with
+      | Error _ -> (None, Latency.upcall_us, 0)
+      | Ok traversal ->
+          let installs =
+            match Megaflow.install mf ~now ~version:(Pipeline.version t.pipeline) traversal with
+            | `Installed ->
+                m.Metrics.hw_installs <- m.Metrics.hw_installs + 1;
+                1
+            | `Exists -> 0
+            | `Rejected ->
+                m.Metrics.hw_rejected <- m.Metrics.hw_rejected + 1;
+                0
+          in
+          (match t.sw with
+          | Some sw ->
+              ignore
+                (Megaflow.install sw ~now ~version:(Pipeline.version t.pipeline) traversal)
+          | None -> ());
+          let n = Gf_pipeline.Traversal.length traversal in
+          let probes =
+            Array.fold_left
+              (fun acc s -> acc + s.Gf_pipeline.Traversal.probes)
+              0 traversal.Gf_pipeline.Traversal.steps
+          in
+          let cu = Latency.cycles_userspace ~pipeline_lookups:n ~tuple_probes:probes in
+          m.Metrics.cycles_userspace <- m.Metrics.cycles_userspace + cu;
+          let lat =
+            Latency.slowpath_us ~pipeline_lookups:n ~tuple_probes:probes
+              ~partition_work:0 ~rulegen_work:0 ~installs
+          in
+          (Some traversal.Gf_pipeline.Traversal.terminal, lat, cu))
+
+let process t ~now flow =
+  let m = t.metrics in
+  maybe_expire t ~now;
+  m.Metrics.packets <- m.Metrics.packets + 1;
+  let outcome, terminal, latency =
+    match hw_lookup t ~now flow with
+    | Some terminal ->
+        m.Metrics.hw_hits <- m.Metrics.hw_hits + 1;
+        (Hw_hit, Some terminal, Latency.hw_hit_us)
+    | None -> (
+        (* Upcall to software.  First level: the exact-match cache (OVS's
+           EMC) — one hash probe, no wildcards. *)
+        let emc_result =
+          match t.emc with
+          | None -> None
+          | Some emc -> Gf_cache.Microflow.lookup emc ~now flow
+        in
+        let sw_result =
+          match emc_result with
+          | Some h -> Some (h.Gf_cache.Microflow.terminal, 0.4 (* one hash probe *))
+          | None -> (
+          match t.sw with
+          | None -> None
+          | Some sw -> (
+              let hit, work = Megaflow.lookup sw ~now flow in
+              let search_us =
+                Latency.sw_search_us ~algo:(t.cfg.sw_search :> [ `Tss | `Nuevomatch | `Linear ]) ~work ()
+              in
+              m.Metrics.cycles_sw_search <-
+                m.Metrics.cycles_sw_search + (work * 450);
+              match hit with
+              | Some h ->
+                  (* Promote to the EMC for subsequent packets. *)
+                  (match t.emc with
+                  | Some emc ->
+                      Gf_cache.Microflow.install emc ~now flow
+                        {
+                          Gf_cache.Microflow.terminal = h.Megaflow.terminal;
+                          out_flow = h.Megaflow.out_flow;
+                        }
+                  | None -> ());
+                  Some (h.Megaflow.terminal, search_us)
+              | None -> None))
+        in
+        match sw_result with
+        | Some (terminal, search_us) ->
+            m.Metrics.sw_hits <- m.Metrics.sw_hits + 1;
+            (Sw_hit, Some terminal, Latency.upcall_us +. Latency.sw_base_us +. search_us)
+        | None ->
+            m.Metrics.slowpaths <- m.Metrics.slowpaths + 1;
+            let terminal, service_us, _cycles = slowpath t ~now flow in
+            (Slowpath, terminal, Latency.upcall_us +. Latency.sw_base_us +. service_us))
+  in
+  (match terminal with
+  | Some Action.Drop -> m.Metrics.drops <- m.Metrics.drops + 1
+  | Some (Action.Output _ | Action.Controller) | None -> ());
+  Gf_util.Stats.Acc.add m.Metrics.latency latency;
+  let occ = hw_occupancy t in
+  if occ > m.Metrics.hw_entries_peak then m.Metrics.hw_entries_peak <- occ;
+  (outcome, terminal, latency)
+
+let run ?on_packet ?miss_sink t trace =
+  Array.iter
+    (fun (pkt : Gf_workload.Trace.packet) ->
+      let before = Metrics.total_cycles t.metrics in
+      let outcome, _terminal, latency =
+        process t ~now:pkt.Gf_workload.Trace.time pkt.Gf_workload.Trace.flow
+      in
+      (match (outcome, miss_sink) with
+      | Slowpath, Some sink ->
+          sink ~flow_id:pkt.Gf_workload.Trace.flow_id
+            ~cycles:(Metrics.total_cycles t.metrics - before)
+      | (Hw_hit | Sw_hit | Slowpath), _ -> ());
+      match on_packet with
+      | Some f -> f pkt outcome latency
+      | None -> ())
+    trace.Gf_workload.Trace.packets;
+  t.metrics.Metrics.hw_entries_final <- hw_occupancy t;
+  ignore (hw_stats t);
+  t.metrics
+
+let metrics t = t.metrics

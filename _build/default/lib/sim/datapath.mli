@@ -1,0 +1,68 @@
+(** The end-to-end datapath simulator: SmartNIC cache in front, software
+    cache behind it, userspace pipeline as the slowpath (paper Fig. 2b /
+    Fig. 5a).
+
+    A packet is looked up in the SmartNIC cache (Megaflow single-table or
+    Gigaflow LTM, per configuration).  On a miss it is upcalled to
+    software and walks OVS's cache hierarchy (paper section 2.1): the
+    exact-match Microflow cache (EMC), then the software wildcard cache
+    (TSS or NuevoMatch search — the Fig. 17 axis), and finally the full
+    pipeline, which installs entries into the software caches and the
+    SmartNIC.  Idle entries expire on a periodic sweep. *)
+
+type backend = Megaflow_offload | Gigaflow_offload
+
+val backend_name : backend -> string
+
+type config = {
+  backend : backend;
+  gf : Gf_core.Config.t;  (** Gigaflow geometry (used by [Gigaflow_offload]). *)
+  mf_capacity : int;  (** SmartNIC Megaflow capacity ([Megaflow_offload]). *)
+  sw_enabled : bool;
+  sw_search : Gf_classifier.Searcher.algo;
+  sw_capacity : int;
+  emc_capacity : int;
+      (** First software level, OVS's exact-match cache (EMC/Microflow);
+          0 disables it.  Default 8192, the OVS default. *)
+  max_idle : float;  (** Idle eviction budget, seconds. *)
+  expire_every : float;  (** Period of the eviction sweep, seconds. *)
+}
+
+val megaflow_32k : config
+(** The paper's baseline: Megaflow offload with 32K entries. *)
+
+val gigaflow_4x8k : config
+(** The paper's headline configuration: 4 tables x 8K entries. *)
+
+type t
+
+val create : config -> Gf_pipeline.Pipeline.t -> t
+val config : t -> config
+val pipeline : t -> Gf_pipeline.Pipeline.t
+
+val gigaflow : t -> Gf_core.Gigaflow.t option
+(** The Gigaflow instance, when the backend is [Gigaflow_offload]. *)
+
+val hw_megaflow : t -> Gf_cache.Megaflow.t option
+
+val hw_occupancy : t -> int
+
+type outcome = Hw_hit | Sw_hit | Slowpath
+
+val process :
+  t -> now:float -> Gf_flow.Flow.t -> outcome * Gf_pipeline.Action.terminal option * float
+(** Handle one packet: returns the path taken, the forwarding decision
+    ([None] if the slowpath failed, e.g. a pipeline loop) and the modelled
+    latency in microseconds.  Updates metrics. *)
+
+val run :
+  ?on_packet:(Gf_workload.Trace.packet -> outcome -> float -> unit) ->
+  ?miss_sink:(flow_id:int -> cycles:int -> unit) ->
+  t ->
+  Gf_workload.Trace.t ->
+  Metrics.t
+(** Replay a trace.  [on_packet] observes every packet (Fig. 18 timelines);
+    [miss_sink] observes slowpath CPU work per flow (Fig. 19 RSS
+    scaling). *)
+
+val metrics : t -> Metrics.t

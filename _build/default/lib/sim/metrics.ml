@@ -1,0 +1,62 @@
+type t = {
+  mutable packets : int;
+  mutable hw_hits : int;
+  mutable sw_hits : int;
+  mutable slowpaths : int;
+  mutable drops : int;
+  mutable hw_installs : int;
+  mutable hw_shared : int;
+  mutable hw_rejected : int;
+  mutable hw_evictions : int;
+  latency : Gf_util.Stats.Acc.t;
+  mutable cycles_userspace : int;
+  mutable cycles_partition : int;
+  mutable cycles_rulegen : int;
+  mutable cycles_sw_search : int;
+  mutable hw_entries_peak : int;
+  mutable hw_entries_final : int;
+}
+
+let create () =
+  {
+    packets = 0;
+    hw_hits = 0;
+    sw_hits = 0;
+    slowpaths = 0;
+    drops = 0;
+    hw_installs = 0;
+    hw_shared = 0;
+    hw_rejected = 0;
+    hw_evictions = 0;
+    latency = Gf_util.Stats.Acc.create ();
+    cycles_userspace = 0;
+    cycles_partition = 0;
+    cycles_rulegen = 0;
+    cycles_sw_search = 0;
+    hw_entries_peak = 0;
+    hw_entries_final = 0;
+  }
+
+let hw_hit_rate t =
+  if t.packets = 0 then nan else float_of_int t.hw_hits /. float_of_int t.packets
+
+let hw_miss_count t = t.sw_hits + t.slowpaths
+
+let total_cycles t =
+  t.cycles_userspace + t.cycles_partition + t.cycles_rulegen + t.cycles_sw_search
+
+let mean_latency_us t = Gf_util.Stats.Acc.mean t.latency
+
+let overhead_ratio t =
+  if t.cycles_userspace = 0 then nan
+  else
+    float_of_int (t.cycles_partition + t.cycles_rulegen)
+    /. float_of_int t.cycles_userspace
+
+let pp fmt t =
+  Format.fprintf fmt
+    "packets=%d hw_hits=%d (%.2f%%) sw_hits=%d slowpaths=%d entries=%d (peak %d) \
+     installs=%d shared=%d rejected=%d evictions=%d avg_lat=%.2fus"
+    t.packets t.hw_hits (100.0 *. hw_hit_rate t) t.sw_hits t.slowpaths
+    t.hw_entries_final t.hw_entries_peak t.hw_installs t.hw_shared t.hw_rejected
+    t.hw_evictions (mean_latency_us t)

@@ -1,0 +1,35 @@
+(** Per-run measurement record produced by {!Datapath.run}. *)
+
+type t = {
+  mutable packets : int;
+  mutable hw_hits : int;  (** served entirely by the SmartNIC cache *)
+  mutable sw_hits : int;  (** SmartNIC miss, software cache hit *)
+  mutable slowpaths : int;  (** full userspace pipeline executions *)
+  mutable drops : int;  (** packets whose decision was Drop *)
+  mutable hw_installs : int;
+  mutable hw_shared : int;  (** Gigaflow: segments reusing an existing entry *)
+  mutable hw_rejected : int;
+  mutable hw_evictions : int;
+  latency : Gf_util.Stats.Acc.t;  (** per-packet end-to-end latency, us *)
+  mutable cycles_userspace : int;
+  mutable cycles_partition : int;
+  mutable cycles_rulegen : int;
+  mutable cycles_sw_search : int;
+  mutable hw_entries_peak : int;
+  mutable hw_entries_final : int;
+}
+
+val create : unit -> t
+
+val hw_hit_rate : t -> float
+val hw_miss_count : t -> int
+(** Packets that missed the SmartNIC cache (sw hits + slowpaths). *)
+
+val total_cycles : t -> int
+val mean_latency_us : t -> float
+
+val overhead_ratio : t -> float
+(** (partition + rulegen) / userspace cycles — the paper's Fig. 13
+    metric. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,28 @@
+type t = { cores : int; loads : int array }
+
+(* The same multiplicative hash NICs use for RSS-style spreading; any fixed
+   hash works as long as it is flow-stable. *)
+let rss_hash flow_id = flow_id * 0x9E3779B1 land max_int
+
+let distribute ~cores flow_cycles =
+  assert (cores > 0);
+  let loads = Array.make cores 0 in
+  Hashtbl.iter
+    (fun flow_id cycles ->
+      let core = rss_hash flow_id mod cores in
+      loads.(core) <- loads.(core) + cycles)
+    flow_cycles;
+  { cores; loads }
+
+let max_load t = Array.fold_left max 0 t.loads
+
+let total_load t = Array.fold_left ( + ) 0 t.loads
+
+let imbalance t =
+  let total = total_load t in
+  if total = 0 then 1.0
+  else
+    float_of_int (max_load t) /. (float_of_int total /. float_of_int t.cores)
+
+let speedup ~baseline t =
+  float_of_int (max_load baseline) /. float_of_int (max 1 (max_load t))

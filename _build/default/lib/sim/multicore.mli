@@ -1,0 +1,28 @@
+(** Multi-core slowpath scaling (paper Appendix A).
+
+    OVS distributes SmartNIC cache misses across vSwitch cores with RSS:
+    each flow hashes to one core, so per-flow work never splits and
+    per-core load drops roughly proportionally with the core count.  This
+    module turns a per-flow slowpath-cycle census (collected by
+    {!Datapath.run}'s [miss_sink]) into per-core load figures. *)
+
+type t = {
+  cores : int;
+  loads : int array;  (** Cycles per core, length [cores]. *)
+}
+
+val distribute : cores:int -> (int, int) Hashtbl.t -> t
+(** RSS-hash each flow id onto one of [cores] cores and sum its cycles
+    there. Deterministic. *)
+
+val max_load : t -> int
+(** The bottleneck core's cycles. *)
+
+val total_load : t -> int
+
+val imbalance : t -> float
+(** max over mean per-core load; 1.0 = perfectly balanced. *)
+
+val speedup : baseline:t -> t -> float
+(** Bottleneck-load ratio between a baseline (typically 1 core) and this
+    distribution. *)

@@ -1,0 +1,15 @@
+(** Bit-level helpers shared by the flow/mask algebra and the generators. *)
+
+val mask_of_width : int -> int
+(** [mask_of_width w] is a value with the low [w] bits set. [0 <= w <= 62]. *)
+
+val prefix_mask : width:int -> int -> int
+(** [prefix_mask ~width len] is the mask matching the top [len] bits of a
+    [width]-bit field (CIDR-style), e.g.
+    [prefix_mask ~width:32 24 = 0xFFFFFF00]. *)
+
+val popcount : int -> int
+(** Number of set bits. *)
+
+val is_subset : sub:int -> super:int -> bool
+(** [is_subset ~sub ~super] iff every bit of [sub] is set in [super]. *)

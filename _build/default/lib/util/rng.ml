@@ -1,0 +1,89 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* SplitMix64 finaliser (variant 13 of Stafford's mix). *)
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let seed = bits64 t in
+  { state = seed }
+
+let int t bound =
+  assert (bound > 0);
+  (* Keep 62 bits so the value always fits OCaml's 63-bit int as
+     non-negative. *)
+  let x = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  x mod bound
+
+let int_in t lo hi =
+  assert (hi >= lo);
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let float t bound =
+  (* 53 random bits -> uniform float in [0,1). *)
+  let x = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  float_of_int x /. 9007199254740992.0 *. bound
+
+let bernoulli t p = float t 1.0 < p
+
+let pick t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))
+
+let pick_list t l =
+  match l with
+  | [] -> invalid_arg "Rng.pick_list: empty list"
+  | _ -> List.nth l (int t (List.length l))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick_weighted t items =
+  let total = Array.fold_left (fun acc (_, w) -> acc +. Float.max w 0.0) 0.0 items in
+  if total <= 0.0 then invalid_arg "Rng.pick_weighted: no positive weight";
+  let target = float t total in
+  let n = Array.length items in
+  let rec go i acc =
+    if i = n - 1 then fst items.(i)
+    else
+      let acc = acc +. Float.max (snd items.(i)) 0.0 in
+      if target < acc then fst items.(i) else go (i + 1) acc
+  in
+  go 0 0.0
+
+let geometric t p =
+  assert (p > 0.0 && p <= 1.0);
+  if p >= 1.0 then 0
+  else
+    let u = float t 1.0 in
+    (* Inverse CDF; u = 0 maps to 0 failures. *)
+    int_of_float (Float.floor (log1p (-.u) /. log1p (-.p)))
+
+let pareto t ~alpha ~xmin =
+  assert (alpha > 0.0 && xmin > 0.0);
+  let u = 1.0 -. float t 1.0 in
+  xmin /. (u ** (1.0 /. alpha))
+
+let exponential t ~mean =
+  assert (mean > 0.0);
+  let u = 1.0 -. float t 1.0 in
+  -.mean *. log u

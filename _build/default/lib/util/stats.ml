@@ -1,0 +1,88 @@
+module Acc = struct
+  type t = {
+    mutable count : int;
+    mutable total : float;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () =
+    { count = 0; total = 0.0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity }
+
+  (* Welford's online algorithm keeps the variance numerically stable. *)
+  let add t x =
+    t.count <- t.count + 1;
+    t.total <- t.total +. x;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.count
+  let total t = t.total
+  let mean t = if t.count = 0 then nan else t.mean
+  let variance t = if t.count < 2 then nan else t.m2 /. float_of_int (t.count - 1)
+  let stddev t = sqrt (variance t)
+  let min t = if t.count = 0 then nan else t.min
+  let max t = if t.count = 0 then nan else t.max
+end
+
+let mean xs =
+  if Array.length xs = 0 then nan
+  else Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then nan
+  else begin
+    let m = mean xs in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    sqrt (ss /. float_of_int (n - 1))
+  end
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then nan
+  else begin
+    assert (p >= 0.0 && p <= 100.0);
+    let sorted = Array.copy xs in
+    Array.sort compare sorted;
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    if lo = hi then sorted.(lo)
+    else begin
+      let frac = rank -. float_of_int lo in
+      (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+    end
+  end
+
+let median xs = percentile xs 50.0
+
+module Histogram = struct
+  type t = { lo : float; hi : float; counts : int array; mutable total : int }
+
+  let create ~lo ~hi ~bins =
+    assert (bins > 0 && hi > lo);
+    { lo; hi; counts = Array.make bins 0; total = 0 }
+
+  let add t x =
+    let bins = Array.length t.counts in
+    let raw = (x -. t.lo) /. (t.hi -. t.lo) *. float_of_int bins in
+    let i = int_of_float (Float.floor raw) in
+    let i = if i < 0 then 0 else if i >= bins then bins - 1 else i in
+    t.counts.(i) <- t.counts.(i) + 1;
+    t.total <- t.total + 1
+
+  let counts t = Array.copy t.counts
+  let total t = t.total
+
+  let bin_bounds t i =
+    let bins = Array.length t.counts in
+    assert (i >= 0 && i < bins);
+    let w = (t.hi -. t.lo) /. float_of_int bins in
+    (t.lo +. (w *. float_of_int i), t.lo +. (w *. float_of_int (i + 1)))
+end

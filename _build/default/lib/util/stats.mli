@@ -1,0 +1,47 @@
+(** Small statistics toolkit for experiment reporting: running accumulators,
+    percentiles and fixed-width histograms. *)
+
+(** {1 Running accumulator} *)
+
+module Acc : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val total : t -> float
+  val mean : t -> float
+  (** Mean of the samples; [nan] when empty. *)
+
+  val variance : t -> float
+  (** Unbiased sample variance (Welford); [nan] with fewer than two samples. *)
+
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+end
+
+(** {1 Batch helpers} *)
+
+val mean : float array -> float
+val stddev : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0, 100\]]; linear interpolation between
+    order statistics. The input array is not modified. *)
+
+val median : float array -> float
+
+(** {1 Histogram} *)
+
+module Histogram : sig
+  type t
+
+  val create : lo:float -> hi:float -> bins:int -> t
+  val add : t -> float -> unit
+  (** Out-of-range samples are clamped into the first/last bin. *)
+
+  val counts : t -> int array
+  val total : t -> int
+  val bin_bounds : t -> int -> float * float
+end

@@ -1,0 +1,104 @@
+type align = Left | Right
+
+type row = Cells of string list | Sep
+
+type t = {
+  title : string option;
+  headers : string list;
+  ncols : int;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?title headers =
+  { title; headers; ncols = List.length headers; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> t.ncols then
+    invalid_arg "Tablefmt.add_row: wrong number of cells";
+  t.rows <- Cells cells :: t.rows
+
+let add_sep t = t.rows <- Sep :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let render ?align t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  let update cells =
+    List.iteri
+      (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c)
+      cells
+  in
+  List.iter (function Cells c -> update c | Sep -> ()) rows;
+  let aligns =
+    match align with
+    | Some a ->
+        if List.length a <> t.ncols then
+          invalid_arg "Tablefmt.render: wrong number of aligns";
+        Array.of_list a
+    | None -> Array.init t.ncols (fun i -> if i = 0 then Left else Right)
+  in
+  let buf = Buffer.create 1024 in
+  let sep_line () =
+    Array.iteri
+      (fun i w ->
+        Buffer.add_string buf (if i = 0 then "+" else "+");
+        Buffer.add_string buf (String.make (w + 2) '-'))
+      widths;
+    Buffer.add_string buf "+\n"
+  in
+  let emit_cells cells =
+    List.iteri
+      (fun i c ->
+        Buffer.add_string buf "| ";
+        Buffer.add_string buf (pad aligns.(i) widths.(i) c);
+        Buffer.add_char buf ' ')
+      cells;
+    Buffer.add_string buf "|\n"
+  in
+  (match t.title with
+  | Some title ->
+      Buffer.add_string buf title;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  sep_line ();
+  emit_cells t.headers;
+  sep_line ();
+  List.iter (function Cells c -> emit_cells c | Sep -> sep_line ()) rows;
+  sep_line ();
+  Buffer.contents buf
+
+let print ?align t =
+  print_string (render ?align t);
+  print_newline ()
+
+let fmt_int n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3) + 1) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let fmt_float ?(dp = 2) x = Printf.sprintf "%.*f" dp x
+
+let fmt_pct ?(dp = 2) x = Printf.sprintf "%.*f%%" dp (x *. 100.0)
+
+let fmt_times ?(dp = 1) x = Printf.sprintf "%.*fx" dp x
+
+let fmt_si x =
+  let ax = Float.abs x in
+  if ax >= 1e9 then Printf.sprintf "%.1fG" (x /. 1e9)
+  else if ax >= 1e6 then Printf.sprintf "%.1fM" (x /. 1e6)
+  else if ax >= 1e3 then Printf.sprintf "%.1fK" (x /. 1e3)
+  else Printf.sprintf "%.0f" x

@@ -1,0 +1,42 @@
+(** ASCII table rendering for benchmark and experiment reports.
+
+    The bench harness prints every paper table/figure as a plain-text table;
+    this module centralises alignment and formatting so all reports look the
+    same. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?title:string -> string list -> t
+(** [create ~title headers] starts a table with the given column headers.
+    All rows must have the same number of cells as [headers]. *)
+
+val add_row : t -> string list -> unit
+
+val add_sep : t -> unit
+(** Insert a horizontal separator before the next row. *)
+
+val render : ?align:align list -> t -> string
+(** Render the full table.  [align] defaults to left for the first column and
+    right for the rest (the common "label + numbers" layout). *)
+
+val print : ?align:align list -> t -> unit
+(** [render] followed by [print_string] and a newline flush. *)
+
+(** {1 Number formatting helpers} *)
+
+val fmt_int : int -> string
+(** Thousands-separated integer, e.g. [12_345] -> ["12,345"]. *)
+
+val fmt_float : ?dp:int -> float -> string
+(** Fixed-point float, default 2 decimal places. *)
+
+val fmt_pct : ?dp:int -> float -> string
+(** [fmt_pct 0.514] = ["51.40%"] (input is a fraction). *)
+
+val fmt_times : ?dp:int -> float -> string
+(** [fmt_times 450.] = ["450.0x"]. *)
+
+val fmt_si : float -> string
+(** Engineering notation: 14_700_000. -> ["14.7M"], 48_000. -> ["48.0K"]. *)

@@ -1,0 +1,33 @@
+type t = { n : int; s : float; cdf : float array }
+
+let create ~n ~s =
+  assert (n > 0);
+  assert (s >= 0.0);
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for r = 0 to n - 1 do
+    acc := !acc +. (1.0 /. ((float_of_int (r + 1)) ** s));
+    cdf.(r) <- !acc
+  done;
+  let total = !acc in
+  for r = 0 to n - 1 do
+    cdf.(r) <- cdf.(r) /. total
+  done;
+  { n; s; cdf }
+
+let n t = t.n
+let exponent t = t.s
+
+let sample t rng =
+  let u = Rng.float rng 1.0 in
+  (* Binary search for the first index with cdf >= u. *)
+  let lo = ref 0 and hi = ref (t.n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let pmf t r =
+  assert (r >= 0 && r < t.n);
+  if r = 0 then t.cdf.(0) else t.cdf.(r) -. t.cdf.(r - 1)

@@ -1,0 +1,1 @@
+lib/workload/classbench.ml: Array Gf_util Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/workload/pipebench.ml: Gf_flow Ruleset Trace

@@ -1,0 +1,1 @@
+lib/workload/pipebench.mli: Classbench Gf_flow Gf_pipeline Gf_pipelines Ruleset Trace

@@ -1,0 +1,1 @@
+lib/workload/ruleset.ml: Array Classbench Gf_flow Gf_pipeline Gf_pipelines Gf_util Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/workload/ruleset.mli: Classbench Gf_flow Gf_pipeline Gf_pipelines Gf_util

@@ -1,0 +1,1 @@
+lib/workload/serial.ml: Array Buffer Fun Gf_flow List Option Printf Result String Trace

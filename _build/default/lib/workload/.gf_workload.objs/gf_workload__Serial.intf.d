@@ -1,0 +1,1 @@
+lib/workload/serial.mli: Gf_flow Trace

@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Array Float Gf_flow Gf_util

@@ -1,0 +1,15 @@
+type workload = {
+  ruleset : Ruleset.t;
+  flows : Gf_flow.Flow.t array;
+  trace : Trace.t;
+  locality : Ruleset.locality;
+}
+
+let make ?profile ?combos ?(unique_flows = 100_000) ?duration ?mean_flow_size ~info
+    ~locality ~seed () =
+  let ruleset = Ruleset.build ?profile ?combos ~info ~seed () in
+  let flows = Ruleset.sample_flows ruleset ~seed:(seed lxor 0xF10) ~locality ~n:unique_flows in
+  let trace = Trace.generate ?duration ?mean_flow_size ~seed:(seed lxor 0x7ACE) ~flows () in
+  { ruleset; flows; trace; locality }
+
+let pipeline w = Ruleset.pipeline w.ruleset

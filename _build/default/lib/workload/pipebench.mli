@@ -1,0 +1,26 @@
+(** Pipebench — the paper's workload tool (section 6.1): one call builds a
+    populated pipeline, a unique-flow set of the requested locality and a
+    CAIDA-style packet trace over it. *)
+
+type workload = {
+  ruleset : Ruleset.t;
+  flows : Gf_flow.Flow.t array;
+  trace : Trace.t;
+  locality : Ruleset.locality;
+}
+
+val make :
+  ?profile:Classbench.profile ->
+  ?combos:int ->
+  ?unique_flows:int ->
+  ?duration:float ->
+  ?mean_flow_size:float ->
+  info:Gf_pipelines.Catalog.info ->
+  locality:Ruleset.locality ->
+  seed:int ->
+  unit ->
+  workload
+(** Defaults: 4096 combos, 100_000 unique flows, 60 s trace, mean flow size
+    8 packets.  Fully deterministic in [seed]. *)
+
+val pipeline : workload -> Gf_pipeline.Pipeline.t

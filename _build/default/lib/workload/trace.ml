@@ -1,0 +1,53 @@
+module Rng = Gf_util.Rng
+
+type packet = { time : float; flow_id : int; flow : Gf_flow.Flow.t }
+
+type t = { packets : packet array; unique_flows : int; duration : float }
+
+let generate ?(duration = 60.0) ?(mean_flow_size = 8.0) ?(max_flow_size = 2048)
+    ?(start_spread = 0.5) ?(lifetime_frac = 0.3) ~seed ~flows () =
+  let rng = Rng.create seed in
+  let n = Array.length flows in
+  let packets = ref [] in
+  let total = ref 0 in
+  (* Pareto with alpha=1.25: heavy tail; xmin scaled so the mean before
+     capping is roughly [mean_flow_size] (mean = xmin * a / (a - 1)). *)
+  let alpha = 1.25 in
+  let xmin = mean_flow_size *. (alpha -. 1.0) /. alpha in
+  for flow_id = 0 to n - 1 do
+    let size =
+      min max_flow_size (max 1 (int_of_float (Rng.pareto rng ~alpha ~xmin)))
+    in
+    let start = Rng.float rng (duration *. start_spread) in
+    (* Spread the flow's packets over a lifetime of ~[lifetime_frac] of the
+       trace with exponential gaps (bursty), so that a large fraction of
+       flows is concurrently live — the paper's cache-pressure regime. *)
+    let mean_gap =
+      Float.max 1e-4 (duration *. (lifetime_frac /. 0.3) *. 0.5 /. float_of_int size)
+    in
+    let time = ref start in
+    for _ = 1 to size do
+      packets := { time = !time; flow_id; flow = flows.(flow_id) } :: !packets;
+      incr total;
+      time := !time +. Rng.exponential rng ~mean:mean_gap
+    done
+  done;
+  let arr = Array.of_list !packets in
+  Array.sort (fun a b -> compare a.time b.time) arr;
+  { packets = arr; unique_flows = n; duration }
+
+let packet_count t = Array.length t.packets
+
+let concat a b ~offset =
+  let shifted =
+    Array.map
+      (fun p -> { p with time = p.time +. offset; flow_id = p.flow_id + a.unique_flows })
+      b.packets
+  in
+  let merged = Array.append a.packets shifted in
+  Array.sort (fun p q -> compare p.time q.time) merged;
+  {
+    packets = merged;
+    unique_flows = a.unique_flows + b.unique_flows;
+    duration = Float.max a.duration (offset +. b.duration);
+  }

@@ -1,0 +1,42 @@
+(** CAIDA-style packet trace synthesis.
+
+    Only two statistics of the CAIDA traces matter to the paper's
+    experiments — heavy-tailed flow sizes and overlapping flow lifetimes
+    with bursty inter-packet gaps — and both are modelled here: flow sizes
+    are Pareto-distributed, each flow starts at a uniformly random offset
+    in the trace and emits packets separated by exponential gaps. *)
+
+type packet = {
+  time : float;  (** seconds from trace start *)
+  flow_id : int;  (** index into the unique-flow array *)
+  flow : Gf_flow.Flow.t;
+}
+
+type t = {
+  packets : packet array;  (** sorted by time *)
+  unique_flows : int;
+  duration : float;
+}
+
+val generate :
+  ?duration:float ->
+  ?mean_flow_size:float ->
+  ?max_flow_size:int ->
+  ?start_spread:float ->
+  ?lifetime_frac:float ->
+  seed:int ->
+  flows:Gf_flow.Flow.t array ->
+  unit ->
+  t
+(** [duration] defaults to 60 s; [mean_flow_size] to 8 packets;
+    [max_flow_size] caps the Pareto tail (default 2048); flows start
+    uniformly within the first [start_spread] of the trace (default 0.5)
+    and live for roughly [lifetime_frac] of it (default 0.3).
+    Deterministic in [seed]. *)
+
+val packet_count : t -> int
+
+val concat : t -> t -> offset:float -> t
+(** [concat a b ~offset] shifts [b]'s packets by [offset] seconds and merges
+    (for the paper's Fig. 18 dynamic-arrival experiment).  Flow ids of [b]
+    are renumbered after [a]'s. *)

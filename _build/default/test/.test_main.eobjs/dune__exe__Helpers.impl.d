@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Gf_flow Gf_pipeline Gf_util List Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Fmatch Gf_cache Gf_flow Gf_pipeline Gf_util Helpers List QCheck2

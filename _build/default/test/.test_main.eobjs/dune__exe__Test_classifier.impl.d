@@ -1,0 +1,1 @@
+test/test_classifier.ml: Alcotest Field Flow Fmatch Gf_classifier Gf_pipeline Gf_util Helpers List Option Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Float Fmatch Fun Gf_cache Gf_core Gf_flow Gf_pipeline Gf_util Helpers List Printf QCheck2 Result

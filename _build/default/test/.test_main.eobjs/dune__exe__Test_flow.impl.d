@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Gf_flow Gf_util Helpers Option QCheck2

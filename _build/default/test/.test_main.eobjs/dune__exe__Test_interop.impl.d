@@ -1,0 +1,1 @@
+test/test_interop.ml: Alcotest Array Float Gf_flow Gf_nic Gf_pipeline Gf_sim Gf_util Gf_workload Helpers List Printf String

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Helpers Test_cache Test_classifier Test_core Test_flow Test_interop Test_pipeline Test_pipelines Test_sim Test_util Test_workload

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Array Gf_flow Gf_pipeline Gf_util Helpers List Printf QCheck2 Result

@@ -1,0 +1,1 @@
+test/test_pipelines.ml: Alcotest Gf_flow Gf_pipeline Gf_pipelines List

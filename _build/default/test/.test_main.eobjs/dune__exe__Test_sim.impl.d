@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Gf_core Gf_nic Gf_pipeline Gf_pipelines Gf_sim Gf_util Gf_workload Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Gf_util Hashtbl List Option String

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Gf_flow Gf_pipeline Gf_pipelines Gf_workload Hashtbl List Option Printf

@@ -1,0 +1,281 @@
+(* Tests for gigaflow.cache: Microflow and Megaflow. *)
+
+open Helpers
+module Field = Gf_flow.Field
+module Flow = Gf_flow.Flow
+module Action = Gf_pipeline.Action
+module Executor = Gf_pipeline.Executor
+module Pipeline = Gf_pipeline.Pipeline
+module Microflow = Gf_cache.Microflow
+module Megaflow = Gf_cache.Megaflow
+module Cache_stats = Gf_cache.Cache_stats
+
+let a_hit = { Microflow.terminal = Action.Output 1; out_flow = Flow.zero }
+let hit _cache = a_hit
+
+let test_microflow_basic () =
+  let c = Microflow.create ~capacity:4 in
+  let f = Flow.make [ (Field.Vlan, 1) ] in
+  Alcotest.(check bool) "miss first" true (Microflow.lookup c ~now:0.0 f = None);
+  Microflow.install c ~now:0.0 f (hit c);
+  Alcotest.(check bool) "hit after install" true (Microflow.lookup c ~now:1.0 f <> None);
+  Alcotest.(check int) "occupancy" 1 (Microflow.occupancy c)
+
+let test_microflow_lru_eviction () =
+  let c = Microflow.create ~capacity:2 in
+  let f i = Flow.make [ (Field.Vlan, i) ] in
+  Microflow.install c ~now:0.0 (f 1) (hit c);
+  Microflow.install c ~now:1.0 (f 2) (hit c);
+  ignore (Microflow.lookup c ~now:2.0 (f 1));
+  (* refresh f1 *)
+  Microflow.install c ~now:3.0 (f 3) (hit c);
+  Alcotest.(check bool) "f2 evicted (LRU)" true (Microflow.lookup c ~now:4.0 (f 2) = None);
+  Alcotest.(check bool) "f1 kept" true (Microflow.lookup c ~now:4.0 (f 1) <> None)
+
+let test_microflow_expire () =
+  let c = Microflow.create ~capacity:8 in
+  let f i = Flow.make [ (Field.Vlan, i) ] in
+  Microflow.install c ~now:0.0 (f 1) (hit c);
+  Microflow.install c ~now:5.0 (f 2) (hit c);
+  Alcotest.(check int) "one expired" 1 (Microflow.expire c ~now:11.0 ~max_idle:10.0);
+  Alcotest.(check int) "occupancy" 1 (Microflow.occupancy c)
+
+let test_microflow_invalidate_all () =
+  let c = Microflow.create ~capacity:8 in
+  Microflow.install c ~now:0.0 (Flow.make [ (Field.Vlan, 1) ]) (hit c);
+  Microflow.install c ~now:0.0 (Flow.make [ (Field.Vlan, 2) ]) (hit c);
+  Alcotest.(check int) "flushed" 2 (Microflow.invalidate_all c);
+  Alcotest.(check int) "empty" 0 (Microflow.occupancy c)
+
+let test_cache_stats () =
+  let s = Cache_stats.create () in
+  Cache_stats.record_lookup s ~hit:true;
+  Cache_stats.record_lookup s ~hit:false;
+  Cache_stats.record_lookup s ~hit:true;
+  Alcotest.(check (float 1e-9)) "hit rate" (2.0 /. 3.0) (Cache_stats.hit_rate s);
+  Cache_stats.reset s;
+  Alcotest.(check int) "reset" 0 s.Cache_stats.lookups
+
+(* Megaflow correctness: a cache hit must reproduce the slowpath decision for
+   any flow, not just the one that installed the entry. *)
+let prop_megaflow_consistent =
+  QCheck2.Test.make ~name:"megaflow hit = slowpath decision" ~count:40
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Gf_util.Rng.create seed in
+      let p = random_pipeline rng ~tables:4 ~rules_per_table:10 in
+      let cache = Megaflow.create ~capacity:4096 () in
+      let ok = ref true in
+      for _ = 1 to 150 do
+        let flow = pool_flow rng in
+        match Megaflow.lookup cache ~now:0.0 flow with
+        | Some h, _ -> (
+            match Executor.terminal_of p flow with
+            | Ok (terminal, out_flow) ->
+                if
+                  (not (Action.terminal_equal h.Megaflow.terminal terminal))
+                  || not (Flow.equal h.Megaflow.out_flow out_flow)
+                then ok := false
+            | Error _ -> ok := false)
+        | None, _ -> (
+            match Executor.execute p flow with
+            | Ok traversal -> ignore (Megaflow.install cache ~now:0.0 ~version:0 traversal)
+            | Error _ -> ())
+      done;
+      !ok)
+
+let test_megaflow_collapses_flows () =
+  (* Two flows differing only in unconsulted bits share one entry. *)
+  let rng = Gf_util.Rng.create 21 in
+  let p = random_pipeline rng ~tables:3 ~rules_per_table:4 in
+  let cache = Megaflow.create ~capacity:128 () in
+  let flow = pool_flow rng in
+  (match Executor.execute p flow with
+  | Ok tr -> ignore (Megaflow.install cache ~now:0.0 ~version:0 tr)
+  | Error _ -> Alcotest.fail "exec failed");
+  Alcotest.(check int) "one entry" 1 (Megaflow.occupancy cache);
+  match Executor.execute p flow with
+  | Ok tr ->
+      Alcotest.(check bool) "same traversal dedups" true
+        (Megaflow.install cache ~now:1.0 ~version:0 tr = `Exists)
+  | Error _ -> Alcotest.fail "exec failed"
+
+let test_megaflow_capacity_reject () =
+  let rng = Gf_util.Rng.create 22 in
+  let p = random_pipeline rng ~tables:3 ~rules_per_table:12 in
+  let cache = Megaflow.create ~capacity:2 () in
+  let installed = ref 0 and rejected = ref 0 in
+  for _ = 1 to 200 do
+    let flow = pool_flow rng in
+    match Executor.execute p flow with
+    | Ok tr -> (
+        match Megaflow.install cache ~now:0.0 ~version:0 tr with
+        | `Installed -> incr installed
+        | `Rejected -> incr rejected
+        | `Exists -> ())
+    | Error _ -> ()
+  done;
+  Alcotest.(check int) "filled to capacity" 2 !installed;
+  Alcotest.(check bool) "rejections counted" true (!rejected > 0);
+  Alcotest.(check int) "stats agree" !rejected (Megaflow.stats cache).Cache_stats.rejected
+
+let test_megaflow_expire () =
+  let rng = Gf_util.Rng.create 23 in
+  let p = random_pipeline rng ~tables:3 ~rules_per_table:6 in
+  let cache = Megaflow.create ~capacity:1024 () in
+  for _ = 1 to 50 do
+    let flow = pool_flow rng in
+    match Executor.execute p flow with
+    | Ok tr -> ignore (Megaflow.install cache ~now:0.0 ~version:0 tr)
+    | Error _ -> ()
+  done;
+  let before = Megaflow.occupancy cache in
+  Alcotest.(check bool) "installed some" true (before > 0);
+  let evicted = Megaflow.expire cache ~now:100.0 ~max_idle:10.0 in
+  Alcotest.(check int) "all idle evicted" before evicted;
+  Alcotest.(check int) "empty" 0 (Megaflow.occupancy cache)
+
+let test_megaflow_revalidation_detects_change () =
+  let rng = Gf_util.Rng.create 24 in
+  let p = random_pipeline rng ~tables:3 ~rules_per_table:6 in
+  let cache = Megaflow.create ~capacity:1024 () in
+  let flows = List.init 60 (fun _ -> pool_flow rng) in
+  List.iter
+    (fun flow ->
+      match Executor.execute p flow with
+      | Ok tr -> ignore (Megaflow.install cache ~now:0.0 ~version:(Pipeline.version p) tr)
+      | Error _ -> ())
+    flows;
+  (* Unchanged pipeline: nothing evicted. *)
+  let evicted, work = Megaflow.revalidate cache p in
+  Alcotest.(check int) "consistent cache untouched" 0 evicted;
+  Alcotest.(check bool) "revalidation did work" true (work > 0);
+  (* Now shadow everything with a top-priority drop rule in the entry
+     table. *)
+  Pipeline.add_rule p ~table:0
+    (Gf_pipeline.Ofrule.v ~id:(Pipeline.fresh_rule_id p) ~priority:1_000_000
+       ~fmatch:Fmatch.any ~action:(Action.drop ()));
+  let evicted, _ = Megaflow.revalidate cache p in
+  Alcotest.(check int) "all entries invalidated" (Megaflow.occupancy cache + evicted)
+    (evicted + Megaflow.occupancy cache);
+  Alcotest.(check bool) "everything evicted" true (Megaflow.occupancy cache = 0 && evicted > 0)
+
+(* After revalidation, surviving entries still agree with the pipeline. *)
+let prop_megaflow_revalidate_sound =
+  QCheck2.Test.make ~name:"revalidation leaves only consistent entries" ~count:25
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Gf_util.Rng.create seed in
+      let p = random_pipeline rng ~tables:4 ~rules_per_table:8 in
+      let cache = Megaflow.create ~capacity:4096 () in
+      for _ = 1 to 80 do
+        let flow = pool_flow rng in
+        match Executor.execute p flow with
+        | Ok tr -> ignore (Megaflow.install cache ~now:0.0 ~version:0 tr)
+        | Error _ -> ()
+      done;
+      (* Random mutation: remove a handful of rules. *)
+      List.iter
+        (fun table ->
+          match Gf_pipeline.Oftable.rules table with
+          | r :: _ when Gf_util.Rng.bool rng ->
+              ignore (Pipeline.remove_rule p ~table:(Gf_pipeline.Oftable.id table) r.Gf_pipeline.Ofrule.id)
+          | _ -> ())
+        (Pipeline.tables p);
+      ignore (Megaflow.revalidate cache p);
+      (* All surviving entries reproduce the new slowpath decision. *)
+      let ok = ref true in
+      for _ = 1 to 100 do
+        let flow = pool_flow rng in
+        match Megaflow.lookup cache ~now:0.0 flow with
+        | Some h, _ -> (
+            match Executor.terminal_of p flow with
+            | Ok (terminal, out_flow) ->
+                if
+                  (not (Action.terminal_equal h.Megaflow.terminal terminal))
+                  || not (Flow.equal h.Megaflow.out_flow out_flow)
+                then ok := false
+            | Error _ -> ok := false)
+        | None, _ -> ()
+      done;
+      !ok)
+
+(* The invariant that licenses the ranked first-match TSS walk
+   (Tss.lookup_first): wherever Megaflow entries overlap, they agree — every
+   matching entry reproduces the slowpath decision, so whichever entry a
+   first-match walk returns is correct. *)
+let prop_megaflow_any_match_correct =
+  QCheck2.Test.make ~name:"every matching megaflow entry is correct" ~count:25
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Gf_util.Rng.create seed in
+      let p = random_pipeline rng ~tables:4 ~rules_per_table:10 in
+      let cache = Megaflow.create ~capacity:4096 () in
+      for _ = 1 to 120 do
+        match Executor.execute p (pool_flow rng) with
+        | Ok tr -> ignore (Megaflow.install cache ~now:0.0 ~version:0 tr)
+        | Error _ -> ()
+      done;
+      let entries = Megaflow.entries_fmatches cache in
+      let ok = ref true in
+      for _ = 1 to 80 do
+        let flow = pool_flow rng in
+        let matching = List.filter (fun fm -> Gf_flow.Fmatch.matches fm flow) entries in
+        match matching with
+        | [] -> ()
+        | _ :: _ -> (
+            (* The cache's own answer must equal the slowpath, and every
+               matching entry region must produce the same decision (probe
+               via lookup, which returns some matching entry). *)
+            match (Megaflow.lookup cache ~now:0.0 flow, Executor.terminal_of p flow) with
+            | (Some h, _), Ok (terminal, out_flow) ->
+                if
+                  (not (Action.terminal_equal h.Megaflow.terminal terminal))
+                  || not (Flow.equal h.Megaflow.out_flow out_flow)
+                then ok := false
+            | (None, _), _ -> ok := false (* matched entries but lookup missed *)
+            | (Some _, _), Error _ -> ok := false)
+      done;
+      !ok)
+
+let test_megaflow_search_algos_agree () =
+  let rng = Gf_util.Rng.create 25 in
+  let p = random_pipeline rng ~tables:4 ~rules_per_table:10 in
+  let tss = Megaflow.create ~search:`Tss ~capacity:4096 () in
+  let nm = Megaflow.create ~search:`Nuevomatch ~capacity:4096 () in
+  for _ = 1 to 100 do
+    let flow = pool_flow rng in
+    match Executor.execute p flow with
+    | Ok tr ->
+        ignore (Megaflow.install tss ~now:0.0 ~version:0 tr);
+        ignore (Megaflow.install nm ~now:0.0 ~version:0 tr)
+    | Error _ -> ()
+  done;
+  for _ = 1 to 200 do
+    let flow = pool_flow rng in
+    let a, _ = Megaflow.lookup tss ~now:1.0 flow in
+    let b, _ = Megaflow.lookup nm ~now:1.0 flow in
+    match (a, b) with
+    | Some x, Some y ->
+        Alcotest.check terminal_testable "same terminal" x.Megaflow.terminal
+          y.Megaflow.terminal
+    | None, None -> ()
+    | Some _, None | None, Some _ -> Alcotest.fail "tss/nm disagree on hit"
+  done
+
+let suite =
+  [
+    ("microflow basic", `Quick, test_microflow_basic);
+    ("microflow lru", `Quick, test_microflow_lru_eviction);
+    ("microflow expire", `Quick, test_microflow_expire);
+    ("microflow invalidate", `Quick, test_microflow_invalidate_all);
+    ("cache stats", `Quick, test_cache_stats);
+    ("megaflow dedup", `Quick, test_megaflow_collapses_flows);
+    ("megaflow capacity", `Quick, test_megaflow_capacity_reject);
+    ("megaflow expire", `Quick, test_megaflow_expire);
+    ("megaflow revalidation", `Quick, test_megaflow_revalidation_detects_change);
+    ("megaflow tss/nm agree", `Quick, test_megaflow_search_algos_agree);
+  ]
+
+let props =
+  [ prop_megaflow_consistent; prop_megaflow_revalidate_sound; prop_megaflow_any_match_correct ]

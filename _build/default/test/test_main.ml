@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "gigaflow"
+    [
+      ("util", Test_util.suite);
+      ("flow", Test_flow.suite);
+      Helpers.qsuite "flow:props" Test_flow.props;
+      ("classifier", Test_classifier.suite);
+      Helpers.qsuite "classifier:props" Test_classifier.props;
+      ("pipeline", Test_pipeline.suite);
+      Helpers.qsuite "pipeline:props" Test_pipeline.props;
+      ("cache", Test_cache.suite);
+      Helpers.qsuite "cache:props" Test_cache.props;
+      ("core", Test_core.suite);
+      Helpers.qsuite "core:props" Test_core.props;
+      ("interop", Test_interop.suite);
+      ("pipelines", Test_pipelines.suite);
+      ("workload", Test_workload.suite);
+      ("sim", Test_sim.suite);
+    ]

@@ -1,0 +1,435 @@
+(* Tests for gigaflow.pipeline: Action, Ofrule, Oftable (including minimal
+   dependency unwildcarding), Pipeline, Executor, Traversal, Builder. *)
+
+open Helpers
+module Field = Gf_flow.Field
+module Flow = Gf_flow.Flow
+module Mask = Gf_flow.Mask
+module Fmatch = Gf_flow.Fmatch
+module Action = Gf_pipeline.Action
+module Ofrule = Gf_pipeline.Ofrule
+module Oftable = Gf_pipeline.Oftable
+module Pipeline = Gf_pipeline.Pipeline
+module Executor = Gf_pipeline.Executor
+module Traversal = Gf_pipeline.Traversal
+module Builder = Gf_pipeline.Builder
+module Headers = Gf_flow.Headers
+
+let test_action_apply_sets () =
+  let a = Action.goto ~set_fields:[ (Field.Vlan, 9); (Field.Tp_dst, 80) ] 3 in
+  let f = Action.apply_sets a Flow.zero in
+  Alcotest.(check int) "vlan" 9 (Flow.get f Field.Vlan);
+  Alcotest.(check int) "port" 80 (Flow.get f Field.Tp_dst)
+
+let test_action_equal () =
+  Alcotest.(check bool) "same" true (Action.equal (Action.drop ()) (Action.drop ()));
+  Alcotest.(check bool) "different" false
+    (Action.equal (Action.output 1) (Action.output 2));
+  Alcotest.(check bool) "goto vs terminal" false
+    (Action.equal (Action.goto 1) (Action.output 1))
+
+let test_ofrule_same_behaviour () =
+  let fm = Fmatch.of_fields [ (Field.Vlan, 1) ] in
+  let a = Ofrule.v ~id:1 ~priority:5 ~fmatch:fm ~action:(Action.drop ()) in
+  let b = Ofrule.v ~id:2 ~priority:5 ~fmatch:fm ~action:(Action.drop ()) in
+  Alcotest.(check bool) "behaviour equal" true (Ofrule.same_behaviour a b);
+  Alcotest.(check bool) "not structurally equal" false (Ofrule.equal a b)
+
+let mk_table ?(miss = Action.drop ()) rules =
+  let t =
+    Oftable.create ~id:0 ~name:"t"
+      ~match_fields:(Field.Set.of_list (Array.to_list Field.all))
+      ~miss
+  in
+  List.iter (Oftable.add_rule t) rules;
+  t
+
+let test_oftable_priority_selection () =
+  let fm_broad = Fmatch.of_fields [ (Field.Vlan, 1) ] in
+  let fm_narrow = Fmatch.of_fields [ (Field.Vlan, 1); (Field.Tp_dst, 80) ] in
+  let t =
+    mk_table
+      [
+        Ofrule.v ~id:1 ~priority:1 ~fmatch:fm_broad ~action:(Action.output 1);
+        Ofrule.v ~id:2 ~priority:10 ~fmatch:fm_narrow ~action:(Action.output 2);
+      ]
+  in
+  let flow = Flow.make [ (Field.Vlan, 1); (Field.Tp_dst, 80) ] in
+  (match (Oftable.lookup t flow).Oftable.outcome with
+  | `Hit r -> Alcotest.(check int) "narrow wins" 2 r.Ofrule.id
+  | `Miss -> Alcotest.fail "expected hit");
+  let flow2 = Flow.make [ (Field.Vlan, 1); (Field.Tp_dst, 81) ] in
+  match (Oftable.lookup t flow2).Oftable.outcome with
+  | `Hit r -> Alcotest.(check int) "broad catches rest" 1 r.Ofrule.id
+  | `Miss -> Alcotest.fail "expected hit"
+
+let test_oftable_tie_break_lowest_id () =
+  let fm = Fmatch.of_fields [ (Field.Vlan, 1) ] in
+  let fm2 = Fmatch.of_fields [ (Field.Vlan, 1); (Field.In_port, 0) ] in
+  let t =
+    mk_table
+      [
+        Ofrule.v ~id:5 ~priority:3 ~fmatch:fm ~action:(Action.output 1);
+        Ofrule.v ~id:2 ~priority:3 ~fmatch:fm2 ~action:(Action.output 2);
+      ]
+  in
+  let flow = Flow.make [ (Field.Vlan, 1) ] in
+  match (Oftable.lookup t flow).Oftable.outcome with
+  | `Hit r -> Alcotest.(check int) "lowest id wins tie" 2 r.Ofrule.id
+  | `Miss -> Alcotest.fail "expected hit"
+
+let test_oftable_remove () =
+  let fm = Fmatch.of_fields [ (Field.Vlan, 1) ] in
+  let t = mk_table [ Ofrule.v ~id:1 ~priority:1 ~fmatch:fm ~action:(Action.drop ()) ] in
+  Alcotest.(check bool) "removed" true (Oftable.remove_rule t 1);
+  Alcotest.(check bool) "absent" false (Oftable.remove_rule t 1);
+  match (Oftable.lookup t (Flow.make [ (Field.Vlan, 1) ])).Oftable.outcome with
+  | `Miss -> ()
+  | `Hit _ -> Alcotest.fail "rule not removed"
+
+(* The paper's section 4.2.3 example: rules at /32, /24, /16, /8 with
+   descending priorities; a flow matching the /16 must get a wildcard that
+   excludes the /32 and /24 rules with prefix-extension bits. *)
+let test_minimal_unwildcarding_paper_example () =
+  let mk id priority len ip =
+    Ofrule.v ~id ~priority
+      ~fmatch:(Fmatch.with_prefix Fmatch.any Field.Ip_dst ~value:(Headers.ipv4 ip) ~len)
+      ~action:(Action.output id)
+  in
+  let t =
+    mk_table
+      [
+        mk 1 400 32 "192.168.14.15";
+        mk 2 300 24 "192.168.14.0";
+        mk 3 200 16 "192.168.0.0";
+        mk 4 100 8 "192.0.0.0";
+      ]
+  in
+  let flow = Flow.make [ (Field.Ip_dst, Headers.ipv4 "192.168.21.27") ] in
+  let result = Oftable.lookup t flow in
+  (match result.Oftable.outcome with
+  | `Hit r -> Alcotest.(check int) "matches /16 rule" 3 r.Ofrule.id
+  | `Miss -> Alcotest.fail "expected hit");
+  let m = Mask.get result.Oftable.consulted Field.Ip_dst in
+  (* The paper derives 255.255.240.0 (/20): enough bits to exclude the /24
+     (and a fortiori the /32), no more. *)
+  Alcotest.(check int) "paper's /20 wildcard" (Headers.ipv4 "255.255.240.0") m
+
+(* Soundness of the consulted wildcard: any flow agreeing with the original
+   on the consulted bits must select the same rule (or miss alike). *)
+let prop_unwildcard_sound =
+  QCheck2.Test.make ~name:"consulted wildcard preserves the winner" ~count:120
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Gf_util.Rng.create seed in
+      let rules =
+        List.init 60 (fun id -> pool_rule rng ~id ~action:(Action.output id))
+      in
+      let t = mk_table rules in
+      let ok = ref true in
+      for _ = 1 to 40 do
+        let flow = pool_flow rng in
+        let r1 = Oftable.lookup t flow in
+        for _ = 1 to 5 do
+          let probe = agreeing_flow rng r1.Oftable.consulted flow in
+          let r2 = Oftable.lookup t probe in
+          let same =
+            match (r1.Oftable.outcome, r2.Oftable.outcome) with
+            | `Hit a, `Hit b -> a.Ofrule.id = b.Ofrule.id
+            | `Miss, `Miss -> true
+            | `Hit _, `Miss | `Miss, `Hit _ -> false
+          in
+          if not same then ok := false
+        done
+      done;
+      !ok)
+
+(* The wildcard should also be reasonably tight: matching a lone rule in an
+   otherwise empty table must consult exactly that rule's mask. *)
+let test_unwildcard_tight_single_rule () =
+  let fm = Fmatch.of_fields [ (Field.Vlan, 3) ] in
+  let t = mk_table [ Ofrule.v ~id:1 ~priority:1 ~fmatch:fm ~action:(Action.drop ()) ] in
+  let result = Oftable.lookup t (Flow.make [ (Field.Vlan, 3); (Field.Tp_dst, 99) ]) in
+  Alcotest.check mask_testable "exactly the rule mask" (Fmatch.mask fm)
+    result.Oftable.consulted
+
+let test_unwildcard_disjoint_tuple_free () =
+  (* A probed tuple whose keys are all far from the flow must cost few
+     bits. *)
+  let narrow =
+    Ofrule.v ~id:1 ~priority:10
+      ~fmatch:
+        (Fmatch.with_prefix Fmatch.any Field.Ip_dst ~value:(Headers.ipv4 "172.16.0.1")
+           ~len:32)
+      ~action:(Action.output 1)
+  in
+  let broad =
+    Ofrule.v ~id:2 ~priority:1
+      ~fmatch:
+        (Fmatch.with_prefix Fmatch.any Field.Ip_dst ~value:(Headers.ipv4 "10.0.0.0")
+           ~len:8)
+      ~action:(Action.output 2)
+  in
+  let t = mk_table [ narrow; broad ] in
+  let result = Oftable.lookup t (Flow.make [ (Field.Ip_dst, Headers.ipv4 "10.1.2.3") ]) in
+  let bits = Gf_util.Bitops.popcount (Mask.get result.Oftable.consulted Field.Ip_dst) in
+  Alcotest.(check bool)
+    (Printf.sprintf "few ip bits consulted (%d)" bits)
+    true (bits <= 8)
+
+let test_pipeline_structure () =
+  let rng = Gf_util.Rng.create 11 in
+  let p = random_pipeline rng ~tables:4 ~rules_per_table:5 in
+  Alcotest.(check int) "tables" 4 (Pipeline.table_count p);
+  Alcotest.(check int) "rules" 20 (Pipeline.rule_count p);
+  Alcotest.(check bool) "table lookup" true (Pipeline.table_opt p 2 <> None);
+  Alcotest.(check bool) "missing table" true (Pipeline.table_opt p 42 = None)
+
+let test_pipeline_version_bumps () =
+  let rng = Gf_util.Rng.create 12 in
+  let p = random_pipeline rng ~tables:3 ~rules_per_table:2 in
+  let v0 = Pipeline.version p in
+  Pipeline.add_rule p ~table:0
+    (pool_rule rng ~id:(Pipeline.fresh_rule_id p) ~action:(Action.drop ()));
+  Alcotest.(check bool) "bumped on add" true (Pipeline.version p > v0);
+  let v1 = Pipeline.version p in
+  Alcotest.(check bool) "no bump on missing remove" true
+    ((not (Pipeline.remove_rule p ~table:0 999_999)) && Pipeline.version p = v1)
+
+let test_executor_terminates_and_traces () =
+  let rng = Gf_util.Rng.create 13 in
+  let p = random_pipeline rng ~tables:5 ~rules_per_table:8 in
+  for _ = 1 to 200 do
+    let flow = pool_flow rng in
+    match Executor.execute p flow with
+    | Error e -> Alcotest.failf "executor error: %a" Executor.pp_error e
+    | Ok tr ->
+        Alcotest.(check bool) "non-empty" true (Traversal.length tr >= 1);
+        Alcotest.(check flow_testable) "input recorded" flow tr.Traversal.input;
+        (* Steps chain: each flow_out is the next flow_in. *)
+        let steps = tr.Traversal.steps in
+        for i = 0 to Array.length steps - 2 do
+          Alcotest.(check flow_testable) "chained" steps.(i).Traversal.flow_out
+            steps.(i + 1).Traversal.flow_in
+        done;
+        Alcotest.(check flow_testable) "output is last flow_out"
+          steps.(Array.length steps - 1).Traversal.flow_out tr.Traversal.output
+  done
+
+let test_executor_loop_guard () =
+  (* A table that resubmits to itself must hit the loop limit... tables here
+     are feed-forward, so emulate with goto to an unknown table instead. *)
+  let t0 =
+    Oftable.create ~id:0 ~name:"t0" ~match_fields:Field.Set.empty
+      ~miss:(Action.goto 7)
+  in
+  let p = Pipeline.create ~name:"bad" ~entry:0 [ t0 ] in
+  match Executor.execute p Flow.zero with
+  | Error (Executor.Bad_goto 7) -> ()
+  | Error e -> Alcotest.failf "unexpected error %a" Executor.pp_error e
+  | Ok _ -> Alcotest.fail "expected Bad_goto"
+
+let test_executor_trace_prefix () =
+  let rng = Gf_util.Rng.create 14 in
+  let p = random_pipeline rng ~tables:5 ~rules_per_table:8 in
+  let flow = pool_flow rng in
+  match Executor.execute p flow with
+  | Error _ -> Alcotest.fail "unexpected error"
+  | Ok tr ->
+      let n = Traversal.length tr in
+      if n >= 2 then begin
+        let prefix = Executor.trace ~max_steps:1 p flow in
+        Alcotest.(check int) "one step" 1 (Array.length prefix.Executor.prefix_steps);
+        match prefix.Executor.status with
+        | `More next ->
+            Alcotest.(check int) "next table matches full trace" next
+              tr.Traversal.steps.(1).Traversal.table_id
+        | `Terminal _ | `Stuck _ -> Alcotest.fail "expected More"
+      end
+
+(* Traversal re-basing: a field consulted after being overwritten must not
+   constrain the megaflow wildcard. *)
+let test_traversal_rebasing () =
+  let t0 =
+    Oftable.create ~id:0 ~name:"t0" ~match_fields:(Field.Set.singleton Field.Vlan)
+      ~miss:(Action.drop ())
+  in
+  Oftable.add_rule t0
+    (Ofrule.v ~id:0 ~priority:1
+       ~fmatch:(Fmatch.of_fields [ (Field.Vlan, 1) ])
+       ~action:(Action.goto ~set_fields:[ (Field.Tp_dst, 8080) ] 1));
+  let t1 =
+    Oftable.create ~id:1 ~name:"t1" ~match_fields:(Field.Set.singleton Field.Tp_dst)
+      ~miss:(Action.drop ())
+  in
+  Oftable.add_rule t1
+    (Ofrule.v ~id:1 ~priority:1
+       ~fmatch:(Fmatch.of_fields [ (Field.Tp_dst, 8080) ])
+       ~action:(Action.output 1));
+  let p = Pipeline.create ~name:"rebase" ~entry:0 [ t0; t1 ] in
+  let flow = Flow.make [ (Field.Vlan, 1); (Field.Tp_dst, 443) ] in
+  match Executor.execute p flow with
+  | Error _ -> Alcotest.fail "unexpected error"
+  | Ok tr ->
+      let w = Traversal.megaflow_wildcard tr in
+      Alcotest.(check int) "tp_dst not in input wildcard" 0 (Mask.get w Field.Tp_dst);
+      Alcotest.(check int) "vlan in input wildcard" (Field.full_mask Field.Vlan)
+        (Mask.get w Field.Vlan);
+      (* The commit must replay the rewrite even though table 1 matched the
+         rewritten value. *)
+      let commit = Traversal.segment_commit tr ~first:0 ~last:(Traversal.length tr - 1) in
+      Alcotest.(check bool) "commit contains rewrite" true
+        (List.mem (Field.Tp_dst, 8080) commit)
+
+let test_traversal_commit_composition () =
+  (* Last writer wins; rewrites to the incumbent value are preserved. *)
+  let mk_chain =
+    let t0 =
+      Oftable.create ~id:0 ~name:"t0" ~match_fields:Field.Set.empty
+        ~miss:(Action.goto ~set_fields:[ (Field.Vlan, 5) ] 1)
+    in
+    let t1 =
+      Oftable.create ~id:1 ~name:"t1" ~match_fields:Field.Set.empty
+        ~miss:(Action.output ~set_fields:[ (Field.Vlan, 6); (Field.Tp_src, 1) ] 1)
+    in
+    Pipeline.create ~name:"commit" ~entry:0 [ t0; t1 ]
+  in
+  let flow = Flow.make [ (Field.Vlan, 6) ] in
+  match Executor.execute mk_chain flow with
+  | Error _ -> Alcotest.fail "unexpected error"
+  | Ok tr ->
+      let commit = Traversal.segment_commit tr ~first:0 ~last:(Traversal.length tr - 1) in
+      Alcotest.(check bool) "last writer wins" true (List.mem (Field.Vlan, 6) commit);
+      Alcotest.(check bool) "tp_src rewrite recorded" true
+        (List.mem (Field.Tp_src, 1) commit)
+
+let test_builder_validation () =
+  let open Builder in
+  let good =
+    {
+      spec_name = "g";
+      entry_table = 0;
+      tables =
+        [
+          { table_id = 0; table_name = "a"; fields = [ Field.In_port ] };
+          { table_id = 1; table_name = "b"; fields = [ Field.Vlan ] };
+        ];
+      traversals =
+        [ { hops = [ { table = 0; hop_fields = [ Field.In_port ] }; { table = 1; hop_fields = [] } ] } ];
+    }
+  in
+  Alcotest.(check bool) "valid" true (validate good = Ok ());
+  let dup = { good with tables = good.tables @ [ { table_id = 0; table_name = "c"; fields = [] } ] } in
+  Alcotest.(check bool) "duplicate ids rejected" true (Result.is_error (validate dup));
+  let bad_entry = { good with entry_table = 9 } in
+  Alcotest.(check bool) "bad entry rejected" true (Result.is_error (validate bad_entry));
+  let decreasing =
+    {
+      good with
+      traversals =
+        [ { hops = [ { table = 1; hop_fields = [] }; { table = 0; hop_fields = [] } ] } ];
+    }
+  in
+  Alcotest.(check bool) "decreasing rejected" true (Result.is_error (validate decreasing));
+  let bad_fields =
+    {
+      good with
+      traversals = [ { hops = [ { table = 0; hop_fields = [ Field.Tp_dst ] } ] } ];
+    }
+  in
+  Alcotest.(check bool) "hop fields exceed table" true
+    (Result.is_error (validate bad_fields))
+
+let test_builder_instantiate_miss_chain () =
+  let open Builder in
+  let spec =
+    {
+      spec_name = "chain";
+      entry_table = 0;
+      tables =
+        [
+          { table_id = 0; table_name = "a"; fields = [] };
+          { table_id = 2; table_name = "b"; fields = [] };
+        ];
+      traversals = [ { hops = [ { table = 0; hop_fields = [] } ] } ];
+    }
+  in
+  let p = instantiate spec in
+  (* Misses chain 0 -> 2 -> drop. *)
+  match Executor.execute p Flow.zero with
+  | Ok tr ->
+      Alcotest.(check (list int)) "miss path" [ 0; 2 ] (Traversal.path tr);
+      Alcotest.check terminal_testable "drops" Action.Drop tr.Traversal.terminal
+  | Error _ -> Alcotest.fail "unexpected error"
+
+(* Adversarial nesting: many rules on ONE field with nested prefixes and
+   crossing priorities — the hardest case for minimal exclusion. *)
+let prop_unwildcard_nested_prefixes =
+  QCheck2.Test.make ~name:"nested-prefix exclusion stays sound" ~count:80
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Gf_util.Rng.create seed in
+      let rules =
+        List.init 40 (fun id ->
+            let len = 8 + (4 * Gf_util.Rng.int rng 7) (* 8..32 step 4 *) in
+            (* Cluster networks so prefixes genuinely nest. *)
+            let net =
+              (10 lsl 24)
+              lor (Gf_util.Rng.int rng 4 lsl 16)
+              lor (Gf_util.Rng.int rng 8 lsl 8)
+              lor Gf_util.Rng.int rng 256
+            in
+            Ofrule.v ~id ~priority:(Gf_util.Rng.int rng 500)
+              ~fmatch:(Fmatch.with_prefix Fmatch.any Field.Ip_dst ~value:net ~len)
+              ~action:(Action.output id))
+      in
+      let t = mk_table rules in
+      let ok = ref true in
+      for _ = 1 to 60 do
+        let flow =
+          Flow.make
+            [
+              ( Field.Ip_dst,
+                (10 lsl 24)
+                lor (Gf_util.Rng.int rng 4 lsl 16)
+                lor Gf_util.Rng.int rng 65536 );
+            ]
+        in
+        let r1 = Oftable.lookup t flow in
+        for _ = 1 to 6 do
+          let probe = agreeing_flow rng r1.Oftable.consulted flow in
+          let r2 = Oftable.lookup t probe in
+          let same =
+            match (r1.Oftable.outcome, r2.Oftable.outcome) with
+            | `Hit a, `Hit b -> a.Ofrule.id = b.Ofrule.id
+            | `Miss, `Miss -> true
+            | `Hit _, `Miss | `Miss, `Hit _ -> false
+          in
+          if not same then ok := false
+        done
+      done;
+      !ok)
+
+let suite =
+  [
+    ("action apply_sets", `Quick, test_action_apply_sets);
+    ("action equality", `Quick, test_action_equal);
+    ("ofrule same_behaviour", `Quick, test_ofrule_same_behaviour);
+    ("oftable priority selection", `Quick, test_oftable_priority_selection);
+    ("oftable tie-break by id", `Quick, test_oftable_tie_break_lowest_id);
+    ("oftable remove", `Quick, test_oftable_remove);
+    ("minimal unwildcarding (paper 4.2.3 example)", `Quick, test_minimal_unwildcarding_paper_example);
+    ("unwildcard tight for single rule", `Quick, test_unwildcard_tight_single_rule);
+    ("unwildcard cheap for distant tuples", `Quick, test_unwildcard_disjoint_tuple_free);
+    ("pipeline structure", `Quick, test_pipeline_structure);
+    ("pipeline version bumps", `Quick, test_pipeline_version_bumps);
+    ("executor traces chains", `Quick, test_executor_terminates_and_traces);
+    ("executor bad goto", `Quick, test_executor_loop_guard);
+    ("executor prefix trace", `Quick, test_executor_trace_prefix);
+    ("traversal wildcard re-basing", `Quick, test_traversal_rebasing);
+    ("traversal commit composition", `Quick, test_traversal_commit_composition);
+    ("builder validation", `Quick, test_builder_validation);
+    ("builder miss chain", `Quick, test_builder_instantiate_miss_chain);
+  ]
+
+let props = [ prop_unwildcard_sound; prop_unwildcard_nested_prefixes ]

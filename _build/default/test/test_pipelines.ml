@@ -1,0 +1,77 @@
+(* Tests for gigaflow.pipelines: the five real-world specs of Table 1. *)
+
+module Catalog = Gf_pipelines.Catalog
+module Builder = Gf_pipeline.Builder
+module Pipeline = Gf_pipeline.Pipeline
+module Executor = Gf_pipeline.Executor
+
+let expected = [ ("OFD", 10, 5); ("PSC", 7, 2); ("OLS", 30, 23); ("ANT", 22, 20); ("OTL", 8, 11) ]
+
+let test_table1_counts () =
+  List.iter
+    (fun (code, tables, traversals) ->
+      match Catalog.find code with
+      | None -> Alcotest.failf "missing pipeline %s" code
+      | Some info ->
+          Alcotest.(check int) (code ^ " tables") tables (Catalog.table_count info);
+          Alcotest.(check int) (code ^ " traversals") traversals
+            (Catalog.traversal_count info))
+    expected
+
+let test_all_specs_valid () =
+  List.iter
+    (fun info ->
+      match Builder.validate info.Catalog.spec with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s invalid: %s" info.Catalog.code e)
+    Catalog.all
+
+let test_find_case_insensitive () =
+  Alcotest.(check bool) "lowercase" true (Catalog.find "psc" <> None);
+  Alcotest.(check bool) "unknown" true (Catalog.find "XYZ" = None)
+
+let test_instantiation_executes () =
+  (* An empty instantiated pipeline must route any packet through the miss
+     chain to a terminal. *)
+  List.iter
+    (fun info ->
+      let p = Catalog.instantiate info in
+      Alcotest.(check int)
+        (info.Catalog.code ^ " table count")
+        (Catalog.table_count info) (Pipeline.table_count p);
+      match Executor.execute p Gf_flow.Flow.zero with
+      | Ok _ -> ()
+      | Error e ->
+          Alcotest.failf "%s: miss chain fails: %a" info.Catalog.code Executor.pp_error e)
+    Catalog.all
+
+let test_unique_paths_strictly_increasing () =
+  List.iter
+    (fun info ->
+      List.iter
+        (fun path ->
+          let rec check = function
+            | a :: (b :: _ as rest) ->
+                if a >= b then
+                  Alcotest.failf "%s: non-increasing path" info.Catalog.code
+                else check rest
+            | _ -> ()
+          in
+          check path)
+        (Builder.unique_paths info.Catalog.spec))
+    Catalog.all
+
+let test_paper_order () =
+  Alcotest.(check (list string)) "Table 1 order"
+    [ "OFD"; "PSC"; "OLS"; "ANT"; "OTL" ]
+    (List.map (fun i -> i.Catalog.code) Catalog.all)
+
+let suite =
+  [
+    ("table 1 counts", `Quick, test_table1_counts);
+    ("all specs valid", `Quick, test_all_specs_valid);
+    ("find is case-insensitive", `Quick, test_find_case_insensitive);
+    ("instantiated pipelines execute", `Quick, test_instantiation_executes);
+    ("paths strictly increasing", `Quick, test_unique_paths_strictly_increasing);
+    ("paper order", `Quick, test_paper_order);
+  ]

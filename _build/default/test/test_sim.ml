@@ -1,0 +1,198 @@
+(* Tests for gigaflow.sim (Datapath, Metrics) and gigaflow.nic. *)
+
+module Datapath = Gf_sim.Datapath
+module Metrics = Gf_sim.Metrics
+module Latency = Gf_nic.Latency
+module Resources = Gf_nic.Resources
+module Pcie = Gf_nic.Pcie
+module Pipebench = Gf_workload.Pipebench
+module Ruleset = Gf_workload.Ruleset
+module Trace = Gf_workload.Trace
+module Catalog = Gf_pipelines.Catalog
+module Executor = Gf_pipeline.Executor
+module Action = Gf_pipeline.Action
+
+let small_profile =
+  {
+    Gf_workload.Classbench.acl_profile with
+    Gf_workload.Classbench.endpoints = 128;
+    subnets = 16;
+    services = 32;
+  }
+
+let small_workload ?(locality = Ruleset.High) ?(seed = 77) () =
+  Pipebench.make ~profile:small_profile ~combos:512 ~unique_flows:2000 ~duration:20.0
+    ~info:(Option.get (Catalog.find "PSC"))
+    ~locality ~seed ()
+
+let run cfg w =
+  let dp = Datapath.create cfg (Pipebench.pipeline w) in
+  let m = Datapath.run dp w.Pipebench.trace in
+  (dp, m)
+
+let test_metrics_accounting () =
+  let w = small_workload () in
+  let _, m = run Datapath.megaflow_32k w in
+  Alcotest.(check int) "every packet counted"
+    (Trace.packet_count w.Pipebench.trace)
+    m.Metrics.packets;
+  Alcotest.(check int) "hits + sw + slow = packets" m.Metrics.packets
+    (m.Metrics.hw_hits + m.Metrics.sw_hits + m.Metrics.slowpaths);
+  Alcotest.(check int) "miss count" (Metrics.hw_miss_count m)
+    (m.Metrics.sw_hits + m.Metrics.slowpaths);
+  Alcotest.(check bool) "latency recorded" true
+    (Gf_util.Stats.Acc.count m.Metrics.latency = m.Metrics.packets);
+  Alcotest.(check bool) "hit rate sane" true
+    (Metrics.hw_hit_rate m >= 0.0 && Metrics.hw_hit_rate m <= 1.0)
+
+let test_datapath_backends_consistent_decisions () =
+  (* Every packet's decision must equal the slowpath decision, whatever the
+     cache backend. *)
+  let w = small_workload () in
+  List.iter
+    (fun cfg ->
+      let dp = Datapath.create cfg (Pipebench.pipeline w) in
+      let pipeline = Datapath.pipeline dp in
+      let checked = ref 0 in
+      Array.iter
+        (fun (pkt : Trace.packet) ->
+          let _, terminal, _ =
+            Datapath.process dp ~now:pkt.Trace.time pkt.Trace.flow
+          in
+          if !checked < 3000 then begin
+            incr checked;
+            match (terminal, Executor.terminal_of pipeline pkt.Trace.flow) with
+            | Some t, Ok (t', _) ->
+                if not (Action.terminal_equal t t') then
+                  Alcotest.failf "decision mismatch"
+            | None, _ -> Alcotest.fail "no decision"
+            | Some _, Error _ -> Alcotest.fail "slowpath error"
+          end)
+        w.Pipebench.trace.Trace.packets)
+    [ Datapath.megaflow_32k; Datapath.gigaflow_4x8k ]
+
+let test_gigaflow_beats_megaflow_under_pressure () =
+  (* With caches far smaller than the flow population, Gigaflow's sharing
+     must win on hit rate (the paper's headline, scaled down). *)
+  let w = small_workload () in
+  let mf_cfg = { Datapath.megaflow_32k with Datapath.mf_capacity = 256 } in
+  let gf_cfg =
+    {
+      Datapath.gigaflow_4x8k with
+      Datapath.gf = Gf_core.Config.v ~tables:4 ~table_capacity:64 ();
+    }
+  in
+  let _, mf = run mf_cfg w in
+  let _, gf = run gf_cfg w in
+  Alcotest.(check bool)
+    (Printf.sprintf "gigaflow %.3f > megaflow %.3f" (Metrics.hw_hit_rate gf)
+       (Metrics.hw_hit_rate mf))
+    true
+    (Metrics.hw_hit_rate gf > Metrics.hw_hit_rate mf)
+
+let test_sw_cache_absorbs_misses () =
+  let w = small_workload () in
+  let no_sw = { Datapath.megaflow_32k with Datapath.sw_enabled = false; mf_capacity = 128 } in
+  let with_sw = { no_sw with Datapath.sw_enabled = true } in
+  let _, a = run no_sw w in
+  let _, b = run with_sw w in
+  Alcotest.(check int) "no sw hits when disabled" 0 a.Metrics.sw_hits;
+  Alcotest.(check bool) "sw cache absorbs slowpaths" true
+    (b.Metrics.slowpaths < a.Metrics.slowpaths)
+
+let test_expiry_keeps_occupancy_bounded () =
+  let w = small_workload () in
+  let cfg = { Datapath.megaflow_32k with Datapath.max_idle = 0.5; expire_every = 0.25 } in
+  let dp, m = run cfg w in
+  Alcotest.(check bool) "evictions happened" true (m.Metrics.hw_evictions > 0);
+  Alcotest.(check bool) "final occupancy below peak" true
+    (Datapath.hw_occupancy dp <= m.Metrics.hw_entries_peak)
+
+let test_miss_sink_and_on_packet () =
+  let w = small_workload () in
+  let dp = Datapath.create Datapath.gigaflow_4x8k (Pipebench.pipeline w) in
+  let events = ref 0 and miss_cycles = ref 0 in
+  let m =
+    Datapath.run
+      ~on_packet:(fun _ _ _ -> incr events)
+      ~miss_sink:(fun ~flow_id:_ ~cycles -> miss_cycles := !miss_cycles + cycles)
+      dp w.Pipebench.trace
+  in
+  Alcotest.(check int) "callback per packet" m.Metrics.packets !events;
+  (* Slowpath packets account for all userspace/partition/rulegen cycles
+     plus their own software-cache searches; software hits burn search
+     cycles outside the sink. *)
+  let floor_cycles =
+    m.Metrics.cycles_userspace + m.Metrics.cycles_partition + m.Metrics.cycles_rulegen
+  in
+  Alcotest.(check bool) "miss cycles bounded" true
+    (!miss_cycles >= floor_cycles && !miss_cycles <= Metrics.total_cycles m)
+
+let test_latency_model () =
+  Alcotest.(check bool) "deployment ordering" true
+    (Latency.cache_hit_us Latency.Offload_fpga < Latency.cache_hit_us Latency.Dpdk_host
+    && Latency.cache_hit_us Latency.Dpdk_host < Latency.cache_hit_us Latency.Dpdk_arm
+    && Latency.cache_hit_us Latency.Dpdk_arm < Latency.cache_hit_us Latency.Kernel_host
+    && Latency.cache_hit_us Latency.Kernel_host < Latency.cache_hit_us Latency.Kernel_arm);
+  Alcotest.(check (float 1e-9)) "paper's fpga hit" 8.62
+    (Latency.cache_hit_us Latency.Offload_fpga);
+  let slow1 =
+    Latency.slowpath_us ~pipeline_lookups:5 ~tuple_probes:20 ~partition_work:100
+      ~rulegen_work:4 ~installs:4
+  in
+  let slow2 =
+    Latency.slowpath_us ~pipeline_lookups:10 ~tuple_probes:40 ~partition_work:400
+      ~rulegen_work:4 ~installs:4
+  in
+  Alcotest.(check bool) "monotone in work" true (slow2 > slow1);
+  Alcotest.(check bool) "sw search scales" true
+    (Latency.sw_search_us ~work:100 () > Latency.sw_search_us ~work:10 ());
+  Alcotest.(check bool) "nm units cheaper" true
+    (Latency.sw_search_us ~algo:`Nuevomatch ~work:100 ()
+    < Latency.sw_search_us ~algo:`Tss ~work:100 ())
+
+let test_resources_model () =
+  let e = Resources.estimate ~tables:4 ~table_capacity:8192 in
+  (* Calibrated to the paper's prototype: 47% LUT, 33% FF, 49% BRAM, 38 W. *)
+  Alcotest.(check (float 0.5)) "luts" 47.0 e.Resources.luts_pct;
+  Alcotest.(check (float 0.5)) "ffs" 33.0 e.Resources.ffs_pct;
+  Alcotest.(check (float 0.5)) "bram" 49.0 e.Resources.bram_pct;
+  Alcotest.(check (float 0.5)) "power" 38.0 e.Resources.power_w;
+  Alcotest.(check bool) "fits budget" true (Resources.fits e);
+  let big = Resources.estimate ~tables:8 ~table_capacity:200_000 in
+  Alcotest.(check bool) "oversized rejected" false (Resources.fits big)
+
+let test_multicore_distribution () =
+  let census = Hashtbl.create 16 in
+  for flow = 0 to 999 do
+    Hashtbl.replace census flow (100 + (flow mod 7))
+  done;
+  let one = Gf_sim.Multicore.distribute ~cores:1 census in
+  let four = Gf_sim.Multicore.distribute ~cores:4 census in
+  Alcotest.(check int) "total conserved" (Gf_sim.Multicore.total_load one)
+    (Gf_sim.Multicore.total_load four);
+  Alcotest.(check int) "1-core max = total" (Gf_sim.Multicore.total_load one)
+    (Gf_sim.Multicore.max_load one);
+  let s = Gf_sim.Multicore.speedup ~baseline:one four in
+  Alcotest.(check bool) (Printf.sprintf "near-linear speedup (%.2f)" s) true
+    (s > 3.0 && s <= 4.2);
+  Alcotest.(check bool) "balanced" true (Gf_sim.Multicore.imbalance four < 1.2)
+
+let test_pcie_model () =
+  Alcotest.(check (float 1e-9)) "empty batch" 0.0 (Pcie.batch_us ~ops:0);
+  Alcotest.(check bool) "batch amortises" true
+    (Pcie.batch_us ~ops:10 < 10.0 *. (Pcie.write_entry_us +. 0.6) +. 1e-9)
+
+let suite =
+  [
+    ("metrics accounting", `Quick, test_metrics_accounting);
+    ("datapath decisions = slowpath", `Slow, test_datapath_backends_consistent_decisions);
+    ("gigaflow beats megaflow under pressure", `Slow, test_gigaflow_beats_megaflow_under_pressure);
+    ("software cache absorbs misses", `Quick, test_sw_cache_absorbs_misses);
+    ("expiry bounds occupancy", `Quick, test_expiry_keeps_occupancy_bounded);
+    ("run callbacks", `Quick, test_miss_sink_and_on_packet);
+    ("latency model", `Quick, test_latency_model);
+    ("resources model", `Quick, test_resources_model);
+    ("multicore distribution", `Quick, test_multicore_distribution);
+    ("pcie model", `Quick, test_pcie_model);
+  ]

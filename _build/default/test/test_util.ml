@@ -1,0 +1,235 @@
+(* Tests for gigaflow.util: Rng, Zipf, Stats, Tablefmt, Bitops. *)
+
+module Rng = Gf_util.Rng
+module Zipf = Gf_util.Zipf
+module Stats = Gf_util.Stats
+module Tablefmt = Gf_util.Tablefmt
+module Bitops = Gf_util.Bitops
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_copy_independent () =
+  let a = Rng.create 7 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.bits64 a) (Rng.bits64 b)
+
+let test_rng_split_differs () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  let xs = List.init 10 (fun _ -> Rng.bits64 a) in
+  let ys = List.init 10 (fun _ -> Rng.bits64 b) in
+  Alcotest.(check bool) "split stream differs" true (xs <> ys)
+
+let test_rng_int_range () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of range: %d" v
+  done
+
+let test_rng_int_in () =
+  let rng = Rng.create 2 in
+  for _ = 1 to 1_000 do
+    let v = Rng.int_in rng (-5) 5 in
+    if v < -5 || v > 5 then Alcotest.failf "out of range: %d" v
+  done
+
+let test_rng_float_range () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng 2.5 in
+    if v < 0.0 || v >= 2.5 then Alcotest.failf "out of range: %f" v
+  done
+
+let test_rng_bernoulli_bias () =
+  let rng = Rng.create 4 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let p = float_of_int !hits /. float_of_int n in
+  if Float.abs (p -. 0.3) > 0.02 then Alcotest.failf "bias off: %f" p
+
+let test_rng_pick_weighted () =
+  let rng = Rng.create 5 in
+  let counts = Hashtbl.create 3 in
+  for _ = 1 to 30_000 do
+    let x = Rng.pick_weighted rng [| ("a", 1.0); ("b", 3.0); ("c", 0.0) |] in
+    Hashtbl.replace counts x (1 + Option.value ~default:0 (Hashtbl.find_opt counts x))
+  done;
+  let get k = Option.value ~default:0 (Hashtbl.find_opt counts k) in
+  Alcotest.(check int) "zero weight never picked" 0 (get "c");
+  let ratio = float_of_int (get "b") /. float_of_int (get "a") in
+  if Float.abs (ratio -. 3.0) > 0.3 then Alcotest.failf "weight ratio off: %f" ratio
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 6 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_pareto_bounds () =
+  let rng = Rng.create 8 in
+  for _ = 1 to 1_000 do
+    let v = Rng.pareto rng ~alpha:1.2 ~xmin:2.0 in
+    if v < 2.0 then Alcotest.failf "pareto below xmin: %f" v
+  done
+
+let test_rng_geometric () =
+  let rng = Rng.create 9 in
+  Alcotest.(check int) "p=1 always 0" 0 (Rng.geometric rng 1.0);
+  let acc = Stats.Acc.create () in
+  for _ = 1 to 20_000 do
+    Stats.Acc.add acc (float_of_int (Rng.geometric rng 0.5))
+  done;
+  (* mean of Geom(0.5) failures = (1-p)/p = 1 *)
+  if Float.abs (Stats.Acc.mean acc -. 1.0) > 0.05 then
+    Alcotest.failf "geometric mean off: %f" (Stats.Acc.mean acc)
+
+let test_zipf_pmf_sums_to_one () =
+  let z = Zipf.create ~n:100 ~s:1.1 in
+  let total = ref 0.0 in
+  for r = 0 to 99 do
+    total := !total +. Zipf.pmf z r
+  done;
+  if Float.abs (!total -. 1.0) > 1e-9 then Alcotest.failf "pmf sum %f" !total
+
+let test_zipf_monotone () =
+  let z = Zipf.create ~n:50 ~s:0.9 in
+  for r = 1 to 49 do
+    if Zipf.pmf z r > Zipf.pmf z (r - 1) +. 1e-12 then
+      Alcotest.failf "pmf not monotone at %d" r
+  done
+
+let test_zipf_sampling_matches_pmf () =
+  let z = Zipf.create ~n:10 ~s:1.0 in
+  let rng = Rng.create 10 in
+  let counts = Array.make 10 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let r = Zipf.sample z rng in
+    counts.(r) <- counts.(r) + 1
+  done;
+  for r = 0 to 9 do
+    let expected = Zipf.pmf z r *. float_of_int n in
+    let got = float_of_int counts.(r) in
+    if Float.abs (got -. expected) > 5.0 *. sqrt expected +. 10.0 then
+      Alcotest.failf "rank %d: got %f expected %f" r got expected
+  done
+
+let test_zipf_uniform_when_s0 () =
+  let z = Zipf.create ~n:4 ~s:0.0 in
+  for r = 0 to 3 do
+    if Float.abs (Zipf.pmf z r -. 0.25) > 1e-9 then Alcotest.fail "not uniform"
+  done
+
+let test_acc_basic () =
+  let acc = Stats.Acc.create () in
+  List.iter (Stats.Acc.add acc) [ 1.0; 2.0; 3.0; 4.0 ];
+  Alcotest.(check int) "count" 4 (Stats.Acc.count acc);
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.Acc.mean acc);
+  Alcotest.(check (float 1e-9)) "total" 10.0 (Stats.Acc.total acc);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.Acc.min acc);
+  Alcotest.(check (float 1e-9)) "max" 4.0 (Stats.Acc.max acc);
+  (* var of {1,2,3,4} = 5/3 *)
+  Alcotest.(check (float 1e-9)) "variance" (5.0 /. 3.0) (Stats.Acc.variance acc)
+
+let test_acc_empty_nan () =
+  let acc = Stats.Acc.create () in
+  Alcotest.(check bool) "mean nan" true (Float.is_nan (Stats.Acc.mean acc))
+
+let test_percentile () =
+  let xs = [| 15.0; 20.0; 35.0; 40.0; 50.0 |] in
+  Alcotest.(check (float 1e-9)) "p0" 15.0 (Stats.percentile xs 0.0);
+  Alcotest.(check (float 1e-9)) "p100" 50.0 (Stats.percentile xs 100.0);
+  Alcotest.(check (float 1e-9)) "median" 35.0 (Stats.median xs);
+  Alcotest.(check (float 1e-9)) "p25" 20.0 (Stats.percentile xs 25.0)
+
+let test_percentile_interpolates () =
+  let xs = [| 0.0; 10.0 |] in
+  Alcotest.(check (float 1e-9)) "p50 interp" 5.0 (Stats.percentile xs 50.0)
+
+let test_histogram () =
+  let h = Stats.Histogram.create ~lo:0.0 ~hi:10.0 ~bins:5 in
+  List.iter (Stats.Histogram.add h) [ 0.5; 1.5; 2.5; 9.9; -3.0; 42.0 ];
+  let counts = Stats.Histogram.counts h in
+  Alcotest.(check int) "total" 6 (Stats.Histogram.total h);
+  Alcotest.(check int) "first bin has clamped low" 3 counts.(0);
+  Alcotest.(check int) "last bin has clamped high" 2 counts.(4);
+  let lo, hi = Stats.Histogram.bin_bounds h 1 in
+  Alcotest.(check (float 1e-9)) "bin lo" 2.0 lo;
+  Alcotest.(check (float 1e-9)) "bin hi" 4.0 hi
+
+let contains haystack needle =
+  let n = String.length haystack and m = String.length needle in
+  let rec at i = i + m <= n && (String.sub haystack i m = needle || at (i + 1)) in
+  at 0
+
+let test_tablefmt_renders () =
+  let t = Tablefmt.create ~title:"T" [ "name"; "value" ] in
+  Tablefmt.add_row t [ "alpha"; "1" ];
+  Tablefmt.add_sep t;
+  Tablefmt.add_row t [ "beta"; "22" ];
+  let s = Tablefmt.render t in
+  Alcotest.(check bool) "has title" true (String.length s > 0 && s.[0] = 'T');
+  Alcotest.(check bool) "contains alpha" true (contains s "alpha" && contains s "22")
+
+let test_tablefmt_bad_row () =
+  let t = Tablefmt.create [ "a"; "b" ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Tablefmt.add_row: wrong number of cells")
+    (fun () -> Tablefmt.add_row t [ "only-one" ])
+
+let test_fmt_numbers () =
+  Alcotest.(check string) "int" "12,345" (Tablefmt.fmt_int 12345);
+  Alcotest.(check string) "int small" "7" (Tablefmt.fmt_int 7);
+  Alcotest.(check string) "neg" "-1,000" (Tablefmt.fmt_int (-1000));
+  Alcotest.(check string) "pct" "51.40%" (Tablefmt.fmt_pct 0.514);
+  Alcotest.(check string) "times" "450.0x" (Tablefmt.fmt_times 450.0);
+  Alcotest.(check string) "si M" "14.7M" (Tablefmt.fmt_si 14_700_000.0);
+  Alcotest.(check string) "si K" "48.0K" (Tablefmt.fmt_si 48_000.0)
+
+let test_bitops () =
+  Alcotest.(check int) "mask width" 0xFF (Bitops.mask_of_width 8);
+  Alcotest.(check int) "mask zero" 0 (Bitops.mask_of_width 0);
+  Alcotest.(check int) "prefix 24" 0xFFFFFF00 (Bitops.prefix_mask ~width:32 24);
+  Alcotest.(check int) "prefix full" 0xFFFFFFFF (Bitops.prefix_mask ~width:32 32);
+  Alcotest.(check int) "prefix none" 0 (Bitops.prefix_mask ~width:32 0);
+  Alcotest.(check int) "popcount" 3 (Bitops.popcount 0b10101);
+  Alcotest.(check bool) "subset yes" true (Bitops.is_subset ~sub:0b101 ~super:0b111);
+  Alcotest.(check bool) "subset no" false (Bitops.is_subset ~sub:0b1000 ~super:0b111)
+
+let suite =
+  [
+    ("rng deterministic", `Quick, test_rng_deterministic);
+    ("rng copy", `Quick, test_rng_copy_independent);
+    ("rng split", `Quick, test_rng_split_differs);
+    ("rng int range", `Quick, test_rng_int_range);
+    ("rng int_in range", `Quick, test_rng_int_in);
+    ("rng float range", `Quick, test_rng_float_range);
+    ("rng bernoulli bias", `Quick, test_rng_bernoulli_bias);
+    ("rng pick_weighted", `Quick, test_rng_pick_weighted);
+    ("rng shuffle permutation", `Quick, test_rng_shuffle_permutation);
+    ("rng pareto bounds", `Quick, test_rng_pareto_bounds);
+    ("rng geometric", `Quick, test_rng_geometric);
+    ("zipf pmf sums to 1", `Quick, test_zipf_pmf_sums_to_one);
+    ("zipf pmf monotone", `Quick, test_zipf_monotone);
+    ("zipf sampling matches pmf", `Quick, test_zipf_sampling_matches_pmf);
+    ("zipf s=0 uniform", `Quick, test_zipf_uniform_when_s0);
+    ("stats acc", `Quick, test_acc_basic);
+    ("stats acc empty", `Quick, test_acc_empty_nan);
+    ("stats percentile", `Quick, test_percentile);
+    ("stats percentile interpolation", `Quick, test_percentile_interpolates);
+    ("stats histogram", `Quick, test_histogram);
+    ("tablefmt renders", `Quick, test_tablefmt_renders);
+    ("tablefmt arity check", `Quick, test_tablefmt_bad_row);
+    ("tablefmt numbers", `Quick, test_fmt_numbers);
+    ("bitops", `Quick, test_bitops);
+  ]

@@ -1,0 +1,215 @@
+(* Tests for gigaflow.workload: Classbench, Ruleset, Trace, Pipebench. *)
+
+module Classbench = Gf_workload.Classbench
+module Ruleset = Gf_workload.Ruleset
+module Trace = Gf_workload.Trace
+module Pipebench = Gf_workload.Pipebench
+module Catalog = Gf_pipelines.Catalog
+module Executor = Gf_pipeline.Executor
+module Flow = Gf_flow.Flow
+
+let small_profile =
+  {
+    Classbench.acl_profile with
+    Classbench.endpoints = 128;
+    subnets = 16;
+    services = 32;
+  }
+
+let test_classbench_deterministic () =
+  let a = Classbench.generate (Classbench.create ~seed:5 ()) 100 in
+  let b = Classbench.generate (Classbench.create ~seed:5 ()) 100 in
+  Alcotest.(check bool) "same rules" true (a = b);
+  let c = Classbench.generate (Classbench.create ~seed:6 ()) 100 in
+  Alcotest.(check bool) "different seed differs" true (a <> c)
+
+let test_classbench_well_formed () =
+  let rules = Classbench.generate (Classbench.create ~seed:7 ()) 2000 in
+  Array.iter
+    (fun (r : Classbench.rule) ->
+      let _, src_len = r.Classbench.ip_src and _, dst_len = r.Classbench.ip_dst in
+      Alcotest.(check bool) "src len" true (List.mem src_len [ 16; 24; 32 ]);
+      Alcotest.(check bool) "dst len" true (List.mem dst_len [ 16; 24; 32 ]);
+      (match r.Classbench.proto with
+      | Some p -> Alcotest.(check bool) "proto sane" true (List.mem p [ 1; 6; 17 ])
+      | None -> ());
+      (match (r.Classbench.proto, r.Classbench.tp_dst) with
+      | (Some 1 | None), Some _ -> Alcotest.fail "ports without L4 proto"
+      | _ -> ());
+      Alcotest.(check bool) "vlan in range" true (r.Classbench.vlan >= 10))
+    rules
+
+(* Fig. 4's shape: sharing increases monotonically as fields decrease. *)
+let test_classbench_sharing_monotone () =
+  let rules = Classbench.generate (Classbench.create ~seed:8 ()) 20_000 in
+  let sharing = List.map (fun k -> Classbench.five_tuple_sharing rules ~k) [ 1; 2; 3; 4; 5 ] in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+        if a < b then Alcotest.failf "sharing not monotone: %f < %f" a b else check rest
+    | _ -> ()
+  in
+  check sharing;
+  (* The full 5-tuple is nearly unique (paper: ~1.03). *)
+  let k5 = List.nth sharing 4 in
+  Alcotest.(check bool) (Printf.sprintf "5-tuple nearly unique (%.2f)" k5) true (k5 < 3.0);
+  let k1 = List.hd sharing in
+  Alcotest.(check bool) (Printf.sprintf "single fields highly shared (%.0f)" k1) true
+    (k1 > 50.0)
+
+let test_gateway_macs_distinct_oui () =
+  let gen = Classbench.create ~seed:9 () in
+  let rules = Classbench.generate gen 100 in
+  Array.iter
+    (fun r ->
+      let gw = Classbench.gateway_mac gen r in
+      Alcotest.(check bool) "distinct OUI" true (gw lsr 40 <> r.Classbench.eth_src lsr 40))
+    rules
+
+let test_ruleset_builds_all_pipelines () =
+  List.iter
+    (fun info ->
+      let rs = Ruleset.build ~profile:small_profile ~combos:256 ~info ~seed:3 () in
+      Alcotest.(check bool)
+        (info.Catalog.code ^ " installs rules")
+        true
+        (Ruleset.rule_count rs > 0);
+      Alcotest.(check int) "combos" 256 (Ruleset.combo_count rs))
+    Catalog.all
+
+let test_ruleset_deterministic () =
+  let info = Option.get (Catalog.find "PSC") in
+  let a = Ruleset.build ~profile:small_profile ~combos:128 ~info ~seed:11 () in
+  let b = Ruleset.build ~profile:small_profile ~combos:128 ~info ~seed:11 () in
+  Alcotest.(check int) "same rule count" (Ruleset.rule_count a) (Ruleset.rule_count b);
+  let fa = Ruleset.sample_flows a ~seed:1 ~locality:Ruleset.High ~n:100 in
+  let fb = Ruleset.sample_flows b ~seed:1 ~locality:Ruleset.High ~n:100 in
+  Alcotest.(check bool) "same flows" true (fa = fb)
+
+let test_sampled_flows_unique_and_executable () =
+  let info = Option.get (Catalog.find "OFD") in
+  let rs = Ruleset.build ~profile:small_profile ~combos:256 ~info ~seed:12 () in
+  let p = Ruleset.pipeline rs in
+  List.iter
+    (fun locality ->
+      let flows = Ruleset.sample_flows rs ~seed:2 ~locality ~n:500 in
+      let seen = Hashtbl.create 500 in
+      Array.iter
+        (fun flow ->
+          Alcotest.(check bool) "unique" false (Hashtbl.mem seen flow);
+          Hashtbl.replace seen flow ();
+          match Executor.execute p flow with
+          | Ok tr ->
+              Alcotest.(check bool) "has steps" true (Gf_pipeline.Traversal.length tr > 0)
+          | Error e -> Alcotest.failf "flow fails: %a" Executor.pp_error e)
+        flows)
+    [ Ruleset.High; Ruleset.Low ]
+
+(* Flows should mostly exercise installed rules, not fall through empty
+   miss chains. *)
+let test_flows_hit_rules () =
+  let info = Option.get (Catalog.find "PSC") in
+  let rs = Ruleset.build ~profile:small_profile ~combos:512 ~info ~seed:13 () in
+  let p = Ruleset.pipeline rs in
+  let flows = Ruleset.sample_flows rs ~seed:3 ~locality:Ruleset.High ~n:300 in
+  let rule_hits = ref 0 and total_steps = ref 0 in
+  Array.iter
+    (fun flow ->
+      match Executor.execute p flow with
+      | Ok tr ->
+          Array.iter
+            (fun (s : Gf_pipeline.Traversal.step) ->
+              incr total_steps;
+              match s.Gf_pipeline.Traversal.outcome with
+              | `Rule _ -> incr rule_hits
+              | `Table_miss -> ())
+            tr.Gf_pipeline.Traversal.steps
+      | Error _ -> ())
+    flows;
+  let frac = float_of_int !rule_hits /. float_of_int !total_steps in
+  Alcotest.(check bool) (Printf.sprintf "mostly rule hits (%.2f)" frac) true (frac > 0.5)
+
+let test_high_locality_concentrates () =
+  let info = Option.get (Catalog.find "PSC") in
+  let rs = Ruleset.build ~combos:4096 ~info ~seed:14 () in
+  let p = Ruleset.pipeline rs in
+  let distinct_megaflows locality =
+    let flows = Ruleset.sample_flows rs ~seed:4 ~locality ~n:2000 in
+    let seen = Hashtbl.create 100 in
+    Array.iter
+      (fun flow ->
+        match Executor.execute p flow with
+        | Ok tr ->
+            let w = Gf_pipeline.Traversal.megaflow_wildcard tr in
+            Hashtbl.replace seen (Gf_flow.Fmatch.v ~pattern:flow ~mask:w) ()
+        | Error _ -> ())
+      flows;
+    Hashtbl.length seen
+  in
+  let high = distinct_megaflows Ruleset.High in
+  let low = distinct_megaflows Ruleset.Low in
+  Alcotest.(check bool)
+    (Printf.sprintf "high (%d) concentrates vs low (%d)" high low)
+    true
+    (float_of_int high < 0.8 *. float_of_int low)
+
+let test_trace_sorted_and_counts () =
+  let flows = Array.init 50 (fun i -> Flow.make [ (Gf_flow.Field.Vlan, i) ]) in
+  let t = Trace.generate ~duration:10.0 ~mean_flow_size:4.0 ~seed:15 ~flows () in
+  Alcotest.(check int) "unique flows" 50 t.Trace.unique_flows;
+  Alcotest.(check bool) "at least one packet per flow" true
+    (Trace.packet_count t >= 50);
+  let sorted = ref true in
+  for i = 0 to Array.length t.Trace.packets - 2 do
+    if t.Trace.packets.(i).Trace.time > t.Trace.packets.(i + 1).Trace.time then
+      sorted := false
+  done;
+  Alcotest.(check bool) "sorted by time" true !sorted
+
+let test_trace_deterministic () =
+  let flows = Array.init 20 (fun i -> Flow.make [ (Gf_flow.Field.Vlan, i) ]) in
+  let a = Trace.generate ~seed:16 ~flows () in
+  let b = Trace.generate ~seed:16 ~flows () in
+  Alcotest.(check int) "same size" (Trace.packet_count a) (Trace.packet_count b)
+
+let test_trace_concat () =
+  let flows = Array.init 10 (fun i -> Flow.make [ (Gf_flow.Field.Vlan, i) ]) in
+  let a = Trace.generate ~duration:5.0 ~seed:17 ~flows () in
+  let b = Trace.generate ~duration:5.0 ~seed:18 ~flows () in
+  let c = Trace.concat a b ~offset:300.0 in
+  Alcotest.(check int) "flow ids renumbered" 20 c.Trace.unique_flows;
+  Alcotest.(check int) "packets merged" (Trace.packet_count a + Trace.packet_count b)
+    (Trace.packet_count c);
+  (* Packets from b all carry ids >= 10 and times >= 300. *)
+  Array.iter
+    (fun pkt ->
+      if pkt.Trace.flow_id >= 10 then
+        Alcotest.(check bool) "offset applied" true (pkt.Trace.time >= 300.0))
+    c.Trace.packets
+
+let test_pipebench_end_to_end () =
+  let info = Option.get (Catalog.find "OTL") in
+  let w =
+    Pipebench.make ~profile:small_profile ~combos:256 ~unique_flows:400 ~duration:5.0
+      ~info ~locality:Ruleset.Low ~seed:19 ()
+  in
+  Alcotest.(check int) "flows" 400 (Array.length w.Pipebench.flows);
+  Alcotest.(check bool) "trace nonempty" true (Trace.packet_count w.Pipebench.trace > 0);
+  Alcotest.(check bool) "pipeline populated" true
+    (Gf_pipeline.Pipeline.rule_count (Pipebench.pipeline w) > 0)
+
+let suite =
+  [
+    ("classbench deterministic", `Quick, test_classbench_deterministic);
+    ("classbench well-formed", `Quick, test_classbench_well_formed);
+    ("classbench sharing monotone (fig 4)", `Quick, test_classbench_sharing_monotone);
+    ("gateway macs distinct", `Quick, test_gateway_macs_distinct_oui);
+    ("ruleset builds all pipelines", `Quick, test_ruleset_builds_all_pipelines);
+    ("ruleset deterministic", `Quick, test_ruleset_deterministic);
+    ("flows unique and executable", `Quick, test_sampled_flows_unique_and_executable);
+    ("flows exercise rules", `Quick, test_flows_hit_rules);
+    ("high locality concentrates", `Quick, test_high_locality_concentrates);
+    ("trace sorted", `Quick, test_trace_sorted_and_counts);
+    ("trace deterministic", `Quick, test_trace_deterministic);
+    ("trace concat", `Quick, test_trace_concat);
+    ("pipebench end-to-end", `Quick, test_pipebench_end_to_end);
+  ]
