@@ -1,0 +1,256 @@
+(* Wall-clock throughput benchmark: sequential vs multicore replay, Megaflow
+   vs Gigaflow backends, plus microbenchmarks quantifying the hot-path
+   allocation/hashing work.  Writes BENCH_throughput.json — the perf
+   trajectory every later PR is measured against.
+
+   Usage:
+     dune exec bench/bench_throughput.exe                  # default scale 0.25
+     dune exec bench/bench_throughput.exe -- --scale 0.05  # CI smoke test
+     dune build @bench-quick                               # same, via alias
+
+   Speedup accounting: `wall_speedup` is end-to-end wall clock of the
+   domains run; `speedup` is sequential wall over the parallel run's
+   critical path (max per-shard wall, each shard timed running alone) —
+   i.e. the wall clock the engine achieves when every domain has a
+   dedicated core.  On a host with >= N cores the two agree; on smaller
+   hosts (e.g. 1-core CI) `wall_speedup` degenerates to ~1x by physics
+   while `speedup` still measures engine scaling. *)
+
+module Catalog = Gf_pipelines.Catalog
+module Pipebench = Gf_workload.Pipebench
+module Ruleset = Gf_workload.Ruleset
+module Trace = Gf_workload.Trace
+module Datapath = Gf_sim.Datapath
+module Metrics = Gf_sim.Metrics
+module Parallel = Gf_sim.Parallel
+module Multicore = Gf_sim.Multicore
+module Flow = Gf_flow.Flow
+module Field = Gf_flow.Field
+module Mask = Gf_flow.Mask
+
+let scale = ref 0.25
+let seed = ref 42
+let out = ref "BENCH_throughput.json"
+let domain_counts = [ 2; 4; 8 ]
+
+let scaled n = max 1 (int_of_float (float_of_int n *. !scale))
+
+let say fmt = Printf.printf (fmt ^^ "\n%!")
+
+let now () = Unix.gettimeofday ()
+
+(* ------------------------------ runs ------------------------------ *)
+
+type seq_run = { wall : float; pps : float; metrics : Metrics.t }
+
+let run_sequential cfg pipeline trace =
+  let dp = Datapath.create cfg (Gf_pipeline.Pipeline.copy pipeline) in
+  let t0 = now () in
+  let metrics = Datapath.run dp trace in
+  let wall = now () -. t0 in
+  { wall; pps = float_of_int metrics.Metrics.packets /. wall; metrics }
+
+type par_run = {
+  domains : int;
+  domains_wall : float; (* real `Domains run, spawn to join *)
+  critical_path : float; (* max per-shard wall, shards timed alone *)
+  speedup : float; (* sequential wall / critical path *)
+  wall_speedup : float; (* sequential wall / domains wall *)
+  merged_pps : float; (* packets / critical path *)
+  imbalance : float; (* measured per-shard slowpath-load imbalance *)
+  hit_rate : float;
+  matches_sequential_mode : bool; (* `Domains merged == `Sequential merged *)
+}
+
+let counters (m : Metrics.t) =
+  [
+    m.Metrics.packets; m.Metrics.hw_hits; m.Metrics.sw_hits; m.Metrics.slowpaths;
+    m.Metrics.drops; m.Metrics.hw_installs; m.Metrics.hw_shared;
+    m.Metrics.hw_rejected; m.Metrics.hw_evictions;
+  ]
+
+let run_parallel cfg pipeline trace ~domains ~seq_wall =
+  (* Pass 1: shards timed one at a time — undistorted per-shard walls. *)
+  let seq_shards = Parallel.replay ~mode:`Sequential ~domains ~cfg pipeline trace in
+  (* Pass 2: the real thing, one domain per shard. *)
+  let par = Parallel.replay ~mode:`Domains ~domains ~cfg pipeline trace in
+  let m = par.Parallel.merged in
+  {
+    domains;
+    domains_wall = par.Parallel.wall_seconds;
+    critical_path = seq_shards.Parallel.critical_path_seconds;
+    speedup = seq_wall /. seq_shards.Parallel.critical_path_seconds;
+    wall_speedup = seq_wall /. par.Parallel.wall_seconds;
+    merged_pps =
+      float_of_int m.Metrics.packets /. seq_shards.Parallel.critical_path_seconds;
+    imbalance = Multicore.imbalance (Parallel.measured_loads par);
+    hit_rate = Metrics.hw_hit_rate m;
+    matches_sequential_mode =
+      counters m = counters seq_shards.Parallel.merged;
+  }
+
+(* -------------------- hot-path microbenchmarks -------------------- *)
+
+(* Each pair times the pre-optimisation implementation (reconstructed from
+   the public API) against the optimised library path, on identical inputs.
+   Reported as old_time / new_time (>1 = the optimisation pays). *)
+
+let time_iters f iters =
+  let t0 = now () in
+  for _ = 1 to iters do
+    f ()
+  done;
+  now () -. t0
+
+let repeat_best f iters =
+  (* best-of-3 to damp scheduler noise *)
+  let a = time_iters f iters in
+  let b = time_iters f iters in
+  let c = time_iters f iters in
+  Float.min a (Float.min b c)
+
+let micro_mask_apply () =
+  let mask = Mask.make [ (Field.Ip_dst, 0xFFFFFF00); (Field.Tp_dst, 0xFFFF) ] in
+  let flow = Flow.make [ (Field.Ip_dst, 0x0A000001); (Field.Tp_dst, 443) ] in
+  let iters = 400_000 in
+  (* The seed's Mask.apply: flow -> array -> masked array -> re-truncating
+     Flow.of_array (two copies + a truncate pass). *)
+  let ma = Array.init Field.count (fun i -> Mask.get mask (Field.of_index i)) in
+  let naive () =
+    let fa = Flow.to_array flow in
+    ignore (Flow.of_array (Array.init Field.count (fun i -> fa.(i) land ma.(i))))
+  in
+  let opt () = ignore (Mask.apply mask flow) in
+  repeat_best naive iters /. repeat_best opt iters
+
+let micro_commit_apply () =
+  let commit = [ (Field.Eth_dst, 0xBEEF); (Field.Vlan, 7); (Field.Tp_dst, 80) ] in
+  let flow = Flow.make [ (Field.Ip_dst, 0x0A000001) ] in
+  let iters = 400_000 in
+  let naive () =
+    ignore (List.fold_left (fun f (field, v) -> Flow.set f field v) flow commit)
+  in
+  let opt () = ignore (Flow.update flow commit) in
+  repeat_best naive iters /. repeat_best opt iters
+
+let micro_flow_table () =
+  let rng = Gf_util.Rng.create 7 in
+  let flows =
+    Array.init 4096 (fun _ ->
+        Flow.make
+          [
+            (Field.Ip_src, Gf_util.Rng.int rng 0x7FFFFFFF);
+            (Field.Ip_dst, Gf_util.Rng.int rng 0x7FFFFFFF);
+            (Field.Tp_src, Gf_util.Rng.int rng 0xFFFF);
+          ])
+  in
+  let poly : (Flow.t, int) Hashtbl.t = Hashtbl.create 4096 in
+  let mono : int Flow.Tbl.t = Flow.Tbl.create 4096 in
+  Array.iteri (fun i f -> Hashtbl.replace poly f i) flows;
+  Array.iteri (fun i f -> Flow.Tbl.replace mono f i) flows;
+  let iters = 300 in
+  let naive () = Array.iter (fun f -> ignore (Hashtbl.find_opt poly f)) flows in
+  let opt () = Array.iter (fun f -> ignore (Flow.Tbl.find_opt mono f)) flows in
+  repeat_best naive iters /. repeat_best opt iters
+
+(* ------------------------------ JSON ------------------------------ *)
+
+let buf = Buffer.create 4096
+
+let j fmt = Printf.ksprintf (Buffer.add_string buf) fmt
+
+let jfloat v = if Float.is_nan v then "null" else Printf.sprintf "%.4f" v
+
+let () =
+  let spec =
+    [
+      ("--scale", Arg.Set_float scale, "F  scale workload sizes by F (default 0.25)");
+      ("--seed", Arg.Set_int seed, "N  master random seed (default 42)");
+      ("--out", Arg.Set_string out, "FILE  output JSON path (default BENCH_throughput.json)");
+    ]
+  in
+  Arg.parse spec (fun _ -> ()) "gigaflow throughput benchmark";
+  let t_start = now () in
+  say "Throughput benchmark: seed %d, scale %.2f, host cores %d" !seed !scale
+    (Domain.recommended_domain_count ());
+  let info = Option.get (Catalog.find "PSC") in
+  let w =
+    Pipebench.make ~combos:(scaled 131_072) ~unique_flows:(scaled 100_000)
+      ~duration:60.0 ~info ~locality:Ruleset.High ~seed:!seed ()
+  in
+  let pipeline = Pipebench.pipeline w in
+  let trace = w.Pipebench.trace in
+  say "Workload: PSC/high, %d packets, %d flows" (Trace.packet_count trace)
+    trace.Trace.unique_flows;
+  let mf_cfg = { Datapath.megaflow_32k with Datapath.mf_capacity = scaled 32_768 } in
+  let gf_cfg =
+    {
+      Datapath.gigaflow_4x8k with
+      Datapath.gf = Gf_core.Config.v ~tables:4 ~table_capacity:(scaled 8192) ();
+    }
+  in
+  j "{\n";
+  j "  \"meta\": {\"seed\": %d, \"scale\": %s, \"pipeline\": \"PSC\", \"locality\": \"high\",\n"
+    !seed (jfloat !scale);
+  j "           \"packets\": %d, \"unique_flows\": %d, \"host_cores\": %d},\n"
+    (Trace.packet_count trace) trace.Trace.unique_flows
+    (Domain.recommended_domain_count ());
+  let backends = [ ("megaflow", mf_cfg); ("gigaflow", gf_cfg) ] in
+  j "  \"sequential\": {\n";
+  let seq_runs =
+    List.mapi
+      (fun bi (name, cfg) ->
+        let r = run_sequential cfg pipeline trace in
+        say "  [seq] %s: %.2fs, %.0f pps, hit %.2f%%" name r.wall r.pps
+          (100.0 *. Metrics.hw_hit_rate r.metrics);
+        j "    \"%s\": {\"wall_seconds\": %s, \"packets_per_second\": %s, \"hw_hit_rate\": %s}%s\n"
+          name (jfloat r.wall) (jfloat r.pps)
+          (jfloat (Metrics.hw_hit_rate r.metrics))
+          (if bi = List.length backends - 1 then "" else ",");
+        (name, r))
+      backends
+  in
+  j "  },\n";
+  j "  \"parallel\": [\n";
+  let n_rows = List.length backends * List.length domain_counts in
+  let row = ref 0 in
+  List.iter
+    (fun (name, cfg) ->
+      let seq = List.assoc name seq_runs in
+      List.iter
+        (fun domains ->
+          let p = run_parallel cfg pipeline trace ~domains ~seq_wall:seq.wall in
+          say "  [par] %s x%d: critical path %.2fs, speedup %.2fx (wall %.2fx), \
+               imbalance %.2f, merged ok: %b"
+            name domains p.critical_path p.speedup p.wall_speedup p.imbalance
+            p.matches_sequential_mode;
+          incr row;
+          j "    {\"backend\": \"%s\", \"domains\": %d, \"critical_path_seconds\": %s,\n"
+            name domains (jfloat p.critical_path);
+          j "     \"domains_wall_seconds\": %s, \"speedup\": %s, \"wall_speedup\": %s,\n"
+            (jfloat p.domains_wall) (jfloat p.speedup) (jfloat p.wall_speedup);
+          j "     \"packets_per_second\": %s, \"load_imbalance\": %s, \"hw_hit_rate\": %s,\n"
+            (jfloat p.merged_pps) (jfloat p.imbalance) (jfloat p.hit_rate);
+          j "     \"domains_match_sequential_mode\": %b}%s\n" p.matches_sequential_mode
+            (if !row = n_rows then "" else ",");
+        )
+        domain_counts)
+    backends;
+  j "  ],\n";
+  say "  [micro] hot-path A/B (old/new time ratio, >1 = faster now)";
+  let m_mask = micro_mask_apply () in
+  let m_commit = micro_commit_apply () in
+  let m_tbl = micro_flow_table () in
+  say "  [micro] mask_apply %.2fx, commit_apply %.2fx, flow_hashtbl %.2fx" m_mask
+    m_commit m_tbl;
+  j "  \"sequential_path_micro_speedups\": {\n";
+  j "    \"mask_apply\": %s,\n" (jfloat m_mask);
+  j "    \"commit_apply\": %s,\n" (jfloat m_commit);
+  j "    \"flow_hashtbl_lookup\": %s\n" (jfloat m_tbl);
+  j "  },\n";
+  j "  \"total_bench_seconds\": %s\n" (jfloat (now () -. t_start));
+  j "}\n";
+  let oc = open_out !out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  say "Wrote %s (total %.0fs)" !out (now () -. t_start)

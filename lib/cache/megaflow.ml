@@ -19,7 +19,7 @@ type payload = {
 type t = {
   capacity : int;
   searcher : payload Searcher.t;
-  by_fmatch : (Fmatch.t, int) Hashtbl.t; (* match -> classifier key *)
+  by_fmatch : int Fmatch.Tbl.t; (* match -> classifier key *)
   by_key : (int, Fmatch.t * payload) Hashtbl.t;
   stats : Cache_stats.t;
   mutable next_key : int;
@@ -30,7 +30,7 @@ let create ?(search = `Tss) ~capacity () =
   {
     capacity;
     searcher = Searcher.create search;
-    by_fmatch = Hashtbl.create capacity;
+    by_fmatch = Fmatch.Tbl.create capacity;
     by_key = Hashtbl.create capacity;
     stats = Cache_stats.create ();
     next_key = 0;
@@ -41,8 +41,9 @@ let occupancy t = Hashtbl.length t.by_key
 let stats t = t.stats
 let search_algo t = Searcher.algo t.searcher
 
-let apply_commit commit flow =
-  List.fold_left (fun f (field, v) -> Flow.set f field v) flow commit
+(* One array copy for the whole commit (none when it is empty), not one
+   [Flow.set] copy per field — this runs on every cache hit. *)
+let apply_commit commit flow = Flow.update flow commit
 
 let lookup t ~now flow =
   let result, work = Searcher.lookup_disjoint t.searcher flow in
@@ -68,7 +69,7 @@ let collapse traversal =
 
 let install t ~now ~version traversal =
   let fmatch, commit, terminal = collapse traversal in
-  match Hashtbl.find_opt t.by_fmatch fmatch with
+  match Fmatch.Tbl.find_opt t.by_fmatch fmatch with
   | Some key ->
       (match Hashtbl.find_opt t.by_key key with
       | Some (_, payload) -> payload.last_used <- now
@@ -86,7 +87,7 @@ let install t ~now ~version traversal =
           { commit; terminal; parent_input = traversal.Traversal.input; version; last_used = now }
         in
         Searcher.insert t.searcher (Entry.v ~key ~fmatch ~priority:0 payload);
-        Hashtbl.replace t.by_fmatch fmatch key;
+        Fmatch.Tbl.replace t.by_fmatch fmatch key;
         Hashtbl.replace t.by_key key (fmatch, payload);
         t.stats.Cache_stats.installs <- t.stats.Cache_stats.installs + 1;
         `Installed
@@ -97,7 +98,7 @@ let remove_key t key =
   | None -> ()
   | Some (fmatch, _) ->
       Hashtbl.remove t.by_key key;
-      Hashtbl.remove t.by_fmatch fmatch;
+      Fmatch.Tbl.remove t.by_fmatch fmatch;
       ignore (Searcher.remove t.searcher key);
       t.stats.Cache_stats.evictions <- t.stats.Cache_stats.evictions + 1
 
@@ -132,4 +133,4 @@ let revalidate t pipeline =
   List.iter (remove_key t) victims;
   (List.length victims, !work)
 
-let entries_fmatches t = Hashtbl.fold (fun f _ acc -> f :: acc) t.by_fmatch []
+let entries_fmatches t = Fmatch.Tbl.fold (fun f _ acc -> f :: acc) t.by_fmatch []

@@ -6,20 +6,20 @@ type entry = { hit : hit; mutable last_used : float }
 
 type t = {
   capacity : int;
-  table : (Flow.t, entry) Hashtbl.t;
+  table : entry Flow.Tbl.t; (* monomorphic hash/equal: no polymorphic compare per probe *)
   stats : Cache_stats.t;
 }
 
 let create ~capacity =
   assert (capacity > 0);
-  { capacity; table = Hashtbl.create capacity; stats = Cache_stats.create () }
+  { capacity; table = Flow.Tbl.create capacity; stats = Cache_stats.create () }
 
 let capacity t = t.capacity
-let occupancy t = Hashtbl.length t.table
+let occupancy t = Flow.Tbl.length t.table
 let stats t = t.stats
 
 let lookup t ~now flow =
-  match Hashtbl.find_opt t.table flow with
+  match Flow.Tbl.find_opt t.table flow with
   | Some entry ->
       entry.last_used <- now;
       Cache_stats.record_lookup t.stats ~hit:true;
@@ -30,7 +30,7 @@ let lookup t ~now flow =
 
 let evict_lru t =
   let victim = ref None in
-  Hashtbl.iter
+  Flow.Tbl.iter
     (fun flow entry ->
       match !victim with
       | Some (_, e) when e.last_used <= entry.last_used -> ()
@@ -38,30 +38,30 @@ let evict_lru t =
     t.table;
   match !victim with
   | Some (flow, _) ->
-      Hashtbl.remove t.table flow;
+      Flow.Tbl.remove t.table flow;
       t.stats.Cache_stats.evictions <- t.stats.Cache_stats.evictions + 1
   | None -> ()
 
 let install t ~now flow hit =
-  (match Hashtbl.find_opt t.table flow with
-  | Some _ -> Hashtbl.remove t.table flow
-  | None -> if Hashtbl.length t.table >= t.capacity then evict_lru t);
-  Hashtbl.replace t.table flow { hit; last_used = now };
+  (match Flow.Tbl.find_opt t.table flow with
+  | Some _ -> Flow.Tbl.remove t.table flow
+  | None -> if Flow.Tbl.length t.table >= t.capacity then evict_lru t);
+  Flow.Tbl.replace t.table flow { hit; last_used = now };
   t.stats.Cache_stats.installs <- t.stats.Cache_stats.installs + 1
 
 let expire t ~now ~max_idle =
   let stale =
-    Hashtbl.fold
+    Flow.Tbl.fold
       (fun flow entry acc -> if now -. entry.last_used > max_idle then flow :: acc else acc)
       t.table []
   in
-  List.iter (Hashtbl.remove t.table) stale;
+  List.iter (Flow.Tbl.remove t.table) stale;
   let n = List.length stale in
   t.stats.Cache_stats.evictions <- t.stats.Cache_stats.evictions + n;
   n
 
 let invalidate_all t =
-  let n = Hashtbl.length t.table in
-  Hashtbl.reset t.table;
+  let n = Flow.Tbl.length t.table in
+  Flow.Tbl.reset t.table;
   t.stats.Cache_stats.evictions <- t.stats.Cache_stats.evictions + n;
   n

@@ -2,18 +2,26 @@ module Flow = Gf_flow.Flow
 module Mask = Gf_flow.Mask
 module Fmatch = Gf_flow.Fmatch
 
+(* Tuples are threaded onto an intrusive doubly-linked list ([rank_prev] /
+   [rank_next]) holding the hit-frequency order used by [lookup_first]:
+   append, removal and promote-to-front are all O(1), where the previous
+   list representation paid O(#tuples) per insert ([@ [tu]]) and per remove
+   ([List.filter]). *)
 type 'a tuple = {
   mask : Mask.t;
-  buckets : (Flow.t, 'a Entry.t list) Hashtbl.t; (* best-first lists *)
+  buckets : 'a Entry.t list Flow.Tbl.t; (* best-first lists *)
   mutable max_priority : int;
   mutable count : int;
+  mutable rank_prev : 'a tuple option;
+  mutable rank_next : 'a tuple option;
 }
 
 type 'a t = {
   by_key : (int, 'a Entry.t) Hashtbl.t;
-  tuples : (Mask.t, 'a tuple) Hashtbl.t;
+  tuples : 'a tuple Mask.Tbl.t;
   mutable ordered : 'a tuple list; (* max_priority desc; valid when not dirty *)
-  mutable ranked : 'a tuple list; (* hit-frequency order for first-match mode *)
+  mutable rank_head : 'a tuple option; (* hit-frequency order (first-match mode) *)
+  mutable rank_tail : 'a tuple option;
   mutable dirty : bool;
   scratch : Flow.Scratch.t; (* transient masked-key buffer for lookups *)
 }
@@ -23,12 +31,42 @@ let algorithm = "tss"
 let create () =
   {
     by_key = Hashtbl.create 64;
-    tuples = Hashtbl.create 16;
+    tuples = Mask.Tbl.create 16;
     ordered = [];
-    ranked = [];
+    rank_head = None;
+    rank_tail = None;
     dirty = false;
     scratch = Flow.Scratch.create ();
   }
+
+let rank_append t tu =
+  tu.rank_prev <- t.rank_tail;
+  tu.rank_next <- None;
+  (match t.rank_tail with
+  | Some tail -> tail.rank_next <- Some tu
+  | None -> t.rank_head <- Some tu);
+  t.rank_tail <- Some tu
+
+let rank_unlink t tu =
+  (match tu.rank_prev with
+  | Some p -> p.rank_next <- tu.rank_next
+  | None -> t.rank_head <- tu.rank_next);
+  (match tu.rank_next with
+  | Some n -> n.rank_prev <- tu.rank_prev
+  | None -> t.rank_tail <- tu.rank_prev);
+  tu.rank_prev <- None;
+  tu.rank_next <- None
+
+let rank_promote t tu =
+  match t.rank_head with
+  | Some head when head == tu -> ()
+  | _ ->
+      rank_unlink t tu;
+      tu.rank_next <- t.rank_head;
+      (match t.rank_head with
+      | Some head -> head.rank_prev <- Some tu
+      | None -> t.rank_tail <- Some tu);
+      t.rank_head <- Some tu
 
 let entry_order (a : 'a Entry.t) (b : 'a Entry.t) =
   if Entry.better a b then -1 else if Entry.better b a then 1 else 0
@@ -36,26 +74,35 @@ let entry_order (a : 'a Entry.t) (b : 'a Entry.t) =
 let insert t entry =
   if Hashtbl.mem t.by_key entry.Entry.key then invalid_arg "Tss.insert: duplicate key";
   Hashtbl.add t.by_key entry.Entry.key entry;
-  let mask = Fmatch.mask entry.Entry.fmatch in
+  let mask = Mask.intern (Fmatch.mask entry.Entry.fmatch) in
   let tuple =
-    match Hashtbl.find_opt t.tuples mask with
+    match Mask.Tbl.find_opt t.tuples mask with
     | Some tu -> tu
     | None ->
-        let tu = { mask; buckets = Hashtbl.create 32; max_priority = min_int; count = 0 } in
-        Hashtbl.add t.tuples mask tu;
-        t.ranked <- t.ranked @ [ tu ];
+        let tu =
+          {
+            mask;
+            buckets = Flow.Tbl.create 32;
+            max_priority = min_int;
+            count = 0;
+            rank_prev = None;
+            rank_next = None;
+          }
+        in
+        Mask.Tbl.add t.tuples mask tu;
+        rank_append t tu;
         tu
   in
   let key = Fmatch.pattern entry.Entry.fmatch in
-  let existing = Option.value ~default:[] (Hashtbl.find_opt tuple.buckets key) in
-  Hashtbl.replace tuple.buckets key (List.sort entry_order (entry :: existing));
+  let existing = Option.value ~default:[] (Flow.Tbl.find_opt tuple.buckets key) in
+  Flow.Tbl.replace tuple.buckets key (List.sort entry_order (entry :: existing));
   tuple.count <- tuple.count + 1;
   if entry.Entry.priority > tuple.max_priority then tuple.max_priority <- entry.Entry.priority;
   t.dirty <- true
 
 let recompute_max tuple =
   let m = ref min_int in
-  Hashtbl.iter
+  Flow.Tbl.iter
     (fun _ entries ->
       List.iter (fun (e : 'a Entry.t) -> if e.priority > !m then m := e.priority) entries)
     tuple.buckets;
@@ -67,20 +114,20 @@ let remove t key =
   | Some entry ->
       Hashtbl.remove t.by_key key;
       let mask = Fmatch.mask entry.Entry.fmatch in
-      (match Hashtbl.find_opt t.tuples mask with
+      (match Mask.Tbl.find_opt t.tuples mask with
       | None -> ()
       | Some tuple ->
           let bucket_key = Fmatch.pattern entry.Entry.fmatch in
-          (match Hashtbl.find_opt tuple.buckets bucket_key with
+          (match Flow.Tbl.find_opt tuple.buckets bucket_key with
           | None -> ()
           | Some entries ->
               let remaining = List.filter (fun (e : 'a Entry.t) -> e.key <> key) entries in
-              if remaining = [] then Hashtbl.remove tuple.buckets bucket_key
-              else Hashtbl.replace tuple.buckets bucket_key remaining);
+              if remaining = [] then Flow.Tbl.remove tuple.buckets bucket_key
+              else Flow.Tbl.replace tuple.buckets bucket_key remaining);
           tuple.count <- tuple.count - 1;
           if tuple.count <= 0 then begin
-            Hashtbl.remove t.tuples mask;
-            t.ranked <- List.filter (fun tu -> tu != tuple) t.ranked
+            Mask.Tbl.remove t.tuples mask;
+            rank_unlink t tuple
           end
           else if entry.Entry.priority >= tuple.max_priority then recompute_max tuple);
       t.dirty <- true;
@@ -91,7 +138,7 @@ let size t = Hashtbl.length t.by_key
 let ensure t =
   if t.dirty then begin
     t.ordered <-
-      Hashtbl.fold (fun _ tu acc -> tu :: acc) t.tuples []
+      Mask.Tbl.fold (fun _ tu acc -> tu :: acc) t.tuples []
       |> List.sort (fun a b -> compare b.max_priority a.max_priority);
     t.dirty <- false
   end
@@ -108,7 +155,7 @@ let lookup t flow =
             let probes = probes + 1 in
             let key = Mask.apply_scratch tuple.mask flow t.scratch in
             let candidate =
-              match Hashtbl.find_opt tuple.buckets key with
+              match Flow.Tbl.find_opt tuple.buckets key with
               | Some (e :: _) -> Some e
               | Some [] | None -> None
             in
@@ -124,30 +171,32 @@ let lookup t flow =
 
 (* First-match walk over hit-frequency-ranked tuples: sound when entries are
    pairwise disjoint (at most one can match), which Megaflow guarantees by
-   construction.  A hit promotes its tuple to the front, so hot tuples are
-   probed first — the ranked-subtable optimisation of OVS's dpcls. *)
+   construction.  A hit promotes its tuple to the front (O(1) on the
+   intrusive list), so hot tuples are probed first — the ranked-subtable
+   optimisation of OVS's dpcls. *)
 let lookup_first t flow =
-  let rec go acc tuples probes =
-    match tuples with
-    | [] -> (None, probes)
-    | tuple :: rest -> (
+  let rec go node probes =
+    match node with
+    | None -> (None, probes)
+    | Some tuple -> (
         let probes = probes + 1 in
         let key = Mask.apply_scratch tuple.mask flow t.scratch in
-        match Hashtbl.find_opt tuple.buckets key with
+        match Flow.Tbl.find_opt tuple.buckets key with
         | Some (e :: _) ->
-            if acc <> [] then t.ranked <- tuple :: List.rev_append acc rest;
+            rank_promote t tuple;
             (Some e, probes)
-        | Some [] | None -> go (tuple :: acc) rest probes)
+        | Some [] | None -> go tuple.rank_next probes)
   in
-  go [] t.ranked 0
+  go t.rank_head 0
 
 let entries t = Hashtbl.fold (fun _ e acc -> e :: acc) t.by_key []
 
 let clear t =
   Hashtbl.reset t.by_key;
-  Hashtbl.reset t.tuples;
+  Mask.Tbl.reset t.tuples;
   t.ordered <- [];
-  t.ranked <- [];
+  t.rank_head <- None;
+  t.rank_tail <- None;
   t.dirty <- false
 
-let tuple_count t = Hashtbl.length t.tuples
+let tuple_count t = Mask.Tbl.length t.tuples

@@ -18,24 +18,53 @@ let set t f v =
   a.(Field.index f) <- truncate f v;
   a
 
-let equal a b = a = b
+let update t bindings =
+  match bindings with
+  | [] -> t
+  | _ ->
+      let a = Array.copy t in
+      List.iter (fun (f, v) -> a.(Field.index f) <- truncate f v) bindings;
+      a
+
+(* Monomorphic slot-by-slot comparison: both arrays have length
+   [Field.count] by invariant, and avoiding polymorphic [compare] keeps the
+   per-packet cache probes allocation- and call-free. *)
+let equal a b =
+  a == b
+  ||
+  let rec go i =
+    i >= Field.count
+    || (Int.equal (Array.unsafe_get a i) (Array.unsafe_get b i) && go (i + 1))
+  in
+  go 0
+
 let compare = Stdlib.compare
 
-let hash t =
-  (* FNV-1a over the slots; cheap and good enough for hashtable keys. *)
-  let h = ref 0x3bf29ce484222325 in
-  Array.iter
-    (fun v ->
-      h := (!h lxor v) * 0x100000001b3;
-      h := !h land max_int)
-    t;
-  !h
+(* FNV-1a over the slots; cheap and good enough for hashtable keys.
+   Accumulator-passing loop: no ref cell, no closure, one final masking.
+   [unsafe_get] is fine — length = Field.count by invariant. *)
+let rec hash_loop t i h =
+  if i >= Field.count then h land max_int
+  else hash_loop t (i + 1) ((h lxor Array.unsafe_get t i) * 0x100000001b3)
+
+let hash t = hash_loop t 0 0x3bf29ce484222325
 
 let to_array t = Array.copy t
 
 let of_array a =
   if Array.length a <> Field.count then invalid_arg "Flow.of_array";
   Array.mapi (fun i v -> truncate (Field.of_index i) v) a
+
+(* Single-pass masked copy: AND can only clear bits, so the result needs no
+   re-truncation (unlike [of_array]).  This is [Mask.apply]'s engine. *)
+let land_array t m = Array.init Field.count (fun i -> t.(i) land m.(i))
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)
 
 let pp fmt t =
   let first = ref true in

@@ -17,6 +17,11 @@ val make : (Field.t * int) list -> t
 val get : t -> Field.t -> int
 val set : t -> Field.t -> int -> t
 
+val update : t -> (Field.t * int) list -> t
+(** [update t bindings] applies every binding with a {b single} copy of the
+    underlying vector (vs. one copy per field with repeated {!set}) — the
+    cache-hit commit path.  [update t \[\]] is [t] itself, allocation-free. *)
+
 val equal : t -> t -> bool
 val compare : t -> t -> int
 val hash : t -> int
@@ -27,6 +32,15 @@ val to_array : t -> int array
 val of_array : int array -> t
 (** Inverse of [to_array]; requires length [Field.count]; values are truncated
     to field width. *)
+
+val land_array : t -> int array -> t
+(** [land_array f m] is the flow whose slot [i] is [get f (of_index i) land
+    m.(i)] — a single-pass masked copy.  [m] must have length
+    {!Field.count}; see [Mask.apply] for the public wrapper. *)
+
+module Tbl : Hashtbl.S with type key = t
+(** Hash table keyed by flows using {!hash}/{!equal} (monomorphic — no
+    polymorphic-compare traversals on the per-packet lookup path). *)
 
 val pp : Format.formatter -> t -> unit
 (** Prints only non-zero fields, e.g. [eth_dst=0x2 ip_dst=0xa000001]. *)

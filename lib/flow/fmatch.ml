@@ -1,6 +1,11 @@
 type t = { pattern : Flow.t; mask : Mask.t }
 
-let v ~pattern ~mask = { pattern = Mask.apply mask pattern; mask }
+(* Interning the mask here means every fmatch built anywhere in the system —
+   pipeline rules, Megaflow entries, LTM rules — carries a canonical mask,
+   so the by-mask tuple grouping in the classifiers compares pointers. *)
+let v ~pattern ~mask =
+  let mask = Mask.intern mask in
+  { pattern = Mask.apply mask pattern; mask }
 
 let any = { pattern = Flow.zero; mask = Mask.empty }
 
@@ -30,6 +35,13 @@ let compare a b =
   if c <> 0 then c else Flow.compare a.pattern b.pattern
 
 let hash t = (Flow.hash t.pattern * 31) + Mask.hash t.mask
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)
 
 let is_more_specific a ~than:b =
   Mask.subsumes ~loose:b.mask ~tight:a.mask

@@ -8,7 +8,9 @@
 type t = private { pattern : Flow.t; mask : Mask.t }
 
 val v : pattern:Flow.t -> mask:Mask.t -> t
-(** Canonicalises: stores [Mask.apply mask pattern]. *)
+(** Canonicalises: stores [Mask.apply mask pattern] and the
+    {!Mask.intern}ed mask, so by-mask grouping downstream compares
+    pointers. *)
 
 val any : t
 (** Matches every flow. *)
@@ -31,6 +33,9 @@ val fields : t -> Field.Set.t
 val equal : t -> t -> bool
 val compare : t -> t -> int
 val hash : t -> int
+
+module Tbl : Hashtbl.S with type key = t
+(** Hash table keyed by matches using {!hash}/{!equal} (monomorphic). *)
 
 val is_more_specific : t -> than:t -> bool
 (** [is_more_specific a ~than:b] iff [a]'s mask subsumes... i.e. [a] constrains

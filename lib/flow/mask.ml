@@ -29,17 +29,51 @@ let set t f v =
 let union a b = Array.init Field.count (fun i -> a.(i) lor b.(i))
 let inter a b = Array.init Field.count (fun i -> a.(i) land b.(i))
 
-let equal a b = a = b
+(* Physical equality first: interned masks (see [intern]) make the common
+   same-tuple comparison a single pointer check. *)
+let equal a b =
+  a == b
+  ||
+  let rec go i =
+    i >= Field.count
+    || (Int.equal (Array.unsafe_get a i) (Array.unsafe_get b i) && go (i + 1))
+  in
+  go 0
+
 let compare = Stdlib.compare
 
-let hash t =
-  let h = ref 0x3bf29ce484222325 in
-  Array.iter
-    (fun v ->
-      h := (!h lxor v) * 0x100000001b3;
-      h := !h land max_int)
-    t;
-  !h
+(* Same accumulator-passing FNV-1a as [Flow.hash]. *)
+let rec hash_loop t i h =
+  if i >= Field.count then h land max_int
+  else hash_loop t (i + 1) ((h lxor Array.unsafe_get t i) * 0x100000001b3)
+
+let hash t = hash_loop t 0 0x3bf29ce484222325
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)
+
+(* Hash-consing: one canonical array per distinct mask value, so that tuple
+   bookkeeping in the classifiers ([Tss.insert], [Oftable.rebuild]) hits the
+   [==] fast path of [equal].  The table only ever holds distinct rule /
+   consulted wildcards — a few hundred in the largest workloads — and is
+   mutex-guarded because parallel replay domains intern concurrently. *)
+let intern_lock = Mutex.create ()
+
+let interned : t Tbl.t = Tbl.create 256
+
+let intern m =
+  Mutex.protect intern_lock (fun () ->
+      match Tbl.find_opt interned m with
+      | Some canonical -> canonical
+      | None ->
+          Tbl.add interned m m;
+          m)
+
+let () = List.iter (fun m -> ignore (intern m)) [ empty; full ]
 
 let is_empty t = Array.for_all (fun v -> v = 0) t
 
@@ -60,16 +94,17 @@ let subsumes ~loose ~tight =
   in
   go 0
 
-let apply t flow =
-  let fa = Flow.to_array flow in
-  Flow.of_array (Array.init Field.count (fun i -> fa.(i) land t.(i)))
+let apply t flow = Flow.land_array flow t
 
 let apply_scratch t flow scratch = Flow.Scratch.fill_masked scratch ~mask:t flow
 
 let matches t ~pattern flow =
-  let pa = Flow.to_array pattern and fa = Flow.to_array flow in
   let rec go i =
-    i >= Field.count || (pa.(i) land t.(i) = fa.(i) land t.(i) && go (i + 1))
+    i >= Field.count
+    ||
+    let f = Field.of_index i in
+    Int.equal (Flow.get pattern f land t.(i)) (Flow.get flow f land t.(i))
+    && go (i + 1)
   in
   go 0
 

@@ -34,8 +34,21 @@ val inter : t -> t -> t
 (** Bitwise AND per field. *)
 
 val equal : t -> t -> bool
+(** Structural, with a physical-equality fast path (see {!intern}). *)
+
 val compare : t -> t -> int
 val hash : t -> int
+
+module Tbl : Hashtbl.S with type key = t
+(** Hash table keyed by masks using {!hash}/{!equal} (monomorphic). *)
+
+val intern : t -> t
+(** Hash-consing: returns the canonical representative of this mask value,
+    so repeated equality checks between interned masks reduce to pointer
+    comparisons.  Idempotent, thread-safe (parallel replay domains intern
+    concurrently); the canonical table grows with the number of {e distinct}
+    masks ever seen (rule + consulted wildcards — small and bounded by the
+    ruleset, so it is never evicted). *)
 
 val is_empty : t -> bool
 

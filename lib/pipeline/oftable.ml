@@ -9,7 +9,7 @@ module Fmatch = Gf_flow.Fmatch
 type tuple = {
   mask : Mask.t;
   mutable max_priority : int;
-  entries : (Flow.t, Ofrule.t list) Hashtbl.t;
+  entries : Ofrule.t list Flow.Tbl.t;
   mutable field_keys : (int * int array) list; (* (field index, sorted keys) *)
 }
 
@@ -59,7 +59,7 @@ let rules t =
   Hashtbl.fold (fun _ r acc -> r :: acc) t.rules [] |> List.sort rule_order
 
 let build_field_keys tuple =
-  let keys = Hashtbl.fold (fun key _ acc -> key :: acc) tuple.entries [] in
+  let keys = Flow.Tbl.fold (fun key _ acc -> key :: acc) tuple.entries [] in
   tuple.field_keys <-
     List.filter_map
       (fun f ->
@@ -73,37 +73,53 @@ let build_field_keys tuple =
       (Array.to_list Field.all)
 
 let rebuild t =
-  let by_mask : (Mask.t, tuple) Hashtbl.t = Hashtbl.create 16 in
+  let by_mask : tuple Mask.Tbl.t = Mask.Tbl.create 16 in
   Hashtbl.iter
     (fun _ (r : Ofrule.t) ->
-      let mask = Fmatch.mask r.fmatch in
+      let mask = Mask.intern (Fmatch.mask r.fmatch) in
       let tuple =
-        match Hashtbl.find_opt by_mask mask with
+        match Mask.Tbl.find_opt by_mask mask with
         | Some tu -> tu
         | None ->
             let tu =
               {
                 mask;
                 max_priority = min_int;
-                entries = Hashtbl.create 32;
+                entries = Flow.Tbl.create 32;
                 field_keys = [];
               }
             in
-            Hashtbl.add by_mask mask tu;
+            Mask.Tbl.add by_mask mask tu;
             tu
       in
       if r.priority > tuple.max_priority then tuple.max_priority <- r.priority;
       let key = Fmatch.pattern r.fmatch in
-      let existing = Option.value ~default:[] (Hashtbl.find_opt tuple.entries key) in
-      Hashtbl.replace tuple.entries key (List.sort rule_order (r :: existing)))
+      let existing = Option.value ~default:[] (Flow.Tbl.find_opt tuple.entries key) in
+      Flow.Tbl.replace tuple.entries key (List.sort rule_order (r :: existing)))
     t.rules;
-  Hashtbl.iter (fun _ tuple -> build_field_keys tuple) by_mask;
+  Mask.Tbl.iter (fun _ tuple -> build_field_keys tuple) by_mask;
   t.tuples <-
-    Hashtbl.fold (fun _ tu acc -> tu :: acc) by_mask []
+    Mask.Tbl.fold (fun _ tu acc -> tu :: acc) by_mask []
     |> List.sort (fun a b -> compare b.max_priority a.max_priority);
   t.dirty <- false
 
 let ensure t = if t.dirty then rebuild t
+
+(* Independent replica for a parallel-replay domain: shares the (immutable)
+   rules but owns its search state — tuple tables, lazy-rebuild flag and the
+   scratch probe buffer are all mutated during lookups, so replicas must not
+   share them across domains. *)
+let copy t =
+  {
+    id = t.id;
+    name = t.name;
+    match_fields = t.match_fields;
+    miss = t.miss;
+    rules = Hashtbl.copy t.rules;
+    tuples = [];
+    dirty = true;
+    scratch = Flow.Scratch.create ();
+  }
 
 let add_rule t (r : Ofrule.t) =
   if Hashtbl.mem t.rules r.id then
@@ -266,7 +282,7 @@ let lookup t flow =
             let probes = probes + 1 in
             let key = Mask.apply_scratch tuple.mask flow t.scratch in
             let candidate =
-              match Hashtbl.find_opt tuple.entries key with
+              match Flow.Tbl.find_opt tuple.entries key with
               | Some (r :: _) -> Some r
               | Some [] | None -> None
             in

@@ -23,6 +23,16 @@ let name t = t.name
 let entry t = t.entry
 let version t = t.version
 
+(* Per-domain replica for parallel replay: table lookups mutate scratch
+   buffers and lazily-rebuilt tuple indexes, so domains must not share
+   [Oftable.t]s.  Rule records themselves are immutable and stay shared.
+   Preserves [version] (cache entries installed from the replica carry the
+   same revalidation version) and [next_rule_id]. *)
+let copy t =
+  let tables = Hashtbl.create (Hashtbl.length t.tables) in
+  Hashtbl.iter (fun id table -> Hashtbl.add tables id (Oftable.copy table)) t.tables;
+  { t with tables }
+
 let table t id =
   match Hashtbl.find_opt t.tables id with
   | Some table -> table

@@ -14,6 +14,12 @@ val name : t -> string
 val entry : t -> int
 val version : t -> int
 
+val copy : t -> t
+(** Independent replica for a parallel-replay domain: same tables, rules and
+    version, but private lookup state (tuple indexes, scratch buffers) so
+    concurrent replays never race.  Rule mutations on either side are not
+    seen by the other. *)
+
 val table : t -> int -> Oftable.t
 (** Raises [Not_found] for an unknown table id. *)
 

@@ -37,6 +37,33 @@ let create () =
     hw_entries_final = 0;
   }
 
+(* Fold [src] into [into].  Counters are additive.  Occupancy figures are
+   summed too: per-domain datapaths own disjoint caches, so the aggregate
+   footprint at any instant is the sum (peaks are summed pessimistically —
+   per-shard peaks need not coincide in time). *)
+let merge ~into src =
+  into.packets <- into.packets + src.packets;
+  into.hw_hits <- into.hw_hits + src.hw_hits;
+  into.sw_hits <- into.sw_hits + src.sw_hits;
+  into.slowpaths <- into.slowpaths + src.slowpaths;
+  into.drops <- into.drops + src.drops;
+  into.hw_installs <- into.hw_installs + src.hw_installs;
+  into.hw_shared <- into.hw_shared + src.hw_shared;
+  into.hw_rejected <- into.hw_rejected + src.hw_rejected;
+  into.hw_evictions <- into.hw_evictions + src.hw_evictions;
+  Gf_util.Stats.Acc.merge ~into:into.latency src.latency;
+  into.cycles_userspace <- into.cycles_userspace + src.cycles_userspace;
+  into.cycles_partition <- into.cycles_partition + src.cycles_partition;
+  into.cycles_rulegen <- into.cycles_rulegen + src.cycles_rulegen;
+  into.cycles_sw_search <- into.cycles_sw_search + src.cycles_sw_search;
+  into.hw_entries_peak <- into.hw_entries_peak + src.hw_entries_peak;
+  into.hw_entries_final <- into.hw_entries_final + src.hw_entries_final
+
+let aggregate ms =
+  let t = create () in
+  List.iter (fun m -> merge ~into:t m) ms;
+  t
+
 let hw_hit_rate t =
   if t.packets = 0 then nan else float_of_int t.hw_hits /. float_of_int t.packets
 

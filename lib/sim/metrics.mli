@@ -21,6 +21,16 @@ type t = {
 
 val create : unit -> t
 
+val merge : into:t -> t -> unit
+(** Fold [src] into [into]: counters and cycle totals add, latency
+    accumulators merge exactly (Chan's pairwise update), and occupancy
+    figures sum (per-domain caches are disjoint, so the aggregate footprint
+    is the sum; peaks are summed pessimistically).  [src] is unchanged. *)
+
+val aggregate : t list -> t
+(** Fresh metrics equal to merging the whole list (parallel replay's
+    cross-shard aggregate). *)
+
 val hw_hit_rate : t -> float
 val hw_miss_count : t -> int
 (** Packets that missed the SmartNIC cache (sw hits + slowpaths). *)

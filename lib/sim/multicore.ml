@@ -4,6 +4,10 @@ type t = { cores : int; loads : int array }
    hash works as long as it is flow-stable. *)
 let rss_hash flow_id = flow_id * 0x9E3779B1 land max_int
 
+let of_loads loads =
+  assert (Array.length loads > 0);
+  { cores = Array.length loads; loads = Array.copy loads }
+
 let distribute ~cores flow_cycles =
   assert (cores > 0);
   let loads = Array.make cores 0 in

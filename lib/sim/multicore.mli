@@ -11,9 +11,19 @@ type t = {
   loads : int array;  (** Cycles per core, length [cores]. *)
 }
 
+val rss_hash : int -> int
+(** The flow-stable multiplicative hash used to spread flows over cores;
+    also the sharding function of {!Parallel.shard}, so the static model
+    and the real replay engine agree on flow placement by construction. *)
+
 val distribute : cores:int -> (int, int) Hashtbl.t -> t
 (** RSS-hash each flow id onto one of [cores] cores and sum its cycles
     there. Deterministic. *)
+
+val of_loads : int array -> t
+(** Wrap measured per-core loads (e.g. per-domain slowpath cycles observed
+    by {!Parallel.replay}) so they can be compared against the static model
+    with the same [imbalance]/[speedup] operators. *)
 
 val max_load : t -> int
 (** The bottleneck core's cycles. *)

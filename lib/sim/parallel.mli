@@ -1,0 +1,73 @@
+(** Real multicore trace replay on OCaml 5 domains.
+
+    The static {!Multicore} model predicts per-core slowpath load; this
+    module actually {e runs} the datapath in parallel, mirroring OVS's PMD
+    deployment: flows are RSS-sharded over N domains (the same
+    {!Multicore.rss_hash}, so flow placement is identical to the model's),
+    each domain replays its shard against a private {!Datapath.t} (per-core
+    caches) over a {!Gf_pipeline.Pipeline.copy} replica, and the per-shard
+    {!Metrics.t} are merged into an aggregate.
+
+    Because shards are disjoint by flow and every domain is deterministic,
+    [`Domains] and [`Sequential] modes produce {b identical} merged metrics
+    (property-tested) — domains only change wall-clock time, never
+    results. *)
+
+type mode =
+  [ `Domains  (** one [Domain.spawn] per shard — real parallelism *)
+  | `Sequential
+    (** same sharding, shards replayed one after another on the calling
+        domain — the validation twin of [`Domains], and the per-shard
+        timing source that is undistorted by time-slicing when the host
+        has fewer cores than shards *) ]
+
+type shard_run = {
+  domain_id : int;
+  packets : int;
+  metrics : Metrics.t;
+  wall_seconds : float;  (** this shard's own replay time *)
+  flow_cycles : (int, int) Hashtbl.t;
+      (** slowpath cycles per flow id (the {!Multicore} census, per shard) *)
+}
+
+type result = {
+  domains : int;
+  mode : mode;
+  shards : shard_run array;
+  merged : Metrics.t;  (** {!Metrics.aggregate} of all shards *)
+  wall_seconds : float;  (** whole replay, spawn to last join *)
+  critical_path_seconds : float;
+      (** max per-shard wall time — the wall clock of the parallel run when
+          every domain has a dedicated core *)
+}
+
+val shard : domains:int -> Gf_workload.Trace.t -> Gf_workload.Trace.t array
+(** Partition packets by [Multicore.rss_hash flow_id mod domains],
+    preserving per-shard time order.  Shards are disjoint by flow and
+    their packets union back to the input.  [domains = 1] returns the
+    input trace itself. *)
+
+val replay :
+  ?mode:mode ->
+  ?domains:int ->
+  cfg:Datapath.config ->
+  Gf_pipeline.Pipeline.t ->
+  Gf_workload.Trace.t ->
+  result
+(** Replay the trace over [domains] datapaths ([mode] defaults to
+    [`Domains], [domains] to 1).  The input pipeline is only read (it is
+    replicated per domain with {!Gf_pipeline.Pipeline.copy}); caches are
+    created fresh per domain, like OVS PMD threads. *)
+
+val merged_flow_cycles : result -> (int, int) Hashtbl.t
+(** Union of per-shard slowpath censuses (disjoint by construction). *)
+
+val measured_loads : result -> Multicore.t
+(** Measured per-domain slowpath cycles, wrapped for comparison with the
+    static model. *)
+
+val model_loads : result -> Multicore.t
+(** The static model's prediction from the same census:
+    [Multicore.distribute] over {!merged_flow_cycles}.  Equals
+    {!measured_loads} exactly — the model and the engine use the same hash
+    — which is the cross-validation the tests pin down. *)

@@ -21,6 +21,31 @@ module Acc = struct
     if x < t.min then t.min <- x;
     if x > t.max then t.max <- x
 
+  (* Chan et al.'s pairwise update: merging per-domain accumulators must
+     give the same mean/variance as feeding all samples to one accumulator
+     (up to float rounding). *)
+  let merge ~into src =
+    if src.count > 0 then
+      if into.count = 0 then begin
+        into.count <- src.count;
+        into.total <- src.total;
+        into.mean <- src.mean;
+        into.m2 <- src.m2;
+        into.min <- src.min;
+        into.max <- src.max
+      end
+      else begin
+        let na = float_of_int into.count and nb = float_of_int src.count in
+        let n = na +. nb in
+        let delta = src.mean -. into.mean in
+        into.mean <- into.mean +. (delta *. nb /. n);
+        into.m2 <- into.m2 +. src.m2 +. (delta *. delta *. na *. nb /. n);
+        into.count <- into.count + src.count;
+        into.total <- into.total +. src.total;
+        if src.min < into.min then into.min <- src.min;
+        if src.max > into.max then into.max <- src.max
+      end
+
   let count t = t.count
   let total t = t.total
   let mean t = if t.count = 0 then nan else t.mean

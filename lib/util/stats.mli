@@ -8,6 +8,13 @@ module Acc : sig
 
   val create : unit -> t
   val add : t -> float -> unit
+
+  val merge : into:t -> t -> unit
+  (** Fold [src]'s samples into [into] (Chan's pairwise mean/M2 update):
+      afterwards [into] reports the same count/mean/variance/min/max as if
+      it had seen both sample streams.  [src] is unchanged.  Used to
+      aggregate per-domain metrics after parallel replay. *)
+
   val count : t -> int
   val total : t -> float
   val mean : t -> float

@@ -175,6 +175,81 @@ let prop_fmatch_specific =
       || (not (Fmatch.matches a flow))
       || Fmatch.matches b flow)
 
+(* ---------------- functorized tables, interning, update ---------------- *)
+
+(* A structurally-equal but physically-distinct duplicate, so the tests
+   below exercise the deep paths of [equal]/[hash], not the [==] shortcut. *)
+let rebuild_flow f = Flow.of_array (Flow.to_array f)
+
+let rebuild_mask m =
+  Mask.make (List.map (fun f -> (f, Mask.get m f)) (Array.to_list Field.all))
+
+let prop_flow_hash_equal_consistent =
+  QCheck2.Test.make ~name:"flow equal duplicates hash alike" ~count:300 gen_flow
+    (fun f ->
+      let g = rebuild_flow f in
+      (not (f == g)) && Flow.equal f g && Flow.hash f = Flow.hash g)
+
+let prop_mask_hash_equal_consistent =
+  QCheck2.Test.make ~name:"mask equal duplicates hash alike" ~count:300 gen_mask
+    (fun m ->
+      let n = rebuild_mask m in
+      Mask.equal m n && Mask.hash m = Mask.hash n)
+
+let prop_flow_tbl_roundtrip =
+  (* The functorized table must find entries through structurally-equal
+     keys — this is what the caches rely on after the Hashtbl.Make port. *)
+  QCheck2.Test.make ~name:"Flow.Tbl finds structurally-equal keys" ~count:200
+    QCheck2.Gen.(small_list gen_flow)
+    (fun flows ->
+      let tbl = Flow.Tbl.create 16 in
+      List.iteri (fun i f -> Flow.Tbl.replace tbl f i) flows;
+      List.for_all
+        (fun f -> Flow.Tbl.find_opt tbl (rebuild_flow f) <> None)
+        flows)
+
+let prop_mask_intern_canonical =
+  QCheck2.Test.make ~name:"Mask.intern canonicalizes duplicates" ~count:200
+    gen_mask
+    (fun m ->
+      let c = Mask.intern m in
+      (* Idempotent, physically canonical across rebuilt duplicates, and
+         value-preserving. *)
+      Mask.intern c == c
+      && Mask.intern (rebuild_mask m) == c
+      && Mask.equal c m)
+
+let prop_flow_update_is_folded_set =
+  let gen_bindings =
+    QCheck2.Gen.(
+      list_size (0 -- 4) (gen_field >>= fun f -> gen_value f >>= fun v -> pure (f, v)))
+  in
+  QCheck2.Test.make ~name:"Flow.update = folded Flow.set" ~count:300
+    QCheck2.Gen.(pair gen_flow gen_bindings)
+    (fun (flow, bindings) ->
+      Flow.equal
+        (Flow.update flow bindings)
+        (List.fold_left (fun f (field, v) -> Flow.set f field v) flow bindings))
+
+let test_flow_update_empty_no_copy () =
+  let f = Flow.make [ (Field.Tp_dst, 443) ] in
+  Alcotest.(check bool) "empty commit returns the flow itself" true
+    (Flow.update f [] == f)
+
+let test_mask_tbl_basic () =
+  let tbl = Mask.Tbl.create 8 in
+  let a = Mask.prefix Field.Ip_dst 24 in
+  let b = Mask.exact_fields [ Field.Tp_dst ] in
+  Mask.Tbl.replace tbl a 1;
+  Mask.Tbl.replace tbl b 2;
+  Alcotest.(check (option int)) "find a via duplicate" (Some 1)
+    (Mask.Tbl.find_opt tbl (rebuild_mask a));
+  Alcotest.(check (option int)) "find b" (Some 2) (Mask.Tbl.find_opt tbl b);
+  Mask.Tbl.replace tbl (rebuild_mask a) 3;
+  Alcotest.(check int) "replace via duplicate keeps one binding" 2
+    (Mask.Tbl.length tbl);
+  Alcotest.(check (option int)) "replaced" (Some 3) (Mask.Tbl.find_opt tbl a)
+
 let test_headers_ipv4 () =
   Alcotest.(check int) "parse" 0x0A000001 (Headers.ipv4 "10.0.0.1");
   Alcotest.(check string) "print" "10.0.0.1" (Headers.ipv4_to_string 0x0A000001);
@@ -211,6 +286,8 @@ let suite =
     ("fmatch any/exact", `Quick, test_fmatch_any_exact);
     ("fmatch of_fields", `Quick, test_fmatch_of_fields);
     ("fmatch prefix", `Quick, test_fmatch_prefix);
+    ("flow update empty no copy", `Quick, test_flow_update_empty_no_copy);
+    ("mask tbl basics", `Quick, test_mask_tbl_basic);
     ("headers ipv4", `Quick, test_headers_ipv4);
     ("headers mac", `Quick, test_headers_mac);
     ("headers tcp", `Quick, test_headers_tcp);
@@ -225,4 +302,9 @@ let props =
     prop_fmatch_overlap_symmetric;
     prop_fmatch_overlap_witness;
     prop_fmatch_specific;
+    prop_flow_hash_equal_consistent;
+    prop_mask_hash_equal_consistent;
+    prop_flow_tbl_roundtrip;
+    prop_mask_intern_canonical;
+    prop_flow_update_is_folded_set;
   ]

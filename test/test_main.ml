@@ -16,4 +16,5 @@ let () =
       ("pipelines", Test_pipelines.suite);
       ("workload", Test_workload.suite);
       ("sim", Test_sim.suite);
+      Helpers.qsuite "sim:props" Test_sim.props;
     ]

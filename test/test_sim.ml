@@ -178,6 +178,150 @@ let test_multicore_distribution () =
     (s > 3.0 && s <= 4.2);
   Alcotest.(check bool) "balanced" true (Gf_sim.Multicore.imbalance four < 1.2)
 
+(* ------------------------- parallel replay ------------------------- *)
+
+module Parallel = Gf_sim.Parallel
+module Multicore = Gf_sim.Multicore
+
+(* The merged counters that must be identical between replay modes.  Wall
+   times and latency means differ (timing), but sample counts must not. *)
+let fingerprint (m : Metrics.t) =
+  [
+    m.Metrics.packets; m.Metrics.hw_hits; m.Metrics.sw_hits; m.Metrics.slowpaths;
+    m.Metrics.drops; m.Metrics.hw_installs; m.Metrics.hw_shared;
+    m.Metrics.hw_rejected; m.Metrics.hw_evictions; m.Metrics.cycles_userspace;
+    m.Metrics.cycles_partition; m.Metrics.cycles_rulegen;
+    m.Metrics.cycles_sw_search; m.Metrics.hw_entries_final;
+    Gf_util.Stats.Acc.count m.Metrics.latency;
+  ]
+
+let test_metrics_merge () =
+  let mk hits sw lat =
+    let m = Metrics.create () in
+    m.Metrics.packets <- hits + sw;
+    m.Metrics.hw_hits <- hits;
+    m.Metrics.sw_hits <- sw;
+    m.Metrics.hw_entries_peak <- hits;
+    List.iter (Gf_util.Stats.Acc.add m.Metrics.latency) lat;
+    m
+  in
+  let a = mk 3 1 [ 1.0; 2.0; 3.0; 4.0 ] in
+  let b = mk 5 2 [ 10.0; 20.0; 30.0; 40.0; 50.0; 60.0; 70.0 ] in
+  Metrics.merge ~into:a b;
+  Alcotest.(check int) "packets add" 11 a.Metrics.packets;
+  Alcotest.(check int) "hw_hits add" 8 a.Metrics.hw_hits;
+  Alcotest.(check int) "sw_hits add" 3 a.Metrics.sw_hits;
+  Alcotest.(check int) "peaks sum (disjoint caches)" 8 a.Metrics.hw_entries_peak;
+  Alcotest.(check int) "src unchanged" 5 b.Metrics.hw_hits;
+  let acc = a.Metrics.latency in
+  Alcotest.(check int) "latency count" 11 (Gf_util.Stats.Acc.count acc);
+  Alcotest.(check (float 1e-9)) "latency total" 290.0 (Gf_util.Stats.Acc.total acc);
+  (* Chan's merge must agree exactly with feeding one accumulator. *)
+  let flat = Gf_util.Stats.Acc.create () in
+  List.iter (Gf_util.Stats.Acc.add flat)
+    [ 1.0; 2.0; 3.0; 4.0; 10.0; 20.0; 30.0; 40.0; 50.0; 60.0; 70.0 ];
+  Alcotest.(check (float 1e-6)) "merged mean" (Gf_util.Stats.Acc.mean flat)
+    (Gf_util.Stats.Acc.mean acc);
+  Alcotest.(check (float 1e-6)) "merged variance" (Gf_util.Stats.Acc.variance flat)
+    (Gf_util.Stats.Acc.variance acc);
+  Alcotest.(check (float 1e-9)) "merged min" 1.0 (Gf_util.Stats.Acc.min acc);
+  Alcotest.(check (float 1e-9)) "merged max" 70.0 (Gf_util.Stats.Acc.max acc);
+  (* aggregate = left fold of merge into a fresh record *)
+  let c = mk 2 0 [ 5.0 ] in
+  let agg = Metrics.aggregate [ b; c ] in
+  Alcotest.(check int) "aggregate packets" 9 agg.Metrics.packets;
+  Alcotest.(check int) "aggregate latency count" 8
+    (Gf_util.Stats.Acc.count agg.Metrics.latency)
+
+let test_parallel_shard_partition () =
+  let w = small_workload () in
+  let trace = w.Pipebench.trace in
+  let shards = Parallel.shard ~domains:4 trace in
+  Alcotest.(check int) "four shards" 4 (Array.length shards);
+  let total =
+    Array.fold_left (fun acc s -> acc + Trace.packet_count s) 0 shards
+  in
+  Alcotest.(check int) "packets conserved" (Trace.packet_count trace) total;
+  let owner = Hashtbl.create 256 in
+  Array.iteri
+    (fun d s ->
+      let last_time = ref neg_infinity in
+      Array.iter
+        (fun (p : Trace.packet) ->
+          (match Hashtbl.find_opt owner p.Trace.flow_id with
+          | Some d' when d' <> d -> Alcotest.failf "flow %d on shards %d and %d" p.Trace.flow_id d' d
+          | _ -> Hashtbl.replace owner p.Trace.flow_id d);
+          if p.Trace.time < !last_time then Alcotest.fail "shard not time-ordered";
+          last_time := p.Trace.time)
+        s.Trace.packets;
+      Alcotest.(check int) "unique_flows recounted"
+        (let seen = Hashtbl.create 64 in
+         Array.iter (fun (p : Trace.packet) -> Hashtbl.replace seen p.Trace.flow_id ()) s.Trace.packets;
+         Hashtbl.length seen)
+        s.Trace.unique_flows)
+    shards;
+  Alcotest.(check int) "flows conserved" trace.Trace.unique_flows (Hashtbl.length owner)
+
+let test_parallel_single_domain_matches_datapath () =
+  let w = small_workload () in
+  let pipeline = Pipebench.pipeline w in
+  List.iter
+    (fun cfg ->
+      let plain =
+        Datapath.run (Datapath.create cfg (Gf_pipeline.Pipeline.copy pipeline))
+          w.Pipebench.trace
+      in
+      List.iter
+        (fun mode ->
+          let r = Parallel.replay ~mode ~domains:1 ~cfg pipeline w.Pipebench.trace in
+          Alcotest.(check (list int)) "1-domain replay = plain run"
+            (fingerprint plain)
+            (fingerprint r.Parallel.merged))
+        [ `Domains; `Sequential ])
+    [ Datapath.megaflow_32k; Datapath.gigaflow_4x8k ]
+
+let test_parallel_model_cross_validation () =
+  let w = small_workload () in
+  let r =
+    Parallel.replay ~mode:`Sequential ~domains:4 ~cfg:Datapath.gigaflow_4x8k
+      (Pipebench.pipeline w) w.Pipebench.trace
+  in
+  let measured = Parallel.measured_loads r in
+  let model = Parallel.model_loads r in
+  (* Same census, same hash: the static model must predict the measured
+     per-domain slowpath loads exactly. *)
+  Alcotest.(check (array int)) "model = measurement" model.Multicore.loads
+    measured.Multicore.loads;
+  Alcotest.(check bool) "some slowpath load" true
+    (Multicore.total_load measured > 0)
+
+(* The headline property: real domains change wall-clock, never results.
+   For every domain count, running the shards on N domains and running the
+   same shards back-to-back on one domain yield identical merged metrics. *)
+let prop_parallel_domains_equal_sequential =
+  QCheck2.Test.make ~name:"parallel replay: domains = sequential merged metrics"
+    ~count:3
+    QCheck2.Gen.(pair (0 -- 1000) bool)
+    (fun (seed, use_gigaflow) ->
+      let w = small_workload ~seed () in
+      let pipeline = Pipebench.pipeline w in
+      let cfg =
+        if use_gigaflow then Datapath.gigaflow_4x8k else Datapath.megaflow_32k
+      in
+      List.for_all
+        (fun domains ->
+          let par =
+            Parallel.replay ~mode:`Domains ~domains ~cfg pipeline w.Pipebench.trace
+          in
+          let seq =
+            Parallel.replay ~mode:`Sequential ~domains ~cfg pipeline
+              w.Pipebench.trace
+          in
+          fingerprint par.Parallel.merged = fingerprint seq.Parallel.merged
+          && par.Parallel.merged.Metrics.packets
+             = Trace.packet_count w.Pipebench.trace)
+        [ 1; 2; 4 ])
+
 let test_pcie_model () =
   Alcotest.(check (float 1e-9)) "empty batch" 0.0 (Pcie.batch_us ~ops:0);
   Alcotest.(check bool) "batch amortises" true
@@ -194,5 +338,11 @@ let suite =
     ("latency model", `Quick, test_latency_model);
     ("resources model", `Quick, test_resources_model);
     ("multicore distribution", `Quick, test_multicore_distribution);
+    ("metrics merge", `Quick, test_metrics_merge);
+    ("parallel shard partition", `Quick, test_parallel_shard_partition);
+    ("parallel 1-domain = plain datapath", `Slow, test_parallel_single_domain_matches_datapath);
+    ("parallel model cross-validation", `Quick, test_parallel_model_cross_validation);
     ("pcie model", `Quick, test_pcie_model);
   ]
+
+let props = [ prop_parallel_domains_equal_sequential ]
