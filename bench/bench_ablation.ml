@@ -25,7 +25,7 @@ let unwildcarding () =
         Gf_workload.Pipebench.make ~combos:(combos ()) ~unique_flows:(unique_flows ())
           ~info:(info "PSC") ~locality:Ruleset.High ~seed:(!seed lxor 0xAB1) ()
       in
-      let r = run_datapath { (gf_config ()) with Datapath.sw_enabled = false } w in
+      let r = run_datapath (Datapath.without_software (gf_config ())) w in
       Tablefmt.add_row t
         [
           name;
@@ -58,14 +58,13 @@ let adaptive () =
         Tablefmt.fmt_int (Metrics.hw_miss_count r.metrics);
       ]
   in
-  cell "Megaflow (32K)" { (mf_config ()) with Datapath.sw_enabled = false };
-  cell "Gigaflow (4x8K)" { (gf_config ()) with Datapath.sw_enabled = false };
+  cell "Megaflow (32K)" (Datapath.without_software (mf_config ()));
+  cell "Gigaflow (4x8K)" (Datapath.without_software (gf_config ()));
   cell "Gigaflow + adaptive fallback"
-    {
-      (gf_config ()) with
-      Datapath.sw_enabled = false;
-      gf = { (gf_config ()).Datapath.gf with Gf_core.Config.adaptive = true };
-    };
+    (Datapath.without_software
+       (Datapath.emc_gf_sw
+          ~gf:{ (scaled_gf ()) with Gf_core.Config.adaptive = true }
+          ()));
   Tablefmt.print t;
   note "With the profile-guided fallback on, Gigaflow converts scarce-sharing";
   note "traffic into Megaflow-style whole-traversal entries (paper sec. 7),";

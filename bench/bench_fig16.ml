@@ -30,11 +30,10 @@ let run () =
       (fun (name, scheme, tables, capacity) ->
         say "  [fig16] scheme %s ..." name;
         let cfg =
-          {
-            Datapath.gigaflow_4x8k with
-            Datapath.gf = Gf_core.Config.v ~tables ~table_capacity:capacity ~scheme ();
-            sw_enabled = false;
-          }
+          Datapath.without_software
+            (Datapath.emc_gf_sw
+               ~gf:(Gf_core.Config.v ~tables ~table_capacity:capacity ~scheme ())
+               ())
         in
         let r = run_datapath cfg w in
         if name = "DP" then dp_entries := r.peak_entries;

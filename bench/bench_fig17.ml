@@ -26,11 +26,11 @@ let run () =
   in
   let mf_tss = cell "Megaflow + TSS" (mf_config ()) in
   let mf_nm =
-    cell "Megaflow + NM" { (mf_config ()) with Datapath.sw_search = `Nuevomatch }
+    cell "Megaflow + NM" (Datapath.with_sw_search `Nuevomatch (mf_config ()))
   in
   let gf_tss = cell "Gigaflow + TSS" (gf_config ()) in
   let gf_nm =
-    cell "Gigaflow + NM" { (gf_config ()) with Datapath.sw_search = `Nuevomatch }
+    cell "Gigaflow + NM" (Datapath.with_sw_search `Nuevomatch (gf_config ()))
   in
   Tablefmt.print t;
   note "NM over TSS: Megaflow %.1f%%, Gigaflow %.1f%% faster; Gigaflow+TSS is"

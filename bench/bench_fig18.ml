@@ -60,11 +60,11 @@ let run () =
   in
   say "  [fig18] megaflow timeline ...";
   let mf =
-    series { (mf_config ()) with Datapath.sw_enabled = false; max_idle = 20.0 }
+    series (Datapath.without_software (Datapath.with_max_idle 20.0 (mf_config ())))
   in
   say "  [fig18] gigaflow timeline ...";
   let gf =
-    series { (gf_config ()) with Datapath.sw_enabled = false; max_idle = 20.0 }
+    series (Datapath.without_software (Datapath.with_max_idle 20.0 (gf_config ())))
   in
   let t =
     Tablefmt.create

@@ -67,10 +67,8 @@ let fig10 () =
   section "Fig. 10: cache entries used (peak occupancy)";
   per_pipeline_table "Peak cache entries" (fun r -> Tablefmt.fmt_int r.peak_entries);
   let util backend locality =
-    let cap =
-      if backend = "megaflow" then float_of_int (mf_config ()).Gf_sim.Datapath.mf_capacity
-      else float_of_int (Gf_core.Config.total_capacity (gf_config ()).Gf_sim.Datapath.gf)
-    in
+    let cfg = if backend = "megaflow" then mf_config () else gf_config () in
+    let cap = float_of_int (Datapath.hw_capacity cfg) in
     let fracs =
       List.map
         (fun code ->

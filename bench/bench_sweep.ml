@@ -14,18 +14,12 @@ type point = { misses : int; entries : int; coverage : float }
 let results : (string * Ruleset.locality * int, point) Hashtbl.t = Hashtbl.create 64
 
 let cfg_for k =
-  if k = 1 then
-    {
-      Datapath.megaflow_32k with
-      Datapath.mf_capacity = scaled 100_000;
-      sw_enabled = false;
-    }
-  else
-    {
-      Datapath.gigaflow_4x8k with
-      Datapath.gf = Gf_core.Config.v ~tables:k ~table_capacity:(scaled 100_000) ();
-      sw_enabled = false;
-    }
+  Datapath.without_software
+    (if k = 1 then Datapath.emc_mf_sw ~mf_capacity:(scaled 100_000) ()
+     else
+       Datapath.emc_gf_sw
+         ~gf:(Gf_core.Config.v ~tables:k ~table_capacity:(scaled 100_000) ())
+         ())
 
 let point code locality k =
   match Hashtbl.find_opt results (code, locality, k) with

@@ -182,13 +182,9 @@ let () =
   let trace = w.Pipebench.trace in
   say "Workload: PSC/high, %d packets, %d flows" (Trace.packet_count trace)
     trace.Trace.unique_flows;
-  let mf_cfg = { Datapath.megaflow_32k with Datapath.mf_capacity = scaled 32_768 } in
-  let gf_cfg =
-    {
-      Datapath.gigaflow_4x8k with
-      Datapath.gf = Gf_core.Config.v ~tables:4 ~table_capacity:(scaled 8192) ();
-    }
-  in
+  let scaled_gf = Gf_core.Config.v ~tables:4 ~table_capacity:(scaled 8192) () in
+  let mf_cfg = Datapath.emc_mf_sw ~mf_capacity:(scaled 32_768) () in
+  let gf_cfg = Datapath.emc_gf_sw ~gf:scaled_gf () in
   j "{\n";
   j "  \"meta\": {\"seed\": %d, \"scale\": %s, \"pipeline\": \"PSC\", \"locality\": \"high\",\n"
     !seed (jfloat !scale);
@@ -236,6 +232,40 @@ let () =
         )
         domain_counts)
     backends;
+  j "  ],\n";
+  (* Hierarchy sweep: every named preset end-to-end on the same trace, with
+     the per-level hit-rate breakdown (where in the hierarchy packets are
+     absorbed). *)
+  say "  [hierarchies] preset sweep (%s)" (String.concat ", " Datapath.preset_names);
+  j "  \"hierarchies\": [\n";
+  let n_presets = List.length Datapath.preset_names in
+  List.iteri
+    (fun pi name ->
+      let cfg =
+        Option.get
+          (Datapath.preset ~gf:scaled_gf ~mf_capacity:(scaled 32_768) name)
+      in
+      let r = run_sequential cfg pipeline trace in
+      say "  [hier] %-10s %.2fs, %.0f pps, hw hit %.2f%%" name r.wall r.pps
+        (100.0 *. Metrics.hw_hit_rate r.metrics);
+      Format.printf "%a%!" Metrics.pp_levels r.metrics;
+      j "    {\"name\": \"%s\", \"wall_seconds\": %s, \"packets_per_second\": %s,\n"
+        name (jfloat r.wall) (jfloat r.pps);
+      j "     \"hw_hit_rate\": %s, \"slowpaths\": %d, \"levels\": [\n"
+        (jfloat (Metrics.hw_hit_rate r.metrics))
+        r.metrics.Metrics.slowpaths;
+      let levels = Metrics.levels r.metrics in
+      List.iteri
+        (fun li (l : Metrics.level) ->
+          j "      {\"name\": \"%s\", \"hits\": %d, \"misses\": %d, \"hit_rate\": %s, \
+             \"installs\": %d, \"evictions\": %d, \"occupancy_peak\": %d}%s\n"
+            l.Metrics.level_name l.Metrics.hits l.Metrics.misses
+            (jfloat (Metrics.level_hit_rate l))
+            l.Metrics.installs l.Metrics.evictions l.Metrics.occupancy_peak
+            (if li = List.length levels - 1 then "" else ","))
+        levels;
+      j "    ]}%s\n" (if pi = n_presets - 1 then "" else ","))
+    Datapath.preset_names;
   j "  ],\n";
   say "  [micro] hot-path A/B (old/new time ratio, >1 = faster now)";
   let m_mask = micro_mask_apply () in

@@ -107,14 +107,10 @@ let run_datapath ?(sample_every = 50_000) cfg w =
 
 (* Headline configurations: the paper's Megaflow (32K) vs Gigaflow (4x8K),
    both scaled alongside the workload so pressure ratios are preserved. *)
-let mf_config () =
-  { Datapath.megaflow_32k with Datapath.mf_capacity = scaled 32_768 }
+let mf_config () = Datapath.emc_mf_sw ~mf_capacity:(scaled 32_768) ()
 
-let gf_config () =
-  {
-    Datapath.gigaflow_4x8k with
-    Datapath.gf = Gf_core.Config.v ~tables:4 ~table_capacity:(scaled 8192) ();
-  }
+let scaled_gf () = Gf_core.Config.v ~tables:4 ~table_capacity:(scaled 8192) ()
+let gf_config () = Datapath.emc_gf_sw ~gf:(scaled_gf ()) ()
 
 let headline_runs : (string * Ruleset.locality * string, run) Hashtbl.t =
   Hashtbl.create 32

@@ -35,15 +35,15 @@ let flows_arg =
 let combos_arg =
   Arg.(value & opt int 131_072 & info [ "combos" ] ~docv:"N" ~doc:"Rule chains in the generated ruleset.")
 
-let backend_conv =
-  Arg.enum
-    [ ("megaflow", Datapath.Megaflow_offload); ("gigaflow", Datapath.Gigaflow_offload) ]
-
-let backend_arg =
+let hierarchy_arg =
+  let doc =
+    Printf.sprintf "Cache hierarchy preset: %s."
+      (String.concat ", " Datapath.preset_names)
+  in
   Arg.(
     value
-    & opt backend_conv Datapath.Gigaflow_offload
-    & info [ "b"; "backend" ] ~docv:"B" ~doc:"SmartNIC cache: megaflow or gigaflow.")
+    & opt (Arg.enum (List.map (fun n -> (n, n)) Datapath.preset_names)) "emc_gf_sw"
+    & info [ "H"; "hierarchy" ] ~docv:"NAME" ~doc)
 
 let tables_arg =
   Arg.(value & opt int 4 & info [ "tables" ] ~docv:"K" ~doc:"Gigaflow LTM tables.")
@@ -59,20 +59,18 @@ let find_pipeline code =
       exit 2
 
 let run_cmd =
-  let run code locality seed flows combos backend tables capacity =
+  let run code locality seed flows combos hierarchy tables capacity =
     let info = find_pipeline code in
     Printf.printf "Building workload: %s, %s locality, %d flows...\n%!" info.Catalog.code
       (Ruleset.locality_name locality) flows;
     let w = Pipebench.make ~combos ~unique_flows:flows ~info ~locality ~seed () in
+    (* Gigaflow-based presets take the LTM geometry; Megaflow-based ones get
+       the same total entry budget (tables x capacity) in one table. *)
     let cfg =
-      match backend with
-      | Datapath.Megaflow_offload ->
-          { Datapath.megaflow_32k with Datapath.mf_capacity = tables * capacity }
-      | Datapath.Gigaflow_offload ->
-          {
-            Datapath.gigaflow_4x8k with
-            Datapath.gf = Gf_core.Config.v ~tables ~table_capacity:capacity ();
-          }
+      Option.get
+        (Datapath.preset
+           ~gf:(Gf_core.Config.v ~tables ~table_capacity:capacity ())
+           ~mf_capacity:(tables * capacity) hierarchy)
     in
     let dp = Datapath.create cfg (Pipebench.pipeline w) in
     Printf.printf "Replaying %d packets...\n%!"
@@ -101,7 +99,7 @@ let run_cmd =
     sample ();
     let t = Tablefmt.create [ "Metric"; "Value" ] in
     let add k v = Tablefmt.add_row t [ k; v ] in
-    add "backend" (Datapath.backend_name backend);
+    add "hierarchy" cfg.Datapath.name;
     add "packets" (Tablefmt.fmt_int m.Metrics.packets);
     add "SmartNIC hit rate" (Tablefmt.fmt_pct (Metrics.hw_hit_rate m));
     add "SmartNIC misses" (Tablefmt.fmt_int (Metrics.hw_miss_count m));
@@ -112,6 +110,8 @@ let run_cmd =
     add "shared sub-traversals" (Tablefmt.fmt_int m.Metrics.hw_shared);
     add "mean latency" (Printf.sprintf "%.2f us" (Metrics.mean_latency_us m));
     Tablefmt.print t;
+    Printf.printf "Per-level breakdown:\n";
+    Format.printf "%a%!" Metrics.pp_levels m;
     (match Datapath.gigaflow dp with
     | Some _ ->
         Printf.printf "Rule-space coverage (peak): %s\n" (Tablefmt.fmt_si !max_cov);
@@ -121,7 +121,7 @@ let run_cmd =
   let term =
     Term.(
       const run $ pipeline_arg $ locality_arg $ seed_arg $ flows_arg $ combos_arg
-      $ backend_arg $ tables_arg $ capacity_arg)
+      $ hierarchy_arg $ tables_arg $ capacity_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run an end-to-end datapath simulation.") term
 

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Repo gate: build, tests, formatting.  Run before every commit.
+set -e
+cd "$(dirname "$0")"
+
+echo "== dune build"
+dune build
+
+echo "== dune runtest"
+dune runtest
+
+echo "== dune build @fmt"
+dune build @fmt
+
+echo "check.sh: all gates passed"

@@ -44,13 +44,11 @@ let () =
           Printf.sprintf "%.2f us" (Metrics.mean_latency_us m);
         ])
     [
-      ( "Megaflow",
-        { Datapath.megaflow_32k with Datapath.mf_capacity = 32_768 / scale } );
+      ("Megaflow", Datapath.emc_mf_sw ~mf_capacity:(32_768 / scale) ());
       ( "Gigaflow",
-        {
-          Datapath.gigaflow_4x8k with
-          Datapath.gf = Gf_core.Config.v ~tables:4 ~table_capacity:(8192 / scale) ();
-        } );
+        Datapath.emc_gf_sw
+          ~gf:(Gf_core.Config.v ~tables:4 ~table_capacity:(8192 / scale) ())
+          () );
     ];
   print_newline ();
   Tablefmt.print t;

@@ -57,15 +57,12 @@ let () =
   in
   let mf =
     series "Megaflow (6K)"
-      { Datapath.megaflow_32k with Datapath.mf_capacity = 6144; sw_enabled = false }
+      (Datapath.without_software (Datapath.emc_mf_sw ~mf_capacity:6144 ()))
   in
   let gf =
     series "Gigaflow (4x1.5K)"
-      {
-        Datapath.gigaflow_4x8k with
-        Datapath.gf = Gf_core.Config.v ~tables:4 ~table_capacity:1536 ();
-        sw_enabled = false;
-      }
+      (Datapath.without_software
+         (Datapath.emc_gf_sw ~gf:(Gf_core.Config.v ~tables:4 ~table_capacity:1536 ()) ()))
   in
   print_newline ();
   let t = Tablefmt.create [ "t (s)"; "Megaflow hit rate"; "Gigaflow hit rate" ] in

@@ -55,71 +55,81 @@ let in_fallback t = t.adaptive.fallback
 let lookup t ~now ~pipeline flow =
   Ltm_cache.lookup t.cache ~now ~entry_tag:(Pipeline.entry pipeline) flow
 
+type install_outcome = {
+  install : Ltm_cache.install_result;
+  segments : Partitioner.segment list;
+  partition_work : int;
+  rulegen_work : int;
+}
+
+(* Everything after slowpath execution: partition the traversal, generate
+   LTM rules, install, and update the adaptive traffic profile.  Split from
+   {!handle_miss} so cache-hierarchy adapters can install from a traversal
+   the datapath already executed. *)
+let install_traversal t ~now ~version traversal =
+  let n = Traversal.length traversal in
+  let budget = max 1 (Ltm_cache.available_tables t.cache) in
+  let a = t.adaptive in
+  let probe = t.config.Config.adaptive && a.misses_in_window mod probe_period = 0 in
+  let segments =
+    if t.config.Config.adaptive && a.fallback && not probe then
+      (* Low-locality fallback: one Megaflow-style whole-traversal entry. *)
+      [ { Partitioner.first = 0; last = n - 1 } ]
+    else
+      Partitioner.partition ~rng:t.rng t.config.Config.scheme ~max_segments:budget
+        traversal
+  in
+  let rules = Rulegen.rules_of_partition ~version traversal segments in
+  let install = Ltm_cache.install t.cache ~now rules in
+  if t.config.Config.adaptive then begin
+    a.misses_in_window <- a.misses_in_window + 1;
+    (match install with
+    | Ltm_cache.Installed { fresh; shared } when probe ->
+        a.probe_fresh <- a.probe_fresh + fresh;
+        a.probe_shared <- a.probe_shared + shared
+    | Ltm_cache.Installed _ | Ltm_cache.Rejected -> ());
+    if a.misses_in_window >= window then begin
+      let total = a.probe_fresh + a.probe_shared in
+      let sharing =
+        if total = 0 then 0.0 else float_of_int a.probe_shared /. float_of_int total
+      in
+      a.fallback <- sharing < t.config.Config.adaptive_threshold;
+      a.misses_in_window <- 0;
+      a.probe_fresh <- 0;
+      a.probe_shared <- 0
+    end
+  end;
+  let partition_work =
+    match t.config.Config.scheme with
+    | Partitioner.Disjoint ->
+        (* The DP evaluates every (first, last) segment plus the O(N^2 K)
+           table fill; count the dominant term. *)
+        n * n * min budget n
+    | Partitioner.Random | Partitioner.One_to_one -> n
+  in
+  { install; segments; partition_work; rulegen_work = List.length rules }
+
 let handle_miss t ~now ~pipeline flow =
   match Executor.execute pipeline flow with
   | Error e -> Error e
   | Ok traversal ->
-      let n = Traversal.length traversal in
-      let budget = max 1 (Ltm_cache.available_tables t.cache) in
-      let a = t.adaptive in
-      let probe =
-        t.config.Config.adaptive && a.misses_in_window mod probe_period = 0
-      in
-      let segments =
-        if t.config.Config.adaptive && a.fallback && not probe then
-          (* Low-locality fallback: one Megaflow-style whole-traversal
-             entry. *)
-          [ { Partitioner.first = 0; last = n - 1 } ]
-        else
-          Partitioner.partition ~rng:t.rng t.config.Config.scheme
-            ~max_segments:budget traversal
-      in
-      let rules =
-        Rulegen.rules_of_partition ~version:(Pipeline.version pipeline) traversal segments
-      in
-      let install = Ltm_cache.install t.cache ~now rules in
-      if t.config.Config.adaptive then begin
-        a.misses_in_window <- a.misses_in_window + 1;
-        (match install with
-        | Ltm_cache.Installed { fresh; shared } when probe ->
-            a.probe_fresh <- a.probe_fresh + fresh;
-            a.probe_shared <- a.probe_shared + shared
-        | Ltm_cache.Installed _ | Ltm_cache.Rejected -> ());
-        if a.misses_in_window >= window then begin
-          let total = a.probe_fresh + a.probe_shared in
-          let sharing =
-            if total = 0 then 0.0 else float_of_int a.probe_shared /. float_of_int total
-          in
-          a.fallback <- sharing < t.config.Config.adaptive_threshold;
-          a.misses_in_window <- 0;
-          a.probe_fresh <- 0;
-          a.probe_shared <- 0
-        end
-      end;
+      let o = install_traversal t ~now ~version:(Pipeline.version pipeline) traversal in
       let tuple_probes =
         Array.fold_left
           (fun acc s -> acc + s.Traversal.probes)
           0 traversal.Traversal.steps
       in
-      let partition_work =
-        match t.config.Config.scheme with
-        | Partitioner.Disjoint ->
-            (* The DP evaluates every (first, last) segment plus the O(N^2 K)
-               table fill; count the dominant term. *)
-            n * n * min budget n
-        | Partitioner.Random | Partitioner.One_to_one -> n
-      in
       Ok
         {
           traversal;
-          install;
-          segments;
+          install = o.install;
+          segments = o.segments;
           work =
             {
-              pipeline_lookups = n;
+              pipeline_lookups = Traversal.length traversal;
               tuple_probes;
-              partition_work;
-              rulegen_work = List.length rules;
+              partition_work = o.partition_work;
+              rulegen_work = o.rulegen_work;
             };
         }
 

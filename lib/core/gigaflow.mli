@@ -41,14 +41,29 @@ val lookup :
   Ltm_cache.hit option * int
 (** LTM cache lookup (the entry tag is the pipeline's entry table). *)
 
+type install_outcome = {
+  install : Ltm_cache.install_result;
+  segments : Partitioner.segment list;
+  partition_work : int;
+  rulegen_work : int;
+}
+
+val install_traversal :
+  t -> now:float -> version:int -> Gf_pipeline.Traversal.t -> install_outcome
+(** The install half of {!handle_miss}: partition an already-executed
+    traversal into at most [available_tables] segments, generate LTM rules
+    ([version] is the pipeline version) and install them, updating the
+    adaptive traffic profile.  Lets a cache hierarchy execute the slowpath
+    once and feed the same traversal to every level. *)
+
 val handle_miss :
   t ->
   now:float ->
   pipeline:Gf_pipeline.Pipeline.t ->
   Gf_flow.Flow.t ->
   (miss_outcome, Gf_pipeline.Executor.error) result
-(** Slowpath processing of one missed packet: execute, partition into at
-    most [available_tables] segments, generate and install LTM rules. *)
+(** Slowpath processing of one missed packet: execute, then
+    {!install_traversal}. *)
 
 val expire : t -> now:float -> int
 (** Max-idle eviction using the configured idle budget. *)

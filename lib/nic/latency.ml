@@ -24,6 +24,10 @@ let cache_hit_stddev_us = function
 
 let hw_hit_us = 9.0
 
+(* EMC (exact-match cache) hit: one hash probe over the full header
+   vector, no wildcard search. *)
+let emc_hit_us = 0.4
+
 (* One PCIe round trip plus ring handoff and wakeup: calibrated so that a
    software cache hit lands at the paper's OVS/DPDK figure (~12.6 us). *)
 let upcall_us = 5.5

@@ -33,6 +33,10 @@ val hw_hit_us : float
 val upcall_us : float
 (** PCIe + handoff cost of sending a missed packet to software. *)
 
+val emc_hit_us : float
+(** Exact-match (EMC/Microflow) cache hit: one hash probe, no wildcard
+    search.  Added on top of [upcall_us + sw_base_us]. *)
+
 val sw_base_us : float
 (** Fixed software forwarding cost (parse, action execution, transmit);
     [upcall_us + sw_base_us + sw_search_us] reproduces the paper's
@@ -57,6 +61,11 @@ val slowpath_us :
 
 val cpu_hz : float
 (** 2.6 GHz. *)
+
+val probe_cycles : int
+(** CPU cycles per software-classifier work unit (one hash-table tuple
+    probe including mask application, ~450 cycles) — the per-level
+    [cycles_per_work] of software wildcard-cache levels. *)
 
 val cycles_userspace : pipeline_lookups:int -> tuple_probes:int -> int
 val cycles_partition : partition_work:int -> int

@@ -1,0 +1,249 @@
+module Microflow = Gf_cache.Microflow
+module Megaflow = Gf_cache.Megaflow
+module Gigaflow = Gf_core.Gigaflow
+module Ltm_cache = Gf_core.Ltm_cache
+module Latency = Gf_nic.Latency
+module Pipeline = Gf_pipeline.Pipeline
+
+type tier = Hardware | Software
+
+type install_policy = Install_on_miss | Promote_on_hit | Never_install
+
+type descriptor = {
+  name : string;
+  tier : tier;
+  policy : install_policy;
+  max_idle : float;
+  hit_us : work:int -> float;
+  cycles_per_work : int;
+}
+
+type hit = {
+  terminal : Gf_pipeline.Action.terminal;
+  out_flow : Gf_flow.Flow.t;
+}
+
+type install_report = {
+  fresh : int;
+  shared : int;
+  rejected : int;
+  partition_work : int;
+  rulegen_work : int;
+}
+
+let no_install =
+  { fresh = 0; shared = 0; rejected = 0; partition_work = 0; rulegen_work = 0 }
+
+type view =
+  | Microflow_view of Microflow.t
+  | Megaflow_view of Megaflow.t
+  | Gigaflow_view of Gigaflow.t
+
+module type LEVEL = sig
+  val descriptor : descriptor
+  val view : view
+  val lookup : now:float -> Gf_flow.Flow.t -> hit option * int
+
+  val install_from_traversal :
+    now:float -> version:int -> Gf_pipeline.Traversal.t -> install_report
+
+  val promote : now:float -> Gf_flow.Flow.t -> hit -> unit
+  val expire : now:float -> int
+  val revalidate : Gf_pipeline.Pipeline.t -> int * int
+  val occupancy : unit -> int
+  val capacity : unit -> int
+  val stats : unit -> Gf_cache.Cache_stats.t
+end
+
+type t = (module LEVEL)
+
+let descriptor (module L : LEVEL) = L.descriptor
+let name t = (descriptor t).name
+let tier t = (descriptor t).tier
+let view (module L : LEVEL) = L.view
+let lookup (module L : LEVEL) = L.lookup
+let install_from_traversal (module L : LEVEL) = L.install_from_traversal
+let promote (module L : LEVEL) = L.promote
+let expire (module L : LEVEL) = L.expire
+let revalidate (module L : LEVEL) = L.revalidate
+let occupancy (module L : LEVEL) = L.occupancy ()
+let capacity (module L : LEVEL) = L.capacity ()
+let stats (module L : LEVEL) = L.stats ()
+
+(* ------------------------------ adapters ------------------------------ *)
+
+let of_microflow ?(name = "emc") ~max_idle emc : t =
+  (module struct
+    let descriptor =
+      {
+        name;
+        tier = Software;
+        policy = Promote_on_hit;
+        max_idle;
+        hit_us = (fun ~work:_ -> Latency.emc_hit_us);
+        cycles_per_work = 0;
+      }
+
+    let view = Microflow_view emc
+
+    let lookup ~now flow =
+      match Microflow.lookup emc ~now flow with
+      | Some h ->
+          (Some { terminal = h.Microflow.terminal; out_flow = h.Microflow.out_flow }, 1)
+      | None -> (None, 1)
+
+    let install_from_traversal ~now:_ ~version:_ _ = no_install
+
+    let promote ~now flow h =
+      Microflow.install emc ~now flow
+        { Microflow.terminal = h.terminal; out_flow = h.out_flow }
+
+    let expire ~now = Microflow.expire emc ~now ~max_idle
+
+    (* Exact-match entries carry no dependency information: the only safe
+       response to a pipeline change is a flush (OVS does the same). *)
+    let revalidate _ = (Microflow.invalidate_all emc, 0)
+    let occupancy () = Microflow.occupancy emc
+    let capacity () = Microflow.capacity emc
+    let stats () = Microflow.stats emc
+  end)
+
+let of_megaflow ?name ~tier ~max_idle mf : t =
+  let name =
+    match name with
+    | Some n -> n
+    | None -> ( match tier with Hardware -> "nic-mf" | Software -> "sw-mf")
+  in
+  (module struct
+    let descriptor =
+      {
+        name;
+        tier;
+        policy = Install_on_miss;
+        max_idle;
+        hit_us =
+          (match tier with
+          | Hardware -> fun ~work:_ -> Latency.hw_hit_us
+          | Software ->
+              fun ~work ->
+                Latency.sw_search_us ~algo:(Megaflow.search_algo mf) ~work ());
+        cycles_per_work =
+          (match tier with Hardware -> 0 | Software -> Latency.probe_cycles);
+      }
+
+    let view = Megaflow_view mf
+
+    let lookup ~now flow =
+      let hit, work = Megaflow.lookup mf ~now flow in
+      ( (match hit with
+        | Some h ->
+            Some { terminal = h.Megaflow.terminal; out_flow = h.Megaflow.out_flow }
+        | None -> None),
+        work )
+
+    let install_from_traversal ~now ~version traversal =
+      match Megaflow.install mf ~now ~version traversal with
+      | `Installed -> { no_install with fresh = 1 }
+      | `Exists -> no_install
+      | `Rejected -> { no_install with rejected = 1 }
+
+    let promote ~now:_ _ _ = ()
+    let expire ~now = Megaflow.expire mf ~now ~max_idle
+    let revalidate pipeline = Megaflow.revalidate mf pipeline
+    let occupancy () = Megaflow.occupancy mf
+    let capacity () = Megaflow.capacity mf
+    let stats () = Megaflow.stats mf
+  end)
+
+let of_gigaflow ?(name = "gf") ~pipeline gf : t =
+  (module struct
+    let descriptor =
+      {
+        name;
+        tier = Hardware;
+        policy = Install_on_miss;
+        max_idle = (Gigaflow.config gf).Gf_core.Config.max_idle;
+        hit_us = (fun ~work:_ -> Latency.hw_hit_us);
+        cycles_per_work = 0;
+      }
+
+    let view = Gigaflow_view gf
+
+    let lookup ~now flow =
+      let hit, work = Gigaflow.lookup gf ~now ~pipeline flow in
+      ( (match hit with
+        | Some h ->
+            Some { terminal = h.Ltm_cache.terminal; out_flow = h.Ltm_cache.out_flow }
+        | None -> None),
+        work )
+
+    let install_from_traversal ~now ~version traversal =
+      let o = Gigaflow.install_traversal gf ~now ~version traversal in
+      let fresh, shared, rejected =
+        match o.Gigaflow.install with
+        | Ltm_cache.Installed { fresh; shared } -> (fresh, shared, 0)
+        | Ltm_cache.Rejected -> (0, 0, 1)
+      in
+      {
+        fresh;
+        shared;
+        rejected;
+        partition_work = o.Gigaflow.partition_work;
+        rulegen_work = o.Gigaflow.rulegen_work;
+      }
+
+    let promote ~now:_ _ _ = ()
+    let expire ~now = Gigaflow.expire gf ~now
+    let revalidate pipeline = Gigaflow.revalidate gf pipeline
+    let occupancy () = Ltm_cache.occupancy (Gigaflow.cache gf)
+    let capacity () = Gf_core.Config.total_capacity (Gigaflow.config gf)
+    let stats () = Ltm_cache.stats (Gigaflow.cache gf)
+  end)
+
+(* ------------------------------- specs ------------------------------- *)
+
+type spec =
+  | Emc of { capacity : int; max_idle : float option }
+  | Nic_megaflow of { capacity : int; max_idle : float option }
+  | Sw_megaflow of {
+      search : Gf_classifier.Searcher.algo;
+      capacity : int;
+      max_idle : float option;
+    }
+  | Gf_ltm of { gf : Gf_core.Config.t; max_idle : float option }
+
+let spec_name = function
+  | Emc _ -> "emc"
+  | Nic_megaflow _ -> "nic-mf"
+  | Sw_megaflow _ -> "sw-mf"
+  | Gf_ltm _ -> "gf"
+
+let spec_tier = function
+  | Emc _ | Sw_megaflow _ -> Software
+  | Nic_megaflow _ | Gf_ltm _ -> Hardware
+
+let spec_capacity = function
+  | Emc { capacity; _ } | Nic_megaflow { capacity; _ } | Sw_megaflow { capacity; _ }
+    ->
+      capacity
+  | Gf_ltm { gf; _ } -> Gf_core.Config.total_capacity gf
+
+let build ?name ~default_max_idle ~pipeline spec =
+  match spec with
+  | Emc { capacity; max_idle } ->
+      let max_idle = Option.value max_idle ~default:default_max_idle in
+      of_microflow ?name ~max_idle (Microflow.create ~capacity)
+  | Nic_megaflow { capacity; max_idle } ->
+      let max_idle = Option.value max_idle ~default:default_max_idle in
+      of_megaflow ?name ~tier:Hardware ~max_idle (Megaflow.create ~capacity ())
+  | Sw_megaflow { search; capacity; max_idle } ->
+      (* The software wildcard cache outlives the NIC levels: entries are
+         cheap (host DRAM) and re-seeding the NIC from it avoids slowpath
+         re-execution, so the default idle budget is 4x the hierarchy's. *)
+      let max_idle = Option.value max_idle ~default:(4.0 *. default_max_idle) in
+      of_megaflow ?name ~tier:Software ~max_idle
+        (Megaflow.create ~search ~capacity ())
+  | Gf_ltm { gf; max_idle } ->
+      let max_idle = Option.value max_idle ~default:default_max_idle in
+      of_gigaflow ?name ~pipeline
+        (Gigaflow.create { gf with Gf_core.Config.max_idle })

@@ -1,0 +1,159 @@
+(** A pluggable cache-hierarchy level.
+
+    The datapath is a generic walker over an ordered list of levels: a
+    packet is looked up level by level, the first hit wins, and a full miss
+    runs the slowpath pipeline whose traversal is then offered to every
+    level's install policy.  Each concrete cache — the exact-match
+    Microflow/EMC, the single-table Megaflow (hardware- or
+    software-flavoured) and the Gigaflow LTM — is wrapped in a first-class
+    module implementing {!LEVEL}, so hierarchies are composed, swept and
+    replicated without the datapath knowing any backend concretely. *)
+
+type tier =
+  | Hardware  (** Lives in the SmartNIC: hits never reach host software. *)
+  | Software
+      (** Host-side level: reaching it costs the PCIe upcall and the fixed
+          software forwarding overhead. *)
+
+type install_policy =
+  | Install_on_miss
+      (** The slowpath traversal is installed here (NIC caches, software
+          wildcard cache). *)
+  | Promote_on_hit
+      (** Populated by promotion when a {e deeper} level hits (OVS's EMC:
+          exact-match entries learned from wildcard-cache hits). *)
+  | Never_install  (** Read-only / externally managed. *)
+
+type descriptor = {
+  name : string;  (** Metrics key; unique within a hierarchy. *)
+  tier : tier;
+  policy : install_policy;
+  max_idle : float;  (** Idle-eviction budget of this level, seconds. *)
+  hit_us : work:int -> float;
+      (** Modelled hit latency from lookup work units.  For [Hardware]
+          levels this is the end-to-end figure; for [Software] levels it is
+          added on top of the upcall + software base cost. *)
+  cycles_per_work : int;
+      (** Host CPU cycles burned per lookup work unit (0 for hardware
+          levels — the NIC does the work). *)
+}
+
+type hit = {
+  terminal : Gf_pipeline.Action.terminal;
+  out_flow : Gf_flow.Flow.t;
+}
+
+type install_report = {
+  fresh : int;  (** New entries written. *)
+  shared : int;  (** Segments satisfied by existing identical entries. *)
+  rejected : int;  (** Installations refused (level full / infeasible). *)
+  partition_work : int;  (** Partitioner DP operations spent installing. *)
+  rulegen_work : int;  (** Rules generated. *)
+}
+
+val no_install : install_report
+(** The all-zero report (levels that do not install from traversals). *)
+
+(** Diagnostic access to the wrapped cache (occupancy sampling, coverage
+    counting); never used for datapath dispatch. *)
+type view =
+  | Microflow_view of Gf_cache.Microflow.t
+  | Megaflow_view of Gf_cache.Megaflow.t
+  | Gigaflow_view of Gf_core.Gigaflow.t
+
+module type LEVEL = sig
+  val descriptor : descriptor
+  val view : view
+
+  val lookup : now:float -> Gf_flow.Flow.t -> hit option * int
+  (** Result and lookup work units (spent whether or not it hit). *)
+
+  val install_from_traversal :
+    now:float -> version:int -> Gf_pipeline.Traversal.t -> install_report
+  (** Offer a slowpath traversal per the level's {!install_policy}. *)
+
+  val promote : now:float -> Gf_flow.Flow.t -> hit -> unit
+  (** Learn from a hit at a deeper level ([Promote_on_hit] levels only;
+      a no-op elsewhere). *)
+
+  val expire : now:float -> int
+  (** Evict entries idle longer than the descriptor's [max_idle]. *)
+
+  val revalidate : Gf_pipeline.Pipeline.t -> int * int
+  (** Re-check entries against a (possibly updated) pipeline; returns
+      [(evicted, work)].  Exact-match levels flush (their entries carry no
+      dependency information). *)
+
+  val occupancy : unit -> int
+  val capacity : unit -> int
+  val stats : unit -> Gf_cache.Cache_stats.t
+end
+
+type t = (module LEVEL)
+
+(** {1 Accessors} *)
+
+val descriptor : t -> descriptor
+val name : t -> string
+val tier : t -> tier
+val view : t -> view
+val lookup : t -> now:float -> Gf_flow.Flow.t -> hit option * int
+
+val install_from_traversal :
+  t -> now:float -> version:int -> Gf_pipeline.Traversal.t -> install_report
+
+val promote : t -> now:float -> Gf_flow.Flow.t -> hit -> unit
+val expire : t -> now:float -> int
+val revalidate : t -> Gf_pipeline.Pipeline.t -> int * int
+val occupancy : t -> int
+val capacity : t -> int
+val stats : t -> Gf_cache.Cache_stats.t
+
+(** {1 Adapters} *)
+
+val of_microflow : ?name:string -> max_idle:float -> Gf_cache.Microflow.t -> t
+(** OVS's EMC: software tier, one hash probe per lookup, populated by
+    promotion from deeper-level hits. *)
+
+val of_megaflow :
+  ?name:string -> tier:tier -> max_idle:float -> Gf_cache.Megaflow.t -> t
+(** The single-table wildcard cache.  [tier] selects the latency flavour:
+    [Hardware] hits at the fixed SmartNIC latency, [Software] pays the
+    classifier search (TSS/NuevoMatch work units). *)
+
+val of_gigaflow :
+  ?name:string -> pipeline:Gf_pipeline.Pipeline.t -> Gf_core.Gigaflow.t -> t
+(** The Gigaflow LTM: hardware tier; installs partition the traversal into
+    sub-traversal rules (idle budget comes from the Gigaflow config). *)
+
+(** {1 Specs — declarative hierarchy descriptions} *)
+
+(** A buildable description of one level.  [max_idle = None] takes the
+    hierarchy default ({!Datapath.config.max_idle}; the software wildcard
+    cache defaults to 4x it, preserving OVS's longer-lived software
+    entries). *)
+type spec =
+  | Emc of { capacity : int; max_idle : float option }
+  | Nic_megaflow of { capacity : int; max_idle : float option }
+  | Sw_megaflow of {
+      search : Gf_classifier.Searcher.algo;
+      capacity : int;
+      max_idle : float option;
+    }
+  | Gf_ltm of { gf : Gf_core.Config.t; max_idle : float option }
+
+val spec_name : spec -> string
+(** Default metrics key: "emc", "nic-mf", "sw-mf", "gf". *)
+
+val spec_tier : spec -> tier
+val spec_capacity : spec -> int
+
+val build :
+  ?name:string ->
+  default_max_idle:float ->
+  pipeline:Gf_pipeline.Pipeline.t ->
+  spec ->
+  t
+(** Instantiate a fresh cache for [spec] and wrap it.  [name] overrides
+    {!spec_name} (hierarchies with duplicate level kinds must deduplicate
+    names). *)

@@ -1,262 +1,344 @@
 module Action = Gf_pipeline.Action
 module Pipeline = Gf_pipeline.Pipeline
 module Executor = Gf_pipeline.Executor
-module Megaflow = Gf_cache.Megaflow
-module Gigaflow = Gf_core.Gigaflow
-module Ltm_cache = Gf_core.Ltm_cache
+module Traversal = Gf_pipeline.Traversal
 module Latency = Gf_nic.Latency
-module Cache_stats = Gf_cache.Cache_stats
 
-type backend = Megaflow_offload | Gigaflow_offload
-
-let backend_name = function
-  | Megaflow_offload -> "Megaflow"
-  | Gigaflow_offload -> "Gigaflow"
+(* ----------------------------- hierarchies ----------------------------- *)
 
 type config = {
-  backend : backend;
-  gf : Gf_core.Config.t;
-  mf_capacity : int;
-  sw_enabled : bool;
-  sw_search : Gf_classifier.Searcher.algo;
-  sw_capacity : int;
-  emc_capacity : int;
-      (* software exact-match cache (OVS's EMC/Microflow level); 0 disables *)
+  name : string;
+  levels : Cache_level.spec list;
   max_idle : float;
   expire_every : float;
 }
 
-let base =
+let default_emc_capacity = 8192 (* OVS's EMC default entry count *)
+let default_mf_capacity = 32_768
+let default_sw_capacity = 1_000_000
+let default_max_idle = 10.0
+let default_expire_every = 1.0
+
+let emc_spec capacity = Cache_level.Emc { capacity; max_idle = None }
+let nic_mf_spec capacity = Cache_level.Nic_megaflow { capacity; max_idle = None }
+
+let sw_mf_spec search capacity =
+  Cache_level.Sw_megaflow { search; capacity; max_idle = None }
+
+let gf_spec gf = Cache_level.Gf_ltm { gf; max_idle = None }
+
+(* Preset hierarchies.  Names list the levels OVS-style (host hierarchy
+   around the NIC cache); the [levels] list is the walk order — the NIC
+   cache always comes first because packets hit it before ever reaching
+   host software. *)
+
+let emc_mf_sw ?(emc_capacity = default_emc_capacity)
+    ?(mf_capacity = default_mf_capacity) ?(sw_search = `Tss)
+    ?(sw_capacity = default_sw_capacity) ?(max_idle = default_max_idle)
+    ?(expire_every = default_expire_every) () =
   {
-    backend = Megaflow_offload;
-    gf = Gf_core.Config.default;
-    mf_capacity = 32_768;
-    sw_enabled = true;
-    sw_search = `Tss;
-    sw_capacity = 1_000_000;
-    emc_capacity = 8192; (* OVS's EMC default entry count *)
-    max_idle = 10.0;
-    expire_every = 1.0;
+    name = "emc_mf_sw";
+    levels =
+      [ nic_mf_spec mf_capacity; emc_spec emc_capacity; sw_mf_spec sw_search sw_capacity ];
+    max_idle;
+    expire_every;
   }
 
-let megaflow_32k = base
+let emc_gf_sw ?(gf = Gf_core.Config.default) ?(emc_capacity = default_emc_capacity)
+    ?(sw_search = `Tss) ?(sw_capacity = default_sw_capacity)
+    ?(max_idle = default_max_idle) ?(expire_every = default_expire_every) () =
+  {
+    name = "emc_gf_sw";
+    levels = [ gf_spec gf; emc_spec emc_capacity; sw_mf_spec sw_search sw_capacity ];
+    max_idle;
+    expire_every;
+  }
 
-let gigaflow_4x8k = { base with backend = Gigaflow_offload }
+let mf_sw ?(mf_capacity = default_mf_capacity) ?(sw_search = `Tss)
+    ?(sw_capacity = default_sw_capacity) ?(max_idle = default_max_idle)
+    ?(expire_every = default_expire_every) () =
+  {
+    name = "mf_sw";
+    levels = [ nic_mf_spec mf_capacity; sw_mf_spec sw_search sw_capacity ];
+    max_idle;
+    expire_every;
+  }
 
-type hw = Hw_mf of Megaflow.t | Hw_gf of Gigaflow.t
+(* The paper-faithful hybrid (Fig. 2b without the EMC): Gigaflow LTM on the
+   NIC backed by the software Megaflow. *)
+let gf_sw ?(gf = Gf_core.Config.default) ?(sw_search = `Tss)
+    ?(sw_capacity = default_sw_capacity) ?(max_idle = default_max_idle)
+    ?(expire_every = default_expire_every) () =
+  {
+    name = "gf_sw";
+    levels = [ gf_spec gf; sw_mf_spec sw_search sw_capacity ];
+    max_idle;
+    expire_every;
+  }
+
+let gf_only ?(gf = Gf_core.Config.default) ?(max_idle = default_max_idle)
+    ?(expire_every = default_expire_every) () =
+  { name = "gf_only"; levels = [ gf_spec gf ]; max_idle; expire_every }
+
+let mf_only ?(mf_capacity = default_mf_capacity) ?(max_idle = default_max_idle)
+    ?(expire_every = default_expire_every) () =
+  { name = "mf_only"; levels = [ nic_mf_spec mf_capacity ]; max_idle; expire_every }
+
+let preset_names =
+  [ "emc_gf_sw"; "emc_mf_sw"; "gf_sw"; "mf_sw"; "gf_only"; "mf_only" ]
+
+let preset ?gf ?mf_capacity ?emc_capacity ?sw_search ?sw_capacity ?max_idle
+    ?expire_every name =
+  match name with
+  | "emc_gf_sw" ->
+      Some (emc_gf_sw ?gf ?emc_capacity ?sw_search ?sw_capacity ?max_idle ?expire_every ())
+  | "emc_mf_sw" ->
+      Some
+        (emc_mf_sw ?mf_capacity ?emc_capacity ?sw_search ?sw_capacity ?max_idle
+           ?expire_every ())
+  | "gf_sw" -> Some (gf_sw ?gf ?sw_search ?sw_capacity ?max_idle ?expire_every ())
+  | "mf_sw" -> Some (mf_sw ?mf_capacity ?sw_search ?sw_capacity ?max_idle ?expire_every ())
+  | "gf_only" -> Some (gf_only ?gf ?max_idle ?expire_every ())
+  | "mf_only" -> Some (mf_only ?mf_capacity ?max_idle ?expire_every ())
+  | _ -> None
+
+(* ------------------------- config combinators ------------------------- *)
+
+let without_software cfg =
+  {
+    cfg with
+    levels =
+      List.filter
+        (fun s -> Cache_level.spec_tier s = Cache_level.Hardware)
+        cfg.levels;
+  }
+
+let with_sw_search algo cfg =
+  {
+    cfg with
+    levels =
+      List.map
+        (function
+          | Cache_level.Sw_megaflow s -> Cache_level.Sw_megaflow { s with search = algo }
+          | s -> s)
+        cfg.levels;
+  }
+
+let with_max_idle max_idle cfg = { cfg with max_idle }
+
+let hw_capacity cfg =
+  List.fold_left
+    (fun acc s ->
+      if Cache_level.spec_tier s = Cache_level.Hardware then
+        acc + Cache_level.spec_capacity s
+      else acc)
+    0 cfg.levels
+
+(* ------------------------------ datapath ------------------------------ *)
 
 type t = {
   cfg : config;
   pipeline : Pipeline.t;
-  hw : hw;
-  emc : Gf_cache.Microflow.t option; (* first software level: exact match *)
-  sw : Megaflow.t option;
+  levels : Cache_level.t array;  (* walk order *)
+  level_metrics : Metrics.level array;  (* same order *)
   metrics : Metrics.t;
   mutable last_expire : float;
 }
 
 let create cfg pipeline =
-  let hw =
-    match cfg.backend with
-    | Megaflow_offload -> Hw_mf (Megaflow.create ~capacity:cfg.mf_capacity ())
-    | Gigaflow_offload ->
-        Hw_gf (Gigaflow.create { cfg.gf with Gf_core.Config.max_idle = cfg.max_idle })
+  (* Deduplicate metric names for hierarchies stacking the same level kind
+     twice (e.g. two wildcard caches): "sw-mf", "sw-mf#2", ... *)
+  let seen = Hashtbl.create 8 in
+  let unique_name spec =
+    let base = Cache_level.spec_name spec in
+    let n = 1 + Option.value ~default:0 (Hashtbl.find_opt seen base) in
+    Hashtbl.replace seen base n;
+    if n = 1 then base else Printf.sprintf "%s#%d" base n
   in
-  let sw =
-    if cfg.sw_enabled then
-      Some (Megaflow.create ~search:cfg.sw_search ~capacity:cfg.sw_capacity ())
-    else None
+  let levels =
+    cfg.levels
+    |> List.map (fun spec ->
+           Cache_level.build ~name:(unique_name spec)
+             ~default_max_idle:cfg.max_idle ~pipeline spec)
+    |> Array.of_list
   in
-  let emc =
-    if cfg.sw_enabled && cfg.emc_capacity > 0 then
-      Some (Gf_cache.Microflow.create ~capacity:cfg.emc_capacity)
-    else None
+  let metrics = Metrics.create () in
+  let level_metrics =
+    Array.map (fun l -> Metrics.level metrics (Cache_level.name l)) levels
   in
-  { cfg; pipeline; hw; emc; sw; metrics = Metrics.create (); last_expire = 0.0 }
+  { cfg; pipeline; levels; level_metrics; metrics; last_expire = 0.0 }
 
 let config t = t.cfg
 let pipeline t = t.pipeline
+let levels t = Array.to_list t.levels
 
-let gigaflow t = match t.hw with Hw_gf gf -> Some gf | Hw_mf _ -> None
-let hw_megaflow t = match t.hw with Hw_mf mf -> Some mf | Hw_gf _ -> None
+let find_view f t = Array.find_map (fun l -> f (Cache_level.view l)) t.levels
+
+let gigaflow t =
+  find_view (function Cache_level.Gigaflow_view g -> Some g | _ -> None) t
+
+let hw_megaflow t =
+  Array.find_map
+    (fun l ->
+      if Cache_level.tier l = Cache_level.Hardware then
+        match Cache_level.view l with
+        | Cache_level.Megaflow_view mf -> Some mf
+        | _ -> None
+      else None)
+    t.levels
 
 let hw_occupancy t =
-  match t.hw with
-  | Hw_mf mf -> Megaflow.occupancy mf
-  | Hw_gf gf -> Ltm_cache.occupancy (Gigaflow.cache gf)
-
-let hw_stats t =
-  match t.hw with
-  | Hw_mf mf -> Megaflow.stats mf
-  | Hw_gf gf -> Ltm_cache.stats (Gigaflow.cache gf)
+  Array.fold_left
+    (fun acc l ->
+      if Cache_level.tier l = Cache_level.Hardware then acc + Cache_level.occupancy l
+      else acc)
+    0 t.levels
 
 type outcome = Hw_hit | Sw_hit | Slowpath
 
+(* Unified idle-expiry sweep: every level evicts on its own descriptor's
+   idle budget; per-level eviction counts are recorded (nothing is
+   [ignore]d) and hardware-tier evictions also feed the aggregate
+   [hw_evictions]. *)
 let maybe_expire t ~now =
   if now -. t.last_expire >= t.cfg.expire_every then begin
     t.last_expire <- now;
-    let evicted =
-      match t.hw with
-      | Hw_mf mf -> Megaflow.expire mf ~now ~max_idle:t.cfg.max_idle
-      | Hw_gf gf -> Gigaflow.expire gf ~now
-    in
-    t.metrics.Metrics.hw_evictions <- t.metrics.Metrics.hw_evictions + evicted;
-    (match t.emc with
-    | Some emc -> ignore (Gf_cache.Microflow.expire emc ~now ~max_idle:t.cfg.max_idle)
-    | None -> ());
-    match t.sw with
-    | Some sw -> ignore (Megaflow.expire sw ~now ~max_idle:(4.0 *. t.cfg.max_idle))
-    | None -> ()
+    Array.iteri
+      (fun i level ->
+        let evicted = Cache_level.expire level ~now in
+        let lm = t.level_metrics.(i) in
+        lm.Metrics.evictions <- lm.Metrics.evictions + evicted;
+        if Cache_level.tier level = Cache_level.Hardware then
+          t.metrics.Metrics.hw_evictions <- t.metrics.Metrics.hw_evictions + evicted)
+      t.levels
   end
 
-let hw_lookup t ~now flow =
-  match t.hw with
-  | Hw_mf mf ->
-      let hit, _work = Megaflow.lookup mf ~now flow in
-      (match hit with
-      | Some h -> Some h.Megaflow.terminal
-      | None -> None)
-  | Hw_gf gf -> (
-      let hit, _work = Gigaflow.lookup gf ~now ~pipeline:t.pipeline flow in
-      match hit with
-      | Some h -> Some h.Ltm_cache.terminal
-      | None -> None)
+(* Unified revalidation sweep (pipeline updated): every level re-checks its
+   entries; evictions are accounted per level.  Returns (evicted, work). *)
+let revalidate t =
+  let total_evicted = ref 0 and total_work = ref 0 in
+  Array.iteri
+    (fun i level ->
+      let evicted, work = Cache_level.revalidate level t.pipeline in
+      let lm = t.level_metrics.(i) in
+      lm.Metrics.evictions <- lm.Metrics.evictions + evicted;
+      if Cache_level.tier level = Cache_level.Hardware then
+        t.metrics.Metrics.hw_evictions <- t.metrics.Metrics.hw_evictions + evicted;
+      total_evicted := !total_evicted + evicted;
+      total_work := !total_work + work)
+    t.levels;
+  (!total_evicted, !total_work)
 
-(* Full slowpath: execute the pipeline, install into the SmartNIC and the
-   software cache.  Returns (terminal option, service latency us, cpu
-   cycles). *)
+(* Full slowpath: execute the pipeline once and offer the traversal to every
+   level's install policy.  Returns (terminal option, service latency us). *)
 let slowpath t ~now flow =
   let m = t.metrics in
-  match t.hw with
-  | Hw_gf gf -> (
-      match Gigaflow.handle_miss gf ~now ~pipeline:t.pipeline flow with
-      | Error _ -> (None, Latency.upcall_us, 0)
-      | Ok outcome ->
-          let w = outcome.Gigaflow.work in
-          let installs =
-            match outcome.Gigaflow.install with
-            | Ltm_cache.Installed { fresh; shared } ->
-                m.Metrics.hw_installs <- m.Metrics.hw_installs + fresh;
-                m.Metrics.hw_shared <- m.Metrics.hw_shared + shared;
-                fresh
-            | Ltm_cache.Rejected ->
-                m.Metrics.hw_rejected <- m.Metrics.hw_rejected + 1;
-                0
-          in
-          (match t.sw with
-          | Some sw ->
-              ignore
-                (Megaflow.install sw ~now ~version:(Pipeline.version t.pipeline)
-                   outcome.Gigaflow.traversal)
-          | None -> ());
-          let cu =
-            Latency.cycles_userspace ~pipeline_lookups:w.Gigaflow.pipeline_lookups
-              ~tuple_probes:w.Gigaflow.tuple_probes
-          in
-          let cp = Latency.cycles_partition ~partition_work:w.Gigaflow.partition_work in
-          let cr = Latency.cycles_rulegen ~rulegen_work:w.Gigaflow.rulegen_work in
-          m.Metrics.cycles_userspace <- m.Metrics.cycles_userspace + cu;
-          m.Metrics.cycles_partition <- m.Metrics.cycles_partition + cp;
-          m.Metrics.cycles_rulegen <- m.Metrics.cycles_rulegen + cr;
-          let lat =
-            Latency.slowpath_us ~pipeline_lookups:w.Gigaflow.pipeline_lookups
-              ~tuple_probes:w.Gigaflow.tuple_probes
-              ~partition_work:w.Gigaflow.partition_work
-              ~rulegen_work:w.Gigaflow.rulegen_work ~installs
-          in
-          (Some outcome.Gigaflow.traversal.Gf_pipeline.Traversal.terminal, lat, cu + cp + cr))
-  | Hw_mf mf -> (
-      match Executor.execute t.pipeline flow with
-      | Error _ -> (None, Latency.upcall_us, 0)
-      | Ok traversal ->
-          let installs =
-            match Megaflow.install mf ~now ~version:(Pipeline.version t.pipeline) traversal with
-            | `Installed ->
-                m.Metrics.hw_installs <- m.Metrics.hw_installs + 1;
-                1
-            | `Exists -> 0
-            | `Rejected ->
-                m.Metrics.hw_rejected <- m.Metrics.hw_rejected + 1;
-                0
-          in
-          (match t.sw with
-          | Some sw ->
-              ignore
-                (Megaflow.install sw ~now ~version:(Pipeline.version t.pipeline) traversal)
-          | None -> ());
-          let n = Gf_pipeline.Traversal.length traversal in
-          let probes =
-            Array.fold_left
-              (fun acc s -> acc + s.Gf_pipeline.Traversal.probes)
-              0 traversal.Gf_pipeline.Traversal.steps
-          in
-          let cu = Latency.cycles_userspace ~pipeline_lookups:n ~tuple_probes:probes in
-          m.Metrics.cycles_userspace <- m.Metrics.cycles_userspace + cu;
-          let lat =
-            Latency.slowpath_us ~pipeline_lookups:n ~tuple_probes:probes
-              ~partition_work:0 ~rulegen_work:0 ~installs
-          in
-          (Some traversal.Gf_pipeline.Traversal.terminal, lat, cu))
+  match Executor.execute t.pipeline flow with
+  | Error _ -> (None, Latency.upcall_us)
+  | Ok traversal ->
+      let version = Pipeline.version t.pipeline in
+      let installs = ref 0 and partition_work = ref 0 and rulegen_work = ref 0 in
+      Array.iteri
+        (fun i level ->
+          let r = Cache_level.install_from_traversal level ~now ~version traversal in
+          let lm = t.level_metrics.(i) in
+          lm.Metrics.installs <- lm.Metrics.installs + r.Cache_level.fresh;
+          lm.Metrics.shared <- lm.Metrics.shared + r.Cache_level.shared;
+          lm.Metrics.rejected <- lm.Metrics.rejected + r.Cache_level.rejected;
+          partition_work := !partition_work + r.Cache_level.partition_work;
+          rulegen_work := !rulegen_work + r.Cache_level.rulegen_work;
+          if Cache_level.tier level = Cache_level.Hardware then begin
+            m.Metrics.hw_installs <- m.Metrics.hw_installs + r.Cache_level.fresh;
+            m.Metrics.hw_shared <- m.Metrics.hw_shared + r.Cache_level.shared;
+            m.Metrics.hw_rejected <- m.Metrics.hw_rejected + r.Cache_level.rejected;
+            (* PCIe table writes: only NIC-resident levels pay per-install
+               latency. *)
+            installs := !installs + r.Cache_level.fresh
+          end)
+        t.levels;
+      let pipeline_lookups = Traversal.length traversal in
+      let tuple_probes =
+        Array.fold_left
+          (fun acc s -> acc + s.Traversal.probes)
+          0 traversal.Traversal.steps
+      in
+      let cu = Latency.cycles_userspace ~pipeline_lookups ~tuple_probes in
+      let cp = Latency.cycles_partition ~partition_work:!partition_work in
+      let cr = Latency.cycles_rulegen ~rulegen_work:!rulegen_work in
+      m.Metrics.cycles_userspace <- m.Metrics.cycles_userspace + cu;
+      m.Metrics.cycles_partition <- m.Metrics.cycles_partition + cp;
+      m.Metrics.cycles_rulegen <- m.Metrics.cycles_rulegen + cr;
+      let lat =
+        Latency.slowpath_us ~pipeline_lookups ~tuple_probes
+          ~partition_work:!partition_work ~rulegen_work:!rulegen_work
+          ~installs:!installs
+      in
+      (Some traversal.Traversal.terminal, lat)
 
 let process t ~now flow =
   let m = t.metrics in
   maybe_expire t ~now;
   m.Metrics.packets <- m.Metrics.packets + 1;
-  let outcome, terminal, latency =
-    match hw_lookup t ~now flow with
-    | Some terminal ->
-        m.Metrics.hw_hits <- m.Metrics.hw_hits + 1;
-        (Hw_hit, Some terminal, Latency.hw_hit_us)
-    | None -> (
-        (* Upcall to software.  First level: the exact-match cache (OVS's
-           EMC) — one hash probe, no wildcards. *)
-        let emc_result =
-          match t.emc with
-          | None -> None
-          | Some emc -> Gf_cache.Microflow.lookup emc ~now flow
-        in
-        let sw_result =
-          match emc_result with
-          | Some h -> Some (h.Gf_cache.Microflow.terminal, 0.4 (* one hash probe *))
-          | None -> (
-          match t.sw with
-          | None -> None
-          | Some sw -> (
-              let hit, work = Megaflow.lookup sw ~now flow in
-              let search_us =
-                Latency.sw_search_us ~algo:(t.cfg.sw_search :> [ `Tss | `Nuevomatch | `Linear ]) ~work ()
-              in
-              m.Metrics.cycles_sw_search <-
-                m.Metrics.cycles_sw_search + (work * 450);
-              match hit with
-              | Some h ->
-                  (* Promote to the EMC for subsequent packets. *)
-                  (match t.emc with
-                  | Some emc ->
-                      Gf_cache.Microflow.install emc ~now flow
-                        {
-                          Gf_cache.Microflow.terminal = h.Megaflow.terminal;
-                          out_flow = h.Megaflow.out_flow;
-                        }
-                  | None -> ());
-                  Some (h.Megaflow.terminal, search_us)
-              | None -> None))
-        in
-        match sw_result with
-        | Some (terminal, search_us) ->
-            m.Metrics.sw_hits <- m.Metrics.sw_hits + 1;
-            (Sw_hit, Some terminal, Latency.upcall_us +. Latency.sw_base_us +. search_us)
-        | None ->
-            m.Metrics.slowpaths <- m.Metrics.slowpaths + 1;
-            let terminal, service_us, _cycles = slowpath t ~now flow in
-            (Slowpath, terminal, Latency.upcall_us +. Latency.sw_base_us +. service_us))
+  let n = Array.length t.levels in
+  (* Walk the hierarchy: first hit wins, misses fall through. *)
+  let rec walk i =
+    if i >= n then begin
+      m.Metrics.slowpaths <- m.Metrics.slowpaths + 1;
+      let terminal, service_us = slowpath t ~now flow in
+      (Slowpath, terminal, Latency.upcall_us +. Latency.sw_base_us +. service_us)
+    end
+    else begin
+      let level = t.levels.(i) in
+      let d = Cache_level.descriptor level in
+      let hit, work = Cache_level.lookup level ~now flow in
+      let lm = t.level_metrics.(i) in
+      lm.Metrics.work <- lm.Metrics.work + work;
+      m.Metrics.cycles_sw_search <-
+        m.Metrics.cycles_sw_search + (work * d.Cache_level.cycles_per_work);
+      match hit with
+      | None ->
+          lm.Metrics.misses <- lm.Metrics.misses + 1;
+          walk (i + 1)
+      | Some h ->
+          lm.Metrics.hits <- lm.Metrics.hits + 1;
+          (* Let shallower promote-on-hit levels (the EMC) learn the
+             decision for subsequent packets of this flow. *)
+          for j = 0 to i - 1 do
+            let lj = t.levels.(j) in
+            if
+              (Cache_level.descriptor lj).Cache_level.policy
+              = Cache_level.Promote_on_hit
+            then Cache_level.promote lj ~now flow h
+          done;
+          let outcome, lat =
+            match d.Cache_level.tier with
+            | Cache_level.Hardware ->
+                m.Metrics.hw_hits <- m.Metrics.hw_hits + 1;
+                (Hw_hit, d.Cache_level.hit_us ~work)
+            | Cache_level.Software ->
+                m.Metrics.sw_hits <- m.Metrics.sw_hits + 1;
+                ( Sw_hit,
+                  Latency.upcall_us +. Latency.sw_base_us
+                  +. d.Cache_level.hit_us ~work )
+          in
+          lm.Metrics.latency_us <- lm.Metrics.latency_us +. lat;
+          (outcome, Some h.Cache_level.terminal, lat)
+    end
   in
+  let outcome, terminal, latency = walk 0 in
   (match terminal with
   | Some Action.Drop -> m.Metrics.drops <- m.Metrics.drops + 1
   | Some (Action.Output _ | Action.Controller) | None -> ());
   Gf_util.Stats.Acc.add m.Metrics.latency latency;
-  let occ = hw_occupancy t in
-  if occ > m.Metrics.hw_entries_peak then m.Metrics.hw_entries_peak <- occ;
+  let hw_occ = ref 0 in
+  Array.iteri
+    (fun i level ->
+      let occ = Cache_level.occupancy level in
+      let lm = t.level_metrics.(i) in
+      if occ > lm.Metrics.occupancy_peak then lm.Metrics.occupancy_peak <- occ;
+      if Cache_level.tier level = Cache_level.Hardware then hw_occ := !hw_occ + occ)
+    t.levels;
+  if !hw_occ > m.Metrics.hw_entries_peak then m.Metrics.hw_entries_peak <- !hw_occ;
   (outcome, terminal, latency)
 
 let run ?on_packet ?miss_sink t trace =
@@ -276,7 +358,10 @@ let run ?on_packet ?miss_sink t trace =
       | None -> ())
     trace.Gf_workload.Trace.packets;
   t.metrics.Metrics.hw_entries_final <- hw_occupancy t;
-  ignore (hw_stats t);
+  Array.iteri
+    (fun i level ->
+      t.level_metrics.(i).Metrics.occupancy_final <- Cache_level.occupancy level)
+    t.levels;
   t.metrics
 
 let metrics t = t.metrics

@@ -1,38 +1,117 @@
-(** The end-to-end datapath simulator: SmartNIC cache in front, software
-    cache behind it, userspace pipeline as the slowpath (paper Fig. 2b /
-    Fig. 5a).
+(** The end-to-end datapath simulator: a generic walker over an ordered
+    cache hierarchy (paper Fig. 2b / Fig. 5a).
 
-    A packet is looked up in the SmartNIC cache (Megaflow single-table or
-    Gigaflow LTM, per configuration).  On a miss it is upcalled to
-    software and walks OVS's cache hierarchy (paper section 2.1): the
-    exact-match Microflow cache (EMC), then the software wildcard cache
-    (TSS or NuevoMatch search — the Fig. 17 axis), and finally the full
-    pipeline, which installs entries into the software caches and the
-    SmartNIC.  Idle entries expire on a periodic sweep. *)
+    A packet is looked up level by level ({!Cache_level.t}, walk order);
+    the first hit wins and misses fall through.  A full miss runs the
+    userspace pipeline once and offers the traversal to every level's
+    install policy.  Hits at deeper levels promote into shallower
+    [Promote_on_hit] levels (OVS's EMC).  Idle entries expire on a
+    periodic per-level sweep.
 
-type backend = Megaflow_offload | Gigaflow_offload
-
-val backend_name : backend -> string
+    The walker knows no backend concretely: SmartNIC Megaflow, Gigaflow
+    LTM, EMC and the software wildcard cache are all {!Cache_level.t}
+    values, so hierarchies are composed declaratively ({!config.levels})
+    and selected by name ({!preset}). *)
 
 type config = {
-  backend : backend;
-  gf : Gf_core.Config.t;  (** Gigaflow geometry (used by [Gigaflow_offload]). *)
-  mf_capacity : int;  (** SmartNIC Megaflow capacity ([Megaflow_offload]). *)
-  sw_enabled : bool;
-  sw_search : Gf_classifier.Searcher.algo;
-  sw_capacity : int;
-  emc_capacity : int;
-      (** First software level, OVS's exact-match cache (EMC/Microflow);
-          0 disables it.  Default 8192, the OVS default. *)
-  max_idle : float;  (** Idle eviction budget, seconds. *)
+  name : string;  (** Hierarchy name (preset key, metrics label). *)
+  levels : Cache_level.spec list;
+      (** Walk order: shallowest (consulted first) to deepest.  NIC-tier
+          levels come first — packets traverse the SmartNIC before any
+          host software runs. *)
+  max_idle : float;
+      (** Default idle eviction budget, seconds.  Levels may override via
+          their spec; the software wildcard cache defaults to 4x this. *)
   expire_every : float;  (** Period of the eviction sweep, seconds. *)
 }
 
-val megaflow_32k : config
-(** The paper's baseline: Megaflow offload with 32K entries. *)
+(** {1 Preset hierarchies}
 
-val gigaflow_4x8k : config
-(** The paper's headline configuration: 4 tables x 8K entries. *)
+    Names read host-hierarchy-style (EMC, then wildcard levels); the walk
+    order always puts the NIC-resident level first. *)
+
+val emc_mf_sw :
+  ?emc_capacity:int ->
+  ?mf_capacity:int ->
+  ?sw_search:Gf_classifier.Searcher.algo ->
+  ?sw_capacity:int ->
+  ?max_idle:float ->
+  ?expire_every:float ->
+  unit ->
+  config
+(** The paper's baseline: SmartNIC Megaflow offload (32K entries) in front
+    of OVS's EMC + software wildcard cache. *)
+
+val emc_gf_sw :
+  ?gf:Gf_core.Config.t ->
+  ?emc_capacity:int ->
+  ?sw_search:Gf_classifier.Searcher.algo ->
+  ?sw_capacity:int ->
+  ?max_idle:float ->
+  ?expire_every:float ->
+  unit ->
+  config
+(** The paper's headline configuration: Gigaflow LTM (4 tables x 8K) in
+    front of the EMC + software wildcard cache. *)
+
+val mf_sw :
+  ?mf_capacity:int ->
+  ?sw_search:Gf_classifier.Searcher.algo ->
+  ?sw_capacity:int ->
+  ?max_idle:float ->
+  ?expire_every:float ->
+  unit ->
+  config
+(** Megaflow offload without an EMC. *)
+
+val gf_sw :
+  ?gf:Gf_core.Config.t ->
+  ?sw_search:Gf_classifier.Searcher.algo ->
+  ?sw_capacity:int ->
+  ?max_idle:float ->
+  ?expire_every:float ->
+  unit ->
+  config
+(** Gigaflow + software wildcard cache, no EMC (the paper's Fig. 2b
+    hybrid). *)
+
+val gf_only :
+  ?gf:Gf_core.Config.t -> ?max_idle:float -> ?expire_every:float -> unit -> config
+(** Gigaflow with no software levels: every LTM miss is a slowpath. *)
+
+val mf_only :
+  ?mf_capacity:int -> ?max_idle:float -> ?expire_every:float -> unit -> config
+(** SmartNIC Megaflow alone. *)
+
+val preset_names : string list
+
+val preset :
+  ?gf:Gf_core.Config.t ->
+  ?mf_capacity:int ->
+  ?emc_capacity:int ->
+  ?sw_search:Gf_classifier.Searcher.algo ->
+  ?sw_capacity:int ->
+  ?max_idle:float ->
+  ?expire_every:float ->
+  string ->
+  config option
+(** Look a preset up by name (see {!preset_names}); optional arguments
+    override the preset's defaults where they apply. *)
+
+(** {1 Config combinators} *)
+
+val without_software : config -> config
+(** Drop every software-tier level (Fig. 18's no-software ablation). *)
+
+val with_sw_search : Gf_classifier.Searcher.algo -> config -> config
+(** Swap the software wildcard cache's search algorithm (Fig. 17 axis). *)
+
+val with_max_idle : float -> config -> config
+
+val hw_capacity : config -> int
+(** Total SmartNIC-resident entry capacity of the hierarchy. *)
+
+(** {1 Datapath} *)
 
 type t
 
@@ -40,12 +119,17 @@ val create : config -> Gf_pipeline.Pipeline.t -> t
 val config : t -> config
 val pipeline : t -> Gf_pipeline.Pipeline.t
 
+val levels : t -> Cache_level.t list
+(** The instantiated hierarchy, walk order. *)
+
 val gigaflow : t -> Gf_core.Gigaflow.t option
-(** The Gigaflow instance, when the backend is [Gigaflow_offload]. *)
+(** The first Gigaflow level's instance, if the hierarchy has one. *)
 
 val hw_megaflow : t -> Gf_cache.Megaflow.t option
+(** The first hardware-tier Megaflow level's instance, if any. *)
 
 val hw_occupancy : t -> int
+(** Entries currently resident across all hardware-tier levels. *)
 
 type outcome = Hw_hit | Sw_hit | Slowpath
 
@@ -53,7 +137,13 @@ val process :
   t -> now:float -> Gf_flow.Flow.t -> outcome * Gf_pipeline.Action.terminal option * float
 (** Handle one packet: returns the path taken, the forwarding decision
     ([None] if the slowpath failed, e.g. a pipeline loop) and the modelled
-    latency in microseconds.  Updates metrics. *)
+    latency in microseconds.  Updates metrics, including the per-level
+    breakdown ({!Metrics.levels}). *)
+
+val revalidate : t -> int * int
+(** Sweep every level against the (possibly updated) pipeline; returns
+    total [(evicted, work)].  Per-level evictions are recorded in
+    metrics. *)
 
 val run :
   ?on_packet:(Gf_workload.Trace.packet -> outcome -> float -> unit) ->

@@ -1,3 +1,35 @@
+(* Per-level counters, keyed by the cache level's name.  Levels are
+   registered by the datapath at creation time (in walk order) and merged
+   across shards by name. *)
+type level = {
+  level_name : string;
+  mutable hits : int;
+  mutable misses : int;
+  mutable installs : int;
+  mutable shared : int;
+  mutable rejected : int;
+  mutable evictions : int;
+  mutable work : int;
+  mutable latency_us : float;
+  mutable occupancy_peak : int;
+  mutable occupancy_final : int;
+}
+
+let level_create name =
+  {
+    level_name = name;
+    hits = 0;
+    misses = 0;
+    installs = 0;
+    shared = 0;
+    rejected = 0;
+    evictions = 0;
+    work = 0;
+    latency_us = 0.0;
+    occupancy_peak = 0;
+    occupancy_final = 0;
+  }
+
 type t = {
   mutable packets : int;
   mutable hw_hits : int;
@@ -15,6 +47,7 @@ type t = {
   mutable cycles_sw_search : int;
   mutable hw_entries_peak : int;
   mutable hw_entries_final : int;
+  mutable levels : level list;  (* walk order *)
 }
 
 let create () =
@@ -35,12 +68,43 @@ let create () =
     cycles_sw_search = 0;
     hw_entries_peak = 0;
     hw_entries_final = 0;
+    levels = [];
   }
+
+let levels t = t.levels
+
+let find_level t name =
+  List.find_opt (fun l -> String.equal l.level_name name) t.levels
+
+let level t name =
+  match find_level t name with
+  | Some l -> l
+  | None ->
+      let l = level_create name in
+      t.levels <- t.levels @ [ l ];
+      l
+
+let level_hit_rate l =
+  let consulted = l.hits + l.misses in
+  if consulted = 0 then nan else float_of_int l.hits /. float_of_int consulted
+
+let merge_level ~into src =
+  into.hits <- into.hits + src.hits;
+  into.misses <- into.misses + src.misses;
+  into.installs <- into.installs + src.installs;
+  into.shared <- into.shared + src.shared;
+  into.rejected <- into.rejected + src.rejected;
+  into.evictions <- into.evictions + src.evictions;
+  into.work <- into.work + src.work;
+  into.latency_us <- into.latency_us +. src.latency_us;
+  into.occupancy_peak <- into.occupancy_peak + src.occupancy_peak;
+  into.occupancy_final <- into.occupancy_final + src.occupancy_final
 
 (* Fold [src] into [into].  Counters are additive.  Occupancy figures are
    summed too: per-domain datapaths own disjoint caches, so the aggregate
    footprint at any instant is the sum (peaks are summed pessimistically —
-   per-shard peaks need not coincide in time). *)
+   per-shard peaks need not coincide in time).  Per-level counters merge by
+   level name, appending levels [into] has not seen. *)
 let merge ~into src =
   into.packets <- into.packets + src.packets;
   into.hw_hits <- into.hw_hits + src.hw_hits;
@@ -57,7 +121,8 @@ let merge ~into src =
   into.cycles_rulegen <- into.cycles_rulegen + src.cycles_rulegen;
   into.cycles_sw_search <- into.cycles_sw_search + src.cycles_sw_search;
   into.hw_entries_peak <- into.hw_entries_peak + src.hw_entries_peak;
-  into.hw_entries_final <- into.hw_entries_final + src.hw_entries_final
+  into.hw_entries_final <- into.hw_entries_final + src.hw_entries_final;
+  List.iter (fun sl -> merge_level ~into:(level into sl.level_name) sl) src.levels
 
 let aggregate ms =
   let t = create () in
@@ -87,3 +152,15 @@ let pp fmt t =
     t.packets t.hw_hits (100.0 *. hw_hit_rate t) t.sw_hits t.slowpaths
     t.hw_entries_final t.hw_entries_peak t.hw_installs t.hw_shared t.hw_rejected
     t.hw_evictions (mean_latency_us t)
+
+let pp_levels fmt t =
+  List.iter
+    (fun l ->
+      Format.fprintf fmt
+        "level %-8s hits=%d misses=%d (hit %.2f%%) installs=%d shared=%d \
+         rejected=%d evictions=%d work=%d occ=%d (peak %d)@."
+        l.level_name l.hits l.misses
+        (100.0 *. level_hit_rate l)
+        l.installs l.shared l.rejected l.evictions l.work l.occupancy_final
+        l.occupancy_peak)
+    t.levels

@@ -1,9 +1,26 @@
 (** Per-run measurement record produced by {!Datapath.run}. *)
 
+(** Per-cache-level counters, keyed by the level's name and kept in walk
+    order.  [hits + misses] is how often the level was consulted (deeper
+    levels only see packets every shallower level missed). *)
+type level = {
+  level_name : string;
+  mutable hits : int;
+  mutable misses : int;  (** consulted but missed *)
+  mutable installs : int;  (** fresh entries written *)
+  mutable shared : int;  (** installs satisfied by existing entries *)
+  mutable rejected : int;  (** installs refused (full / infeasible) *)
+  mutable evictions : int;  (** idle-expiry + revalidation evictions *)
+  mutable work : int;  (** lookup work units spent at this level *)
+  mutable latency_us : float;  (** total latency attributed to hits here *)
+  mutable occupancy_peak : int;
+  mutable occupancy_final : int;
+}
+
 type t = {
   mutable packets : int;
-  mutable hw_hits : int;  (** served entirely by the SmartNIC cache *)
-  mutable sw_hits : int;  (** SmartNIC miss, software cache hit *)
+  mutable hw_hits : int;  (** served entirely by a hardware-tier level *)
+  mutable sw_hits : int;  (** NIC miss, software-tier level hit *)
   mutable slowpaths : int;  (** full userspace pipeline executions *)
   mutable drops : int;  (** packets whose decision was Drop *)
   mutable hw_installs : int;
@@ -17,23 +34,39 @@ type t = {
   mutable cycles_sw_search : int;
   mutable hw_entries_peak : int;
   mutable hw_entries_final : int;
+  mutable levels : level list;
+      (** Per-level breakdown, walk order.  The [hw_*] fields above remain
+          the hardware-tier aggregate view of the same events. *)
 }
 
 val create : unit -> t
 
+val level : t -> string -> level
+(** Find the level record named [name], creating (and appending) it if
+    absent — the datapath registers its hierarchy this way. *)
+
+val find_level : t -> string -> level option
+val levels : t -> level list
+
+val level_hit_rate : level -> float
+(** hits / (hits + misses): the hit rate among packets that reached this
+    level ([nan] if never consulted). *)
+
 val merge : into:t -> t -> unit
 (** Fold [src] into [into]: counters and cycle totals add, latency
-    accumulators merge exactly (Chan's pairwise update), and occupancy
-    figures sum (per-domain caches are disjoint, so the aggregate footprint
-    is the sum; peaks are summed pessimistically).  [src] is unchanged. *)
+    accumulators merge exactly (Chan's pairwise update), occupancy figures
+    sum (per-domain caches are disjoint, so the aggregate footprint is the
+    sum; peaks are summed pessimistically), and per-level counters merge by
+    level name.  [src] is unchanged. *)
 
 val aggregate : t list -> t
 (** Fresh metrics equal to merging the whole list (parallel replay's
     cross-shard aggregate). *)
 
 val hw_hit_rate : t -> float
+
 val hw_miss_count : t -> int
-(** Packets that missed the SmartNIC cache (sw hits + slowpaths). *)
+(** Packets that missed every hardware-tier level (sw hits + slowpaths). *)
 
 val total_cycles : t -> int
 val mean_latency_us : t -> float
@@ -43,3 +76,7 @@ val overhead_ratio : t -> float
     metric. *)
 
 val pp : Format.formatter -> t -> unit
+
+val pp_levels : Format.formatter -> t -> unit
+(** One line per level: hits/misses/hit-rate/installs/evictions/work and
+    occupancy. *)

@@ -32,7 +32,7 @@ let run cfg w =
 
 let test_metrics_accounting () =
   let w = small_workload () in
-  let _, m = run Datapath.megaflow_32k w in
+  let _, m = run (Datapath.emc_mf_sw ()) w in
   Alcotest.(check int) "every packet counted"
     (Trace.packet_count w.Pipebench.trace)
     m.Metrics.packets;
@@ -69,18 +69,15 @@ let test_datapath_backends_consistent_decisions () =
             | Some _, Error _ -> Alcotest.fail "slowpath error"
           end)
         w.Pipebench.trace.Trace.packets)
-    [ Datapath.megaflow_32k; Datapath.gigaflow_4x8k ]
+    [ Datapath.emc_mf_sw (); Datapath.emc_gf_sw () ]
 
 let test_gigaflow_beats_megaflow_under_pressure () =
   (* With caches far smaller than the flow population, Gigaflow's sharing
      must win on hit rate (the paper's headline, scaled down). *)
   let w = small_workload () in
-  let mf_cfg = { Datapath.megaflow_32k with Datapath.mf_capacity = 256 } in
+  let mf_cfg = Datapath.emc_mf_sw ~mf_capacity:256 () in
   let gf_cfg =
-    {
-      Datapath.gigaflow_4x8k with
-      Datapath.gf = Gf_core.Config.v ~tables:4 ~table_capacity:64 ();
-    }
+    Datapath.emc_gf_sw ~gf:(Gf_core.Config.v ~tables:4 ~table_capacity:64 ()) ()
   in
   let _, mf = run mf_cfg w in
   let _, gf = run gf_cfg w in
@@ -92,8 +89,8 @@ let test_gigaflow_beats_megaflow_under_pressure () =
 
 let test_sw_cache_absorbs_misses () =
   let w = small_workload () in
-  let no_sw = { Datapath.megaflow_32k with Datapath.sw_enabled = false; mf_capacity = 128 } in
-  let with_sw = { no_sw with Datapath.sw_enabled = true } in
+  let with_sw = Datapath.emc_mf_sw ~mf_capacity:128 () in
+  let no_sw = Datapath.without_software with_sw in
   let _, a = run no_sw w in
   let _, b = run with_sw w in
   Alcotest.(check int) "no sw hits when disabled" 0 a.Metrics.sw_hits;
@@ -102,7 +99,7 @@ let test_sw_cache_absorbs_misses () =
 
 let test_expiry_keeps_occupancy_bounded () =
   let w = small_workload () in
-  let cfg = { Datapath.megaflow_32k with Datapath.max_idle = 0.5; expire_every = 0.25 } in
+  let cfg = Datapath.emc_mf_sw ~max_idle:0.5 ~expire_every:0.25 () in
   let dp, m = run cfg w in
   Alcotest.(check bool) "evictions happened" true (m.Metrics.hw_evictions > 0);
   Alcotest.(check bool) "final occupancy below peak" true
@@ -110,7 +107,7 @@ let test_expiry_keeps_occupancy_bounded () =
 
 let test_miss_sink_and_on_packet () =
   let w = small_workload () in
-  let dp = Datapath.create Datapath.gigaflow_4x8k (Pipebench.pipeline w) in
+  let dp = Datapath.create (Datapath.emc_gf_sw ()) (Pipebench.pipeline w) in
   let events = ref 0 and miss_cycles = ref 0 in
   let m =
     Datapath.run
@@ -184,7 +181,9 @@ module Parallel = Gf_sim.Parallel
 module Multicore = Gf_sim.Multicore
 
 (* The merged counters that must be identical between replay modes.  Wall
-   times and latency means differ (timing), but sample counts must not. *)
+   times and latency means differ (timing), but sample counts must not.
+   Includes the per-level breakdown so a mismatch hiding inside one level
+   (while aggregates coincide) still fails. *)
 let fingerprint (m : Metrics.t) =
   [
     m.Metrics.packets; m.Metrics.hw_hits; m.Metrics.sw_hits; m.Metrics.slowpaths;
@@ -194,6 +193,14 @@ let fingerprint (m : Metrics.t) =
     m.Metrics.cycles_sw_search; m.Metrics.hw_entries_final;
     Gf_util.Stats.Acc.count m.Metrics.latency;
   ]
+  @ List.concat_map
+      (fun (l : Metrics.level) ->
+        [
+          l.Metrics.hits; l.Metrics.misses; l.Metrics.installs; l.Metrics.shared;
+          l.Metrics.rejected; l.Metrics.evictions; l.Metrics.work;
+          l.Metrics.occupancy_final;
+        ])
+      (Metrics.levels m)
 
 let test_metrics_merge () =
   let mk hits sw lat =
@@ -278,12 +285,12 @@ let test_parallel_single_domain_matches_datapath () =
             (fingerprint plain)
             (fingerprint r.Parallel.merged))
         [ `Domains; `Sequential ])
-    [ Datapath.megaflow_32k; Datapath.gigaflow_4x8k ]
+    [ Datapath.emc_mf_sw (); Datapath.emc_gf_sw () ]
 
 let test_parallel_model_cross_validation () =
   let w = small_workload () in
   let r =
-    Parallel.replay ~mode:`Sequential ~domains:4 ~cfg:Datapath.gigaflow_4x8k
+    Parallel.replay ~mode:`Sequential ~domains:4 ~cfg:(Datapath.emc_gf_sw ())
       (Pipebench.pipeline w) w.Pipebench.trace
   in
   let measured = Parallel.measured_loads r in
@@ -306,7 +313,7 @@ let prop_parallel_domains_equal_sequential =
       let w = small_workload ~seed () in
       let pipeline = Pipebench.pipeline w in
       let cfg =
-        if use_gigaflow then Datapath.gigaflow_4x8k else Datapath.megaflow_32k
+        if use_gigaflow then Datapath.emc_gf_sw () else Datapath.emc_mf_sw ()
       in
       List.for_all
         (fun domains ->
@@ -321,6 +328,175 @@ let prop_parallel_domains_equal_sequential =
           && par.Parallel.merged.Metrics.packets
              = Trace.packet_count w.Pipebench.trace)
         [ 1; 2; 4 ])
+
+(* ---------------------- cache-hierarchy walker ---------------------- *)
+
+module Cache_level = Gf_sim.Cache_level
+
+(* The generic walker must reproduce the pre-refactor hard-coded datapath
+   EXACTLY.  These fingerprints were captured on the fixed-seed small
+   workload before Datapath was rewritten over Cache_level; any drift in
+   hit/miss/install/eviction counts, cycle accounting or total latency is a
+   behaviour change, not a refactor. *)
+let test_hierarchy_regression () =
+  let check_cfg name cfg expected expected_lat =
+    let w = small_workload () in
+    let _, m = run cfg w in
+    Alcotest.(check (list int)) (name ^ " counters")
+      expected
+      [
+        m.Metrics.packets; m.Metrics.hw_hits; m.Metrics.sw_hits;
+        m.Metrics.slowpaths; m.Metrics.drops; m.Metrics.hw_installs;
+        m.Metrics.hw_shared; m.Metrics.hw_rejected; m.Metrics.hw_evictions;
+        m.Metrics.cycles_userspace; m.Metrics.cycles_partition;
+        m.Metrics.cycles_rulegen; m.Metrics.cycles_sw_search;
+        m.Metrics.hw_entries_peak; m.Metrics.hw_entries_final;
+      ];
+    Alcotest.(check (float 1e-6)) (name ^ " total latency") expected_lat
+      (Gf_util.Stats.Acc.total m.Metrics.latency)
+  in
+  check_cfg "emc_mf_sw" (Datapath.emc_mf_sw ())
+    [ 10615; 9716; 63; 836; 0; 836; 0; 0; 836; 9459300; 0; 0; 39640050; 836; 0 ]
+    102646.392307692;
+  check_cfg "emc_gf_sw" (Datapath.emc_gf_sw ())
+    [
+      10615; 10118; 28; 469; 0; 675; 969; 0; 671; 5113050; 3387420; 1315200;
+      17420850; 660; 4;
+    ]
+    101434.057692308;
+  check_cfg "emc_mf_sw short idle"
+    (Datapath.emc_mf_sw ~max_idle:0.5 ~expire_every:0.25 ())
+    [
+      10615; 4157; 4725; 1733; 0; 1733; 0; 0; 1732; 19480200; 0; 0; 84257100;
+      155; 1;
+    ]
+    126714.034615376
+
+(* Satellite: per-level eviction accounting.  The seed dropped EMC and
+   software-cache eviction counts on the floor ([ignore]d); now every
+   level's sweep is recorded, and the hardware aggregate equals the sum of
+   hardware-tier levels. *)
+let test_per_level_eviction_accounting () =
+  let w = small_workload () in
+  let cfg = Datapath.emc_mf_sw ~max_idle:0.5 ~expire_every:0.25 () in
+  let _, m = run cfg w in
+  let lvl name =
+    match Metrics.find_level m name with
+    | Some l -> l
+    | None -> Alcotest.failf "missing level %s" name
+  in
+  let nic = lvl "nic-mf" and emc = lvl "emc" and sw = lvl "sw-mf" in
+  Alcotest.(check int) "hw aggregate = nic level" m.Metrics.hw_evictions
+    nic.Metrics.evictions;
+  Alcotest.(check bool) "EMC evictions counted, not ignored" true
+    (emc.Metrics.evictions > 0);
+  Alcotest.(check bool) "software-cache evictions counted" true
+    (sw.Metrics.evictions > 0);
+  (* Consultation counts telescope down the hierarchy: every packet hits
+     the first level; each deeper level sees exactly the misses above. *)
+  Alcotest.(check int) "first level sees all packets" m.Metrics.packets
+    (nic.Metrics.hits + nic.Metrics.misses);
+  Alcotest.(check int) "emc sees nic misses" nic.Metrics.misses
+    (emc.Metrics.hits + emc.Metrics.misses);
+  Alcotest.(check int) "sw sees emc misses" emc.Metrics.misses
+    (sw.Metrics.hits + sw.Metrics.misses);
+  Alcotest.(check int) "sw misses = slowpaths" sw.Metrics.misses
+    m.Metrics.slowpaths
+
+(* Satellite: the software cache's longer idle budget is a per-level
+   descriptor field (default 4x the hierarchy's), not a magic constant in
+   the walker — and a spec-level override wins. *)
+let test_per_level_max_idle () =
+  let w = small_workload () in
+  let budget cfg name =
+    let dp = Datapath.create cfg (Pipebench.pipeline w) in
+    match
+      List.find_opt (fun l -> Cache_level.name l = name) (Datapath.levels dp)
+    with
+    | Some l -> (Cache_level.descriptor l).Cache_level.max_idle
+    | None -> Alcotest.failf "missing level %s" name
+  in
+  let cfg = Datapath.emc_gf_sw ~max_idle:2.0 () in
+  Alcotest.(check (float 1e-9)) "gf takes the hierarchy default" 2.0
+    (budget cfg "gf");
+  Alcotest.(check (float 1e-9)) "emc takes the hierarchy default" 2.0
+    (budget cfg "emc");
+  Alcotest.(check (float 1e-9)) "sw wildcard cache defaults to 4x" 8.0
+    (budget cfg "sw-mf");
+  let overridden =
+    {
+      cfg with
+      Datapath.levels =
+        List.map
+          (function
+            | Cache_level.Sw_megaflow s ->
+                Cache_level.Sw_megaflow { s with max_idle = Some 1.5 }
+            | s -> s)
+          cfg.Datapath.levels;
+    }
+  in
+  Alcotest.(check (float 1e-9)) "spec override wins" 1.5
+    (budget overridden "sw-mf")
+
+(* Satellite: cache transparency.  Whatever the hierarchy — including none
+   at all on the hardware side — the terminal decision for every packet
+   equals the bare slowpath's. *)
+let prop_hierarchy_transparent =
+  QCheck2.Test.make ~name:"cache hierarchy is decision-transparent" ~count:2
+    QCheck2.Gen.(0 -- 1000)
+    (fun seed ->
+      let w = small_workload ~seed () in
+      let reference = Pipebench.pipeline w in
+      List.for_all
+        (fun name ->
+          let cfg = Option.get (Datapath.preset name) in
+          let dp = Datapath.create cfg (Gf_pipeline.Pipeline.copy reference) in
+          Array.for_all
+            (fun (pkt : Trace.packet) ->
+              let _, terminal, _ =
+                Datapath.process dp ~now:pkt.Trace.time pkt.Trace.flow
+              in
+              match (terminal, Executor.terminal_of reference pkt.Trace.flow) with
+              | Some t, Ok (t', _) -> Action.terminal_equal t t'
+              | _, _ -> false)
+            w.Pipebench.trace.Trace.packets)
+        Datapath.preset_names)
+
+(* Domain replicas of a custom (non-preset) hierarchy must merge to
+   sequential-identical metrics, per-level counters included (they are part
+   of [fingerprint]). *)
+let test_parallel_custom_hierarchy () =
+  let w = small_workload () in
+  let cfg =
+    {
+      Datapath.name = "custom_gf_sw";
+      levels =
+        [
+          Cache_level.Gf_ltm
+            {
+              gf = Gf_core.Config.v ~tables:4 ~table_capacity:512 ();
+              max_idle = None;
+            };
+          Cache_level.Sw_megaflow
+            { search = `Tss; capacity = 100_000; max_idle = Some 5.0 };
+        ];
+      max_idle = 2.0;
+      expire_every = 0.5;
+    }
+  in
+  let pipeline = Pipebench.pipeline w in
+  let par = Parallel.replay ~mode:`Domains ~domains:4 ~cfg pipeline w.Pipebench.trace in
+  let seq =
+    Parallel.replay ~mode:`Sequential ~domains:4 ~cfg pipeline w.Pipebench.trace
+  in
+  Alcotest.(check (list int)) "domains = sequential, per level"
+    (fingerprint seq.Parallel.merged)
+    (fingerprint par.Parallel.merged);
+  Alcotest.(check (list string)) "replicas preserve level names"
+    [ "gf"; "sw-mf" ]
+    (List.map
+       (fun (l : Metrics.level) -> l.Metrics.level_name)
+       (Metrics.levels par.Parallel.merged))
 
 let test_pcie_model () =
   Alcotest.(check (float 1e-9)) "empty batch" 0.0 (Pcie.batch_us ~ops:0);
@@ -342,7 +518,11 @@ let suite =
     ("parallel shard partition", `Quick, test_parallel_shard_partition);
     ("parallel 1-domain = plain datapath", `Slow, test_parallel_single_domain_matches_datapath);
     ("parallel model cross-validation", `Quick, test_parallel_model_cross_validation);
+    ("hierarchy walker = pre-refactor datapath", `Quick, test_hierarchy_regression);
+    ("per-level eviction accounting", `Quick, test_per_level_eviction_accounting);
+    ("per-level idle budgets", `Quick, test_per_level_max_idle);
+    ("parallel custom hierarchy", `Slow, test_parallel_custom_hierarchy);
     ("pcie model", `Quick, test_pcie_model);
   ]
 
-let props = [ prop_parallel_domains_equal_sequential ]
+let props = [ prop_parallel_domains_equal_sequential; prop_hierarchy_transparent ]
