@@ -31,6 +31,7 @@ module Mask = Gf_flow.Mask
 let scale = ref 0.25
 let seed = ref 42
 let out = ref "BENCH_throughput.json"
+let telemetry_out = ref ""
 let domain_counts = [ 2; 4; 8 ]
 
 let scaled n = max 1 (int_of_float (float_of_int n *. !scale))
@@ -167,6 +168,9 @@ let () =
       ("--scale", Arg.Set_float scale, "F  scale workload sizes by F (default 0.25)");
       ("--seed", Arg.Set_int seed, "N  master random seed (default 42)");
       ("--out", Arg.Set_string out, "FILE  output JSON path (default BENCH_throughput.json)");
+      ( "--telemetry-out",
+        Arg.Set_string telemetry_out,
+        "FILE  also dump the instrumented run's telemetry JSONL (default: discard)" );
     ]
   in
   Arg.parse spec (fun _ -> ()) "gigaflow throughput benchmark";
@@ -278,6 +282,47 @@ let () =
   j "    \"commit_apply\": %s,\n" (jfloat m_commit);
   j "    \"flow_hashtbl_lookup\": %s\n" (jfloat m_tbl);
   j "  },\n";
+  (* Telemetry overhead: the gigaflow sequential replay again, with the full
+     telemetry stack on (registry + time-series sampler + flight recorder),
+     against the telemetry-off run above.  The instrumented run must produce
+     identical metrics — telemetry observes, never perturbs. *)
+  say "  [telemetry] instrumented gigaflow replay (overhead vs telemetry-off)";
+  let tel =
+    Gf_telemetry.Telemetry.create
+      ~config:
+        {
+          Gf_telemetry.Telemetry.sample_every = 10_000;
+          event_capacity = 4096;
+          event_sample_every = 16;
+        }
+      ()
+  in
+  let dp = Datapath.create ~telemetry:tel gf_cfg (Gf_pipeline.Pipeline.copy pipeline) in
+  let t0 = now () in
+  let tm = Datapath.run dp trace in
+  let tel_wall = now () -. t0 in
+  let tel_pps = float_of_int tm.Metrics.packets /. tel_wall in
+  let base = List.assoc "gigaflow" seq_runs in
+  let overhead_pct = 100.0 *. ((base.pps /. tel_pps) -. 1.0) in
+  let n_samples = List.length (Gf_telemetry.Telemetry.samples tel) in
+  let n_events = List.length (Gf_telemetry.Telemetry.events tel) in
+  let matches = counters tm = counters base.metrics in
+  say
+    "  [telemetry] %.2fs, %.0f pps (off: %.0f pps, overhead %.1f%%), %d samples, \
+     %d events, metrics match: %b"
+    tel_wall tel_pps base.pps overhead_pct n_samples n_events matches;
+  if !telemetry_out <> "" then begin
+    let oc = open_out !telemetry_out in
+    Gf_telemetry.Telemetry.write_jsonl oc tel;
+    close_out oc;
+    say "  [telemetry] wrote %s" !telemetry_out
+  end;
+  j "  \"telemetry\": {\"wall_seconds\": %s, \"packets_per_second\": %s,\n"
+    (jfloat tel_wall) (jfloat tel_pps);
+  j "   \"baseline_pps\": %s, \"overhead_pct\": %s,\n" (jfloat base.pps)
+    (jfloat overhead_pct);
+  j "   \"samples\": %d, \"events\": %d, \"matches_baseline_metrics\": %b},\n"
+    n_samples n_events matches;
   j "  \"total_bench_seconds\": %s\n" (jfloat (now () -. t_start));
   j "}\n";
   let oc = open_out !out in

@@ -58,8 +58,38 @@ let find_pipeline code =
       Printf.eprintf "unknown pipeline %S (try: OFD PSC OLS ANT OTL)\n" code;
       exit 2
 
+let telemetry_out_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "telemetry-out" ] ~docv:"PATH"
+        ~doc:
+          "Write the telemetry JSONL stream (time-series samples + flight-recorder \
+           events) to $(docv), and a Prometheus text snapshot next to it \
+           ($(docv) with a .prom extension).  Empty (the default) disables \
+           telemetry entirely.")
+
+let sample_every_arg =
+  Arg.(
+    value & opt int 10_000
+    & info [ "sample-every" ] ~docv:"N"
+        ~doc:
+          "Telemetry time-series cadence: snapshot per-level hit rate, occupancy \
+           and latency quantiles every $(docv) packets (0 disables sampling).")
+
+let trace_events_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "trace-events" ] ~docv:"N"
+        ~doc:
+          "Record every $(docv)-th datapath event \
+           (hit/miss/install/evict/promote/revalidate/reject) in the telemetry \
+           flight recorder; 0 (the default) disables event tracing.")
+
+let prom_path jsonl_path = Filename.remove_extension jsonl_path ^ ".prom"
+
 let run_cmd =
-  let run code locality seed flows combos hierarchy tables capacity =
+  let run code locality seed flows combos hierarchy tables capacity telemetry_out
+      sample_every trace_events =
     let info = find_pipeline code in
     Printf.printf "Building workload: %s, %s locality, %d flows...\n%!" info.Catalog.code
       (Ruleset.locality_name locality) flows;
@@ -72,7 +102,20 @@ let run_cmd =
            ~gf:(Gf_core.Config.v ~tables ~table_capacity:capacity ())
            ~mf_capacity:(tables * capacity) hierarchy)
     in
-    let dp = Datapath.create cfg (Pipebench.pipeline w) in
+    let telemetry =
+      if String.equal telemetry_out "" then None
+      else
+        Some
+          (Gf_telemetry.Telemetry.create
+             ~config:
+               {
+                 Gf_telemetry.Telemetry.sample_every;
+                 event_capacity = 4096;
+                 event_sample_every = trace_events;
+               }
+             ())
+    in
+    let dp = Datapath.create ?telemetry cfg (Pipebench.pipeline w) in
     Printf.printf "Replaying %d packets...\n%!"
       (Gf_workload.Trace.packet_count w.Pipebench.trace);
     (* Sample Gigaflow coverage/sharing periodically: the interesting values
@@ -116,14 +159,121 @@ let run_cmd =
     | Some _ ->
         Printf.printf "Rule-space coverage (peak): %s\n" (Tablefmt.fmt_si !max_cov);
         Printf.printf "Mean sub-traversal sharing (peak): %.2f\n" !max_share
-    | None -> ())
+    | None -> ());
+    match telemetry with
+    | None -> ()
+    | Some tel ->
+        let meta =
+          [
+            ("pipeline", Gf_util.Json.Str info.Catalog.code);
+            ("locality", Gf_util.Json.Str (Ruleset.locality_name locality));
+            ("hierarchy", Gf_util.Json.Str cfg.Datapath.name);
+            ("seed", Gf_util.Json.Int seed);
+            ("flows", Gf_util.Json.Int flows);
+            ("combos", Gf_util.Json.Int combos);
+          ]
+        in
+        let oc = open_out telemetry_out in
+        Gf_telemetry.Telemetry.write_jsonl ~meta oc tel;
+        close_out oc;
+        let prom = prom_path telemetry_out in
+        let oc = open_out prom in
+        output_string oc (Gf_telemetry.Telemetry.prometheus tel);
+        close_out oc;
+        Printf.printf "Telemetry: %s (JSONL), %s (Prometheus snapshot)\n"
+          telemetry_out prom
   in
   let term =
     Term.(
       const run $ pipeline_arg $ locality_arg $ seed_arg $ flows_arg $ combos_arg
-      $ hierarchy_arg $ tables_arg $ capacity_arg)
+      $ hierarchy_arg $ tables_arg $ capacity_arg $ telemetry_out_arg
+      $ sample_every_arg $ trace_events_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run an end-to-end datapath simulation.") term
+
+(* Validate a telemetry JSONL file: every line must parse as JSON, the
+   stream must carry a meta line and at least one time-series sample, and
+   samples/events must expose the documented fields.  Exits non-zero on the
+   first violation — check.sh uses this as the telemetry smoke gate. *)
+let telemetry_check_cmd =
+  let module J = Gf_util.Json in
+  let fail line_no msg =
+    Printf.eprintf "telemetry-check: line %d: %s\n" line_no msg;
+    exit 1
+  in
+  let require line_no json field kind =
+    match (J.member field json, kind) with
+    | Some (J.Int _), `Num | Some (J.Float _), `Num -> ()
+    | Some (J.Str _), `Str -> ()
+    | Some (J.List _), `List -> ()
+    | Some _, _ -> fail line_no (Printf.sprintf "field %S has the wrong type" field)
+    | None, _ -> fail line_no (Printf.sprintf "missing field %S" field)
+  in
+  let check file =
+    let ic = open_in file in
+    let metas = ref 0 and samples = ref 0 and events = ref 0 in
+    let line_no = ref 0 in
+    (try
+       while true do
+         let line = input_line ic in
+         incr line_no;
+         if String.trim line <> "" then
+           match J.of_string line with
+           | Error e -> fail !line_no ("not valid JSON: " ^ e)
+           | Ok json -> (
+               match Option.bind (J.member "type" json) J.to_string_opt with
+               | Some "meta" ->
+                   incr metas;
+                   require !line_no json "samples" `Num
+               | Some "sample" ->
+                   incr samples;
+                   List.iter
+                     (fun f -> require !line_no json f `Num)
+                     [
+                       "packet"; "time"; "hw_hits"; "sw_hits"; "slowpaths";
+                       "hw_hit_rate"; "mean_us"; "p50_us"; "p90_us"; "p99_us";
+                       "p999_us";
+                     ];
+                   require !line_no json "levels" `List;
+                   let levels =
+                     Option.value ~default:[]
+                       (Option.bind (J.member "levels" json) J.to_list_opt)
+                   in
+                   List.iter
+                     (fun l ->
+                       require !line_no l "level" `Str;
+                       require !line_no l "tier" `Str;
+                       List.iter
+                         (fun f -> require !line_no l f `Num)
+                         [ "hits"; "misses"; "hit_rate"; "occupancy"; "p50_us"; "p99_us" ])
+                     levels
+               | Some "event" ->
+                   incr events;
+                   require !line_no json "kind" `Str;
+                   require !line_no json "level" `Str;
+                   List.iter
+                     (fun f -> require !line_no json f `Num)
+                     [ "seq"; "packet"; "time"; "latency_us"; "count" ]
+               | Some other ->
+                   fail !line_no (Printf.sprintf "unknown line type %S" other)
+               | None -> fail !line_no "missing \"type\" field")
+       done
+     with End_of_file -> close_in ic);
+    if !metas = 0 then fail !line_no "no meta line found";
+    if !samples = 0 then fail !line_no "no time-series samples found";
+    Printf.printf "%s: OK (%d meta, %d samples, %d events)\n" file !metas !samples
+      !events
+  in
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Telemetry JSONL file to validate.")
+  in
+  Cmd.v
+    (Cmd.info "telemetry-check"
+       ~doc:"Validate a telemetry JSONL file (parseability + required series).")
+    Term.(const check $ file_arg)
 
 let pipelines_cmd =
   let show () =
@@ -219,5 +369,5 @@ let () =
        (Cmd.group info
           [
             run_cmd; pipelines_cmd; workload_cmd; resources_cmd; export_p4_cmd;
-            dump_flows_cmd; export_trace_cmd;
+            dump_flows_cmd; export_trace_cmd; telemetry_check_cmd;
           ]))

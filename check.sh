@@ -12,4 +12,17 @@ dune runtest
 echo "== dune build @fmt"
 dune build @fmt
 
+echo "== telemetry smoke"
+# Small fixed-seed run with the full telemetry stack on; telemetry-check
+# fails unless every line parses as JSON and the required series are there.
+TDIR=$(mktemp -d)
+trap 'rm -rf "$TDIR"' EXIT
+dune exec --no-build -- gigaflow-sim run -p PSC --flows 2000 --combos 512 --seed 77 \
+  --telemetry-out "$TDIR/telemetry.jsonl" --sample-every 2000 --trace-events 4 \
+  > /dev/null
+dune exec --no-build -- gigaflow-sim telemetry-check "$TDIR/telemetry.jsonl"
+test -s "$TDIR/telemetry.prom" || { echo "missing Prometheus snapshot" >&2; exit 1; }
+grep -q '^gigaflow_packets_total 10615$' "$TDIR/telemetry.prom" || {
+  echo "Prometheus snapshot missing expected packet count" >&2; exit 1; }
+
 echo "check.sh: all gates passed"

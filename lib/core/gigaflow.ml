@@ -31,11 +31,25 @@ type adaptive_state = {
 let probe_period = 8
 let window = 1024
 
+(* Install-path telemetry handles, resolved once at {!attach_telemetry}
+   time.  [None] (the default) keeps {!install_traversal} free of any
+   telemetry work. *)
+type probes = {
+  p_fresh : int ref;
+  p_shared : int ref;
+  p_rejected : int ref;
+  p_segments : int ref;
+  p_whole : int ref;  (* whole-traversal (fallback-mode) installs *)
+  p_flips : int ref;  (* adaptive fallback mode changes *)
+  p_fallback : float ref;  (* gauge: 1.0 while in fallback mode *)
+}
+
 type t = {
   config : Config.t;
   cache : Ltm_cache.t;
   rng : Gf_util.Rng.t;
   adaptive : adaptive_state;
+  mutable probes : probes option;
 }
 
 let create ?(rng_seed = 0x61F1) config =
@@ -45,7 +59,37 @@ let create ?(rng_seed = 0x61F1) config =
     rng = Gf_util.Rng.create rng_seed;
     adaptive =
       { fallback = false; misses_in_window = 0; probe_fresh = 0; probe_shared = 0 };
+    probes = None;
   }
+
+let attach_telemetry t registry =
+  let counter ?labels name help =
+    Gf_telemetry.Registry.counter registry ?labels ~help name
+  in
+  t.probes <-
+    Some
+      {
+        p_fresh =
+          counter "gigaflow_ltm_rules_total"
+            ~labels:[ ("result", "fresh") ]
+            "LTM rules installed by result";
+        p_shared = counter "gigaflow_ltm_rules_total" ~labels:[ ("result", "shared") ] "";
+        p_rejected =
+          counter "gigaflow_ltm_rules_total" ~labels:[ ("result", "rejected") ] "";
+        p_segments =
+          counter "gigaflow_ltm_segments_total"
+            "Sub-traversal segments produced by the partitioner";
+        p_whole =
+          counter "gigaflow_ltm_whole_traversal_installs_total"
+            "Installs collapsed to one whole-traversal entry (adaptive fallback)";
+        p_flips =
+          counter "gigaflow_ltm_fallback_flips_total"
+            "Adaptive traffic-profile mode changes";
+        p_fallback =
+          Gf_telemetry.Registry.gauge registry
+            ~help:"1 while the adaptive fallback (whole-traversal mode) is active"
+            "gigaflow_ltm_fallback_active";
+      }
 
 let cache t = t.cache
 let config t = t.config
@@ -71,8 +115,9 @@ let install_traversal t ~now ~version traversal =
   let budget = max 1 (Ltm_cache.available_tables t.cache) in
   let a = t.adaptive in
   let probe = t.config.Config.adaptive && a.misses_in_window mod probe_period = 0 in
+  let whole = t.config.Config.adaptive && a.fallback && not probe in
   let segments =
-    if t.config.Config.adaptive && a.fallback && not probe then
+    if whole then
       (* Low-locality fallback: one Megaflow-style whole-traversal entry. *)
       [ { Partitioner.first = 0; last = n - 1 } ]
     else
@@ -81,6 +126,16 @@ let install_traversal t ~now ~version traversal =
   in
   let rules = Rulegen.rules_of_partition ~version traversal segments in
   let install = Ltm_cache.install t.cache ~now rules in
+  (match t.probes with
+  | None -> ()
+  | Some p ->
+      p.p_segments := !(p.p_segments) + List.length segments;
+      if whole then incr p.p_whole;
+      (match install with
+      | Ltm_cache.Installed { fresh; shared } ->
+          p.p_fresh := !(p.p_fresh) + fresh;
+          p.p_shared := !(p.p_shared) + shared
+      | Ltm_cache.Rejected -> incr p.p_rejected));
   if t.config.Config.adaptive then begin
     a.misses_in_window <- a.misses_in_window + 1;
     (match install with
@@ -93,7 +148,13 @@ let install_traversal t ~now ~version traversal =
       let sharing =
         if total = 0 then 0.0 else float_of_int a.probe_shared /. float_of_int total
       in
-      a.fallback <- sharing < t.config.Config.adaptive_threshold;
+      let next = sharing < t.config.Config.adaptive_threshold in
+      (match t.probes with
+      | Some p ->
+          if next <> a.fallback then incr p.p_flips;
+          p.p_fallback := if next then 1.0 else 0.0
+      | None -> ());
+      a.fallback <- next;
       a.misses_in_window <- 0;
       a.probe_fresh <- 0;
       a.probe_shared <- 0

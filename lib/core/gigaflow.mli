@@ -36,6 +36,14 @@ val in_fallback : t -> bool
     Megaflow-style entries because recent sub-traversal sharing was below
     threshold. Always [false] when the feature is off. *)
 
+val attach_telemetry : t -> Gf_telemetry.Registry.t -> unit
+(** Register install-path counters in [registry]
+    ([gigaflow_ltm_rules_total{result=fresh|shared|rejected}],
+    [gigaflow_ltm_segments_total], whole-traversal installs, adaptive
+    fallback flips and the fallback-active gauge) and update them on every
+    subsequent {!install_traversal}.  Handles are resolved once here;
+    without attachment the install path performs no telemetry work. *)
+
 val lookup :
   t -> now:float -> pipeline:Gf_pipeline.Pipeline.t -> Gf_flow.Flow.t ->
   Ltm_cache.hit option * int

@@ -74,3 +74,16 @@ let slowpath_us ~pipeline_lookups ~tuple_probes ~partition_work ~rulegen_work ~i
     + cycles_partition ~partition_work
     + cycles_rulegen ~rulegen_work)
   +. (float_of_int installs *. install_us)
+
+(* Telemetry histogram bounds, derived from the model's own extremes: the
+   cheapest event it can produce is a fraction of an EMC hit (0.4 us), the
+   costliest realistic path is a kernel/ARM slowpath burst (~1e4 us) with
+   headroom for pathological rule-generation storms.  Using the model to
+   fix the bucket range keeps every modelled latency inside the log-linear
+   region (sub-bucket relative error), never in the clamped under/overflow
+   buckets. *)
+let histogram_lo_us = emc_hit_us /. 8.0
+let histogram_hi_us = 1.0e7
+
+let latency_histogram () =
+  Gf_telemetry.Histogram.create ~lo:histogram_lo_us ~hi:histogram_hi_us ()

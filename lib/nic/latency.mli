@@ -72,3 +72,17 @@ val cycles_partition : partition_work:int -> int
 val cycles_rulegen : rulegen_work:int -> int
 
 val us_of_cycles : int -> float
+
+(** {1 Telemetry} *)
+
+val histogram_lo_us : float
+(** Finest latency the model can produce (a fraction of an EMC hit) — the
+    lower bound of the telemetry latency histograms' log-linear region. *)
+
+val histogram_hi_us : float
+(** Above any modelled slowpath burst; the histograms' upper bound. *)
+
+val latency_histogram : unit -> Gf_telemetry.Histogram.t
+(** A log-linear histogram whose bucket range is derived from the model's
+    own extremes, so every modelled latency lands in the bounded-relative-
+    error region rather than the clamped under/overflow buckets. *)

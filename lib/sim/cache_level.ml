@@ -7,6 +7,8 @@ module Pipeline = Gf_pipeline.Pipeline
 
 type tier = Hardware | Software
 
+let tier_name = function Hardware -> "hardware" | Software -> "software"
+
 type install_policy = Install_on_miss | Promote_on_hit | Never_install
 
 type descriptor = {

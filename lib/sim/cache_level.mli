@@ -15,6 +15,10 @@ type tier =
       (** Host-side level: reaching it costs the PCIe upcall and the fixed
           software forwarding overhead. *)
 
+val tier_name : tier -> string
+(** Stable lowercase label ("hardware" / "software") used by telemetry
+    series and exporter label values. *)
+
 type install_policy =
   | Install_on_miss
       (** The slowpath traversal is installed here (NIC caches, software

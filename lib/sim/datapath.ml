@@ -3,6 +3,10 @@ module Pipeline = Gf_pipeline.Pipeline
 module Executor = Gf_pipeline.Executor
 module Traversal = Gf_pipeline.Traversal
 module Latency = Gf_nic.Latency
+module Telemetry = Gf_telemetry.Telemetry
+module Recorder = Gf_telemetry.Recorder
+module Histogram = Gf_telemetry.Histogram
+module Series = Gf_telemetry.Series
 
 (* ----------------------------- hierarchies ----------------------------- *)
 
@@ -143,9 +147,13 @@ type t = {
   level_metrics : Metrics.level array;  (* same order *)
   metrics : Metrics.t;
   mutable last_expire : float;
+  telemetry : Telemetry.t option;
+      (* [None] (the default) keeps the per-packet path free of telemetry
+         work: every emission site pattern-matches and the [None] branch
+         does nothing — no calls, no float boxing. *)
 }
 
-let create cfg pipeline =
+let create ?telemetry cfg pipeline =
   (* Deduplicate metric names for hierarchies stacking the same level kind
      twice (e.g. two wildcard caches): "sw-mf", "sw-mf#2", ... *)
   let seen = Hashtbl.create 8 in
@@ -166,8 +174,21 @@ let create cfg pipeline =
   let level_metrics =
     Array.map (fun l -> Metrics.level metrics (Cache_level.name l)) levels
   in
-  { cfg; pipeline; levels; level_metrics; metrics; last_expire = 0.0 }
+  (* Give the Gigaflow install path its registry handles up front (lookup
+     happens once here, never per packet). *)
+  (match telemetry with
+  | Some tel ->
+      Array.iter
+        (fun l ->
+          match Cache_level.view l with
+          | Cache_level.Gigaflow_view g ->
+              Gf_core.Gigaflow.attach_telemetry g (Telemetry.registry tel)
+          | Cache_level.Microflow_view _ | Cache_level.Megaflow_view _ -> ())
+        levels
+  | None -> ());
+  { cfg; pipeline; levels; level_metrics; metrics; last_expire = 0.0; telemetry }
 
+let telemetry t = t.telemetry
 let config t = t.cfg
 let pipeline t = t.pipeline
 let levels t = Array.to_list t.levels
@@ -209,7 +230,13 @@ let maybe_expire t ~now =
         let lm = t.level_metrics.(i) in
         lm.Metrics.evictions <- lm.Metrics.evictions + evicted;
         if Cache_level.tier level = Cache_level.Hardware then
-          t.metrics.Metrics.hw_evictions <- t.metrics.Metrics.hw_evictions + evicted)
+          t.metrics.Metrics.hw_evictions <- t.metrics.Metrics.hw_evictions + evicted;
+        match t.telemetry with
+        | Some tel when evicted > 0 ->
+            Telemetry.event tel ~packet:t.metrics.Metrics.packets ~time:now
+              ~level:(Cache_level.name level) ~latency_us:0.0 ~count:evicted
+              Recorder.Evict
+        | Some _ | None -> ())
       t.levels
   end
 
@@ -225,7 +252,13 @@ let revalidate t =
       if Cache_level.tier level = Cache_level.Hardware then
         t.metrics.Metrics.hw_evictions <- t.metrics.Metrics.hw_evictions + evicted;
       total_evicted := !total_evicted + evicted;
-      total_work := !total_work + work)
+      total_work := !total_work + work;
+      match t.telemetry with
+      | Some tel ->
+          Telemetry.event tel ~packet:t.metrics.Metrics.packets ~time:0.0
+            ~level:(Cache_level.name level) ~latency_us:0.0 ~count:evicted
+            Recorder.Revalidate
+      | None -> ())
     t.levels;
   (!total_evicted, !total_work)
 
@@ -247,6 +280,17 @@ let slowpath t ~now flow =
           lm.Metrics.rejected <- lm.Metrics.rejected + r.Cache_level.rejected;
           partition_work := !partition_work + r.Cache_level.partition_work;
           rulegen_work := !rulegen_work + r.Cache_level.rulegen_work;
+          (match t.telemetry with
+          | Some tel ->
+              let packet = m.Metrics.packets - 1 in
+              let name = Cache_level.name level in
+              if r.Cache_level.fresh > 0 then
+                Telemetry.event tel ~packet ~time:now ~level:name ~latency_us:0.0
+                  ~count:r.Cache_level.fresh Recorder.Install;
+              if r.Cache_level.rejected > 0 then
+                Telemetry.event tel ~packet ~time:now ~level:name ~latency_us:0.0
+                  ~count:r.Cache_level.rejected Recorder.Reject
+          | None -> ());
           if Cache_level.tier level = Cache_level.Hardware then begin
             m.Metrics.hw_installs <- m.Metrics.hw_installs + r.Cache_level.fresh;
             m.Metrics.hw_shared <- m.Metrics.hw_shared + r.Cache_level.shared;
@@ -298,6 +342,11 @@ let process t ~now flow =
       match hit with
       | None ->
           lm.Metrics.misses <- lm.Metrics.misses + 1;
+          (match t.telemetry with
+          | Some tel ->
+              Telemetry.event tel ~packet:(m.Metrics.packets - 1) ~time:now
+                ~level:d.Cache_level.name ~latency_us:0.0 ~count:1 Recorder.Miss
+          | None -> ());
           walk (i + 1)
       | Some h ->
           lm.Metrics.hits <- lm.Metrics.hits + 1;
@@ -308,7 +357,15 @@ let process t ~now flow =
             if
               (Cache_level.descriptor lj).Cache_level.policy
               = Cache_level.Promote_on_hit
-            then Cache_level.promote lj ~now flow h
+            then begin
+              Cache_level.promote lj ~now flow h;
+              match t.telemetry with
+              | Some tel ->
+                  Telemetry.event tel ~packet:(m.Metrics.packets - 1) ~time:now
+                    ~level:(Cache_level.name lj) ~latency_us:0.0 ~count:1
+                    Recorder.Promote
+              | None -> ()
+            end
           done;
           let outcome, lat =
             match d.Cache_level.tier with
@@ -322,6 +379,12 @@ let process t ~now flow =
                   +. d.Cache_level.hit_us ~work )
           in
           lm.Metrics.latency_us <- lm.Metrics.latency_us +. lat;
+          Histogram.record lm.Metrics.latency_hist lat;
+          (match t.telemetry with
+          | Some tel ->
+              Telemetry.event tel ~packet:(m.Metrics.packets - 1) ~time:now
+                ~level:d.Cache_level.name ~latency_us:lat ~count:1 Recorder.Hit
+          | None -> ());
           (outcome, Some h.Cache_level.terminal, lat)
     end
   in
@@ -330,6 +393,7 @@ let process t ~now flow =
   | Some Action.Drop -> m.Metrics.drops <- m.Metrics.drops + 1
   | Some (Action.Output _ | Action.Controller) | None -> ());
   Gf_util.Stats.Acc.add m.Metrics.latency latency;
+  Histogram.record m.Metrics.latency_hist latency;
   let hw_occ = ref 0 in
   Array.iteri
     (fun i level ->
@@ -340,6 +404,44 @@ let process t ~now flow =
     t.levels;
   if !hw_occ > m.Metrics.hw_entries_peak then m.Metrics.hw_entries_peak <- !hw_occ;
   (outcome, terminal, latency)
+
+(* A time-series sample built straight from the live Metrics counters, so
+   the final sample of a run agrees with the run's Metrics exactly. *)
+let snapshot t ~time =
+  let m = t.metrics in
+  let h = m.Metrics.latency_hist in
+  let q f = if Histogram.count h = 0 then 0.0 else f h in
+  {
+    Series.s_packet = m.Metrics.packets;
+    s_time = time;
+    s_hw_hits = m.Metrics.hw_hits;
+    s_sw_hits = m.Metrics.sw_hits;
+    s_slowpaths = m.Metrics.slowpaths;
+    s_hw_hit_rate = Metrics.hw_hit_rate m;
+    s_mean_us = Metrics.mean_latency_us m;
+    s_p50_us = q Histogram.p50;
+    s_p90_us = q Histogram.p90;
+    s_p99_us = q Histogram.p99;
+    s_p999_us = q Histogram.p999;
+    s_levels =
+      Array.to_list
+        (Array.mapi
+           (fun i level ->
+             let lm = t.level_metrics.(i) in
+             let lh = lm.Metrics.latency_hist in
+             let lq f = if Histogram.count lh = 0 then 0.0 else f lh in
+             {
+               Series.ls_level = lm.Metrics.level_name;
+               ls_tier = Cache_level.tier_name (Cache_level.tier level);
+               ls_hits = lm.Metrics.hits;
+               ls_misses = lm.Metrics.misses;
+               ls_hit_rate = Metrics.level_hit_rate lm;
+               ls_occupancy = Cache_level.occupancy level;
+               ls_p50_us = lq Histogram.p50;
+               ls_p99_us = lq Histogram.p99;
+             })
+           t.levels);
+  }
 
 let run ?on_packet ?miss_sink t trace =
   Array.iter
@@ -353,6 +455,12 @@ let run ?on_packet ?miss_sink t trace =
           sink ~flow_id:pkt.Gf_workload.Trace.flow_id
             ~cycles:(Metrics.total_cycles t.metrics - before)
       | (Hw_hit | Sw_hit | Slowpath), _ -> ());
+      (match t.telemetry with
+      | Some tel ->
+          if Telemetry.sample_due tel ~packets:t.metrics.Metrics.packets then
+            Telemetry.push_sample tel
+              (snapshot t ~time:pkt.Gf_workload.Trace.time)
+      | None -> ());
       match on_packet with
       | Some f -> f pkt outcome latency
       | None -> ())
@@ -362,6 +470,19 @@ let run ?on_packet ?miss_sink t trace =
     (fun i level ->
       t.level_metrics.(i).Metrics.occupancy_final <- Cache_level.occupancy level)
     t.levels;
+  (* Final flush: one unconditional sample (deduplicated by packet count)
+     plus a full counter export, so a consumer's last JSONL sample and the
+     Prometheus snapshot both agree with the returned Metrics exactly. *)
+  (match t.telemetry with
+  | Some tel ->
+      let n = Array.length trace.Gf_workload.Trace.packets in
+      let time =
+        if n = 0 then 0.0
+        else trace.Gf_workload.Trace.packets.(n - 1).Gf_workload.Trace.time
+      in
+      Telemetry.push_sample tel (snapshot t ~time);
+      Metrics.to_registry t.metrics (Telemetry.registry tel)
+  | None -> ());
   t.metrics
 
 let metrics t = t.metrics

@@ -115,7 +115,15 @@ val hw_capacity : config -> int
 
 type t
 
-val create : config -> Gf_pipeline.Pipeline.t -> t
+val create : ?telemetry:Gf_telemetry.Telemetry.t -> config -> Gf_pipeline.Pipeline.t -> t
+(** [telemetry] (default [None]) attaches the observability sink: datapath
+    events (hit/miss/install/evict/promote/revalidate/reject) feed its
+    flight recorder, {!run} pushes time-series samples at its cadence and
+    exports the final counters into its registry, and any Gigaflow level
+    registers its install-path counters there.  Without it every emission
+    site is a no-op pattern match — the hot path stays allocation-free. *)
+
+val telemetry : t -> Gf_telemetry.Telemetry.t option
 val config : t -> config
 val pipeline : t -> Gf_pipeline.Pipeline.t
 
@@ -145,6 +153,11 @@ val revalidate : t -> int * int
     total [(evicted, work)].  Per-level evictions are recorded in
     metrics. *)
 
+val snapshot : t -> time:float -> Gf_telemetry.Series.sample
+(** A time-series sample built from the live metrics (and current level
+    occupancies), so a snapshot taken after {!run} agrees with the returned
+    {!Metrics.t} exactly. *)
+
 val run :
   ?on_packet:(Gf_workload.Trace.packet -> outcome -> float -> unit) ->
   ?miss_sink:(flow_id:int -> cycles:int -> unit) ->
@@ -152,7 +165,9 @@ val run :
   Gf_workload.Trace.t ->
   Metrics.t
 (** Replay a trace.  [on_packet] observes every packet (Fig. 18 timelines);
-    [miss_sink] observes slowpath CPU work per flow (Fig. 19 RSS
-    scaling). *)
+    [miss_sink] observes slowpath CPU work per flow (Fig. 19 RSS scaling).
+    With telemetry attached, pushes a sample every [sample_every] packets
+    plus a final unconditional sample, then exports the final counters to
+    the registry ({!Metrics.to_registry}). *)
 
 val metrics : t -> Metrics.t

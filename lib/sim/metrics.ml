@@ -1,6 +1,12 @@
+module Histogram = Gf_telemetry.Histogram
+
 (* Per-level counters, keyed by the cache level's name.  Levels are
    registered by the datapath at creation time (in walk order) and merged
-   across shards by name. *)
+   across shards by name.  The latency histogram is always on: recording is
+   allocation-free (bucket increments), and keeping it in Metrics — rather
+   than behind the optional telemetry sink — is what lets [pp_levels] and
+   the time-series sampler report per-level tail quantiles whose counts
+   match these counters exactly. *)
 type level = {
   level_name : string;
   mutable hits : int;
@@ -13,6 +19,7 @@ type level = {
   mutable latency_us : float;
   mutable occupancy_peak : int;
   mutable occupancy_final : int;
+  latency_hist : Histogram.t;  (* per-hit latency at this level *)
 }
 
 let level_create name =
@@ -28,6 +35,7 @@ let level_create name =
     latency_us = 0.0;
     occupancy_peak = 0;
     occupancy_final = 0;
+    latency_hist = Gf_nic.Latency.latency_histogram ();
   }
 
 type t = {
@@ -47,6 +55,7 @@ type t = {
   mutable cycles_sw_search : int;
   mutable hw_entries_peak : int;
   mutable hw_entries_final : int;
+  latency_hist : Histogram.t;  (* end-to-end per-packet latency *)
   mutable levels : level list;  (* walk order *)
 }
 
@@ -68,6 +77,7 @@ let create () =
     cycles_sw_search = 0;
     hw_entries_peak = 0;
     hw_entries_final = 0;
+    latency_hist = Gf_nic.Latency.latency_histogram ();
     levels = [];
   }
 
@@ -84,11 +94,12 @@ let level t name =
       t.levels <- t.levels @ [ l ];
       l
 
-let level_hit_rate l =
+let level_hit_rate (l : level) =
   let consulted = l.hits + l.misses in
-  if consulted = 0 then nan else float_of_int l.hits /. float_of_int consulted
+  if consulted = 0 then 0.0 else float_of_int l.hits /. float_of_int consulted
 
-let merge_level ~into src =
+let merge_level ~into:(into : level) (src : level) =
+  Histogram.merge ~into:into.latency_hist src.latency_hist;
   into.hits <- into.hits + src.hits;
   into.misses <- into.misses + src.misses;
   into.installs <- into.installs + src.installs;
@@ -116,6 +127,7 @@ let merge ~into src =
   into.hw_rejected <- into.hw_rejected + src.hw_rejected;
   into.hw_evictions <- into.hw_evictions + src.hw_evictions;
   Gf_util.Stats.Acc.merge ~into:into.latency src.latency;
+  Histogram.merge ~into:into.latency_hist src.latency_hist;
   into.cycles_userspace <- into.cycles_userspace + src.cycles_userspace;
   into.cycles_partition <- into.cycles_partition + src.cycles_partition;
   into.cycles_rulegen <- into.cycles_rulegen + src.cycles_rulegen;
@@ -129,18 +141,25 @@ let aggregate ms =
   List.iter (fun m -> merge ~into:t m) ms;
   t
 
+(* Ratio accessors return 0.0 (not nan) on zero-packet / zero-work runs:
+   downstream JSON reports and the telemetry samplers want finite numbers,
+   and a run that did nothing has a 0% hit rate and zero cost by any
+   sensible reading.  [Stats.Acc.mean] itself still reports nan on empty —
+   only these derived views are guarded. *)
 let hw_hit_rate t =
-  if t.packets = 0 then nan else float_of_int t.hw_hits /. float_of_int t.packets
+  if t.packets = 0 then 0.0 else float_of_int t.hw_hits /. float_of_int t.packets
 
 let hw_miss_count t = t.sw_hits + t.slowpaths
 
 let total_cycles t =
   t.cycles_userspace + t.cycles_partition + t.cycles_rulegen + t.cycles_sw_search
 
-let mean_latency_us t = Gf_util.Stats.Acc.mean t.latency
+let mean_latency_us t =
+  if Gf_util.Stats.Acc.count t.latency = 0 then 0.0
+  else Gf_util.Stats.Acc.mean t.latency
 
 let overhead_ratio t =
-  if t.cycles_userspace = 0 then nan
+  if t.cycles_userspace = 0 then 0.0
   else
     float_of_int (t.cycles_partition + t.cycles_rulegen)
     /. float_of_int t.cycles_userspace
@@ -153,14 +172,81 @@ let pp fmt t =
     t.hw_entries_final t.hw_entries_peak t.hw_installs t.hw_shared t.hw_rejected
     t.hw_evictions (mean_latency_us t)
 
+(* One row per level, columns aligned across rows so multi-level output
+   reads as a table.  p50/p99 come from the always-on per-level latency
+   histograms (0.00 when the level never hit). *)
 let pp_levels fmt t =
+  let name_w =
+    List.fold_left (fun w l -> max w (String.length l.level_name)) 5 t.levels
+  in
   List.iter
-    (fun l ->
+    (fun (l : level) ->
+      let q p = if Histogram.count l.latency_hist = 0 then 0.0 else p l.latency_hist in
       Format.fprintf fmt
-        "level %-8s hits=%d misses=%d (hit %.2f%%) installs=%d shared=%d \
-         rejected=%d evictions=%d work=%d occ=%d (peak %d)@."
-        l.level_name l.hits l.misses
+        "level %-*s hits=%9d misses=%9d hit=%6.2f%% installs=%8d shared=%7d \
+         rejected=%6d evictions=%7d work=%10d occ=%7d peak=%7d p50=%8.2fus \
+         p99=%8.2fus@."
+        name_w l.level_name l.hits l.misses
         (100.0 *. level_hit_rate l)
         l.installs l.shared l.rejected l.evictions l.work l.occupancy_final
-        l.occupancy_peak)
+        l.occupancy_peak (q Histogram.p50) (q Histogram.p99))
+    t.levels
+
+(* Export every counter into [registry] under stable Prometheus-style
+   names; per-level series carry a [level] label.  Counters are *set* (the
+   registry refs are overwritten, not incremented), so exporting twice is
+   idempotent; merging registries from different shards still sums because
+   each shard exports its own disjoint metrics object. *)
+let to_registry t registry =
+  let module R = Gf_telemetry.Registry in
+  let set ?labels name help v =
+    let r = R.counter registry ?labels ~help name in
+    r := v
+  in
+  let setg ?labels name help v =
+    let r = R.gauge registry ?labels ~help name in
+    r := v
+  in
+  set "gigaflow_packets_total" "Packets replayed" t.packets;
+  set "gigaflow_hw_hits_total" "Packets served by the SmartNIC cache" t.hw_hits;
+  set "gigaflow_sw_hits_total" "Packets served by a software cache level" t.sw_hits;
+  set "gigaflow_slowpaths_total" "Packets taking the full slowpath" t.slowpaths;
+  set "gigaflow_drops_total" "Packets dropped (pipeline error)" t.drops;
+  set "gigaflow_hw_installs_total" "Hardware rule installs" t.hw_installs;
+  set "gigaflow_hw_shared_total" "Hardware installs satisfied by sharing" t.hw_shared;
+  set "gigaflow_hw_rejected_total" "Hardware installs rejected (tables full)"
+    t.hw_rejected;
+  set "gigaflow_hw_evictions_total" "Hardware entries evicted" t.hw_evictions;
+  set "gigaflow_cycles_total" "Slowpath CPU cycles by component"
+    ~labels:[ ("component", "userspace") ]
+    t.cycles_userspace;
+  set "gigaflow_cycles_total" "" ~labels:[ ("component", "partition") ]
+    t.cycles_partition;
+  set "gigaflow_cycles_total" "" ~labels:[ ("component", "rulegen") ] t.cycles_rulegen;
+  set "gigaflow_cycles_total" ""
+    ~labels:[ ("component", "sw_search") ]
+    t.cycles_sw_search;
+  setg "gigaflow_hw_entries" "Hardware cache occupancy (end of run)"
+    (float_of_int t.hw_entries_final);
+  setg "gigaflow_hw_entries_peak" "Peak hardware cache occupancy"
+    (float_of_int t.hw_entries_peak);
+  R.set_histogram registry ~help:"End-to-end per-packet latency (us)"
+    "gigaflow_packet_latency_us" t.latency_hist;
+  List.iter
+    (fun l ->
+      let labels = [ ("level", l.level_name) ] in
+      set "gigaflow_level_hits_total" "Cache hits by level" ~labels l.hits;
+      set "gigaflow_level_misses_total" "Cache misses by level" ~labels l.misses;
+      set "gigaflow_level_installs_total" "Installs by level" ~labels l.installs;
+      set "gigaflow_level_shared_total" "Shared installs by level" ~labels l.shared;
+      set "gigaflow_level_rejected_total" "Rejected installs by level" ~labels
+        l.rejected;
+      set "gigaflow_level_evictions_total" "Evictions by level" ~labels l.evictions;
+      set "gigaflow_level_work_total" "Classifier work units by level" ~labels l.work;
+      setg "gigaflow_level_occupancy" "Level occupancy (end of run)" ~labels
+        (float_of_int l.occupancy_final);
+      setg "gigaflow_level_occupancy_peak" "Peak level occupancy" ~labels
+        (float_of_int l.occupancy_peak);
+      R.set_histogram registry ~labels ~help:"Per-hit latency by level (us)"
+        "gigaflow_level_hit_latency_us" l.latency_hist)
     t.levels

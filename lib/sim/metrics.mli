@@ -15,6 +15,10 @@ type level = {
   mutable latency_us : float;  (** total latency attributed to hits here *)
   mutable occupancy_peak : int;
   mutable occupancy_final : int;
+  latency_hist : Gf_telemetry.Histogram.t;
+      (** Per-hit latency distribution at this level.  Always on: recording
+          is allocation-free, and it is what gives {!pp_levels} and the
+          telemetry sampler per-level p50/p99. *)
 }
 
 type t = {
@@ -34,6 +38,9 @@ type t = {
   mutable cycles_sw_search : int;
   mutable hw_entries_peak : int;
   mutable hw_entries_final : int;
+  latency_hist : Gf_telemetry.Histogram.t;
+      (** End-to-end per-packet latency distribution (same samples as
+          [latency], but bucketed for quantiles and exact merging). *)
   mutable levels : level list;
       (** Per-level breakdown, walk order.  The [hw_*] fields above remain
           the hardware-tier aggregate view of the same events. *)
@@ -50,7 +57,7 @@ val levels : t -> level list
 
 val level_hit_rate : level -> float
 (** hits / (hits + misses): the hit rate among packets that reached this
-    level ([nan] if never consulted). *)
+    level ([0.0] if never consulted). *)
 
 val merge : into:t -> t -> unit
 (** Fold [src] into [into]: counters and cycle totals add, latency
@@ -64,19 +71,31 @@ val aggregate : t list -> t
     cross-shard aggregate). *)
 
 val hw_hit_rate : t -> float
+(** [0.0] on a zero-packet run (never nan — downstream JSON and telemetry
+    samplers want finite numbers). *)
 
 val hw_miss_count : t -> int
 (** Packets that missed every hardware-tier level (sw hits + slowpaths). *)
 
 val total_cycles : t -> int
+
 val mean_latency_us : t -> float
+(** [0.0] when no latency samples were recorded. *)
 
 val overhead_ratio : t -> float
 (** (partition + rulegen) / userspace cycles — the paper's Fig. 13
-    metric. *)
+    metric.  [0.0] when no userspace cycles were spent. *)
 
 val pp : Format.formatter -> t -> unit
 
 val pp_levels : Format.formatter -> t -> unit
-(** One line per level: hits/misses/hit-rate/installs/evictions/work and
-    occupancy. *)
+(** One aligned row per level: hits/misses/hit-rate/installs/evictions/
+    work/occupancy plus p50/p99 hit latency from the per-level
+    histograms. *)
+
+val to_registry : t -> Gf_telemetry.Registry.t -> unit
+(** Export every counter into the registry under stable
+    [gigaflow_*]/[gigaflow_level_*] Prometheus-style names (per-level
+    series carry a [level] label; latency histograms are registered
+    in-place).  Values are {e set}, not accumulated, so re-exporting the
+    same metrics is idempotent. *)

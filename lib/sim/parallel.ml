@@ -30,6 +30,7 @@ type result = {
   mode : mode;
   shards : shard_run array;
   merged : Metrics.t;
+  telemetry : Gf_telemetry.Telemetry.t option;
   wall_seconds : float;
   critical_path_seconds : float;
 }
@@ -61,12 +62,29 @@ let shard ~domains (trace : Trace.t) =
       buckets
   end
 
-let replay ?(mode = `Domains) ?(domains = 1) ~cfg pipeline trace =
+let replay ?(mode = `Domains) ?(domains = 1) ?telemetry ~cfg pipeline trace =
   let shard_traces = shard ~domains trace in
+  (* Each shard gets a private telemetry sink (domains never share one —
+     recording is unsynchronised by design); shard sinks are merged after
+     the join, like metrics. *)
+  let shard_telemetry =
+    match telemetry with
+    | None -> [||]
+    | Some config ->
+        Array.map
+          (fun _ -> Gf_telemetry.Telemetry.create ~config ())
+          shard_traces
+  in
+  let telemetry_of i =
+    if Array.length shard_telemetry = 0 then None else Some shard_telemetry.(i)
+  in
   (* Replicate the pipeline in the parent, before any domain runs: replicas
      read the source tables while nothing mutates them. *)
   let datapaths =
-    Array.map (fun _ -> Datapath.create cfg (Pipeline.copy pipeline)) shard_traces
+    Array.mapi
+      (fun i _ ->
+        Datapath.create ?telemetry:(telemetry_of i) cfg (Pipeline.copy pipeline))
+      shard_traces
   in
   let run_one i =
     let tr = shard_traces.(i) in
@@ -102,7 +120,28 @@ let replay ?(mode = `Domains) ?(domains = 1) ~cfg pipeline trace =
   let merged =
     Metrics.aggregate (List.map (fun s -> s.metrics) (Array.to_list shards))
   in
-  { domains; mode; shards; merged; wall_seconds; critical_path_seconds }
+  (* Merge shard telemetry in shard order: the merged stream is then
+     deterministic (per-shard replay is), so `Domains and `Sequential agree
+     on it exactly, like they do on metrics. *)
+  let merged_telemetry =
+    match telemetry with
+    | None -> None
+    | Some config ->
+        let into = Gf_telemetry.Telemetry.create ~config () in
+        Array.iter
+          (fun shard_tel -> Gf_telemetry.Telemetry.merge ~into shard_tel)
+          shard_telemetry;
+        Some into
+  in
+  {
+    domains;
+    mode;
+    shards;
+    merged;
+    telemetry = merged_telemetry;
+    wall_seconds;
+    critical_path_seconds;
+  }
 
 (* ------------------- static-model cross-validation ------------------- *)
 

@@ -35,6 +35,11 @@ type result = {
   mode : mode;
   shards : shard_run array;
   merged : Metrics.t;  (** {!Metrics.aggregate} of all shards *)
+  telemetry : Gf_telemetry.Telemetry.t option;
+      (** Merged shard telemetry (registries sum, recorder streams
+          concatenate in shard order, series interleave by packet index);
+          [None] unless [replay ~telemetry] was given.  Deterministic —
+          [`Domains] and [`Sequential] agree on it exactly. *)
   wall_seconds : float;  (** whole replay, spawn to last join *)
   critical_path_seconds : float;
       (** max per-shard wall time — the wall clock of the parallel run when
@@ -50,6 +55,7 @@ val shard : domains:int -> Gf_workload.Trace.t -> Gf_workload.Trace.t array
 val replay :
   ?mode:mode ->
   ?domains:int ->
+  ?telemetry:Gf_telemetry.Telemetry.config ->
   cfg:Datapath.config ->
   Gf_pipeline.Pipeline.t ->
   Gf_workload.Trace.t ->
@@ -57,7 +63,9 @@ val replay :
 (** Replay the trace over [domains] datapaths ([mode] defaults to
     [`Domains], [domains] to 1).  The input pipeline is only read (it is
     replicated per domain with {!Gf_pipeline.Pipeline.copy}); caches are
-    created fresh per domain, like OVS PMD threads. *)
+    created fresh per domain, like OVS PMD threads.  [telemetry] creates a
+    private sink per shard from the given config (never shared across
+    domains) and merges them into {!result.telemetry} after the join. *)
 
 val merged_flow_cycles : result -> (int, int) Hashtbl.t
 (** Union of per-shard slowpath censuses (disjoint by construction). *)

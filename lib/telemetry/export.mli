@@ -1,0 +1,23 @@
+(** Exporters: Prometheus text exposition and JSON Lines encoding.
+
+    Histograms are exposed Prometheus-summary-style (pre-computed
+    p50/p90/p99/p99.9 + [_sum] + [_count]) — log-linear buckets would need
+    hundreds of [le] series each, and the quantiles are what the scrape is
+    for. *)
+
+val prometheus : Registry.t -> string
+(** Render a registry snapshot in Prometheus text exposition format. *)
+
+val prometheus_to_buffer : Buffer.t -> Registry.t -> unit
+
+val sample_json : Series.sample -> Gf_util.Json.t
+(** One time-series snapshot as a [{"type":"sample", ...}] object. *)
+
+val event_json : Recorder.event -> Gf_util.Json.t
+(** One flight-recorder event as an [{"type":"event", ...}] object. *)
+
+val write_line : out_channel -> Gf_util.Json.t -> unit
+(** Write one JSON value followed by a newline (one JSONL record). *)
+
+val sanitize_name : string -> string
+(** Map a metric name onto Prometheus' allowed charset. *)

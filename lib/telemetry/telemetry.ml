@@ -1,0 +1,97 @@
+(* Telemetry facade: one handle bundling the metric registry, the event
+   flight recorder and the time-series sampler, with a single merge for
+   parallel shard aggregation.
+
+   The hot-path contract: instrumented code holds a [Telemetry.t option]
+   and pattern-matches at every emission site — the [None] branch is a
+   no-op that performs no allocation and no calls, so disabled telemetry
+   leaves the de-allocated datapath hot path untouched. *)
+
+type config = {
+  sample_every : int;  (* time-series cadence in packets; 0 disables *)
+  event_capacity : int;  (* flight-recorder ring size *)
+  event_sample_every : int;  (* record every Nth event; 0 disables *)
+}
+
+let default_config =
+  { sample_every = 10_000; event_capacity = 4096; event_sample_every = 1 }
+
+type t = {
+  config : config;
+  registry : Registry.t;
+  recorder : Recorder.t option;
+  series : Series.t option;
+}
+
+let create ?(config = default_config) () =
+  {
+    config;
+    registry = Registry.create ();
+    recorder =
+      (if config.event_sample_every > 0 then
+         Some
+           (Recorder.create ~capacity:config.event_capacity
+              ~sample_every:config.event_sample_every ())
+       else None);
+    series =
+      (if config.sample_every > 0 then Some (Series.create ~every:config.sample_every)
+       else None);
+  }
+
+let config t = t.config
+let registry t = t.registry
+let recorder t = t.recorder
+let series t = t.series
+
+let event t ~packet ~time ~level ~latency_us ~count kind =
+  match t.recorder with
+  | Some r -> Recorder.record r ~packet ~time ~level ~latency_us ~count kind
+  | None -> ()
+
+let events t = match t.recorder with Some r -> Recorder.drain r | None -> []
+let samples t = match t.series with Some s -> Series.samples s | None -> []
+
+let sample_due t ~packets =
+  match t.series with Some s -> Series.due s ~packets | None -> false
+
+let push_sample t sample =
+  match t.series with Some s -> Series.push s sample | None -> ()
+
+(* Merge a shard's telemetry: registries merge by (name, labels), recorder
+   rings concatenate (newest events win), series interleave by packet
+   index.  Configs must agree — shards are created from one config. *)
+let merge ~into src =
+  Registry.merge ~into:into.registry src.registry;
+  (match (into.recorder, src.recorder) with
+  | Some a, Some b -> Recorder.merge ~into:a b
+  | _ -> ());
+  match (into.series, src.series) with
+  | Some a, Some b -> Series.merge ~into:a b
+  | _ -> ()
+
+(* ------------------------------ output ------------------------------ *)
+
+(* The full JSONL stream: one meta line, every time-series sample, then
+   every retained flight-recorder event.  [meta] lets the caller prepend
+   run parameters (workload, hierarchy, seed). *)
+let write_jsonl ?(meta = []) oc t =
+  let recorder_meta =
+    match t.recorder with
+    | Some r ->
+        [
+          ("events_seen", Gf_util.Json.Int (Recorder.seen r));
+          ("events_recorded", Gf_util.Json.Int (Recorder.recorded r));
+          ("events_dropped", Gf_util.Json.Int (Recorder.dropped r));
+          ("event_sample_every", Gf_util.Json.Int (Recorder.sample_every r));
+        ]
+    | None -> []
+  in
+  Export.write_line oc
+    (Gf_util.Json.Obj
+       ((("type", Gf_util.Json.Str "meta") :: meta)
+       @ [ ("samples", Gf_util.Json.Int (List.length (samples t))) ]
+       @ recorder_meta));
+  List.iter (fun s -> Export.write_line oc (Export.sample_json s)) (samples t);
+  List.iter (fun e -> Export.write_line oc (Export.event_json e)) (events t)
+
+let prometheus t = Export.prometheus t.registry

@@ -17,4 +17,6 @@ let () =
       ("workload", Test_workload.suite);
       ("sim", Test_sim.suite);
       Helpers.qsuite "sim:props" Test_sim.props;
+      ("telemetry", Test_telemetry.suite);
+      Helpers.qsuite "telemetry:props" Test_telemetry.props;
     ]

@@ -45,6 +45,19 @@ let test_metrics_accounting () =
   Alcotest.(check bool) "hit rate sane" true
     (Metrics.hw_hit_rate m >= 0.0 && Metrics.hw_hit_rate m <= 1.0)
 
+let test_metrics_zero_packet_guards () =
+  (* Ratios on a fresh/empty run must be well-defined zeros, not NaN. *)
+  let m = Metrics.create () in
+  List.iter
+    (fun (name, v) ->
+      Alcotest.(check (float 0.0)) name 0.0 v;
+      Alcotest.(check bool) (name ^ " finite") true (Float.is_finite v))
+    [
+      ("hw_hit_rate", Metrics.hw_hit_rate m);
+      ("mean_latency_us", Metrics.mean_latency_us m);
+      ("overhead_ratio", Metrics.overhead_ratio m);
+    ]
+
 let test_datapath_backends_consistent_decisions () =
   (* Every packet's decision must equal the slowpath decision, whatever the
      cache backend. *)
@@ -506,6 +519,7 @@ let test_pcie_model () =
 let suite =
   [
     ("metrics accounting", `Quick, test_metrics_accounting);
+    ("metrics zero-packet guards", `Quick, test_metrics_zero_packet_guards);
     ("datapath decisions = slowpath", `Slow, test_datapath_backends_consistent_decisions);
     ("gigaflow beats megaflow under pressure", `Slow, test_gigaflow_beats_megaflow_under_pressure);
     ("software cache absorbs misses", `Quick, test_sw_cache_absorbs_misses);

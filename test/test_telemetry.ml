@@ -1,0 +1,409 @@
+(* Tests for gigaflow.telemetry: histogram quantile accuracy against an
+   exact oracle, exact merge, flight-recorder ring/sampling semantics,
+   series cadence, registry merge, exporters, and the datapath/parallel
+   integration invariants (telemetry observes, never perturbs). *)
+
+module Histogram = Gf_telemetry.Histogram
+module Recorder = Gf_telemetry.Recorder
+module Series = Gf_telemetry.Series
+module Registry = Gf_telemetry.Registry
+module Export = Gf_telemetry.Export
+module Telemetry = Gf_telemetry.Telemetry
+module Json = Gf_util.Json
+module Datapath = Gf_sim.Datapath
+module Parallel = Gf_sim.Parallel
+module Metrics = Gf_sim.Metrics
+module Pipebench = Gf_workload.Pipebench
+module Ruleset = Gf_workload.Ruleset
+module Catalog = Gf_pipelines.Catalog
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+(* ----------------------------- histogram ----------------------------- *)
+
+(* Exact rank-based order statistic matching Histogram.quantile's rank
+   definition: the ceil(q * n)-th smallest sample (1-based). *)
+let exact_quantile samples q =
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let rank = max 1 (int_of_float (ceil (q *. float_of_int n))) in
+  sorted.(min (n - 1) (rank - 1))
+
+let check_quantile_in_bucket h samples q =
+  let exact = exact_quantile samples q in
+  let approx = Histogram.quantile h q in
+  let blo, bhi = Histogram.bounds_of_value h exact in
+  Alcotest.(check bool)
+    (Printf.sprintf "q=%g: approx %g in bucket [%g, %g) of exact %g" q approx
+       blo bhi exact)
+    true
+    (approx >= blo && approx <= bhi)
+
+let quantile_points = [ 0.5; 0.9; 0.99; 0.999 ]
+
+let test_histogram_quantiles_vs_oracle () =
+  let rng = Gf_util.Rng.create 11 in
+  (* Long-tailed sample stream spanning several octaves, like latencies. *)
+  let samples =
+    Array.init 5000 (fun _ ->
+        let u = Gf_util.Rng.float rng 1.0 in
+        0.5 +. (1000.0 *. (u ** 4.0)))
+  in
+  let h = Histogram.create ~lo:0.1 ~hi:1e5 () in
+  Array.iter (Histogram.record h) samples;
+  Alcotest.(check int) "count" (Array.length samples) (Histogram.count h);
+  List.iter (fun q -> check_quantile_in_bucket h samples q) quantile_points;
+  (* The exact extremes are tracked exactly, not bucketed. *)
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  Alcotest.(check (float 1e-9)) "min exact" sorted.(0) (Histogram.min_value h);
+  Alcotest.(check (float 1e-9))
+    "max exact"
+    sorted.(Array.length sorted - 1)
+    (Histogram.max_value h)
+
+let test_histogram_empty_and_edges () =
+  let h = Histogram.create () in
+  Alcotest.(check int) "empty count" 0 (Histogram.count h);
+  Alcotest.(check (float 0.0)) "empty mean" 0.0 (Histogram.mean h);
+  Alcotest.(check (float 0.0)) "empty quantile" 0.0 (Histogram.p99 h);
+  (* Underflow and overflow clamp rather than distort. *)
+  Histogram.record h 0.0;
+  Histogram.record h 1e12;
+  Alcotest.(check int) "clamped count" 2 (Histogram.count h);
+  Alcotest.(check bool) "p50 finite" true (Float.is_finite (Histogram.p50 h))
+
+let hist_of_samples samples =
+  let h = Histogram.create ~lo:0.1 ~hi:1e5 () in
+  List.iter (Histogram.record h) samples;
+  h
+
+let buckets_of h =
+  let acc = ref [] in
+  Histogram.iter_buckets (fun ~lo ~hi ~count -> acc := (lo, hi, count) :: !acc) h;
+  List.rev !acc
+
+let test_histogram_merge_is_concat () =
+  let rng = Gf_util.Rng.create 23 in
+  let gen n = List.init n (fun _ -> 0.2 +. Gf_util.Rng.float rng 5000.0) in
+  let a = gen 700 and b = gen 1300 in
+  let ha = hist_of_samples a and hb = hist_of_samples b in
+  let hc = hist_of_samples (a @ b) in
+  Histogram.merge ~into:ha hb;
+  Alcotest.(check int) "count" (Histogram.count hc) (Histogram.count ha);
+  Alcotest.(check (float 1e-6)) "sum" (Histogram.sum hc) (Histogram.sum ha);
+  Alcotest.(check (float 1e-9)) "min" (Histogram.min_value hc)
+    (Histogram.min_value ha);
+  Alcotest.(check (float 1e-9)) "max" (Histogram.max_value hc)
+    (Histogram.max_value ha);
+  Alcotest.(check bool) "buckets identical" true
+    (buckets_of hc = buckets_of ha);
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "quantile %g" q)
+        (Histogram.quantile hc q) (Histogram.quantile ha q))
+    quantile_points
+
+let test_histogram_layout_mismatch () =
+  let a = Histogram.create ~lo:0.1 ~hi:1e5 () in
+  let b = Histogram.create ~lo:0.2 ~hi:1e5 () in
+  Alcotest.(check bool) "layouts differ" false (Histogram.same_layout a b);
+  Alcotest.check_raises "merge refuses"
+    (Invalid_argument "Histogram.merge: layouts differ") (fun () ->
+      Histogram.merge ~into:a b)
+
+let gen_samples =
+  QCheck2.Gen.(list_size (1 -- 400) (map (fun u -> 0.05 +. (u *. 2e4)) (float_bound_inclusive 1.0)))
+
+let prop_histogram_quantile_bounded =
+  QCheck2.Test.make ~name:"histogram quantile lands in exact sample's bucket"
+    ~count:200 gen_samples (fun samples ->
+      let arr = Array.of_list samples in
+      let h = hist_of_samples samples in
+      List.for_all
+        (fun q ->
+          let exact = exact_quantile arr q in
+          let approx = Histogram.quantile h q in
+          let blo, bhi = Histogram.bounds_of_value h exact in
+          approx >= blo && approx <= bhi)
+        quantile_points)
+
+let prop_histogram_merge_exact =
+  QCheck2.Test.make ~name:"histogram merge == recording the concatenation"
+    ~count:200
+    QCheck2.Gen.(pair gen_samples gen_samples)
+    (fun (a, b) ->
+      let ha = hist_of_samples a and hb = hist_of_samples b in
+      let hc = hist_of_samples (a @ b) in
+      Histogram.merge ~into:ha hb;
+      buckets_of hc = buckets_of ha
+      && Histogram.count hc = Histogram.count ha
+      && List.for_all
+           (fun q ->
+             Float.abs (Histogram.quantile hc q -. Histogram.quantile ha q)
+             < 1e-9)
+           quantile_points)
+
+(* ----------------------------- recorder ----------------------------- *)
+
+let offer r n =
+  for i = 0 to n - 1 do
+    Recorder.record r ~packet:i ~time:(float_of_int i) ~level:"gf"
+      ~latency_us:9.0 ~count:1 Recorder.Hit
+  done
+
+let test_recorder_ring_keeps_newest () =
+  let r = Recorder.create ~capacity:8 ~sample_every:1 () in
+  offer r 20;
+  Alcotest.(check int) "seen" 20 (Recorder.seen r);
+  Alcotest.(check int) "recorded" 20 (Recorder.recorded r);
+  Alcotest.(check int) "retained" 8 (Recorder.retained r);
+  Alcotest.(check int) "dropped" 12 (Recorder.dropped r);
+  let packets = List.map (fun e -> e.Recorder.packet) (Recorder.drain r) in
+  Alcotest.(check (list int)) "newest 8, oldest first"
+    [ 12; 13; 14; 15; 16; 17; 18; 19 ]
+    packets
+
+let test_recorder_sampling_rate () =
+  let r = Recorder.create ~capacity:64 ~sample_every:3 () in
+  offer r 10;
+  Alcotest.(check int) "seen all" 10 (Recorder.seen r);
+  let packets = List.map (fun e -> e.Recorder.packet) (Recorder.drain r) in
+  Alcotest.(check (list int)) "every 3rd candidate" [ 0; 3; 6; 9 ] packets
+
+let test_recorder_merge_concatenates () =
+  let a = Recorder.create ~capacity:16 ~sample_every:1 () in
+  let b = Recorder.create ~capacity:16 ~sample_every:1 () in
+  offer a 3;
+  for i = 100 to 102 do
+    Recorder.record b ~packet:i ~time:0.0 ~level:"sw-mf" ~latency_us:0.0
+      ~count:1 Recorder.Miss
+  done;
+  Recorder.merge ~into:a b;
+  Alcotest.(check int) "census adds" 6 (Recorder.seen a);
+  let packets = List.map (fun e -> e.Recorder.packet) (Recorder.drain a) in
+  Alcotest.(check (list int)) "a's stream then b's" [ 0; 1; 2; 100; 101; 102 ]
+    packets
+
+(* ------------------------------ series ------------------------------ *)
+
+let sample_at packet =
+  {
+    Series.s_packet = packet;
+    s_time = float_of_int packet;
+    s_hw_hits = packet;
+    s_sw_hits = 0;
+    s_slowpaths = 0;
+    s_hw_hit_rate = 1.0;
+    s_mean_us = 9.0;
+    s_p50_us = 9.0;
+    s_p90_us = 9.0;
+    s_p99_us = 9.0;
+    s_p999_us = 9.0;
+    s_levels = [];
+  }
+
+let test_series_cadence_and_dedup () =
+  let s = Series.create ~every:100 in
+  Alcotest.(check bool) "due at multiple" true (Series.due s ~packets:200);
+  Alcotest.(check bool) "not due off-cadence" false (Series.due s ~packets:250);
+  Series.push s (sample_at 200);
+  Series.push s (sample_at 200);
+  (* duplicate packet: dropped *)
+  Series.push s (sample_at 300);
+  Alcotest.(check int) "dedup by packet" 2 (Series.length s);
+  Alcotest.(check (list int)) "oldest first" [ 200; 300 ]
+    (List.map (fun x -> x.Series.s_packet) (Series.samples s))
+
+(* ----------------------------- registry ----------------------------- *)
+
+let test_registry_merge () =
+  let a = Registry.create () and b = Registry.create () in
+  let ca = Registry.counter a "pkts" and cb = Registry.counter b "pkts" in
+  ca := 10;
+  cb := 32;
+  let gb = Registry.gauge b "occ" in
+  gb := 7.5;
+  let hb = Registry.histogram b ~lo:0.1 ~hi:1e5 "lat" in
+  Histogram.record hb 9.0;
+  Registry.merge ~into:a b;
+  Alcotest.(check int) "counters add" 42 !(Registry.counter a "pkts");
+  Alcotest.(check (float 1e-9)) "absent gauge copied" 7.5
+    !(Registry.gauge a "occ");
+  Alcotest.(check int) "absent histogram copied" 1
+    (Histogram.count (Registry.histogram a ~lo:0.1 ~hi:1e5 "lat"));
+  (* The copy is independent of the source. *)
+  Histogram.record hb 9.0;
+  Alcotest.(check int) "deep copy" 1
+    (Histogram.count (Registry.histogram a ~lo:0.1 ~hi:1e5 "lat"))
+
+(* ----------------------------- exporters ----------------------------- *)
+
+let test_prometheus_exposition () =
+  let r = Registry.create () in
+  let c = Registry.counter r ~help:"packets" ~labels:[ ("level", "gf") ] "pkts_total" in
+  c := 5;
+  let h = Registry.histogram r ~lo:0.1 ~hi:1e5 "lat_us" in
+  Histogram.record h 9.0;
+  Histogram.record h 12.0;
+  let text = Export.prometheus r in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "contains %S" needle)
+        true
+        (contains ~needle text))
+    [
+      "# TYPE pkts_total counter";
+      "pkts_total{level=\"gf\"} 5";
+      "# TYPE lat_us summary";
+      "lat_us{quantile=\"0.5\"}";
+      "lat_us_count 2";
+    ]
+
+let test_jsonl_stream_parses () =
+  let tel =
+    Telemetry.create
+      ~config:
+        { Telemetry.sample_every = 1; event_capacity = 16; event_sample_every = 1 }
+      ()
+  in
+  Telemetry.event tel ~packet:0 ~time:0.0 ~level:"gf" ~latency_us:9.0 ~count:1
+    Recorder.Hit;
+  Telemetry.push_sample tel (sample_at 1);
+  let path = Filename.temp_file "gf_telemetry" ".jsonl" in
+  let oc = open_out path in
+  Telemetry.write_jsonl ~meta:[ ("seed", Json.Int 77) ] oc tel;
+  close_out oc;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove path;
+  let lines = List.rev !lines in
+  Alcotest.(check int) "meta + 1 sample + 1 event" 3 (List.length lines);
+  List.iter
+    (fun line ->
+      match Json.of_string line with
+      | Ok json ->
+          Alcotest.(check bool) "has type" true
+            (Option.is_some (Json.member "type" json))
+      | Error e -> Alcotest.failf "unparseable line %S: %s" line e)
+    lines
+
+(* ------------------------ datapath integration ------------------------ *)
+
+let small_profile =
+  {
+    Gf_workload.Classbench.acl_profile with
+    Gf_workload.Classbench.endpoints = 128;
+    subnets = 16;
+    services = 32;
+  }
+
+let small_workload ?(seed = 77) () =
+  Pipebench.make ~profile:small_profile ~combos:512 ~unique_flows:2000
+    ~duration:20.0
+    ~info:(Option.get (Catalog.find "PSC"))
+    ~locality:Ruleset.High ~seed ()
+
+let counters (m : Metrics.t) =
+  [
+    m.Metrics.packets; m.Metrics.hw_hits; m.Metrics.sw_hits; m.Metrics.slowpaths;
+    m.Metrics.drops; m.Metrics.hw_installs; m.Metrics.hw_shared;
+    m.Metrics.hw_rejected; m.Metrics.hw_evictions;
+  ]
+
+let telemetry_config =
+  { Telemetry.sample_every = 1000; event_capacity = 512; event_sample_every = 7 }
+
+let test_datapath_telemetry_is_transparent () =
+  let w = small_workload () in
+  let cfg = Datapath.emc_gf_sw () in
+  let dp_off = Datapath.create cfg (Pipebench.pipeline w) in
+  let m_off = Datapath.run dp_off w.Pipebench.trace in
+  let tel = Telemetry.create ~config:telemetry_config () in
+  let dp_on = Datapath.create ~telemetry:tel cfg (Pipebench.pipeline w) in
+  let m_on = Datapath.run dp_on w.Pipebench.trace in
+  Alcotest.(check (list int)) "telemetry does not perturb the run"
+    (counters m_off) (counters m_on)
+
+let test_final_sample_matches_metrics () =
+  let w = small_workload () in
+  let tel = Telemetry.create ~config:telemetry_config () in
+  let dp = Datapath.create ~telemetry:tel (Datapath.emc_gf_sw ()) (Pipebench.pipeline w) in
+  let m = Datapath.run dp w.Pipebench.trace in
+  match List.rev (Telemetry.samples tel) with
+  | [] -> Alcotest.fail "no samples pushed"
+  | last :: _ ->
+      Alcotest.(check int) "packet" m.Metrics.packets last.Series.s_packet;
+      Alcotest.(check int) "hw hits" m.Metrics.hw_hits last.Series.s_hw_hits;
+      Alcotest.(check int) "sw hits" m.Metrics.sw_hits last.Series.s_sw_hits;
+      Alcotest.(check int) "slowpaths" m.Metrics.slowpaths
+        last.Series.s_slowpaths;
+      Alcotest.(check (float 1e-12)) "hit rate" (Metrics.hw_hit_rate m)
+        last.Series.s_hw_hit_rate;
+      Alcotest.(check (float 1e-9)) "mean" (Metrics.mean_latency_us m)
+        last.Series.s_mean_us;
+      List.iter
+        (fun (ls : Series.level_sample) ->
+          match Metrics.find_level m ls.Series.ls_level with
+          | None -> Alcotest.failf "sample level %S not in metrics" ls.Series.ls_level
+          | Some lm ->
+              Alcotest.(check int)
+                (ls.Series.ls_level ^ " hits")
+                lm.Metrics.hits ls.Series.ls_hits;
+              Alcotest.(check int)
+                (ls.Series.ls_level ^ " occupancy")
+                lm.Metrics.occupancy_final ls.Series.ls_occupancy)
+        last.Series.s_levels;
+      (* The Prometheus snapshot agrees too. *)
+      let text = Telemetry.prometheus tel in
+      let expected = Printf.sprintf "gigaflow_packets_total %d" m.Metrics.packets in
+      Alcotest.(check bool) "prometheus packet count" true
+        (contains ~needle:expected text)
+
+let test_parallel_telemetry_modes_agree () =
+  let w = small_workload () in
+  let cfg = Datapath.emc_gf_sw () in
+  let run mode =
+    Parallel.replay ~mode ~domains:4 ~telemetry:telemetry_config ~cfg
+      (Pipebench.pipeline w) w.Pipebench.trace
+  in
+  let seq = run `Sequential and par = run `Domains in
+  let tel_of r = Option.get r.Parallel.telemetry in
+  let ts = tel_of seq and tp = tel_of par in
+  Alcotest.(check bool) "event streams identical" true
+    (Telemetry.events ts = Telemetry.events tp);
+  Alcotest.(check bool) "sample streams identical" true
+    (Telemetry.samples ts = Telemetry.samples tp);
+  Alcotest.(check string) "merged registries identical"
+    (Telemetry.prometheus ts) (Telemetry.prometheus tp)
+
+let suite =
+  [
+    ("histogram quantiles vs oracle", `Quick, test_histogram_quantiles_vs_oracle);
+    ("histogram empty + clamping", `Quick, test_histogram_empty_and_edges);
+    ("histogram merge = concat", `Quick, test_histogram_merge_is_concat);
+    ("histogram layout mismatch", `Quick, test_histogram_layout_mismatch);
+    ("recorder ring keeps newest", `Quick, test_recorder_ring_keeps_newest);
+    ("recorder sampling rate", `Quick, test_recorder_sampling_rate);
+    ("recorder merge concatenates", `Quick, test_recorder_merge_concatenates);
+    ("series cadence + dedup", `Quick, test_series_cadence_and_dedup);
+    ("registry merge", `Quick, test_registry_merge);
+    ("prometheus exposition", `Quick, test_prometheus_exposition);
+    ("jsonl stream parses", `Quick, test_jsonl_stream_parses);
+    ("telemetry transparent", `Slow, test_datapath_telemetry_is_transparent);
+    ("final sample = metrics", `Quick, test_final_sample_matches_metrics);
+    ("parallel modes agree", `Slow, test_parallel_telemetry_modes_agree);
+  ]
+
+let props = [ prop_histogram_quantile_bounded; prop_histogram_merge_exact ]

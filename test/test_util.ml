@@ -5,6 +5,7 @@ module Zipf = Gf_util.Zipf
 module Stats = Gf_util.Stats
 module Tablefmt = Gf_util.Tablefmt
 module Bitops = Gf_util.Bitops
+module Json = Gf_util.Json
 
 let test_rng_deterministic () =
   let a = Rng.create 42 and b = Rng.create 42 in
@@ -206,6 +207,51 @@ let test_bitops () =
   Alcotest.(check bool) "subset yes" true (Bitops.is_subset ~sub:0b101 ~super:0b111);
   Alcotest.(check bool) "subset no" false (Bitops.is_subset ~sub:0b1000 ~super:0b111)
 
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("type", Json.Str "sample");
+        ("packet", Json.Int 10615);
+        ("rate", Json.Float 0.8963);
+        ("ok", Json.Bool true);
+        ("none", Json.Null);
+        ("levels", Json.List [ Json.Str "emc"; Json.Str "gigaflow" ]);
+        ("quote", Json.Str "a\"b\\c\nd");
+      ]
+  in
+  match Json.of_string (Json.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "round-trips" true (v = v')
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+
+let test_json_nonfinite_is_null () =
+  Alcotest.(check string) "nan -> null" "null" (Json.to_string (Json.Float Float.nan));
+  Alcotest.(check string) "inf -> null" "null"
+    (Json.to_string (Json.Float Float.infinity));
+  Alcotest.(check string) "object field"
+    {|{"p99":null}|}
+    (Json.to_string (Json.Obj [ ("p99", Json.Float Float.neg_infinity) ]))
+
+let test_json_parse_errors () =
+  let bad = [ ""; "{"; "[1,]"; {|{"a":}|}; "12 34"; "tru" ] in
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Ok _ -> Alcotest.failf "accepted invalid JSON %S" s
+      | Error _ -> ())
+    bad
+
+let test_json_accessors () =
+  let v = Json.Obj [ ("n", Json.Int 3); ("f", Json.Float 1.5); ("s", Json.Str "x") ] in
+  Alcotest.(check (option int)) "int" (Some 3)
+    (Option.bind (Json.member "n" v) Json.to_int_opt);
+  Alcotest.(check bool) "int widens" true
+    (Option.bind (Json.member "n" v) Json.to_float_opt = Some 3.0);
+  Alcotest.(check (option string)) "str" (Some "x")
+    (Option.bind (Json.member "s" v) Json.to_string_opt);
+  Alcotest.(check bool) "missing" true (Json.member "zz" v = None);
+  Alcotest.(check bool) "non-object" true (Json.member "n" (Json.Int 1) = None)
+
 let suite =
   [
     ("rng deterministic", `Quick, test_rng_deterministic);
@@ -232,4 +278,8 @@ let suite =
     ("tablefmt arity check", `Quick, test_tablefmt_bad_row);
     ("tablefmt numbers", `Quick, test_fmt_numbers);
     ("bitops", `Quick, test_bitops);
+    ("json roundtrip", `Quick, test_json_roundtrip);
+    ("json non-finite -> null", `Quick, test_json_nonfinite_is_null);
+    ("json parse errors", `Quick, test_json_parse_errors);
+    ("json accessors", `Quick, test_json_accessors);
   ]
