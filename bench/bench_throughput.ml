@@ -68,6 +68,7 @@ let counters (m : Metrics.t) =
     m.Metrics.packets; m.Metrics.hw_hits; m.Metrics.sw_hits; m.Metrics.slowpaths;
     m.Metrics.drops; m.Metrics.hw_installs; m.Metrics.hw_shared;
     m.Metrics.hw_rejected; m.Metrics.hw_evictions;
+    m.Metrics.hw_pressure_evictions;
   ]
 
 let run_parallel cfg pipeline trace ~domains ~seq_wall =
@@ -323,6 +324,61 @@ let () =
     (jfloat overhead_pct);
   j "   \"samples\": %d, \"events\": %d, \"matches_baseline_metrics\": %b},\n"
     n_samples n_events matches;
+  (* Capacity sweep: hit rate vs capacity, Megaflow vs Gigaflow, under each
+     replacement policy, on a churn trace.  The rotating flow population keeps
+     every fixed capacity under sustained install pressure — the regime where
+     the choice of eviction policy shows up in the hit rate. *)
+  say "  [capacity] churn sweep: hit rate vs capacity per eviction policy";
+  let churn_w =
+    Pipebench.make_churn ~combos:(scaled 131_072) ~unique_flows:(scaled 100_000)
+      ~active:(scaled 2048) ~packets_per_epoch:(scaled 8192) ~info
+      ~locality:Ruleset.High ~seed:!seed ()
+  in
+  let churn_pipeline = Pipebench.pipeline churn_w in
+  let churn_trace = churn_w.Pipebench.trace in
+  say "  [capacity] churn trace: %d packets, active window %d"
+    (Trace.packet_count churn_trace) (scaled 2048);
+  let caps = [ scaled 256; scaled 512; scaled 1024; scaled 2048 ] in
+  let policies = Gf_cache.Evict.all in
+  j "  \"capacity_sweep\": {\n";
+  j "    \"meta\": {\"trace\": \"churn\", \"packets\": %d, \"active_flows\": %d,\n"
+    (Trace.packet_count churn_trace) (scaled 2048);
+  j "             \"turnover\": 0.25, \"capacities\": [%s]},\n"
+    (String.concat ", " (List.map string_of_int caps));
+  j "    \"rows\": [\n";
+  let n_rows = 2 * List.length caps * List.length policies in
+  let row = ref 0 in
+  List.iter
+    (fun (backend, preset_name) ->
+      List.iter
+        (fun cap ->
+          List.iter
+            (fun policy ->
+              let cfg =
+                Option.get
+                  (Datapath.preset
+                     ~gf:(Gf_core.Config.v ~tables:4 ~table_capacity:cap ())
+                     ~mf_capacity:(4 * cap) ~policy preset_name)
+              in
+              let r = run_sequential cfg churn_pipeline churn_trace in
+              say "  [capacity] %-8s cap %5d %-8s: hit %.2f%%, pressure evictions %d"
+                backend cap
+                (Gf_cache.Evict.to_string policy)
+                (100.0 *. Metrics.hw_hit_rate r.metrics)
+                r.metrics.Metrics.hw_pressure_evictions;
+              incr row;
+              j "      {\"backend\": \"%s\", \"table_capacity\": %d, \"policy\": \"%s\",\n"
+                backend cap
+                (Gf_cache.Evict.to_string policy);
+              j "       \"hw_hit_rate\": %s, \"pressure_evictions\": %d, \"slowpaths\": %d}%s\n"
+                (jfloat (Metrics.hw_hit_rate r.metrics))
+                r.metrics.Metrics.hw_pressure_evictions r.metrics.Metrics.slowpaths
+                (if !row = n_rows then "" else ","))
+            policies)
+        caps)
+    [ ("megaflow", "mf_sw"); ("gigaflow", "gf_sw") ];
+  j "    ]\n";
+  j "  },\n";
   j "  \"total_bench_seconds\": %s\n" (jfloat (now () -. t_start));
   j "}\n";
   let oc = open_out !out in

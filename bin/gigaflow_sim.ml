@@ -49,7 +49,74 @@ let tables_arg =
   Arg.(value & opt int 4 & info [ "tables" ] ~docv:"K" ~doc:"Gigaflow LTM tables.")
 
 let capacity_arg =
-  Arg.(value & opt int 8192 & info [ "capacity" ] ~docv:"N" ~doc:"Entries per Gigaflow table (Megaflow uses 4x this).")
+  Arg.(
+    value & opt int 8192
+    & info
+        [ "capacity"; "table-capacity" ]
+        ~docv:"N" ~doc:"Entries per Gigaflow table (Megaflow uses 4x this).")
+
+let policy_conv =
+  Arg.enum
+    (List.map
+       (fun p -> (Gf_cache.Evict.to_string p, p))
+       Gf_cache.Evict.all)
+
+let evict_policy_arg =
+  Arg.(
+    value
+    & opt (some policy_conv) None
+    & info [ "evict-policy" ] ~docv:"POLICY"
+        ~doc:
+          "Replacement policy under capacity pressure for $(b,every) cache \
+           level: reject, lru, random or priority.  Unset keeps each level's \
+           historical default (EMC: lru; Megaflow and Gigaflow LTM: reject).")
+
+let evict_policy_level_arg =
+  Arg.(
+    value
+    & opt_all (pair ~sep:':' string policy_conv) []
+    & info [ "evict-policy-level" ] ~docv:"LEVEL:POLICY"
+        ~doc:
+          "Per-level replacement policy override, e.g. \
+           $(b,--evict-policy-level gf:lru).  Level names are the metrics \
+           names (emc, nic-mf, sw-mf, gf).  Repeatable; applied after \
+           $(b,--evict-policy).")
+
+let churn_arg =
+  Arg.(
+    value & flag
+    & info [ "churn" ]
+        ~doc:
+          "Replace the CAIDA-style trace with a churn trace: a rotating \
+           active-flow window that keeps the caches under sustained install \
+           pressure (see $(b,--churn-active), $(b,--churn-turnover)).")
+
+let churn_active_arg =
+  Arg.(
+    value & opt int 512
+    & info [ "churn-active" ] ~docv:"N"
+        ~doc:"Churn mode: concurrently active flows per epoch.")
+
+let churn_turnover_arg =
+  Arg.(
+    value & opt float 0.25
+    & info [ "churn-turnover" ] ~docv:"F"
+        ~doc:"Churn mode: fraction of the active window replaced each epoch.")
+
+let max_idle_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "max-idle" ] ~docv:"SECONDS"
+        ~doc:
+          "Idle-entry expiry threshold for every cache level (default: the \
+           preset's).  Large values disable idle expiry, isolating the \
+           effect of the replacement policy.")
+
+let churn_epochs_arg =
+  Arg.(
+    value & opt int 30
+    & info [ "churn-epochs" ] ~docv:"N" ~doc:"Churn mode: number of epochs.")
 
 let find_pipeline code =
   match Catalog.find code with
@@ -88,19 +155,30 @@ let trace_events_arg =
 let prom_path jsonl_path = Filename.remove_extension jsonl_path ^ ".prom"
 
 let run_cmd =
-  let run code locality seed flows combos hierarchy tables capacity telemetry_out
-      sample_every trace_events =
+  let run code locality seed flows combos hierarchy tables capacity policy
+      level_policies max_idle churn churn_active churn_turnover churn_epochs
+      telemetry_out sample_every trace_events =
     let info = find_pipeline code in
     Printf.printf "Building workload: %s, %s locality, %d flows...\n%!" info.Catalog.code
       (Ruleset.locality_name locality) flows;
-    let w = Pipebench.make ~combos ~unique_flows:flows ~info ~locality ~seed () in
+    let w =
+      if churn then
+        Pipebench.make_churn ~combos ~unique_flows:flows ~active:churn_active
+          ~turnover:churn_turnover ~epochs:churn_epochs ~info ~locality ~seed ()
+      else Pipebench.make ~combos ~unique_flows:flows ~info ~locality ~seed ()
+    in
     (* Gigaflow-based presets take the LTM geometry; Megaflow-based ones get
        the same total entry budget (tables x capacity) in one table. *)
     let cfg =
       Option.get
         (Datapath.preset
            ~gf:(Gf_core.Config.v ~tables ~table_capacity:capacity ())
-           ~mf_capacity:(tables * capacity) hierarchy)
+           ~mf_capacity:(tables * capacity) ?policy ?max_idle hierarchy)
+    in
+    let cfg =
+      List.fold_left
+        (fun cfg (level, p) -> Datapath.with_level_policy ~level p cfg)
+        cfg level_policies
     in
     let telemetry =
       if String.equal telemetry_out "" then None
@@ -151,6 +229,7 @@ let run_cmd =
     add "entries (peak)" (Tablefmt.fmt_int m.Metrics.hw_entries_peak);
     add "installs" (Tablefmt.fmt_int m.Metrics.hw_installs);
     add "shared sub-traversals" (Tablefmt.fmt_int m.Metrics.hw_shared);
+    add "pressure evictions" (Tablefmt.fmt_int m.Metrics.hw_pressure_evictions);
     add "mean latency" (Printf.sprintf "%.2f us" (Metrics.mean_latency_us m));
     Tablefmt.print t;
     Printf.printf "Per-level breakdown:\n";
@@ -186,7 +265,9 @@ let run_cmd =
   let term =
     Term.(
       const run $ pipeline_arg $ locality_arg $ seed_arg $ flows_arg $ combos_arg
-      $ hierarchy_arg $ tables_arg $ capacity_arg $ telemetry_out_arg
+      $ hierarchy_arg $ tables_arg $ capacity_arg $ evict_policy_arg
+      $ evict_policy_level_arg $ max_idle_arg $ churn_arg $ churn_active_arg
+      $ churn_turnover_arg $ churn_epochs_arg $ telemetry_out_arg
       $ sample_every_arg $ trace_events_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run an end-to-end datapath simulation.") term

@@ -25,4 +25,19 @@ test -s "$TDIR/telemetry.prom" || { echo "missing Prometheus snapshot" >&2; exit
 grep -q '^gigaflow_packets_total 10615$' "$TDIR/telemetry.prom" || {
   echo "Prometheus snapshot missing expected packet count" >&2; exit 1; }
 
+echo "== capacity-stress smoke"
+# Tiny capacities + churn trace + LRU eviction: the run must stay healthy
+# under sustained pressure — non-zero pressure evictions, no NaN anywhere,
+# and telemetry that still validates.
+dune exec --no-build -- gigaflow-sim run -p PSC --flows 2000 --combos 512 --seed 77 \
+  --churn --churn-active 1024 --table-capacity 64 --evict-policy lru \
+  --telemetry-out "$TDIR/churn.jsonl" --sample-every 2000 --trace-events 4 \
+  > "$TDIR/churn.out"
+dune exec --no-build -- gigaflow-sim telemetry-check "$TDIR/churn.jsonl"
+grep -Eq '^gigaflow_hw_pressure_evictions_total [1-9]' "$TDIR/churn.prom" || {
+  echo "capacity stress produced no pressure evictions" >&2; exit 1; }
+if grep -qi 'nan' "$TDIR/churn.out" "$TDIR/churn.prom"; then
+  echo "NaN leaked into capacity-stress output" >&2; exit 1
+fi
+
 echo "check.sh: all gates passed"

@@ -71,7 +71,7 @@ let () =
             let segs = List.length outcome.Gigaflow.segments in
             let fresh, shared =
               match outcome.Gigaflow.install with
-              | Ltm_cache.Installed { fresh; shared } -> (fresh, shared)
+              | Ltm_cache.Installed { fresh; shared; _ } -> (fresh, shared)
               | Ltm_cache.Rejected -> (0, 0)
             in
             Printf.printf

@@ -6,10 +6,20 @@ type t = {
   mutable shared : int;
   mutable rejected : int;
   mutable evictions : int;
+  mutable pressure_evictions : int;
 }
 
 let create () =
-  { lookups = 0; hits = 0; misses = 0; installs = 0; shared = 0; rejected = 0; evictions = 0 }
+  {
+    lookups = 0;
+    hits = 0;
+    misses = 0;
+    installs = 0;
+    shared = 0;
+    rejected = 0;
+    evictions = 0;
+    pressure_evictions = 0;
+  }
 
 let reset t =
   t.lookups <- 0;
@@ -18,7 +28,8 @@ let reset t =
   t.installs <- 0;
   t.shared <- 0;
   t.rejected <- 0;
-  t.evictions <- 0
+  t.evictions <- 0;
+  t.pressure_evictions <- 0
 
 let hit_rate t =
   if t.lookups = 0 then nan else float_of_int t.hits /. float_of_int t.lookups
@@ -29,5 +40,7 @@ let record_lookup t ~hit =
 
 let pp fmt t =
   Format.fprintf fmt
-    "lookups=%d hits=%d misses=%d installs=%d shared=%d rejected=%d evictions=%d"
+    "lookups=%d hits=%d misses=%d installs=%d shared=%d rejected=%d evictions=%d \
+     pressure_evictions=%d"
     t.lookups t.hits t.misses t.installs t.shared t.rejected t.evictions
+    t.pressure_evictions

@@ -10,6 +10,10 @@ type t = {
           (Gigaflow sub-traversal sharing; always 0 for Megaflow) *)
   mutable rejected : int;  (** installations refused for lack of space *)
   mutable evictions : int;  (** idle expiry + revalidation removals *)
+  mutable pressure_evictions : int;
+      (** entries evicted to admit a new install at capacity (replacement
+          policy at work) — counted separately from idle/revalidation
+          [evictions] *)
 }
 
 val create : unit -> t

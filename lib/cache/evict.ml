@@ -1,0 +1,18 @@
+type policy = Reject | Lru | Random | Priority_aware
+
+let all = [ Reject; Lru; Random; Priority_aware ]
+
+let to_string = function
+  | Reject -> "reject"
+  | Lru -> "lru"
+  | Random -> "random"
+  | Priority_aware -> "priority"
+
+let of_string = function
+  | "reject" -> Some Reject
+  | "lru" -> Some Lru
+  | "random" -> Some Random
+  | "priority" | "priority_aware" | "priority-aware" -> Some Priority_aware
+  | _ -> None
+
+let pp fmt p = Format.pp_print_string fmt (to_string p)

@@ -18,6 +18,8 @@ type payload = {
 
 type t = {
   capacity : int;
+  policy : Evict.policy;
+  rng : Gf_util.Rng.t;
   searcher : payload Searcher.t;
   by_fmatch : int Fmatch.Tbl.t; (* match -> classifier key *)
   by_key : (int, Fmatch.t * payload) Hashtbl.t;
@@ -25,10 +27,13 @@ type t = {
   mutable next_key : int;
 }
 
-let create ?(search = `Tss) ~capacity () =
+let create ?(search = `Tss) ?(policy = Evict.Reject) ?(rng_seed = 0x3F1A)
+    ~capacity () =
   assert (capacity > 0);
   {
     capacity;
+    policy;
+    rng = Gf_util.Rng.create rng_seed;
     searcher = Searcher.create search;
     by_fmatch = Fmatch.Tbl.create capacity;
     by_key = Hashtbl.create capacity;
@@ -37,6 +42,7 @@ let create ?(search = `Tss) ~capacity () =
   }
 
 let capacity t = t.capacity
+let policy t = t.policy
 let occupancy t = Hashtbl.length t.by_key
 let stats t = t.stats
 let search_algo t = Searcher.algo t.searcher
@@ -67,15 +73,81 @@ let collapse traversal =
   in
   (fmatch, commit, traversal.Traversal.terminal)
 
+let remove_key_quiet t key =
+  match Hashtbl.find_opt t.by_key key with
+  | None -> ()
+  | Some (fmatch, _) ->
+      Hashtbl.remove t.by_key key;
+      Fmatch.Tbl.remove t.by_fmatch fmatch;
+      ignore (Searcher.remove t.searcher key)
+
+(* Victim selection under capacity pressure.  [Lru] takes the least
+   recently used entry; [Priority_aware] (Megaflow entries all share
+   priority 0) prefers the oldest pipeline version, then LRU; [Random]
+   takes a uniform entry.  Ties break towards the lowest key so a fixed
+   seed replays identically. *)
+let pick_victim t =
+  let better (k, p) (k', p') =
+    match t.policy with
+    | Evict.Lru ->
+        p.last_used < p'.last_used || (p.last_used = p'.last_used && k < k')
+    | Evict.Priority_aware ->
+        p.version < p'.version
+        || (p.version = p'.version
+           && (p.last_used < p'.last_used || (p.last_used = p'.last_used && k < k')))
+    | Evict.Random | Evict.Reject -> k < k' (* unused; see below *)
+  in
+  match t.policy with
+  | Evict.Reject -> None
+  | Evict.Random ->
+      let n = Hashtbl.length t.by_key in
+      if n = 0 then None
+      else begin
+        let target = Gf_util.Rng.int t.rng n in
+        let i = ref 0 and victim = ref None in
+        Hashtbl.iter
+          (fun k _ ->
+            if !i = target then victim := Some k;
+            incr i)
+          t.by_key;
+        !victim
+      end
+  | Evict.Lru | Evict.Priority_aware ->
+      Hashtbl.fold
+        (fun k (_, p) acc ->
+          match acc with
+          | Some best when not (better (k, p) best) -> acc
+          | _ -> Some (k, p))
+        t.by_key None
+      |> Option.map fst
+
 let install t ~now ~version traversal =
   let fmatch, commit, terminal = collapse traversal in
   match Fmatch.Tbl.find_opt t.by_fmatch fmatch with
   | Some key ->
       (match Hashtbl.find_opt t.by_key key with
       | Some (_, payload) -> payload.last_used <- now
-      | None -> ());
+      | None ->
+          (* by_fmatch and by_key index the same entry set; a key present in
+             one but not the other means an eviction path forgot a table. *)
+          assert false);
       `Exists
   | None ->
+      let pressure = ref 0 in
+      while
+        occupancy t >= t.capacity
+        &&
+        match pick_victim t with
+        | Some victim ->
+            remove_key_quiet t victim;
+            t.stats.Cache_stats.pressure_evictions <-
+              t.stats.Cache_stats.pressure_evictions + 1;
+            incr pressure;
+            true
+        | None -> false
+      do
+        ()
+      done;
       if occupancy t >= t.capacity then begin
         t.stats.Cache_stats.rejected <- t.stats.Cache_stats.rejected + 1;
         `Rejected
@@ -90,7 +162,7 @@ let install t ~now ~version traversal =
         Fmatch.Tbl.replace t.by_fmatch fmatch key;
         Hashtbl.replace t.by_key key (fmatch, payload);
         t.stats.Cache_stats.installs <- t.stats.Cache_stats.installs + 1;
-        `Installed
+        `Installed !pressure
       end
 
 let remove_key t key =
@@ -134,3 +206,14 @@ let revalidate t pipeline =
   (List.length victims, !work)
 
 let entries_fmatches t = Fmatch.Tbl.fold (fun f _ acc -> f :: acc) t.by_fmatch []
+
+let check_invariants t =
+  Fmatch.Tbl.length t.by_fmatch = Hashtbl.length t.by_key
+  && Fmatch.Tbl.fold
+       (fun fmatch key ok ->
+         ok
+         &&
+         match Hashtbl.find_opt t.by_key key with
+         | Some (fmatch', _) -> Fmatch.equal fmatch fmatch'
+         | None -> false)
+       t.by_fmatch true

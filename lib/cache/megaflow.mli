@@ -19,23 +19,42 @@ type hit = {
 
 type t
 
-val create : ?search:Gf_classifier.Searcher.algo -> capacity:int -> unit -> t
-(** [search] defaults to [`Tss]. *)
+val create :
+  ?search:Gf_classifier.Searcher.algo ->
+  ?policy:Evict.policy ->
+  ?rng_seed:int ->
+  capacity:int ->
+  unit ->
+  t
+(** [search] defaults to [`Tss]; [policy] to [Reject] (the historical
+    behaviour: a full table refuses installs); [rng_seed] feeds the
+    [Random] policy's victim choice. *)
 
 val capacity : t -> int
+val policy : t -> Evict.policy
 val occupancy : t -> int
 val stats : t -> Cache_stats.t
 val search_algo : t -> Gf_classifier.Searcher.algo
+
+val check_invariants : t -> bool
+(** [true] iff the two indexes ([by_fmatch] : match -> key and
+    [by_key] : key -> match) form a bijection over the same entry set.
+    An entry present in one but not the other would mean an eviction
+    path forgot a table; [install] [assert]s the same property on the
+    [`Exists] fast path. *)
 
 val lookup : t -> now:float -> Gf_flow.Flow.t -> hit option * int
 (** Result and classifier work units. Refreshes last-used on hit. *)
 
 val install : t -> now:float -> version:int -> Gf_pipeline.Traversal.t ->
-  [ `Installed | `Exists | `Rejected ]
-(** Collapse the traversal and insert.  [`Exists] when an identical match is
-    already cached (its last-used time is refreshed); [`Rejected] when the
-    cache is full ([version] is the pipeline version, kept for
-    revalidation bookkeeping). *)
+  [ `Installed of int | `Exists | `Rejected ]
+(** Collapse the traversal and insert.  [`Installed n] reports the number
+    of entries evicted under capacity pressure to make room (always 0
+    under [Reject]); [`Exists] when an identical match is already cached
+    (its last-used time is refreshed); [`Rejected] when the cache is full
+    and the policy refuses to evict ([version] is the pipeline version,
+    kept for revalidation bookkeeping and consulted by the
+    [Priority_aware] victim choice). *)
 
 val expire : t -> now:float -> max_idle:float -> int
 (** Evict entries idle longer than [max_idle]; returns how many. *)

@@ -2,8 +2,8 @@
     hierarchy, capturing temporal locality.
 
     Keyed on the full header vector; one lookup, no wildcards.  Entries
-    expire after [max_idle] of disuse and are evicted LRU when the cache is
-    full. *)
+    expire after [max_idle] of disuse; at capacity the replacement policy
+    decides ([Lru] — the historical behaviour — by default). *)
 
 type hit = {
   terminal : Gf_pipeline.Action.terminal;
@@ -12,17 +12,23 @@ type hit = {
 
 type t
 
-val create : capacity:int -> t
+val create : ?policy:Evict.policy -> ?rng_seed:int -> capacity:int -> unit -> t
+(** [policy] defaults to [Lru] (the EMC has always evicted LRU when full);
+    [rng_seed] feeds the [Random] policy's victim choice. *)
+
 val capacity : t -> int
+val policy : t -> Evict.policy
 val occupancy : t -> int
 val stats : t -> Cache_stats.t
 
 val lookup : t -> now:float -> Gf_flow.Flow.t -> hit option
 (** Refreshes the entry's last-used time on a hit. *)
 
-val install : t -> now:float -> Gf_flow.Flow.t -> hit -> unit
-(** Evicts the least recently used entry if full; replaces an existing entry
-    for the same flow. *)
+val install : t -> now:float -> Gf_flow.Flow.t -> hit -> int
+(** Insert (replacing any existing entry for the same flow).  At capacity
+    the policy picks a victim; returns the number of entries evicted under
+    pressure (0 or 1).  Under [Reject] a full cache refuses the install
+    (counted in [Cache_stats.rejected]) and returns 0. *)
 
 val expire : t -> now:float -> max_idle:float -> int
 (** Remove entries idle longer than [max_idle]; returns how many. *)

@@ -5,6 +5,7 @@ type t = {
   max_idle : float;
   adaptive : bool;
   adaptive_threshold : float;
+  policy : Gf_cache.Evict.policy;
 }
 
 let default =
@@ -15,13 +16,14 @@ let default =
     max_idle = 10.0;
     adaptive = false;
     adaptive_threshold = 0.15;
+    policy = Gf_cache.Evict.Reject;
   }
 
 let v ?(tables = default.tables) ?(table_capacity = default.table_capacity)
     ?(scheme = default.scheme) ?(max_idle = default.max_idle)
     ?(adaptive = default.adaptive) ?(adaptive_threshold = default.adaptive_threshold)
-    () =
-  { tables; table_capacity; scheme; max_idle; adaptive; adaptive_threshold }
+    ?(policy = default.policy) () =
+  { tables; table_capacity; scheme; max_idle; adaptive; adaptive_threshold; policy }
 
 let total_capacity t = t.tables * t.table_capacity
 

@@ -20,10 +20,16 @@ type t = {
   adaptive_threshold : float;
       (** Minimum fraction of probe installations satisfied by sharing for
           sub-traversal caching to stay on (default 0.15). *)
+  policy : Gf_cache.Evict.policy;
+      (** Replacement policy applied per LTM table under capacity pressure.
+          Default [Reject] (the historical behaviour: a full placement plan
+          fails and the traversal is not cached).  Under any evicting policy
+          victims are restricted to tag-chain-safe entries — ones whose
+          removal cannot strand a dependent continuation in a later table. *)
 }
 
 val default : t
-(** 4 x 8192, disjoint partitioning, 10 s max-idle. *)
+(** 4 x 8192, disjoint partitioning, 10 s max-idle, [Reject] replacement. *)
 
 val v :
   ?tables:int ->
@@ -32,6 +38,7 @@ val v :
   ?max_idle:float ->
   ?adaptive:bool ->
   ?adaptive_threshold:float ->
+  ?policy:Gf_cache.Evict.policy ->
   unit ->
   t
 

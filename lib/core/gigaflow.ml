@@ -132,14 +132,14 @@ let install_traversal t ~now ~version traversal =
       p.p_segments := !(p.p_segments) + List.length segments;
       if whole then incr p.p_whole;
       (match install with
-      | Ltm_cache.Installed { fresh; shared } ->
+      | Ltm_cache.Installed { fresh; shared; _ } ->
           p.p_fresh := !(p.p_fresh) + fresh;
           p.p_shared := !(p.p_shared) + shared
       | Ltm_cache.Rejected -> incr p.p_rejected));
   if t.config.Config.adaptive then begin
     a.misses_in_window <- a.misses_in_window + 1;
     (match install with
-    | Ltm_cache.Installed { fresh; shared } when probe ->
+    | Ltm_cache.Installed { fresh; shared; _ } when probe ->
         a.probe_fresh <- a.probe_fresh + fresh;
         a.probe_shared <- a.probe_shared + shared
     | Ltm_cache.Installed _ | Ltm_cache.Rejected -> ());

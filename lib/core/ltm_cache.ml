@@ -1,23 +1,28 @@
 module Action = Gf_pipeline.Action
 module Flow = Gf_flow.Flow
 module Cache_stats = Gf_cache.Cache_stats
+module Evict = Gf_cache.Evict
 
 type hit = { terminal : Action.terminal; out_flow : Flow.t; tables_matched : int }
 
-type install_result = Installed of { fresh : int; shared : int } | Rejected
+type install_result =
+  | Installed of { fresh : int; shared : int; pressure_evicted : int }
+  | Rejected
 
 type t = {
   config : Config.t;
+  rng : Gf_util.Rng.t;
   tables : Ltm_table.t array;
   stats : Cache_stats.t;
 }
 
-let create config =
+let create ?(rng_seed = 0x61F) config =
   (match Config.validate config with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Ltm_cache.create: " ^ msg));
   {
     config;
+    rng = Gf_util.Rng.create rng_seed;
     tables =
       Array.init config.Config.tables (fun _ ->
           Ltm_table.create ~capacity:config.Config.table_capacity);
@@ -39,6 +44,7 @@ let apply_commit commit flow =
 
 let lookup t ~now ~entry_tag flow =
   let k = Array.length t.tables in
+  let matched_entries = ref [] in
   let rec walk i tag flow matched work =
     if i >= k then (None, work)
     else begin
@@ -48,6 +54,7 @@ let lookup t ~now ~entry_tag flow =
       | None -> walk (i + 1) tag flow matched work
       | Some s -> (
           s.Ltm_table.last_used <- now;
+          matched_entries := s :: !matched_entries;
           let rule = s.Ltm_table.rule in
           let flow = apply_commit rule.Ltm_rule.commit flow in
           match rule.Ltm_rule.next with
@@ -57,6 +64,12 @@ let lookup t ~now ~entry_tag flow =
     end
   in
   let result, work = walk 0 entry_tag flow 0 0 in
+  (* Completion recency: only full traversals refresh [last_hit], so a dead
+     chain prefix that every miss still touches goes cold in the eyes of
+     the replacement policies (it keeps its [last_used] touches for idle
+     expiry, preserving legacy expiry behaviour). *)
+  if Option.is_some result then
+    List.iter (fun s -> s.Ltm_table.last_hit <- now) !matched_entries;
   Cache_stats.record_lookup t.stats ~hit:(Option.is_some result);
   (result, work)
 
@@ -64,15 +77,18 @@ let lookup t ~now ~entry_tag flow =
    positions; segment i (0-based, m total) must sit at a position p with
    enough tables after it for the remaining segments (p <= K - (m - i)).
    Reuse of an identical entry is free; otherwise the first non-full
-   feasible table is taken.  All-or-nothing. *)
-let plan t rules =
+   feasible table is taken.  All-or-nothing.  On failure, [`Stuck (lo,
+   hi)] reports the feasible position range of the first unplaceable
+   segment — every table in it is full — so pressure eviction knows
+   where a freed slot would help. *)
+let plan_ex t rules =
   let k = Array.length t.tables in
   let m = List.length rules in
-  if m > k then None
+  if m > k then `Too_long
   else begin
     let placements = ref [] in
     let rec go i min_pos = function
-      | [] -> Some (List.rev !placements)
+      | [] -> `Ok (List.rev !placements)
       | rule :: rest -> (
           let max_pos = k - (m - i) in
           let rec find_reuse p =
@@ -92,7 +108,7 @@ let plan t rules =
             | Some r -> Some r
             | None -> find_free min_pos
           with
-          | None -> None
+          | None -> `Stuck (min_pos, max_pos)
           | Some (p, action) ->
               placements := (p, action) :: !placements;
               go (i + 1) (p + 1) rest)
@@ -100,8 +116,88 @@ let plan t rules =
     go 0 0 rules
   end
 
+(* Tag-chain-safe victims in the full tables of positions [lo..hi].  A
+   victim is safe when removing it cannot strand a dependent
+   continuation: either its chain terminates here ([Done]), or no entry
+   in a later table consumes the tag it produces.  (Evicting a
+   {e successor} is always correctness-safe — the walk dead-ends and the
+   packet falls back to the slowpath — but it would leave the
+   predecessor's continuation unreachable garbage, so we never create
+   that shape.) *)
+let safe_victims t ~lo ~hi =
+  let k = Array.length t.tables in
+  let last_consumer = Hashtbl.create 16 in
+  for p = 0 to k - 1 do
+    Ltm_table.iter t.tables.(p) (fun s ->
+        Hashtbl.replace last_consumer s.Ltm_table.rule.Ltm_rule.tag_in p)
+  done;
+  let safe p (s : Ltm_table.stored) =
+    match s.Ltm_table.rule.Ltm_rule.next with
+    | Ltm_rule.Done _ -> true
+    | Ltm_rule.Next_tag tag -> (
+        match Hashtbl.find_opt last_consumer tag with
+        | None -> true
+        | Some q -> q <= p (* the walk only moves forward; consumers at or
+                              before [p] can never follow this entry *))
+  in
+  let acc = ref [] in
+  for p = lo to hi do
+    if Ltm_table.is_full t.tables.(p) then
+      Ltm_table.iter t.tables.(p) (fun s -> if safe p s then acc := (p, s) :: !acc)
+  done;
+  !acc
+
+let pick_victim t candidates =
+  let policy = t.config.Config.policy in
+  match (policy, candidates) with
+  | Evict.Reject, _ | _, [] -> None
+  | Evict.Random, _ ->
+      let n = List.length candidates in
+      Some (List.nth candidates (Gf_util.Rng.int t.rng n))
+  | (Evict.Lru | Evict.Priority_aware), _ ->
+      let better (p, (s : Ltm_table.stored)) (p', (s' : Ltm_table.stored)) =
+        let lru () =
+          (* Rank by completion recency, not raw touch recency: dead chain
+             prefixes are touched by every miss but never complete, and
+             must look cold here. *)
+          s.Ltm_table.last_hit < s'.Ltm_table.last_hit
+          || (s.Ltm_table.last_hit = s'.Ltm_table.last_hit
+             && (p, s.Ltm_table.key) < (p', s'.Ltm_table.key))
+        in
+        match policy with
+        | Evict.Priority_aware ->
+            (* Priority encodes sub-traversal length: shed the shortest
+               (least coverage) first, then least recently used. *)
+            let pr = s.Ltm_table.rule.Ltm_rule.priority
+            and pr' = s'.Ltm_table.rule.Ltm_rule.priority in
+            pr < pr' || (pr = pr' && lru ())
+        | _ -> lru ()
+      in
+      List.fold_left
+        (fun best c ->
+          match best with Some b when not (better c b) -> best | _ -> Some c)
+        None candidates
+
 let install t ~now rules =
-  match plan t rules with
+  let k = Array.length t.tables in
+  let pressure = ref 0 in
+  let rec attempt budget =
+    match plan_ex t rules with
+    | `Ok placements -> Some placements
+    | `Too_long -> None
+    | `Stuck (lo, hi) -> (
+        if budget = 0 then None
+        else
+          match pick_victim t (safe_victims t ~lo ~hi) with
+          | Some (p, s) ->
+              Ltm_table.remove t.tables.(p) s;
+              t.stats.Cache_stats.pressure_evictions <-
+                t.stats.Cache_stats.pressure_evictions + 1;
+              incr pressure;
+              attempt (budget - 1)
+          | None -> None)
+  in
+  match attempt (2 * k) with
   | None ->
       t.stats.Cache_stats.rejected <- t.stats.Cache_stats.rejected + 1;
       Rejected
@@ -113,6 +209,7 @@ let install t ~now rules =
           | `Reuse stored ->
               stored.Ltm_table.shares <- stored.Ltm_table.shares + 1;
               stored.Ltm_table.last_used <- now;
+              stored.Ltm_table.last_hit <- now;
               incr shared
           | `Fresh rule ->
               ignore (Ltm_table.insert t.tables.(p) ~now rule);
@@ -120,7 +217,7 @@ let install t ~now rules =
         placements;
       t.stats.Cache_stats.installs <- t.stats.Cache_stats.installs + !fresh;
       t.stats.Cache_stats.shared <- t.stats.Cache_stats.shared + !shared;
-      Installed { fresh = !fresh; shared = !shared }
+      Installed { fresh = !fresh; shared = !shared; pressure_evicted = !pressure }
 
 let expire t ~now ~max_idle =
   let total = ref 0 in
@@ -207,6 +304,26 @@ let mean_sharing t =
 
 let iter_rules t f =
   Array.iteri (fun i table -> Ltm_table.iter table (fun stored -> f ~table:i stored)) t.tables
+
+(* One forward pass suffices: tags only flow to strictly later tables, and
+   a tag once produced (or an entry tag) stays available for every later
+   table because non-matching tables pass the packet through unchanged. *)
+let stranded t ~entry_tags =
+  let k = Array.length t.tables in
+  let available = Hashtbl.create 16 in
+  List.iter (fun tag -> Hashtbl.replace available tag ()) entry_tags;
+  let count = ref 0 in
+  for p = 0 to k - 1 do
+    let produced = ref [] in
+    Ltm_table.iter t.tables.(p) (fun s ->
+        if Hashtbl.mem available s.Ltm_table.rule.Ltm_rule.tag_in then (
+          match s.Ltm_table.rule.Ltm_rule.next with
+          | Ltm_rule.Done _ -> ()
+          | Ltm_rule.Next_tag tag -> produced := tag :: !produced)
+        else incr count);
+    List.iter (fun tag -> Hashtbl.replace available tag ()) !produced
+  done;
+  !count
 
 let clear t =
   Array.iteri

@@ -16,14 +16,19 @@ type hit = {
 }
 
 type install_result =
-  | Installed of { fresh : int; shared : int }
+  | Installed of { fresh : int; shared : int; pressure_evicted : int }
       (** [fresh] new entries written; [shared] segments satisfied by
-          existing identical entries. *)
+          existing identical entries; [pressure_evicted] entries removed
+          under capacity pressure to make the placement feasible (always 0
+          under the [Reject] policy). *)
   | Rejected  (** No feasible placement (tables full). *)
 
 type t
 
-val create : Config.t -> t
+val create : ?rng_seed:int -> Config.t -> t
+(** [create config] builds an empty cache; [rng_seed] feeds the [Random]
+    replacement policy's victim choice. *)
+
 val config : t -> Config.t
 val stats : t -> Gf_cache.Cache_stats.t
 
@@ -44,8 +49,23 @@ val install : t -> now:float -> Ltm_rule.t list -> install_result
 (** Install the rules of one partitioned traversal, in segment order.  Each
     segment reuses an identical existing entry when one exists in a
     feasible table (sharing), otherwise takes a slot in the first feasible
-    non-full table.  All-or-nothing: on infeasibility, nothing is
-    installed. *)
+    non-full table.  All-or-nothing on the rules themselves: on
+    infeasibility, no segment is installed.
+
+    When the plan is infeasible and [Config.policy] is an evicting policy,
+    entries are evicted (bounded, one per replanning round) from the full
+    tables blocking the first unplaceable segment until the plan succeeds
+    or no tag-chain-safe victim remains.  Victims are restricted to safe
+    entries — ones whose removal cannot strand a dependent continuation
+    in a later table (their chain terminates, or nothing downstream
+    consumes the tag they produce). *)
+
+val stranded : t -> entry_tags:int list -> int
+(** Number of entries unreachable by any walk starting from one of
+    [entry_tags] — stranded continuations whose predecessor chain is
+    gone.  The safe-victim rule keeps this at 0 (checked by tests);
+    idle expiry can transiently strand entries, exactly as in the
+    pre-policy behaviour. *)
 
 val expire : t -> now:float -> max_idle:float -> int
 (** Evict entries idle longer than [max_idle]; returns how many.  This is

@@ -5,6 +5,12 @@ type stored = {
   rule : Ltm_rule.t;
   key : int;
   mutable last_used : float;
+  mutable last_hit : float;
+      (* last time a walk *completed* through this entry (or an install
+         reused it) — unlike [last_used], partial walks that dead-end and
+         fall to the slowpath do not refresh it, so replacement policies
+         see dead chain prefixes as cold even though every miss still
+         touches them. *)
   mutable shares : int;
 }
 
@@ -44,7 +50,7 @@ let insert t ~now rule =
   if is_full t then invalid_arg "Ltm_table.insert: table full";
   let key = t.next_key in
   t.next_key <- key + 1;
-  let stored = { rule; key; last_used = now; shares = 1 } in
+  let stored = { rule; key; last_used = now; last_hit = now; shares = 1 } in
   let classifier =
     match Hashtbl.find_opt t.by_tag rule.Ltm_rule.tag_in with
     | Some c -> c

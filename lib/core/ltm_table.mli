@@ -10,6 +10,13 @@ type stored = {
   rule : Ltm_rule.t;
   key : int;  (** Unique within the table. *)
   mutable last_used : float;
+  mutable last_hit : float;
+      (** Last time a walk {e completed} through this entry or an install
+          reused it.  Partial walks that dead-end do not refresh it, so
+          replacement policies can tell dead chain prefixes (touched by
+          every miss) from entries still carrying full traversals.
+          [last_used] keeps the touch-on-match semantics and drives idle
+          expiry. *)
   mutable shares : int;
       (** How many distinct installations resolved to this entry (1 at
           creation; +1 per deduplicated reuse) — the sharing statistic of

@@ -1,5 +1,6 @@
 module Microflow = Gf_cache.Microflow
 module Megaflow = Gf_cache.Megaflow
+module Evict = Gf_cache.Evict
 module Gigaflow = Gf_core.Gigaflow
 module Ltm_cache = Gf_core.Ltm_cache
 module Latency = Gf_nic.Latency
@@ -29,12 +30,20 @@ type install_report = {
   fresh : int;
   shared : int;
   rejected : int;
+  pressure_evicted : int;
   partition_work : int;
   rulegen_work : int;
 }
 
 let no_install =
-  { fresh = 0; shared = 0; rejected = 0; partition_work = 0; rulegen_work = 0 }
+  {
+    fresh = 0;
+    shared = 0;
+    rejected = 0;
+    pressure_evicted = 0;
+    partition_work = 0;
+    rulegen_work = 0;
+  }
 
 type view =
   | Microflow_view of Microflow.t
@@ -49,7 +58,7 @@ module type LEVEL = sig
   val install_from_traversal :
     now:float -> version:int -> Gf_pipeline.Traversal.t -> install_report
 
-  val promote : now:float -> Gf_flow.Flow.t -> hit -> unit
+  val promote : now:float -> Gf_flow.Flow.t -> hit -> int
   val expire : now:float -> int
   val revalidate : Gf_pipeline.Pipeline.t -> int * int
   val occupancy : unit -> int
@@ -145,11 +154,11 @@ let of_megaflow ?name ~tier ~max_idle mf : t =
 
     let install_from_traversal ~now ~version traversal =
       match Megaflow.install mf ~now ~version traversal with
-      | `Installed -> { no_install with fresh = 1 }
+      | `Installed pressure_evicted -> { no_install with fresh = 1; pressure_evicted }
       | `Exists -> no_install
       | `Rejected -> { no_install with rejected = 1 }
 
-    let promote ~now:_ _ _ = ()
+    let promote ~now:_ _ _ = 0
     let expire ~now = Megaflow.expire mf ~now ~max_idle
     let revalidate pipeline = Megaflow.revalidate mf pipeline
     let occupancy () = Megaflow.occupancy mf
@@ -181,20 +190,22 @@ let of_gigaflow ?(name = "gf") ~pipeline gf : t =
 
     let install_from_traversal ~now ~version traversal =
       let o = Gigaflow.install_traversal gf ~now ~version traversal in
-      let fresh, shared, rejected =
+      let fresh, shared, rejected, pressure_evicted =
         match o.Gigaflow.install with
-        | Ltm_cache.Installed { fresh; shared } -> (fresh, shared, 0)
-        | Ltm_cache.Rejected -> (0, 0, 1)
+        | Ltm_cache.Installed { fresh; shared; pressure_evicted } ->
+            (fresh, shared, 0, pressure_evicted)
+        | Ltm_cache.Rejected -> (0, 0, 1, 0)
       in
       {
         fresh;
         shared;
         rejected;
+        pressure_evicted;
         partition_work = o.Gigaflow.partition_work;
         rulegen_work = o.Gigaflow.rulegen_work;
       }
 
-    let promote ~now:_ _ _ = ()
+    let promote ~now:_ _ _ = 0
     let expire ~now = Gigaflow.expire gf ~now
     let revalidate pipeline = Gigaflow.revalidate gf pipeline
     let occupancy () = Ltm_cache.occupancy (Gigaflow.cache gf)
@@ -205,14 +216,33 @@ let of_gigaflow ?(name = "gf") ~pipeline gf : t =
 (* ------------------------------- specs ------------------------------- *)
 
 type spec =
-  | Emc of { capacity : int; max_idle : float option }
-  | Nic_megaflow of { capacity : int; max_idle : float option }
+  | Emc of { capacity : int; max_idle : float option; evict : Evict.policy option }
+  | Nic_megaflow of {
+      capacity : int;
+      max_idle : float option;
+      evict : Evict.policy option;
+    }
   | Sw_megaflow of {
       search : Gf_classifier.Searcher.algo;
       capacity : int;
       max_idle : float option;
+      evict : Evict.policy option;
     }
   | Gf_ltm of { gf : Gf_core.Config.t; max_idle : float option }
+
+(* [Gf_ltm] carries its policy inside the Gigaflow config. *)
+let spec_with_evict spec policy =
+  match spec with
+  | Emc e -> Emc { e with evict = Some policy }
+  | Nic_megaflow e -> Nic_megaflow { e with evict = Some policy }
+  | Sw_megaflow e -> Sw_megaflow { e with evict = Some policy }
+  | Gf_ltm e -> Gf_ltm { e with gf = { e.gf with Gf_core.Config.policy } }
+
+let spec_evict = function
+  | Emc { evict; _ } -> Option.value evict ~default:Evict.Lru
+  | Nic_megaflow { evict; _ } | Sw_megaflow { evict; _ } ->
+      Option.value evict ~default:Evict.Reject
+  | Gf_ltm { gf; _ } -> gf.Gf_core.Config.policy
 
 let spec_name = function
   | Emc _ -> "emc"
@@ -232,19 +262,21 @@ let spec_capacity = function
 
 let build ?name ~default_max_idle ~pipeline spec =
   match spec with
-  | Emc { capacity; max_idle } ->
+  | Emc { capacity; max_idle; _ } ->
       let max_idle = Option.value max_idle ~default:default_max_idle in
-      of_microflow ?name ~max_idle (Microflow.create ~capacity)
-  | Nic_megaflow { capacity; max_idle } ->
+      of_microflow ?name ~max_idle
+        (Microflow.create ~policy:(spec_evict spec) ~capacity ())
+  | Nic_megaflow { capacity; max_idle; _ } ->
       let max_idle = Option.value max_idle ~default:default_max_idle in
-      of_megaflow ?name ~tier:Hardware ~max_idle (Megaflow.create ~capacity ())
-  | Sw_megaflow { search; capacity; max_idle } ->
+      of_megaflow ?name ~tier:Hardware ~max_idle
+        (Megaflow.create ~policy:(spec_evict spec) ~capacity ())
+  | Sw_megaflow { search; capacity; max_idle; _ } ->
       (* The software wildcard cache outlives the NIC levels: entries are
          cheap (host DRAM) and re-seeding the NIC from it avoids slowpath
          re-execution, so the default idle budget is 4x the hierarchy's. *)
       let max_idle = Option.value max_idle ~default:(4.0 *. default_max_idle) in
       of_megaflow ?name ~tier:Software ~max_idle
-        (Megaflow.create ~search ~capacity ())
+        (Megaflow.create ~search ~policy:(spec_evict spec) ~capacity ())
   | Gf_ltm { gf; max_idle } ->
       let max_idle = Option.value max_idle ~default:default_max_idle in
       of_gigaflow ?name ~pipeline

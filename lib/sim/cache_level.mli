@@ -51,6 +51,9 @@ type install_report = {
   fresh : int;  (** New entries written. *)
   shared : int;  (** Segments satisfied by existing identical entries. *)
   rejected : int;  (** Installations refused (level full / infeasible). *)
+  pressure_evicted : int;
+      (** Entries evicted under capacity pressure to admit this install
+          (0 unless the level runs an evicting replacement policy). *)
   partition_work : int;  (** Partitioner DP operations spent installing. *)
   rulegen_work : int;  (** Rules generated. *)
 }
@@ -76,9 +79,10 @@ module type LEVEL = sig
     now:float -> version:int -> Gf_pipeline.Traversal.t -> install_report
   (** Offer a slowpath traversal per the level's {!install_policy}. *)
 
-  val promote : now:float -> Gf_flow.Flow.t -> hit -> unit
+  val promote : now:float -> Gf_flow.Flow.t -> hit -> int
   (** Learn from a hit at a deeper level ([Promote_on_hit] levels only;
-      a no-op elsewhere). *)
+      a no-op returning 0 elsewhere).  Returns the number of entries
+      evicted under capacity pressure to admit the promoted entry. *)
 
   val expire : now:float -> int
   (** Evict entries idle longer than the descriptor's [max_idle]. *)
@@ -106,7 +110,7 @@ val lookup : t -> now:float -> Gf_flow.Flow.t -> hit option * int
 val install_from_traversal :
   t -> now:float -> version:int -> Gf_pipeline.Traversal.t -> install_report
 
-val promote : t -> now:float -> Gf_flow.Flow.t -> hit -> unit
+val promote : t -> now:float -> Gf_flow.Flow.t -> hit -> int
 val expire : t -> now:float -> int
 val revalidate : t -> Gf_pipeline.Pipeline.t -> int * int
 val occupancy : t -> int
@@ -135,16 +139,35 @@ val of_gigaflow :
 (** A buildable description of one level.  [max_idle = None] takes the
     hierarchy default ({!Datapath.config.max_idle}; the software wildcard
     cache defaults to 4x it, preserving OVS's longer-lived software
-    entries). *)
+    entries).  [evict = None] takes the level's historical default
+    replacement policy: [Lru] for the EMC, [Reject] for the Megaflows.
+    The Gigaflow LTM carries its policy inside its config. *)
 type spec =
-  | Emc of { capacity : int; max_idle : float option }
-  | Nic_megaflow of { capacity : int; max_idle : float option }
+  | Emc of {
+      capacity : int;
+      max_idle : float option;
+      evict : Gf_cache.Evict.policy option;
+    }
+  | Nic_megaflow of {
+      capacity : int;
+      max_idle : float option;
+      evict : Gf_cache.Evict.policy option;
+    }
   | Sw_megaflow of {
       search : Gf_classifier.Searcher.algo;
       capacity : int;
       max_idle : float option;
+      evict : Gf_cache.Evict.policy option;
     }
   | Gf_ltm of { gf : Gf_core.Config.t; max_idle : float option }
+
+val spec_with_evict : spec -> Gf_cache.Evict.policy -> spec
+(** The spec with its replacement policy overridden (for [Gf_ltm] the
+    policy is written into the embedded Gigaflow config). *)
+
+val spec_evict : spec -> Gf_cache.Evict.policy
+(** The policy [build] will use: the explicit override if set, else the
+    level's historical default. *)
 
 val spec_name : spec -> string
 (** Default metrics key: "emc", "nic-mf", "sw-mf", "gf". *)

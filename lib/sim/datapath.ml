@@ -23,11 +23,13 @@ let default_sw_capacity = 1_000_000
 let default_max_idle = 10.0
 let default_expire_every = 1.0
 
-let emc_spec capacity = Cache_level.Emc { capacity; max_idle = None }
-let nic_mf_spec capacity = Cache_level.Nic_megaflow { capacity; max_idle = None }
+let emc_spec capacity = Cache_level.Emc { capacity; max_idle = None; evict = None }
+
+let nic_mf_spec capacity =
+  Cache_level.Nic_megaflow { capacity; max_idle = None; evict = None }
 
 let sw_mf_spec search capacity =
-  Cache_level.Sw_megaflow { search; capacity; max_idle = None }
+  Cache_level.Sw_megaflow { search; capacity; max_idle = None; evict = None }
 
 let gf_spec gf = Cache_level.Gf_ltm { gf; max_idle = None }
 
@@ -92,7 +94,18 @@ let preset_names =
   [ "emc_gf_sw"; "emc_mf_sw"; "gf_sw"; "mf_sw"; "gf_only"; "mf_only" ]
 
 let preset ?gf ?mf_capacity ?emc_capacity ?sw_search ?sw_capacity ?max_idle
-    ?expire_every name =
+    ?expire_every ?policy name =
+  let apply cfg =
+    match policy with
+    | None -> cfg
+    | Some p ->
+        {
+          cfg with
+          levels = List.map (fun s -> Cache_level.spec_with_evict s p) cfg.levels;
+        }
+  in
+  Option.map apply
+  @@
   match name with
   | "emc_gf_sw" ->
       Some (emc_gf_sw ?gf ?emc_capacity ?sw_search ?sw_capacity ?max_idle ?expire_every ())
@@ -129,6 +142,29 @@ let with_sw_search algo cfg =
   }
 
 let with_max_idle max_idle cfg = { cfg with max_idle }
+
+let with_policy policy cfg =
+  {
+    cfg with
+    levels = List.map (fun s -> Cache_level.spec_with_evict s policy) cfg.levels;
+  }
+
+(* Level naming here must mirror [create]'s deduplication ("sw-mf",
+   "sw-mf#2", ...) so callers can target levels by the names metrics
+   report. *)
+let with_level_policy ~level policy cfg =
+  let seen = Hashtbl.create 8 in
+  let levels =
+    List.map
+      (fun s ->
+        let base = Cache_level.spec_name s in
+        let n = 1 + Option.value ~default:0 (Hashtbl.find_opt seen base) in
+        Hashtbl.replace seen base n;
+        let name = if n = 1 then base else Printf.sprintf "%s#%d" base n in
+        if String.equal name level then Cache_level.spec_with_evict s policy else s)
+      cfg.levels
+  in
+  { cfg with levels }
 
 let hw_capacity cfg =
   List.fold_left
@@ -278,6 +314,8 @@ let slowpath t ~now flow =
           lm.Metrics.installs <- lm.Metrics.installs + r.Cache_level.fresh;
           lm.Metrics.shared <- lm.Metrics.shared + r.Cache_level.shared;
           lm.Metrics.rejected <- lm.Metrics.rejected + r.Cache_level.rejected;
+          lm.Metrics.pressure_evictions <-
+            lm.Metrics.pressure_evictions + r.Cache_level.pressure_evicted;
           partition_work := !partition_work + r.Cache_level.partition_work;
           rulegen_work := !rulegen_work + r.Cache_level.rulegen_work;
           (match t.telemetry with
@@ -289,12 +327,17 @@ let slowpath t ~now flow =
                   ~count:r.Cache_level.fresh Recorder.Install;
               if r.Cache_level.rejected > 0 then
                 Telemetry.event tel ~packet ~time:now ~level:name ~latency_us:0.0
-                  ~count:r.Cache_level.rejected Recorder.Reject
+                  ~count:r.Cache_level.rejected Recorder.Reject;
+              if r.Cache_level.pressure_evicted > 0 then
+                Telemetry.event tel ~packet ~time:now ~level:name ~latency_us:0.0
+                  ~count:r.Cache_level.pressure_evicted Recorder.Pressure_evict
           | None -> ());
           if Cache_level.tier level = Cache_level.Hardware then begin
             m.Metrics.hw_installs <- m.Metrics.hw_installs + r.Cache_level.fresh;
             m.Metrics.hw_shared <- m.Metrics.hw_shared + r.Cache_level.shared;
             m.Metrics.hw_rejected <- m.Metrics.hw_rejected + r.Cache_level.rejected;
+            m.Metrics.hw_pressure_evictions <-
+              m.Metrics.hw_pressure_evictions + r.Cache_level.pressure_evicted;
             (* PCIe table writes: only NIC-resident levels pay per-install
                latency. *)
             installs := !installs + r.Cache_level.fresh
@@ -358,12 +401,24 @@ let process t ~now flow =
               (Cache_level.descriptor lj).Cache_level.policy
               = Cache_level.Promote_on_hit
             then begin
-              Cache_level.promote lj ~now flow h;
+              let pe = Cache_level.promote lj ~now flow h in
+              if pe > 0 then begin
+                let lmj = t.level_metrics.(j) in
+                lmj.Metrics.pressure_evictions <-
+                  lmj.Metrics.pressure_evictions + pe;
+                if Cache_level.tier lj = Cache_level.Hardware then
+                  m.Metrics.hw_pressure_evictions <-
+                    m.Metrics.hw_pressure_evictions + pe
+              end;
               match t.telemetry with
               | Some tel ->
                   Telemetry.event tel ~packet:(m.Metrics.packets - 1) ~time:now
                     ~level:(Cache_level.name lj) ~latency_us:0.0 ~count:1
-                    Recorder.Promote
+                    Recorder.Promote;
+                  if pe > 0 then
+                    Telemetry.event tel ~packet:(m.Metrics.packets - 1) ~time:now
+                      ~level:(Cache_level.name lj) ~latency_us:0.0 ~count:pe
+                      Recorder.Pressure_evict
               | None -> ()
             end
           done;

@@ -93,10 +93,12 @@ val preset :
   ?sw_capacity:int ->
   ?max_idle:float ->
   ?expire_every:float ->
+  ?policy:Gf_cache.Evict.policy ->
   string ->
   config option
 (** Look a preset up by name (see {!preset_names}); optional arguments
-    override the preset's defaults where they apply. *)
+    override the preset's defaults where they apply.  [policy] applies
+    the replacement policy to {e every} level (see {!with_policy}). *)
 
 (** {1 Config combinators} *)
 
@@ -107,6 +109,16 @@ val with_sw_search : Gf_classifier.Searcher.algo -> config -> config
 (** Swap the software wildcard cache's search algorithm (Fig. 17 axis). *)
 
 val with_max_idle : float -> config -> config
+
+val with_policy : Gf_cache.Evict.policy -> config -> config
+(** Apply one replacement policy to every level (the Gigaflow LTM's
+    embedded config included). *)
+
+val with_level_policy : level:string -> Gf_cache.Evict.policy -> config -> config
+(** Apply a replacement policy to the level whose metrics name is
+    [level] ("emc", "nic-mf", "sw-mf", "gf", with "#2" suffixes for
+    duplicated kinds — the same names {!Metrics.levels} reports).
+    Unknown names leave the config unchanged. *)
 
 val hw_capacity : config -> int
 (** Total SmartNIC-resident entry capacity of the hierarchy. *)

@@ -15,6 +15,7 @@ type level = {
   mutable shared : int;
   mutable rejected : int;
   mutable evictions : int;
+  mutable pressure_evictions : int;
   mutable work : int;
   mutable latency_us : float;
   mutable occupancy_peak : int;
@@ -31,6 +32,7 @@ let level_create name =
     shared = 0;
     rejected = 0;
     evictions = 0;
+    pressure_evictions = 0;
     work = 0;
     latency_us = 0.0;
     occupancy_peak = 0;
@@ -48,6 +50,7 @@ type t = {
   mutable hw_shared : int;
   mutable hw_rejected : int;
   mutable hw_evictions : int;
+  mutable hw_pressure_evictions : int;
   latency : Gf_util.Stats.Acc.t;
   mutable cycles_userspace : int;
   mutable cycles_partition : int;
@@ -70,6 +73,7 @@ let create () =
     hw_shared = 0;
     hw_rejected = 0;
     hw_evictions = 0;
+    hw_pressure_evictions = 0;
     latency = Gf_util.Stats.Acc.create ();
     cycles_userspace = 0;
     cycles_partition = 0;
@@ -106,6 +110,7 @@ let merge_level ~into:(into : level) (src : level) =
   into.shared <- into.shared + src.shared;
   into.rejected <- into.rejected + src.rejected;
   into.evictions <- into.evictions + src.evictions;
+  into.pressure_evictions <- into.pressure_evictions + src.pressure_evictions;
   into.work <- into.work + src.work;
   into.latency_us <- into.latency_us +. src.latency_us;
   into.occupancy_peak <- into.occupancy_peak + src.occupancy_peak;
@@ -126,6 +131,7 @@ let merge ~into src =
   into.hw_shared <- into.hw_shared + src.hw_shared;
   into.hw_rejected <- into.hw_rejected + src.hw_rejected;
   into.hw_evictions <- into.hw_evictions + src.hw_evictions;
+  into.hw_pressure_evictions <- into.hw_pressure_evictions + src.hw_pressure_evictions;
   Gf_util.Stats.Acc.merge ~into:into.latency src.latency;
   Histogram.merge ~into:into.latency_hist src.latency_hist;
   into.cycles_userspace <- into.cycles_userspace + src.cycles_userspace;
@@ -167,10 +173,10 @@ let overhead_ratio t =
 let pp fmt t =
   Format.fprintf fmt
     "packets=%d hw_hits=%d (%.2f%%) sw_hits=%d slowpaths=%d entries=%d (peak %d) \
-     installs=%d shared=%d rejected=%d evictions=%d avg_lat=%.2fus"
+     installs=%d shared=%d rejected=%d evictions=%d pressure=%d avg_lat=%.2fus"
     t.packets t.hw_hits (100.0 *. hw_hit_rate t) t.sw_hits t.slowpaths
     t.hw_entries_final t.hw_entries_peak t.hw_installs t.hw_shared t.hw_rejected
-    t.hw_evictions (mean_latency_us t)
+    t.hw_evictions t.hw_pressure_evictions (mean_latency_us t)
 
 (* One row per level, columns aligned across rows so multi-level output
    reads as a table.  p50/p99 come from the always-on per-level latency
@@ -184,12 +190,12 @@ let pp_levels fmt t =
       let q p = if Histogram.count l.latency_hist = 0 then 0.0 else p l.latency_hist in
       Format.fprintf fmt
         "level %-*s hits=%9d misses=%9d hit=%6.2f%% installs=%8d shared=%7d \
-         rejected=%6d evictions=%7d work=%10d occ=%7d peak=%7d p50=%8.2fus \
-         p99=%8.2fus@."
+         rejected=%6d evictions=%7d pressure=%6d work=%10d occ=%7d peak=%7d \
+         p50=%8.2fus p99=%8.2fus@."
         name_w l.level_name l.hits l.misses
         (100.0 *. level_hit_rate l)
-        l.installs l.shared l.rejected l.evictions l.work l.occupancy_final
-        l.occupancy_peak (q Histogram.p50) (q Histogram.p99))
+        l.installs l.shared l.rejected l.evictions l.pressure_evictions l.work
+        l.occupancy_final l.occupancy_peak (q Histogram.p50) (q Histogram.p99))
     t.levels
 
 (* Export every counter into [registry] under stable Prometheus-style
@@ -217,6 +223,8 @@ let to_registry t registry =
   set "gigaflow_hw_rejected_total" "Hardware installs rejected (tables full)"
     t.hw_rejected;
   set "gigaflow_hw_evictions_total" "Hardware entries evicted" t.hw_evictions;
+  set "gigaflow_hw_pressure_evictions_total"
+    "Hardware entries evicted under capacity pressure" t.hw_pressure_evictions;
   set "gigaflow_cycles_total" "Slowpath CPU cycles by component"
     ~labels:[ ("component", "userspace") ]
     t.cycles_userspace;
@@ -242,6 +250,8 @@ let to_registry t registry =
       set "gigaflow_level_rejected_total" "Rejected installs by level" ~labels
         l.rejected;
       set "gigaflow_level_evictions_total" "Evictions by level" ~labels l.evictions;
+      set "gigaflow_level_pressure_evictions_total"
+        "Capacity-pressure evictions by level" ~labels l.pressure_evictions;
       set "gigaflow_level_work_total" "Classifier work units by level" ~labels l.work;
       setg "gigaflow_level_occupancy" "Level occupancy (end of run)" ~labels
         (float_of_int l.occupancy_final);

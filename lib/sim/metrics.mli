@@ -11,6 +11,9 @@ type level = {
   mutable shared : int;  (** installs satisfied by existing entries *)
   mutable rejected : int;  (** installs refused (full / infeasible) *)
   mutable evictions : int;  (** idle-expiry + revalidation evictions *)
+  mutable pressure_evictions : int;
+      (** entries evicted to admit an install at capacity (replacement
+          policy), counted separately from [evictions] *)
   mutable work : int;  (** lookup work units spent at this level *)
   mutable latency_us : float;  (** total latency attributed to hits here *)
   mutable occupancy_peak : int;
@@ -31,6 +34,9 @@ type t = {
   mutable hw_shared : int;  (** Gigaflow: segments reusing an existing entry *)
   mutable hw_rejected : int;
   mutable hw_evictions : int;
+  mutable hw_pressure_evictions : int;
+      (** hardware-tier capacity-pressure evictions (see level
+          [pressure_evictions]) *)
   latency : Gf_util.Stats.Acc.t;  (** per-packet end-to-end latency, us *)
   mutable cycles_userspace : int;
   mutable cycles_partition : int;

@@ -12,6 +12,7 @@ type kind =
   | Promote
   | Revalidate
   | Reject
+  | Pressure_evict
 
 let kind_name = function
   | Hit -> "hit"
@@ -21,6 +22,7 @@ let kind_name = function
   | Promote -> "promote"
   | Revalidate -> "revalidate"
   | Reject -> "reject"
+  | Pressure_evict -> "pressure_evict"
 
 type event = {
   seq : int;  (* candidate index within this recorder, 0-based *)

@@ -14,6 +14,7 @@ type kind =
   | Promote
   | Revalidate
   | Reject
+  | Pressure_evict
 
 val kind_name : kind -> string
 (** Lower-case wire name ("hit", "miss", ...). *)

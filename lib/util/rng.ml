@@ -20,12 +20,30 @@ let split t =
   let seed = bits64 t in
   { state = seed }
 
+(* Smallest all-ones mask covering [v] (v > 0). *)
+let mask_above v =
+  let m = v lor (v lsr 1) in
+  let m = m lor (m lsr 2) in
+  let m = m lor (m lsr 4) in
+  let m = m lor (m lsr 8) in
+  let m = m lor (m lsr 16) in
+  m lor (m lsr 32)
+
 let int t bound =
   assert (bound > 0);
-  (* Keep 62 bits so the value always fits OCaml's 63-bit int as
-     non-negative. *)
-  let x = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
-  x mod bound
+  (* Bitmask-and-reject sampling: draw 62 bits (always a non-negative OCaml
+     int), mask down to the smallest power-of-two window covering [bound],
+     and redraw on overshoot.  Unlike [x mod bound] this is exactly uniform
+     for every bound, not just powers of two; each draw accepts with
+     probability > 1/2, so the expected number of redraws is < 1.  For
+     power-of-two bounds the mask equals [bound - 1] and nothing is ever
+     rejected, so those streams are identical to the modulo era. *)
+  let mask = mask_above (bound - 1) in
+  let rec draw () =
+    let x = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) land mask in
+    if x < bound then x else draw ()
+  in
+  draw ()
 
 let int_in t lo hi =
   assert (hi >= lo);
@@ -75,8 +93,15 @@ let geometric t p =
   if p >= 1.0 then 0
   else
     let u = float t 1.0 in
-    (* Inverse CDF; u = 0 maps to 0 failures. *)
-    int_of_float (Float.floor (log1p (-.u) /. log1p (-.p)))
+    (* Inverse CDF; u = 0 maps to 0 failures.  For tiny [p] the ratio can
+       exceed [max_int] (and [int_of_float] on such floats is unspecified),
+       so clamp before truncating; NaN cannot arise (u < 1, 0 < p < 1) but
+       is mapped to 0 defensively all the same. *)
+    let x = Float.floor (log1p (-.u) /. log1p (-.p)) in
+    if Float.is_nan x then 0
+    else if x >= float_of_int max_int then max_int
+    else if x <= 0.0 then 0
+    else int_of_float x
 
 let pareto t ~alpha ~xmin =
   assert (alpha > 0.0 && xmin > 0.0);

@@ -23,7 +23,9 @@ val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 
 val int : t -> int -> int
-(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0].
+    Exactly uniform for every bound (bitmask-and-reject sampling, not the
+    modulo-biased [bits mod bound]). *)
 
 val int_in : t -> int -> int -> int
 (** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
@@ -51,7 +53,9 @@ val pick_weighted : t -> ('a * float) array -> 'a
 
 val geometric : t -> float -> int
 (** [geometric t p] counts Bernoulli(p) failures before the first success
-    (support {0, 1, ...}). Requires [0 < p <= 1]. *)
+    (support {0, 1, ...}). Requires [0 < p <= 1].  The result is clamped to
+    [\[0, max_int\]] — tiny [p] would otherwise overflow the int range, where
+    [int_of_float] is unspecified. *)
 
 val pareto : t -> alpha:float -> xmin:float -> float
 (** Pareto(alpha, xmin) sample; heavy-tailed, used for flow sizes. *)

@@ -12,4 +12,16 @@ let make ?profile ?combos ?(unique_flows = 100_000) ?duration ?mean_flow_size ~i
   let trace = Trace.generate ?duration ?mean_flow_size ~seed:(seed lxor 0x7ACE) ~flows () in
   { ruleset; flows; trace; locality }
 
+let make_churn ?profile ?combos ?(unique_flows = 100_000) ?duration ?epochs ?active
+    ?turnover ?packets_per_epoch ~info ~locality ~seed () =
+  let ruleset = Ruleset.build ?profile ?combos ~info ~seed () in
+  let flows =
+    Ruleset.sample_flows ruleset ~seed:(seed lxor 0xF10) ~locality ~n:unique_flows
+  in
+  let trace =
+    Trace.churn ?duration ?epochs ?active ?turnover ?packets_per_epoch
+      ~seed:(seed lxor 0x7ACE) ~flows ()
+  in
+  { ruleset; flows; trace; locality }
+
 let pipeline w = Ruleset.pipeline w.ruleset

@@ -23,4 +23,23 @@ val make :
 (** Defaults: 4096 combos, 100_000 unique flows, 60 s trace, mean flow size
     8 packets.  Fully deterministic in [seed]. *)
 
+val make_churn :
+  ?profile:Classbench.profile ->
+  ?combos:int ->
+  ?unique_flows:int ->
+  ?duration:float ->
+  ?epochs:int ->
+  ?active:int ->
+  ?turnover:float ->
+  ?packets_per_epoch:int ->
+  info:Gf_pipelines.Catalog.info ->
+  locality:Ruleset.locality ->
+  seed:int ->
+  unit ->
+  workload
+(** Like {!make} but the trace comes from {!Trace.churn}: a rotating
+    active-flow window (size [active], [turnover] fraction replaced each of
+    [epochs] epochs) that keeps every fixed-capacity cache under install
+    pressure.  Same ruleset/flow determinism as {!make}. *)
+
 val pipeline : workload -> Gf_pipeline.Pipeline.t

@@ -36,6 +36,36 @@ let generate ?(duration = 60.0) ?(mean_flow_size = 8.0) ?(max_flow_size = 2048)
   Array.sort (fun a b -> compare a.time b.time) arr;
   { packets = arr; unique_flows = n; duration }
 
+(* Churn: a rotating active window over the flow array.  Each epoch draws
+   its packets uniformly from the [active]-wide window, then the window
+   slides by [turnover * active] flows — old flows go cold, fresh flows
+   appear, and any fixed-capacity cache sees sustained install pressure
+   instead of a converging working set. *)
+let churn ?(duration = 60.0) ?(epochs = 30) ?(active = 512) ?(turnover = 0.25)
+    ?(packets_per_epoch = 2048) ~seed ~flows () =
+  let rng = Rng.create seed in
+  let n = Array.length flows in
+  assert (n > 0 && epochs > 0 && packets_per_epoch >= 0);
+  let active = max 1 (min active n) in
+  let shift =
+    int_of_float (Float.round (Float.max 0.0 turnover *. float_of_int active))
+  in
+  let epoch_len = duration /. float_of_int epochs in
+  let packets = ref [] in
+  let start = ref 0 in
+  for e = 0 to epochs - 1 do
+    let t0 = float_of_int e *. epoch_len in
+    for _ = 1 to packets_per_epoch do
+      let flow_id = (!start + Rng.int rng active) mod n in
+      let time = t0 +. Rng.float rng epoch_len in
+      packets := { time; flow_id; flow = flows.(flow_id) } :: !packets
+    done;
+    start := (!start + shift) mod n
+  done;
+  let arr = Array.of_list !packets in
+  Array.sort (fun a b -> compare a.time b.time) arr;
+  { packets = arr; unique_flows = n; duration }
+
 let packet_count t = Array.length t.packets
 
 let concat a b ~offset =

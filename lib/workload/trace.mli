@@ -34,6 +34,26 @@ val generate :
     and live for roughly [lifetime_frac] of it (default 0.3).
     Deterministic in [seed]. *)
 
+val churn :
+  ?duration:float ->
+  ?epochs:int ->
+  ?active:int ->
+  ?turnover:float ->
+  ?packets_per_epoch:int ->
+  seed:int ->
+  flows:Gf_flow.Flow.t array ->
+  unit ->
+  t
+(** A capacity-pressure trace: the trace is cut into [epochs] equal slices
+    (default 30 over a 60 s [duration]); each slice draws
+    [packets_per_epoch] packets (default 2048) uniformly from an
+    [active]-wide window (default 512) into [flows], and between slices
+    the window slides by [turnover * active] flows (default 0.25),
+    wrapping around the array.  The rotating population keeps installing
+    fresh entries while recently-cold ones still occupy space — the
+    regime where replacement policy choice matters.  Deterministic in
+    [seed]. *)
+
 val packet_count : t -> int
 
 val concat : t -> t -> offset:float -> t

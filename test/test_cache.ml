@@ -14,38 +14,68 @@ let a_hit = { Microflow.terminal = Action.Output 1; out_flow = Flow.zero }
 let hit _cache = a_hit
 
 let test_microflow_basic () =
-  let c = Microflow.create ~capacity:4 in
+  let c = Microflow.create ~capacity:4 () in
   let f = Flow.make [ (Field.Vlan, 1) ] in
   Alcotest.(check bool) "miss first" true (Microflow.lookup c ~now:0.0 f = None);
-  Microflow.install c ~now:0.0 f (hit c);
+  ignore @@ Microflow.install c ~now:0.0 f (hit c);
   Alcotest.(check bool) "hit after install" true (Microflow.lookup c ~now:1.0 f <> None);
   Alcotest.(check int) "occupancy" 1 (Microflow.occupancy c)
 
 let test_microflow_lru_eviction () =
-  let c = Microflow.create ~capacity:2 in
+  let c = Microflow.create ~capacity:2 () in
   let f i = Flow.make [ (Field.Vlan, i) ] in
-  Microflow.install c ~now:0.0 (f 1) (hit c);
-  Microflow.install c ~now:1.0 (f 2) (hit c);
+  ignore @@ Microflow.install c ~now:0.0 (f 1) (hit c);
+  ignore @@ Microflow.install c ~now:1.0 (f 2) (hit c);
   ignore (Microflow.lookup c ~now:2.0 (f 1));
   (* refresh f1 *)
-  Microflow.install c ~now:3.0 (f 3) (hit c);
+  ignore @@ Microflow.install c ~now:3.0 (f 3) (hit c);
   Alcotest.(check bool) "f2 evicted (LRU)" true (Microflow.lookup c ~now:4.0 (f 2) = None);
   Alcotest.(check bool) "f1 kept" true (Microflow.lookup c ~now:4.0 (f 1) <> None)
 
 let test_microflow_expire () =
-  let c = Microflow.create ~capacity:8 in
+  let c = Microflow.create ~capacity:8 () in
   let f i = Flow.make [ (Field.Vlan, i) ] in
-  Microflow.install c ~now:0.0 (f 1) (hit c);
-  Microflow.install c ~now:5.0 (f 2) (hit c);
+  ignore @@ Microflow.install c ~now:0.0 (f 1) (hit c);
+  ignore @@ Microflow.install c ~now:5.0 (f 2) (hit c);
   Alcotest.(check int) "one expired" 1 (Microflow.expire c ~now:11.0 ~max_idle:10.0);
   Alcotest.(check int) "occupancy" 1 (Microflow.occupancy c)
 
 let test_microflow_invalidate_all () =
-  let c = Microflow.create ~capacity:8 in
-  Microflow.install c ~now:0.0 (Flow.make [ (Field.Vlan, 1) ]) (hit c);
-  Microflow.install c ~now:0.0 (Flow.make [ (Field.Vlan, 2) ]) (hit c);
+  let c = Microflow.create ~capacity:8 () in
+  ignore @@ Microflow.install c ~now:0.0 (Flow.make [ (Field.Vlan, 1) ]) (hit c);
+  ignore @@ Microflow.install c ~now:0.0 (Flow.make [ (Field.Vlan, 2) ]) (hit c);
   Alcotest.(check int) "flushed" 2 (Microflow.invalidate_all c);
   Alcotest.(check int) "empty" 0 (Microflow.occupancy c)
+
+let test_microflow_policy_pressure () =
+  let f i = Flow.make [ (Field.Vlan, i) ] in
+  (* Reject: a full cache refuses installs and counts them, today's
+     megaflow-style behaviour. *)
+  let c = Microflow.create ~policy:Gf_cache.Evict.Reject ~capacity:2 () in
+  Alcotest.(check int) "no eviction" 0 (Microflow.install c ~now:0.0 (f 1) (hit c));
+  ignore @@ Microflow.install c ~now:1.0 (f 2) (hit c);
+  Alcotest.(check int) "rejected returns 0" 0
+    (Microflow.install c ~now:2.0 (f 3) (hit c));
+  Alcotest.(check int) "occupancy capped" 2 (Microflow.occupancy c);
+  Alcotest.(check int) "rejection counted" 1 (Microflow.stats c).Cache_stats.rejected;
+  Alcotest.(check int) "no pressure evictions" 0
+    (Microflow.stats c).Cache_stats.pressure_evictions;
+  Alcotest.(check bool) "new flow absent" true (Microflow.lookup c ~now:3.0 (f 3) = None);
+  (* Every evicting policy keeps occupancy at capacity and counts each
+     eviction exactly once. *)
+  List.iter
+    (fun policy ->
+      let c = Microflow.create ~policy ~capacity:4 () in
+      let pressure = ref 0 in
+      for i = 1 to 50 do
+        pressure := !pressure + Microflow.install c ~now:(float_of_int i) (f i) (hit c)
+      done;
+      Alcotest.(check int) "occupancy = capacity" 4 (Microflow.occupancy c);
+      Alcotest.(check int) "46 pressure evictions" 46 !pressure;
+      Alcotest.(check int) "stats agree" 46
+        (Microflow.stats c).Cache_stats.pressure_evictions;
+      Alcotest.(check int) "nothing rejected" 0 (Microflow.stats c).Cache_stats.rejected)
+    [ Gf_cache.Evict.Lru; Gf_cache.Evict.Random; Gf_cache.Evict.Priority_aware ]
 
 let test_cache_stats () =
   let s = Cache_stats.create () in
@@ -110,7 +140,7 @@ let test_megaflow_capacity_reject () =
     match Executor.execute p flow with
     | Ok tr -> (
         match Megaflow.install cache ~now:0.0 ~version:0 tr with
-        | `Installed -> incr installed
+        | `Installed _ -> incr installed
         | `Rejected -> incr rejected
         | `Exists -> ())
     | Error _ -> ()
@@ -118,6 +148,65 @@ let test_megaflow_capacity_reject () =
   Alcotest.(check int) "filled to capacity" 2 !installed;
   Alcotest.(check bool) "rejections counted" true (!rejected > 0);
   Alcotest.(check int) "stats agree" !rejected (Megaflow.stats cache).Cache_stats.rejected
+
+let test_megaflow_pressure_eviction () =
+  let rng = Gf_util.Rng.create 26 in
+  let p = random_pipeline rng ~tables:3 ~rules_per_table:12 in
+  List.iter
+    (fun policy ->
+      let cache = Megaflow.create ~policy ~capacity:2 () in
+      let pressure = ref 0 and installed = ref 0 in
+      for i = 1 to 200 do
+        let flow = pool_flow rng in
+        match Executor.execute p flow with
+        | Ok tr -> (
+            match Megaflow.install cache ~now:(float_of_int i) ~version:0 tr with
+            | `Installed n ->
+                incr installed;
+                pressure := !pressure + n
+            | `Rejected -> Alcotest.fail "evicting policy rejected an install"
+            | `Exists -> ())
+        | Error _ -> ()
+      done;
+      Alcotest.(check bool) "occupancy capped" true (Megaflow.occupancy cache <= 2);
+      Alcotest.(check bool) "installs kept landing" true (!installed > 2);
+      Alcotest.(check int) "per-install counts sum to stats" !pressure
+        (Megaflow.stats cache).Cache_stats.pressure_evictions;
+      Alcotest.(check int) "pressure = installs - capacity" (!installed - 2) !pressure;
+      Alcotest.(check int) "idle evictions untouched" 0
+        (Megaflow.stats cache).Cache_stats.evictions;
+      Alcotest.(check bool) "indexes stay a bijection" true
+        (Megaflow.check_invariants cache))
+    [ Gf_cache.Evict.Lru; Gf_cache.Evict.Random; Gf_cache.Evict.Priority_aware ]
+
+let test_megaflow_lru_keeps_hot_entry () =
+  let rng = Gf_util.Rng.create 27 in
+  let p = random_pipeline rng ~tables:3 ~rules_per_table:12 in
+  let cache = Megaflow.create ~policy:Gf_cache.Evict.Lru ~capacity:2 () in
+  (* Install until two distinct entries are cached, remembering a flow that
+     hits the first one. *)
+  let hot = ref None in
+  let tries = ref 0 in
+  while Megaflow.occupancy cache < 2 && !tries < 500 do
+    incr tries;
+    let flow = pool_flow rng in
+    match Executor.execute p flow with
+    | Ok tr ->
+        if Megaflow.install cache ~now:0.0 ~version:0 tr = `Installed 0 && !hot = None
+        then hot := Some flow
+    | Error _ -> ()
+  done;
+  let hot = Option.get !hot in
+  (* Keep the hot entry fresh while churning new installs through: it must
+     survive every pressure eviction. *)
+  for i = 1 to 100 do
+    let now = float_of_int i in
+    Alcotest.(check bool) "hot entry survives" true
+      (fst (Megaflow.lookup cache ~now hot) <> None);
+    match Executor.execute p (pool_flow rng) with
+    | Ok tr -> ignore (Megaflow.install cache ~now ~version:0 tr)
+    | Error _ -> ()
+  done
 
 let test_megaflow_expire () =
   let rng = Gf_util.Rng.create 23 in
@@ -200,6 +289,33 @@ let prop_megaflow_revalidate_sound =
       done;
       !ok)
 
+(* Under random install/lookup/expire churn with an evicting policy, the
+   megaflow's two indexes must remain a bijection and occupancy must never
+   exceed capacity. *)
+let prop_megaflow_invariants_under_churn =
+  QCheck2.Test.make ~name:"megaflow invariants under eviction churn" ~count:25
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Gf_util.Rng.create seed in
+      let p = random_pipeline rng ~tables:3 ~rules_per_table:10 in
+      let policy =
+        Gf_util.Rng.pick rng
+          [| Gf_cache.Evict.Lru; Gf_cache.Evict.Random; Gf_cache.Evict.Priority_aware |]
+      in
+      let cache = Megaflow.create ~policy ~capacity:4 () in
+      let ok = ref true in
+      for i = 1 to 150 do
+        let now = float_of_int i in
+        (match Executor.execute p (pool_flow rng) with
+        | Ok tr -> ignore (Megaflow.install cache ~now ~version:i tr)
+        | Error _ -> ());
+        ignore (Megaflow.lookup cache ~now (pool_flow rng));
+        if i mod 40 = 0 then ignore (Megaflow.expire cache ~now ~max_idle:20.0);
+        if Megaflow.occupancy cache > 4 || not (Megaflow.check_invariants cache) then
+          ok := false
+      done;
+      !ok)
+
 (* The invariant that licenses the ranked first-match TSS walk
    (Tss.lookup_first): wherever Megaflow entries overlap, they agree — every
    matching entry reproduces the slowpath decision, so whichever entry a
@@ -269,13 +385,21 @@ let suite =
     ("microflow lru", `Quick, test_microflow_lru_eviction);
     ("microflow expire", `Quick, test_microflow_expire);
     ("microflow invalidate", `Quick, test_microflow_invalidate_all);
+    ("microflow eviction policies", `Quick, test_microflow_policy_pressure);
     ("cache stats", `Quick, test_cache_stats);
     ("megaflow dedup", `Quick, test_megaflow_collapses_flows);
     ("megaflow capacity", `Quick, test_megaflow_capacity_reject);
+    ("megaflow pressure eviction", `Quick, test_megaflow_pressure_eviction);
+    ("megaflow lru keeps hot entry", `Quick, test_megaflow_lru_keeps_hot_entry);
     ("megaflow expire", `Quick, test_megaflow_expire);
     ("megaflow revalidation", `Quick, test_megaflow_revalidation_detects_change);
     ("megaflow tss/nm agree", `Quick, test_megaflow_search_algos_agree);
   ]
 
 let props =
-  [ prop_megaflow_consistent; prop_megaflow_revalidate_sound; prop_megaflow_any_match_correct ]
+  [
+    prop_megaflow_consistent;
+    prop_megaflow_revalidate_sound;
+    prop_megaflow_invariants_under_churn;
+    prop_megaflow_any_match_correct;
+  ]

@@ -240,7 +240,7 @@ let test_ltm_cache_fig5c_walk () =
       (Fmatch.of_fields [ (Field.Tp_src, 80) ])
   in
   (match Ltm_cache.install cache ~now:0.0 [ seg1; seg2 ] with
-  | Ltm_cache.Installed { fresh = 2; shared = 0 } -> ()
+  | Ltm_cache.Installed { fresh = 2; shared = 0; _ } -> ()
   | _ -> Alcotest.fail "install failed");
   let flow = Flow.make [ (Field.Eth_dst, 0xAA); (Field.Tp_src, 80) ] in
   match fst (Ltm_cache.lookup cache ~now:1.0 ~entry_tag:1 flow) with
@@ -281,7 +281,7 @@ let test_ltm_cache_sharing () =
   | Ltm_cache.Installed { fresh = 2; _ } -> ()
   | _ -> Alcotest.fail "first install");
   (match Ltm_cache.install cache ~now:1.0 [ seg_shared; seg_b ] with
-  | Ltm_cache.Installed { fresh = 1; shared = 1 } -> ()
+  | Ltm_cache.Installed { fresh = 1; shared = 1; _ } -> ()
   | _ -> Alcotest.fail "expected sharing");
   Alcotest.(check int) "3 entries for 4 segments" 3 (Ltm_cache.occupancy cache);
   let hist = Ltm_cache.sharing_histogram cache in
@@ -325,6 +325,170 @@ let test_ltm_cache_expire () =
        [ mk_rule ~tag_in:0 ~next:(Ltm_rule.Done Action.Drop) (Fmatch.of_fields [ (Field.Vlan, 2) ]) ]);
   Alcotest.(check int) "one stale" 1 (Ltm_cache.expire cache ~now:11.0 ~max_idle:10.0);
   Alcotest.(check int) "one left" 1 (Ltm_cache.occupancy cache)
+
+(* ------------------- Ltm_cache pressure eviction ------------------- *)
+
+let test_ltm_cache_pressure_eviction () =
+  (* Single-segment entries, 2 tables x capacity 1, LRU: once full, every
+     install evicts exactly one stale entry and occupancy stays pinned. *)
+  let cache =
+    Ltm_cache.create
+      (Config.v ~tables:2 ~table_capacity:1 ~policy:Gf_cache.Evict.Lru ())
+  in
+  let fm i = Fmatch.of_fields [ (Field.Vlan, i) ] in
+  let pressure = ref 0 in
+  for i = 1 to 20 do
+    match
+      Ltm_cache.install cache ~now:(float_of_int i)
+        [ mk_rule ~tag_in:0 ~next:(Ltm_rule.Done Action.Drop) (fm i) ]
+    with
+    | Ltm_cache.Installed { pressure_evicted; _ } -> pressure := !pressure + pressure_evicted
+    | Ltm_cache.Rejected -> Alcotest.fail "LRU policy rejected an install"
+  done;
+  Alcotest.(check int) "occupancy pinned at capacity" 2 (Ltm_cache.occupancy cache);
+  Alcotest.(check int) "one eviction per over-capacity install" 18 !pressure;
+  Alcotest.(check int) "stats agree" 18
+    (Ltm_cache.stats cache).Gf_cache.Cache_stats.pressure_evictions;
+  Alcotest.(check int) "nothing rejected" 0
+    (Ltm_cache.stats cache).Gf_cache.Cache_stats.rejected;
+  Alcotest.(check int) "idle-eviction counter untouched" 0
+    (Ltm_cache.stats cache).Gf_cache.Cache_stats.evictions;
+  Alcotest.(check int) "no stranded entries" 0
+    (Ltm_cache.stranded cache ~entry_tags:[ 0 ])
+
+let test_ltm_cache_eviction_respects_tag_chains () =
+  (* A referenced chain prefix must never be evicted: with table 0 holding
+     only the prefix of a live chain, a 2-segment install cannot free a
+     slot there and is rejected rather than stranding the continuation. *)
+  let cache =
+    Ltm_cache.create
+      (Config.v ~tables:2 ~table_capacity:1 ~policy:Gf_cache.Evict.Lru ())
+  in
+  let fm i = Fmatch.of_fields [ (Field.Vlan, i) ] in
+  (match
+     Ltm_cache.install cache ~now:0.0
+       [
+         mk_rule ~tag_in:0 ~next:(Ltm_rule.Next_tag 7) (fm 1);
+         mk_rule ~tag_in:7 ~next:(Ltm_rule.Done Action.Drop) (fm 2);
+       ]
+   with
+  | Ltm_cache.Installed _ -> ()
+  | Ltm_cache.Rejected -> Alcotest.fail "fill failed");
+  (match
+     Ltm_cache.install cache ~now:1.0
+       [
+         mk_rule ~tag_in:0 ~next:(Ltm_rule.Next_tag 8) (fm 3);
+         mk_rule ~tag_in:8 ~next:(Ltm_rule.Done Action.Drop) (fm 4);
+       ]
+   with
+  | Ltm_cache.Rejected -> ()
+  | Ltm_cache.Installed _ -> Alcotest.fail "evicting the prefix strands the chain");
+  Alcotest.(check int) "chain intact" 0 (Ltm_cache.stranded cache ~entry_tags:[ 0 ]);
+  (* A single-segment install can take the leaf's slot (the leaf is safe:
+     nothing depends on it), after which the walk still never strands —
+     the old prefix simply dead-ends into the slowpath. *)
+  (match
+     Ltm_cache.install cache ~now:2.0
+       [ mk_rule ~tag_in:0 ~next:(Ltm_rule.Done Action.Drop) (fm 5) ]
+   with
+  | Ltm_cache.Installed { pressure_evicted; _ } ->
+      Alcotest.(check int) "evicted the leaf only" 1 pressure_evicted
+  | Ltm_cache.Rejected -> Alcotest.fail "leaf slot should be reclaimable");
+  Alcotest.(check int) "occupancy still capped" 2 (Ltm_cache.occupancy cache);
+  Alcotest.(check int) "reachability preserved" 0
+    (Ltm_cache.stranded cache ~entry_tags:[ 0 ])
+
+let test_ltm_cache_priority_aware_evicts_short () =
+  (* Priority encodes sub-traversal length: the short (least coverage)
+     entry goes first even when it is the more recently completed one. *)
+  let cache =
+    Ltm_cache.create
+      (Config.v ~tables:2 ~table_capacity:1 ~policy:Gf_cache.Evict.Priority_aware ())
+  in
+  let fm i = Fmatch.of_fields [ (Field.Vlan, i) ] in
+  ignore
+    (Ltm_cache.install cache ~now:0.0
+       [ mk_rule ~tag_in:0 ~priority:5 ~next:(Ltm_rule.Done (Action.Output 1)) (fm 1) ]);
+  ignore
+    (Ltm_cache.install cache ~now:1.0
+       [ mk_rule ~tag_in:0 ~priority:1 ~next:(Ltm_rule.Done (Action.Output 2)) (fm 2) ]);
+  (match
+     Ltm_cache.install cache ~now:2.0
+       [ mk_rule ~tag_in:0 ~priority:3 ~next:(Ltm_rule.Done (Action.Output 3)) (fm 3) ]
+   with
+  | Ltm_cache.Installed { pressure_evicted = 1; _ } -> ()
+  | _ -> Alcotest.fail "expected one pressure eviction");
+  match
+    fst
+      (Ltm_cache.lookup cache ~now:3.0 ~entry_tag:0 (Flow.make [ (Field.Vlan, 1) ]))
+  with
+  | Some hit ->
+      Alcotest.check terminal_testable "long traversal survived" (Action.Output 1)
+        hit.Ltm_cache.terminal
+  | None -> Alcotest.fail "high-priority entry was evicted"
+
+let test_ltm_cache_reject_counters_unchanged () =
+  (* The default policy must reproduce the historical counters exactly:
+     rejects counted, no pressure evictions, occupancy frozen. *)
+  let cache = Ltm_cache.create (Config.v ~tables:2 ~table_capacity:1 ()) in
+  let fm i = Fmatch.of_fields [ (Field.Vlan, i) ] in
+  for i = 1 to 10 do
+    ignore
+      (Ltm_cache.install cache ~now:(float_of_int i)
+         [ mk_rule ~tag_in:0 ~next:(Ltm_rule.Done Action.Drop) (fm i) ])
+  done;
+  let stats = Ltm_cache.stats cache in
+  Alcotest.(check int) "two landed" 2 (Ltm_cache.occupancy cache);
+  Alcotest.(check int) "eight rejected" 8 stats.Gf_cache.Cache_stats.rejected;
+  Alcotest.(check int) "zero pressure evictions" 0
+    stats.Gf_cache.Cache_stats.pressure_evictions
+
+(* Under random single/multi-segment install churn with an evicting policy,
+   occupancy never exceeds capacity and no entry is ever stranded. *)
+let prop_ltm_no_stranding_under_churn =
+  QCheck2.Test.make ~name:"ltm eviction never strands entries" ~count:40
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Gf_util.Rng.create seed in
+      let policy =
+        Gf_util.Rng.pick rng
+          [| Gf_cache.Evict.Lru; Gf_cache.Evict.Random; Gf_cache.Evict.Priority_aware |]
+      in
+      let cache =
+        Ltm_cache.create (Config.v ~tables:3 ~table_capacity:4 ~policy ())
+      in
+      let total = 3 * 4 in
+      let ok = ref true in
+      for i = 1 to 200 do
+        let now = float_of_int i in
+        let vlan () = Gf_util.Rng.int rng 64 in
+        let segs =
+          if Gf_util.Rng.bool rng then
+            [
+              mk_rule ~tag_in:0 ~priority:2
+                ~next:(Ltm_rule.Next_tag 7)
+                (Fmatch.of_fields [ (Field.Vlan, vlan ()) ]);
+              mk_rule ~tag_in:7 ~priority:1
+                ~next:(Ltm_rule.Done Action.Drop)
+                (Fmatch.of_fields [ (Field.Vlan, vlan ()) ]);
+            ]
+          else
+            [
+              mk_rule ~tag_in:0 ~priority:1
+                ~next:(Ltm_rule.Done Action.Drop)
+                (Fmatch.of_fields [ (Field.Vlan, vlan ()) ]);
+            ]
+        in
+        ignore (Ltm_cache.install cache ~now segs);
+        ignore
+          (Ltm_cache.lookup cache ~now ~entry_tag:0
+             (Flow.make [ (Field.Vlan, vlan ()) ]));
+        if
+          Ltm_cache.occupancy cache > total
+          || Ltm_cache.stranded cache ~entry_tags:[ 0 ] > 0
+        then ok := false
+      done;
+      !ok)
 
 (* --------------- End-to-end consistency (the big one) --------------- *)
 
@@ -520,7 +684,7 @@ let test_ltm_placement_ordering () =
   in
   (* First install: single segment lands in table 0. *)
   (match Ltm_cache.install cache ~now:0.0 [ seg_x ] with
-  | Ltm_cache.Installed { fresh = 1; shared = 0 } -> ()
+  | Ltm_cache.Installed { fresh = 1; shared = 0; _ } -> ()
   | _ -> Alcotest.fail "first install");
   Alcotest.(check (array int)) "lands in table 0" [| 1; 0; 0 |]
     (Ltm_cache.table_occupancies cache);
@@ -532,7 +696,7 @@ let test_ltm_placement_ordering () =
       (Fmatch.of_fields [ (Field.Eth_src, 0x7) ])
   in
   (match Ltm_cache.install cache ~now:1.0 [ seg_a; seg_x ] with
-  | Ltm_cache.Installed { fresh; shared } ->
+  | Ltm_cache.Installed { fresh; shared; _ } ->
       Alcotest.(check int) "two fresh entries" 2 fresh;
       Alcotest.(check int) "no (illegal) reuse" 0 shared
   | Ltm_cache.Rejected -> Alcotest.fail "install rejected");
@@ -542,7 +706,7 @@ let test_ltm_placement_ordering () =
     (Ltm_cache.table_occupancies cache);
   (* A third chain identical to the second now shares both entries. *)
   match Ltm_cache.install cache ~now:2.0 [ seg_a; seg_x ] with
-  | Ltm_cache.Installed { fresh = 0; shared = 2 } -> ()
+  | Ltm_cache.Installed { fresh = 0; shared = 2; _ } -> ()
   | _ -> Alcotest.fail "expected full sharing"
 
 (* ----------------------- Eviction mid-chain ------------------------- *)
@@ -727,6 +891,10 @@ let suite =
     ("ltm sub-traversal sharing", `Quick, test_ltm_cache_sharing);
     ("ltm all-or-nothing install", `Quick, test_ltm_cache_all_or_nothing);
     ("ltm expire", `Quick, test_ltm_cache_expire);
+    ("ltm pressure eviction", `Quick, test_ltm_cache_pressure_eviction);
+    ("ltm eviction respects tag chains", `Quick, test_ltm_cache_eviction_respects_tag_chains);
+    ("ltm priority-aware victim choice", `Quick, test_ltm_cache_priority_aware_evicts_short);
+    ("ltm reject counters unchanged", `Quick, test_ltm_cache_reject_counters_unchanged);
     ("coverage cross product", `Quick, test_coverage_cross_product);
     ("gigaflow revalidation", `Quick, test_gigaflow_revalidation);
     ("revalidation cheaper than megaflow", `Quick, test_revalidation_cheaper_than_megaflow);
@@ -750,4 +918,5 @@ let props =
     prop_gigaflow_consistent_1to1;
     prop_gigaflow_consistent_perturbed;
     prop_coverage_matches_brute_force;
+    prop_ltm_no_stranding_under_churn;
   ]

@@ -202,7 +202,7 @@ let test_serial_rejects_garbage () =
 (* EMC level: repeated exact packets after a HW-miss should be absorbed by
    the exact-match cache instead of the wildcard search. *)
 let test_emc_absorbs_repeats () =
-  let rng = Gf_util.Rng.create 71 in
+  let rng = Gf_util.Rng.create 72 in
   let p = Helpers.random_pipeline rng ~tables:3 ~rules_per_table:6 in
   let cfg =
     Gf_sim.Datapath.emc_mf_sw

@@ -25,6 +25,14 @@ let small_workload ?(locality = Ruleset.High) ?(seed = 77) () =
     ~info:(Option.get (Catalog.find "PSC"))
     ~locality ~seed ()
 
+let churn_workload ?(locality = Ruleset.Low) ?(seed = 77) () =
+  (* A rotating active-flow window over a rule space far larger than the
+     caches: the regime where the replacement policy decides the hit rate. *)
+  Pipebench.make_churn ~profile:small_profile ~combos:2048 ~unique_flows:8000
+    ~active:1024 ~turnover:0.25 ~epochs:20 ~packets_per_epoch:1024
+    ~info:(Option.get (Catalog.find "PSC"))
+    ~locality ~seed ()
+
 let run cfg w =
   let dp = Datapath.create cfg (Pipebench.pipeline w) in
   let m = Datapath.run dp w.Pipebench.trace in
@@ -99,6 +107,58 @@ let test_gigaflow_beats_megaflow_under_pressure () =
        (Metrics.hw_hit_rate mf))
     true
     (Metrics.hw_hit_rate gf > Metrics.hw_hit_rate mf)
+
+(* Tentpole acceptance: on a churn trace, LRU eviction must beat the
+   historical full-table-rejects behaviour for both the Megaflow and the
+   Gigaflow preset.  Idle expiry is effectively disabled so the comparison
+   isolates the replacement policy. *)
+let test_lru_beats_reject_on_churn () =
+  let w = churn_workload () in
+  let compare_policies name base =
+    let _, mr = run (Datapath.with_policy Gf_cache.Evict.Reject base) w in
+    let _, ml = run (Datapath.with_policy Gf_cache.Evict.Lru base) w in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: lru %.3f > reject %.3f" name (Metrics.hw_hit_rate ml)
+         (Metrics.hw_hit_rate mr))
+      true
+      (Metrics.hw_hit_rate ml > Metrics.hw_hit_rate mr)
+  in
+  compare_policies "megaflow" (Datapath.mf_sw ~mf_capacity:256 ~max_idle:1e6 ());
+  compare_policies "gigaflow"
+    (Datapath.gf_sw
+       ~gf:(Gf_core.Config.v ~tables:4 ~table_capacity:64 ())
+       ~max_idle:1e6 ())
+
+let test_pressure_eviction_accounting () =
+  let w = churn_workload () in
+  let base =
+    Datapath.gf_sw
+      ~gf:(Gf_core.Config.v ~tables:4 ~table_capacity:64 ())
+      ~max_idle:1e6 ()
+  in
+  let lvl m name =
+    match Metrics.find_level m name with
+    | Some l -> l
+    | None -> Alcotest.failf "missing level %s" name
+  in
+  (* Default (Reject): installs bounce off the full LTM, nothing is evicted
+     under pressure — today's counters exactly. *)
+  let _, mr = run base w in
+  let gf_r = lvl mr "gf" in
+  Alcotest.(check int) "reject: no pressure evictions" 0
+    mr.Metrics.hw_pressure_evictions;
+  Alcotest.(check bool) "reject: rejections counted" true (gf_r.Metrics.rejected > 0);
+  (* Per-level override by metrics name: only the LTM switches to LRU. *)
+  let _, ml = run (Datapath.with_level_policy ~level:"gf" Gf_cache.Evict.Lru base) w in
+  let gf_l = lvl ml "gf" in
+  Alcotest.(check bool) "lru: pressure evictions happen" true
+    (gf_l.Metrics.pressure_evictions > 0);
+  Alcotest.(check int) "hw aggregate = ltm level" ml.Metrics.hw_pressure_evictions
+    gf_l.Metrics.pressure_evictions;
+  Alcotest.(check int) "sw level untouched" 0
+    (lvl ml "sw-mf").Metrics.pressure_evictions;
+  Alcotest.(check bool) "occupancy never exceeds capacity" true
+    (gf_l.Metrics.occupancy_peak <= 4 * 64)
 
 let test_sw_cache_absorbs_misses () =
   let w = small_workload () in
@@ -346,11 +406,13 @@ let prop_parallel_domains_equal_sequential =
 
 module Cache_level = Gf_sim.Cache_level
 
-(* The generic walker must reproduce the pre-refactor hard-coded datapath
-   EXACTLY.  These fingerprints were captured on the fixed-seed small
-   workload before Datapath was rewritten over Cache_level; any drift in
-   hit/miss/install/eviction counts, cycle accounting or total latency is a
-   behaviour change, not a refactor. *)
+(* The generic walker must reproduce the hard-coded datapath EXACTLY.
+   These fingerprints are captured on the fixed-seed small workload; any
+   drift in hit/miss/install/eviction counts, cycle accounting or total
+   latency is a behaviour change, not a refactor.  (Recaptured once when
+   [Rng.int] switched from modulo to exactly-uniform rejection sampling —
+   a sanctioned stream change.  The default [Reject]/[Lru] replacement
+   policies reproduce these numbers bit-identically.) *)
 let test_hierarchy_regression () =
   let check_cfg name cfg expected expected_lat =
     let w = small_workload () in
@@ -369,21 +431,21 @@ let test_hierarchy_regression () =
       (Gf_util.Stats.Acc.total m.Metrics.latency)
   in
   check_cfg "emc_mf_sw" (Datapath.emc_mf_sw ())
-    [ 10615; 9716; 63; 836; 0; 836; 0; 0; 836; 9459300; 0; 0; 39640050; 836; 0 ]
-    102646.392307692;
+    [ 10615; 9721; 61; 833; 0; 833; 0; 0; 832; 9458400; 0; 0; 37880550; 832; 1 ]
+    102657.646153846;
   check_cfg "emc_gf_sw" (Datapath.emc_gf_sw ())
     [
-      10615; 10118; 28; 469; 0; 675; 969; 0; 671; 5113050; 3387420; 1315200;
-      17420850; 660; 4;
+      10615; 10173; 20; 422; 0; 623; 841; 0; 621; 4564500; 3025260; 1171200;
+      13348350; 614; 2;
     ]
-    101434.057692308;
+    100876.3;
   check_cfg "emc_mf_sw short idle"
     (Datapath.emc_mf_sw ~max_idle:0.5 ~expire_every:0.25 ())
     [
-      10615; 4157; 4725; 1733; 0; 1733; 0; 0; 1732; 19480200; 0; 0; 84257100;
-      155; 1;
+      10615; 3786; 5151; 1678; 0; 1678; 0; 0; 1677; 18871350; 0; 0; 75888000;
+      144; 1;
     ]
-    126714.034615376
+    125297.161538453
 
 (* Satellite: per-level eviction accounting.  The seed dropped EMC and
    software-cache eviction counts on the floor ([ignore]d); now every
@@ -491,7 +553,7 @@ let test_parallel_custom_hierarchy () =
               max_idle = None;
             };
           Cache_level.Sw_megaflow
-            { search = `Tss; capacity = 100_000; max_idle = Some 5.0 };
+            { search = `Tss; capacity = 100_000; max_idle = Some 5.0; evict = None };
         ];
       max_idle = 2.0;
       expire_every = 0.5;
@@ -522,6 +584,8 @@ let suite =
     ("metrics zero-packet guards", `Quick, test_metrics_zero_packet_guards);
     ("datapath decisions = slowpath", `Slow, test_datapath_backends_consistent_decisions);
     ("gigaflow beats megaflow under pressure", `Slow, test_gigaflow_beats_megaflow_under_pressure);
+    ("lru beats reject on churn", `Quick, test_lru_beats_reject_on_churn);
+    ("pressure eviction accounting", `Quick, test_pressure_eviction_accounting);
     ("software cache absorbs misses", `Quick, test_sw_cache_absorbs_misses);
     ("expiry bounds occupancy", `Quick, test_expiry_keeps_occupancy_bounded);
     ("run callbacks", `Quick, test_miss_sink_and_on_packet);

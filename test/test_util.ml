@@ -95,6 +95,64 @@ let test_rng_geometric () =
   if Float.abs (Stats.Acc.mean acc -. 1.0) > 0.05 then
     Alcotest.failf "geometric mean off: %f" (Stats.Acc.mean acc)
 
+let test_rng_int_uniform_exact () =
+  (* Rejection sampling makes [int] exactly uniform for every bound; the
+     modulo-era sampler was detectably biased only for huge bounds, so the
+     distribution check runs alongside a structural one below. *)
+  let rng = Rng.create 11 in
+  let bound = 6 in
+  let n = 60_000 in
+  let counts = Array.make bound 0 in
+  for _ = 1 to n do
+    let v = Rng.int rng bound in
+    counts.(v) <- counts.(v) + 1
+  done;
+  let expected = float_of_int n /. float_of_int bound in
+  let sigma = sqrt (expected *. (1.0 -. (1.0 /. float_of_int bound))) in
+  Array.iteri
+    (fun v c ->
+      if Float.abs (float_of_int c -. expected) > 5.0 *. sigma then
+        Alcotest.failf "value %d count %d outside 5 sigma of %.0f" v c expected)
+    counts
+
+let test_rng_int_huge_bound () =
+  (* The modulo sampler collapsed bounds near [max_int] into the low half
+     of the range; rejection sampling must cover the high half too. *)
+  let rng = Rng.create 12 in
+  let top = ref 0 in
+  for _ = 1 to 1_000 do
+    let v = Rng.int rng max_int in
+    if v < 0 || v >= max_int then Alcotest.failf "out of range: %d" v;
+    top := max !top v
+  done;
+  Alcotest.(check bool) "reaches the high half" true (!top > max_int / 2)
+
+let test_rng_int_pow2_stream_compat () =
+  (* For power-of-two bounds the mask equals [bound - 1] and nothing is
+     rejected — those streams must be identical to the modulo era
+     ((bits64 >> 2) land (bound - 1)), keeping old fixed-seed runs valid. *)
+  let a = Rng.create 13 and b = Rng.create 13 in
+  for _ = 1 to 1_000 do
+    let want =
+      Int64.to_int (Int64.shift_right_logical (Rng.bits64 b) 2) land 15
+    in
+    Alcotest.(check int) "same stream" want (Rng.int a 16)
+  done
+
+let test_rng_geometric_edges () =
+  let rng = Rng.create 14 in
+  Alcotest.(check int) "p=1.0 is always 0" 0 (Rng.geometric rng 1.0);
+  (* Tiny p: the inverse-CDF ratio can exceed [max_int]; the clamp must
+     keep results in [0, max_int] instead of the old unspecified
+     [int_of_float] overflow (which produced negative sizes). *)
+  let biggest = ref 0 in
+  for _ = 1 to 200 do
+    let v = Rng.geometric rng 1e-9 in
+    if v < 0 then Alcotest.failf "overflowed to %d" v;
+    biggest := max !biggest v
+  done;
+  Alcotest.(check bool) "tiny p reaches large counts" true (!biggest > 1_000_000)
+
 let test_zipf_pmf_sums_to_one () =
   let z = Zipf.create ~n:100 ~s:1.1 in
   let total = ref 0.0 in
@@ -265,6 +323,10 @@ let suite =
     ("rng shuffle permutation", `Quick, test_rng_shuffle_permutation);
     ("rng pareto bounds", `Quick, test_rng_pareto_bounds);
     ("rng geometric", `Quick, test_rng_geometric);
+    ("rng int exact uniformity", `Quick, test_rng_int_uniform_exact);
+    ("rng int huge bound", `Quick, test_rng_int_huge_bound);
+    ("rng int pow2 stream compat", `Quick, test_rng_int_pow2_stream_compat);
+    ("rng geometric edge cases", `Quick, test_rng_geometric_edges);
     ("zipf pmf sums to 1", `Quick, test_zipf_pmf_sums_to_one);
     ("zipf pmf monotone", `Quick, test_zipf_monotone);
     ("zipf sampling matches pmf", `Quick, test_zipf_sampling_matches_pmf);

@@ -186,6 +186,54 @@ let test_trace_concat () =
         Alcotest.(check bool) "offset applied" true (pkt.Trace.time >= 300.0))
     c.Trace.packets
 
+let test_trace_churn_shape () =
+  let flows = Array.init 200 (fun i -> Flow.make [ (Gf_flow.Field.Vlan, i) ]) in
+  let churn () =
+    Trace.churn ~duration:10.0 ~epochs:5 ~active:50 ~turnover:0.5
+      ~packets_per_epoch:100 ~seed:20 ~flows ()
+  in
+  let t = churn () in
+  Alcotest.(check int) "epochs x packets_per_epoch" 500 (Trace.packet_count t);
+  let sorted = ref true in
+  for i = 0 to Array.length t.Trace.packets - 2 do
+    if t.Trace.packets.(i).Trace.time > t.Trace.packets.(i + 1).Trace.time then
+      sorted := false
+  done;
+  Alcotest.(check bool) "sorted by time" true !sorted;
+  (* The first epoch draws only from the initial window; the rotation must
+     eventually reach flows outside it. *)
+  let outside = ref 0 in
+  Array.iter
+    (fun pkt ->
+      if pkt.Trace.time < 2.0 && pkt.Trace.flow_id >= 50 then
+        Alcotest.failf "first epoch drew flow %d outside the window" pkt.Trace.flow_id;
+      if pkt.Trace.flow_id >= 50 then incr outside)
+    t.Trace.packets;
+  Alcotest.(check bool) "window rotated past the initial flows" true (!outside > 0);
+  (* Fully deterministic in the seed. *)
+  let t' = churn () in
+  Alcotest.(check bool) "deterministic" true (t.Trace.packets = t'.Trace.packets)
+
+let test_pipebench_churn_shares_population () =
+  (* make_churn must derive the identical ruleset and flow population as
+     make for the same seed — only the packet schedule differs. *)
+  let info = Option.get (Catalog.find "OTL") in
+  let base =
+    Pipebench.make ~profile:small_profile ~combos:256 ~unique_flows:400
+      ~duration:5.0 ~info ~locality:Ruleset.Low ~seed:19 ()
+  in
+  let churned =
+    Pipebench.make_churn ~profile:small_profile ~combos:256 ~unique_flows:400
+      ~duration:5.0 ~epochs:4 ~active:64 ~packets_per_epoch:200 ~info
+      ~locality:Ruleset.Low ~seed:19 ()
+  in
+  Alcotest.(check bool) "same flow population" true
+    (base.Pipebench.flows = churned.Pipebench.flows);
+  Alcotest.(check int) "churn schedule" 800 (Trace.packet_count churned.Pipebench.trace);
+  Alcotest.(check int) "rules agree" 
+    (Gf_pipeline.Pipeline.rule_count (Pipebench.pipeline base))
+    (Gf_pipeline.Pipeline.rule_count (Pipebench.pipeline churned))
+
 let test_pipebench_end_to_end () =
   let info = Option.get (Catalog.find "OTL") in
   let w =
@@ -211,5 +259,7 @@ let suite =
     ("trace sorted", `Quick, test_trace_sorted_and_counts);
     ("trace deterministic", `Quick, test_trace_deterministic);
     ("trace concat", `Quick, test_trace_concat);
+    ("trace churn shape", `Quick, test_trace_churn_shape);
+    ("pipebench churn", `Quick, test_pipebench_churn_shares_population);
     ("pipebench end-to-end", `Quick, test_pipebench_end_to_end);
   ]
