@@ -12,6 +12,8 @@ module Ruleset = Gf_workload.Ruleset
 module Pipebench = Gf_workload.Pipebench
 module Datapath = Gf_sim.Datapath
 module Metrics = Gf_sim.Metrics
+module Parallel = Gf_sim.Parallel
+module Engine = Gf_engine.Engine
 module Tablefmt = Gf_util.Tablefmt
 
 let pipeline_arg =
@@ -152,12 +154,38 @@ let trace_events_arg =
            (hit/miss/install/evict/promote/revalidate/reject) in the telemetry \
            flight recorder; 0 (the default) disables event tracing.")
 
+let engine_arg =
+  Arg.(
+    value
+    & opt (Arg.enum [ ("walker", `Walker); ("batched", `Batched) ]) `Walker
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Replay engine: $(b,walker) (the default per-packet hierarchy \
+           walker) or $(b,batched) (the streaming engine: packet batches \
+           over SPSC rings into long-lived worker domains, with per-batch \
+           amortisation of telemetry and expiry checks).")
+
+let batch_size_arg =
+  Arg.(
+    value & opt int 1024
+    & info [ "batch-size" ] ~docv:"N"
+        ~doc:"Batched engine: packets per batch (ignored by the walker).")
+
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"D"
+        ~doc:
+          "Batched engine: worker domains; flows are RSS-sharded across \
+           them exactly like $(b,Parallel.replay), so merged metrics are \
+           independent of timing (ignored by the walker).")
+
 let prom_path jsonl_path = Filename.remove_extension jsonl_path ^ ".prom"
 
 let run_cmd =
   let run code locality seed flows combos hierarchy tables capacity policy
       level_policies max_idle churn churn_active churn_turnover churn_epochs
-      telemetry_out sample_every trace_events =
+      engine batch_size domains telemetry_out sample_every trace_events =
     let info = find_pipeline code in
     Printf.printf "Building workload: %s, %s locality, %d flows...\n%!" info.Catalog.code
       (Ruleset.locality_name locality) flows;
@@ -180,95 +208,124 @@ let run_cmd =
         (fun cfg (level, p) -> Datapath.with_level_policy ~level p cfg)
         cfg level_policies
     in
-    let telemetry =
+    let tel_config =
       if String.equal telemetry_out "" then None
       else
         Some
-          (Gf_telemetry.Telemetry.create
-             ~config:
-               {
-                 Gf_telemetry.Telemetry.sample_every;
-                 event_capacity = 4096;
-                 event_sample_every = trace_events;
-               }
-             ())
+          {
+            Gf_telemetry.Telemetry.sample_every;
+            event_capacity = 4096;
+            event_sample_every = trace_events;
+          }
     in
-    let dp = Datapath.create ?telemetry cfg (Pipebench.pipeline w) in
-    Printf.printf "Replaying %d packets...\n%!"
-      (Gf_workload.Trace.packet_count w.Pipebench.trace);
-    (* Sample Gigaflow coverage/sharing periodically: the interesting values
-       are at steady state, not after the final idle sweep. *)
-    let entry_tag = Gf_pipeline.Pipeline.entry (Pipebench.pipeline w) in
-    let max_cov = ref 0.0 and max_share = ref 0.0 and count = ref 0 in
-    let sample () =
-      match Datapath.gigaflow dp with
-      | Some gf ->
-          let cache = Gf_core.Gigaflow.cache gf in
-          let c = Gf_core.Coverage.count cache ~entry_tag in
-          if c > !max_cov then max_cov := c;
-          let s = Gf_core.Ltm_cache.mean_sharing cache in
-          if (not (Float.is_nan s)) && s > !max_share then max_share := s
-      | None -> ()
+    let print_metrics (m : Metrics.t) =
+      let t = Tablefmt.create [ "Metric"; "Value" ] in
+      let add k v = Tablefmt.add_row t [ k; v ] in
+      add "hierarchy" cfg.Datapath.name;
+      add "packets" (Tablefmt.fmt_int m.Metrics.packets);
+      add "SmartNIC hit rate" (Tablefmt.fmt_pct (Metrics.hw_hit_rate m));
+      add "SmartNIC misses" (Tablefmt.fmt_int (Metrics.hw_miss_count m));
+      add "software-cache hits" (Tablefmt.fmt_int m.Metrics.sw_hits);
+      add "slowpath executions" (Tablefmt.fmt_int m.Metrics.slowpaths);
+      add "entries (peak)" (Tablefmt.fmt_int m.Metrics.hw_entries_peak);
+      add "installs" (Tablefmt.fmt_int m.Metrics.hw_installs);
+      add "shared sub-traversals" (Tablefmt.fmt_int m.Metrics.hw_shared);
+      add "pressure evictions" (Tablefmt.fmt_int m.Metrics.hw_pressure_evictions);
+      add "mean latency" (Printf.sprintf "%.2f us" (Metrics.mean_latency_us m));
+      Tablefmt.print t;
+      Printf.printf "Per-level breakdown:\n";
+      Format.printf "%a%!" Metrics.pp_levels m
     in
-    let m =
-      Datapath.run
-        ~on_packet:(fun _ _ _ ->
-          incr count;
-          if !count mod 10_000 = 0 then sample ())
-        dp w.Pipebench.trace
+    let write_telemetry tel =
+      let meta =
+        [
+          ("pipeline", Gf_util.Json.Str info.Catalog.code);
+          ("locality", Gf_util.Json.Str (Ruleset.locality_name locality));
+          ("hierarchy", Gf_util.Json.Str cfg.Datapath.name);
+          ("seed", Gf_util.Json.Int seed);
+          ("flows", Gf_util.Json.Int flows);
+          ("combos", Gf_util.Json.Int combos);
+        ]
+      in
+      let oc = open_out telemetry_out in
+      Gf_telemetry.Telemetry.write_jsonl ~meta oc tel;
+      close_out oc;
+      let prom = prom_path telemetry_out in
+      let oc = open_out prom in
+      output_string oc (Gf_telemetry.Telemetry.prometheus tel);
+      close_out oc;
+      Printf.printf "Telemetry: %s (JSONL), %s (Prometheus snapshot)\n"
+        telemetry_out prom
     in
-    sample ();
-    let t = Tablefmt.create [ "Metric"; "Value" ] in
-    let add k v = Tablefmt.add_row t [ k; v ] in
-    add "hierarchy" cfg.Datapath.name;
-    add "packets" (Tablefmt.fmt_int m.Metrics.packets);
-    add "SmartNIC hit rate" (Tablefmt.fmt_pct (Metrics.hw_hit_rate m));
-    add "SmartNIC misses" (Tablefmt.fmt_int (Metrics.hw_miss_count m));
-    add "software-cache hits" (Tablefmt.fmt_int m.Metrics.sw_hits);
-    add "slowpath executions" (Tablefmt.fmt_int m.Metrics.slowpaths);
-    add "entries (peak)" (Tablefmt.fmt_int m.Metrics.hw_entries_peak);
-    add "installs" (Tablefmt.fmt_int m.Metrics.hw_installs);
-    add "shared sub-traversals" (Tablefmt.fmt_int m.Metrics.hw_shared);
-    add "pressure evictions" (Tablefmt.fmt_int m.Metrics.hw_pressure_evictions);
-    add "mean latency" (Printf.sprintf "%.2f us" (Metrics.mean_latency_us m));
-    Tablefmt.print t;
-    Printf.printf "Per-level breakdown:\n";
-    Format.printf "%a%!" Metrics.pp_levels m;
-    (match Datapath.gigaflow dp with
-    | Some _ ->
-        Printf.printf "Rule-space coverage (peak): %s\n" (Tablefmt.fmt_si !max_cov);
-        Printf.printf "Mean sub-traversal sharing (peak): %.2f\n" !max_share
-    | None -> ());
-    match telemetry with
-    | None -> ()
-    | Some tel ->
-        let meta =
-          [
-            ("pipeline", Gf_util.Json.Str info.Catalog.code);
-            ("locality", Gf_util.Json.Str (Ruleset.locality_name locality));
-            ("hierarchy", Gf_util.Json.Str cfg.Datapath.name);
-            ("seed", Gf_util.Json.Int seed);
-            ("flows", Gf_util.Json.Int flows);
-            ("combos", Gf_util.Json.Int combos);
-          ]
+    match engine with
+    | `Batched ->
+        Printf.printf
+          "Replaying %d packets (batched engine, %d domain%s, batch %d)...\n%!"
+          (Gf_workload.Trace.packet_count w.Pipebench.trace)
+          domains
+          (if domains = 1 then "" else "s")
+          batch_size;
+        let r =
+          Engine.replay ?telemetry:tel_config ~batch_size ~domains ~cfg
+            (Pipebench.pipeline w)
+            (Gf_workload.Trace.stream_of_trace w.Pipebench.trace)
         in
-        let oc = open_out telemetry_out in
-        Gf_telemetry.Telemetry.write_jsonl ~meta oc tel;
-        close_out oc;
-        let prom = prom_path telemetry_out in
-        let oc = open_out prom in
-        output_string oc (Gf_telemetry.Telemetry.prometheus tel);
-        close_out oc;
-        Printf.printf "Telemetry: %s (JSONL), %s (Prometheus snapshot)\n"
-          telemetry_out prom
+        print_metrics r.Parallel.merged;
+        Printf.printf "Engine wall time: %.3f s (%s pkt/s over %d domain%s)\n"
+          r.Parallel.wall_seconds
+          (Tablefmt.fmt_si
+             (float_of_int r.Parallel.merged.Metrics.packets
+             /. Float.max 1e-9 r.Parallel.wall_seconds))
+          r.Parallel.domains
+          (if r.Parallel.domains = 1 then "" else "s");
+        Option.iter write_telemetry r.Parallel.telemetry
+    | `Walker ->
+        let telemetry =
+          Option.map
+            (fun config -> Gf_telemetry.Telemetry.create ~config ())
+            tel_config
+        in
+        let dp = Datapath.create ?telemetry cfg (Pipebench.pipeline w) in
+        Printf.printf "Replaying %d packets...\n%!"
+          (Gf_workload.Trace.packet_count w.Pipebench.trace);
+        (* Sample Gigaflow coverage/sharing periodically: the interesting
+           values are at steady state, not after the final idle sweep. *)
+        let entry_tag = Gf_pipeline.Pipeline.entry (Pipebench.pipeline w) in
+        let max_cov = ref 0.0 and max_share = ref 0.0 and count = ref 0 in
+        let sample () =
+          match Datapath.gigaflow dp with
+          | Some gf ->
+              let cache = Gf_core.Gigaflow.cache gf in
+              let c = Gf_core.Coverage.count cache ~entry_tag in
+              if c > !max_cov then max_cov := c;
+              let s = Gf_core.Ltm_cache.mean_sharing cache in
+              if (not (Float.is_nan s)) && s > !max_share then max_share := s
+          | None -> ()
+        in
+        let m =
+          Datapath.run
+            ~on_packet:(fun _ _ _ ->
+              incr count;
+              if !count mod 10_000 = 0 then sample ())
+            dp w.Pipebench.trace
+        in
+        sample ();
+        print_metrics m;
+        (match Datapath.gigaflow dp with
+        | Some _ ->
+            Printf.printf "Rule-space coverage (peak): %s\n"
+              (Tablefmt.fmt_si !max_cov);
+            Printf.printf "Mean sub-traversal sharing (peak): %.2f\n" !max_share
+        | None -> ());
+        Option.iter write_telemetry telemetry
   in
   let term =
     Term.(
       const run $ pipeline_arg $ locality_arg $ seed_arg $ flows_arg $ combos_arg
       $ hierarchy_arg $ tables_arg $ capacity_arg $ evict_policy_arg
       $ evict_policy_level_arg $ max_idle_arg $ churn_arg $ churn_active_arg
-      $ churn_turnover_arg $ churn_epochs_arg $ telemetry_out_arg
-      $ sample_every_arg $ trace_events_arg)
+      $ churn_turnover_arg $ churn_epochs_arg $ engine_arg $ batch_size_arg
+      $ domains_arg $ telemetry_out_arg $ sample_every_arg $ trace_events_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run an end-to-end datapath simulation.") term
 

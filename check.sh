@@ -40,4 +40,35 @@ if grep -qi 'nan' "$TDIR/churn.out" "$TDIR/churn.prom"; then
   echo "NaN leaked into capacity-stress output" >&2; exit 1
 fi
 
+echo "== batched engine smoke"
+# A single-domain streaming run processes the whole trace through one
+# datapath, so on a fixed seed it must agree with the per-packet walker
+# on every headline counter; 4 domains shard flows over per-core caches
+# (counters legitimately differ), so that run only has to stay healthy —
+# valid telemetry, no NaN — while exercising the SPSC rings and the
+# poison shutdown.
+dune exec --no-build -- gigaflow-sim run -p PSC --flows 2000 --combos 512 --seed 77 \
+  > "$TDIR/walker.out"
+dune exec --no-build -- gigaflow-sim run -p PSC --flows 2000 --combos 512 --seed 77 \
+  --engine batched --domains 1 --batch-size 64 \
+  > "$TDIR/batched.out"
+dune exec --no-build -- gigaflow-sim run -p PSC --flows 2000 --combos 512 --seed 77 \
+  --engine batched --domains 4 --batch-size 64 \
+  --telemetry-out "$TDIR/batched.jsonl" --sample-every 2000 \
+  > "$TDIR/batched4.out"
+for metric in 'packets' 'SmartNIC hit rate' 'slowpath executions' 'installs' 'mean latency'; do
+  w=$(grep -F "| $metric " "$TDIR/walker.out")
+  b=$(grep -F "| $metric " "$TDIR/batched.out")
+  test "$w" = "$b" || {
+    echo "batched engine diverged from walker on '$metric':" >&2
+    echo "  walker:  $w" >&2
+    echo "  batched: $b" >&2
+    exit 1
+  }
+done
+dune exec --no-build -- gigaflow-sim telemetry-check "$TDIR/batched.jsonl"
+if grep -qi 'nan' "$TDIR/batched.out" "$TDIR/batched4.out"; then
+  echo "NaN leaked into batched engine output" >&2; exit 1
+fi
+
 echo "check.sh: all gates passed"

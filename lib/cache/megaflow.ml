@@ -14,6 +14,28 @@ type payload = {
   parent_input : Flow.t; (* representative flow for revalidation *)
   version : int;
   mutable last_used : float;
+  mutable live : bool;
+      (* flipped to false when the entry leaves the table, so memoised
+         lookups holding the entry can self-invalidate in O(1) without a
+         global generation sweep (see [lookup_memo]) *)
+}
+
+(* Per-flow lookup memo (see [lookup_memo]).  A memoised {e hit} is valid
+   while its entry is still in the table ([payload.live]): entries are
+   pairwise disjoint, so the memoised entry stays the unique match no
+   matter what else is installed, and the ranked-TSS replay recomputes the
+   probe count positionally so it tracks rank drift and tuple churn
+   exactly.  (Stateless search algorithms replay [m_work] verbatim, so
+   they additionally require [generation] unchanged.)  A memoised {e miss}
+   is valid only while [generation] is unchanged — miss work probes the
+   whole entry set, so any structural change stales it.  Touch-only
+   mutations (last-used refreshes, TSS rank promotions) never invalidate:
+   replay reapplies them exactly. *)
+type memo = {
+  mutable m_gen : int;
+  mutable m_entry : payload Entry.t option;
+  mutable m_hit : hit option;
+  mutable m_work : int;
 }
 
 type t = {
@@ -25,6 +47,10 @@ type t = {
   by_key : (int, Fmatch.t * payload) Hashtbl.t;
   stats : Cache_stats.t;
   mutable next_key : int;
+  memo_tbl : (int, memo) Hashtbl.t; (* flow id -> last lookup *)
+  mutable generation : int; (* bumped on any structural entry-set change *)
+  stable_replay : bool;
+      (* hit replays stay exact under entry-set churn (ranked TSS walk) *)
 }
 
 let create ?(search = `Tss) ?(policy = Evict.Reject) ?(rng_seed = 0x3F1A)
@@ -39,6 +65,9 @@ let create ?(search = `Tss) ?(policy = Evict.Reject) ?(rng_seed = 0x3F1A)
     by_key = Hashtbl.create capacity;
     stats = Cache_stats.create ();
     next_key = 0;
+    memo_tbl = Hashtbl.create 256;
+    generation = 0;
+    stable_replay = (search = `Tss);
   }
 
 let capacity t = t.capacity
@@ -63,6 +92,78 @@ let lookup t ~now flow =
       Cache_stats.record_lookup t.stats ~hit:false;
       (None, work)
 
+(* Memoised lookup keyed by trace flow id.  A repeat packet of a known
+   flow replays the previous result: same hit record, same touch side
+   effects (last-used refresh, stats, TSS rank promotion — probe work is
+   recomputed from the tuple's current rank so it matches what a live
+   ranked walk would report).  Hit memos stay valid across installs and
+   unrelated evictions (entry [live] flag + positional replay); miss memos
+   and stateless-search hit memos need the entry set unchanged
+   ([generation] guard).  Observably identical to {!lookup}; callers must
+   present the same [flow] value for a given [flow_id]. *)
+let lookup_memo t ~now ~flow_id flow =
+  match Hashtbl.find_opt t.memo_tbl flow_id with
+  | Some ({ m_entry = Some entry; _ } as m)
+    when entry.Entry.payload.live && (t.stable_replay || m.m_gen = t.generation)
+    ->
+      let payload = entry.Entry.payload in
+      payload.last_used <- now;
+      Cache_stats.record_lookup t.stats ~hit:true;
+      (m.m_hit, Searcher.replay_disjoint t.searcher entry ~prev_work:m.m_work)
+  | Some ({ m_entry = None; _ } as m) when m.m_gen = t.generation ->
+      Cache_stats.record_lookup t.stats ~hit:false;
+      (None, m.m_work)
+  | memo ->
+      let result, work = Searcher.lookup_disjoint t.searcher flow in
+      let hit =
+        match result with
+        | Some entry ->
+            let payload = entry.Entry.payload in
+            payload.last_used <- now;
+            Cache_stats.record_lookup t.stats ~hit:true;
+            Some
+              { terminal = payload.terminal; out_flow = apply_commit payload.commit flow }
+        | None ->
+            Cache_stats.record_lookup t.stats ~hit:false;
+            None
+      in
+      (match memo with
+      | Some m ->
+          m.m_gen <- t.generation;
+          m.m_entry <- result;
+          m.m_hit <- hit;
+          m.m_work <- work
+      | None ->
+          Hashtbl.replace t.memo_tbl flow_id
+            { m_gen = t.generation; m_entry = result; m_hit = hit; m_work = work });
+      (hit, work)
+
+(* Compiled hit replay for the datapath's per-flow fast path: after
+   {!lookup_memo} stored a hit for [flow_id], return a closure performing
+   just that hit's per-packet side effects (touch, stats, ranked-walk work
+   + promotion) with every lookup hoisted out — no memo-table find, no
+   mask hash.  The closure re-validates on each call (entry unchanged and
+   still live, plus the generation guard for stateless search) and returns
+   [None] once stale, after which the caller must fall back to
+   {!lookup_memo} and compile a fresh replay. *)
+let prepare_replay t ~flow_id =
+  match Hashtbl.find_opt t.memo_tbl flow_id with
+  | Some ({ m_entry = Some entry as entry0; _ } as m) ->
+      let compiled = Searcher.prepare_replay t.searcher entry in
+      let payload = entry.Entry.payload in
+      Some
+        (fun ~now ->
+          if
+            m.m_entry == entry0 && payload.live
+            && (t.stable_replay || m.m_gen = t.generation)
+          then begin
+            payload.last_used <- now;
+            Cache_stats.record_lookup t.stats ~hit:true;
+            Some (match compiled with Some f -> f () | None -> m.m_work)
+          end
+          else None)
+  | Some { m_entry = None; _ } | None -> None
+
 (* Collapse a traversal into (match, commit, terminal). *)
 let collapse traversal =
   let wildcard = Traversal.megaflow_wildcard traversal in
@@ -76,7 +177,8 @@ let collapse traversal =
 let remove_key_quiet t key =
   match Hashtbl.find_opt t.by_key key with
   | None -> ()
-  | Some (fmatch, _) ->
+  | Some (fmatch, payload) ->
+      payload.live <- false;
       Hashtbl.remove t.by_key key;
       Fmatch.Tbl.remove t.by_fmatch fmatch;
       ignore (Searcher.remove t.searcher key)
@@ -156,19 +258,30 @@ let install t ~now ~version traversal =
         let key = t.next_key in
         t.next_key <- key + 1;
         let payload =
-          { commit; terminal; parent_input = traversal.Traversal.input; version; last_used = now }
+          {
+            commit;
+            terminal;
+            parent_input = traversal.Traversal.input;
+            version;
+            last_used = now;
+            live = true;
+          }
         in
         Searcher.insert t.searcher (Entry.v ~key ~fmatch ~priority:0 payload);
         Fmatch.Tbl.replace t.by_fmatch fmatch key;
         Hashtbl.replace t.by_key key (fmatch, payload);
         t.stats.Cache_stats.installs <- t.stats.Cache_stats.installs + 1;
+        (* Entry set changed (insert, plus any pressure evictions above):
+           invalidate memoised lookups. *)
+        t.generation <- t.generation + 1;
         `Installed !pressure
       end
 
 let remove_key t key =
   match Hashtbl.find_opt t.by_key key with
   | None -> ()
-  | Some (fmatch, _) ->
+  | Some (fmatch, payload) ->
+      payload.live <- false;
       Hashtbl.remove t.by_key key;
       Fmatch.Tbl.remove t.by_fmatch fmatch;
       ignore (Searcher.remove t.searcher key);
@@ -182,6 +295,7 @@ let expire t ~now ~max_idle =
       t.by_key []
   in
   List.iter (remove_key t) stale;
+  if stale <> [] then t.generation <- t.generation + 1;
   List.length stale
 
 let revalidate t pipeline =
@@ -203,6 +317,7 @@ let revalidate t pipeline =
       t.by_key []
   in
   List.iter (remove_key t) victims;
+  if victims <> [] then t.generation <- t.generation + 1;
   (List.length victims, !work)
 
 let entries_fmatches t = Fmatch.Tbl.fold (fun f _ acc -> f :: acc) t.by_fmatch []

@@ -46,6 +46,31 @@ val check_invariants : t -> bool
 val lookup : t -> now:float -> Gf_flow.Flow.t -> hit option * int
 (** Result and classifier work units. Refreshes last-used on hit. *)
 
+val lookup_memo : t -> now:float -> flow_id:int -> Gf_flow.Flow.t -> hit option * int
+(** Observably identical to {!lookup}, but repeat packets of a known flow
+    replay the memoised result, skipping the classifier search.  A hit
+    memo stays valid while its entry is still cached — entries are
+    pairwise disjoint, so it remains the unique match under any other
+    install or eviction, and the ranked-TSS probe count is recomputed
+    positionally; miss memos (and hit memos under stateless search, whose
+    work cannot be recomputed) additionally require that no install or
+    eviction has changed the entry set (a generation counter guards
+    this).  Touch side effects — last-used refresh, stats, TSS rank
+    promotion and its drifting probe count — are reapplied exactly.
+    Requires that a given [flow_id] is always presented with the same
+    [flow] value (true of every {!Gf_workload.Trace} generator). *)
+
+val prepare_replay : t -> flow_id:int -> (now:float -> int option) option
+(** Compiled per-flow hit replay for the batched engine's fast path:
+    after {!lookup_memo} returned a hit for [flow_id], a closure that
+    performs exactly that hit's per-packet side effects (last-used
+    refresh, stats, ranked-walk probe count + promotion) with the memo
+    find and mask hash hoisted out.  Each call re-validates and returns
+    the probe work, or [None] once the memo is stale (entry evicted or
+    replaced) — the caller must then fall back to {!lookup_memo} and
+    compile a fresh replay.  [None] if the flow's memo is absent or a
+    miss. *)
+
 val install : t -> now:float -> version:int -> Gf_pipeline.Traversal.t ->
   [ `Installed of int | `Exists | `Rejected ]
 (** Collapse the traversal and insert.  [`Installed n] reports the number

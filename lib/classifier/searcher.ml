@@ -17,6 +17,8 @@ type 'a ops = {
   size : unit -> int;
   lookup : Gf_flow.Flow.t -> 'a Entry.t option * int;
   lookup_disjoint : Gf_flow.Flow.t -> 'a Entry.t option * int;
+  replay_disjoint : 'a Entry.t -> prev_work:int -> int;
+  prepare_replay : 'a Entry.t -> (unit -> int) option;
   entries : unit -> 'a Entry.t list;
   clear : unit -> unit;
 }
@@ -31,6 +33,13 @@ let wrap (type p) (module C : Classifier_intf.S) : p ops =
     size = (fun () -> C.size c);
     lookup = C.lookup c;
     lookup_disjoint = C.lookup c;
+    (* Stateless search: with the entry set unchanged, a fresh lookup
+       reports the same work as the memoised one and has no side effect
+       to reapply. *)
+    replay_disjoint = (fun _ ~prev_work -> prev_work);
+    (* No per-entry state to compile: callers fall back to the memoised
+       work value (guarded by their generation check). *)
+    prepare_replay = (fun _ -> None);
     entries = (fun () -> C.entries c);
     clear = (fun () -> C.clear c);
   }
@@ -45,6 +54,10 @@ let wrap_tss (type p) () : p ops =
     size = (fun () -> Tss.size c);
     lookup = Tss.lookup c;
     lookup_disjoint = Tss.lookup_first c;
+    replay_disjoint =
+      (fun e ~prev_work ->
+        match Tss.replay_first c e with Some probes -> probes | None -> prev_work);
+    prepare_replay = (fun e -> Tss.prepare_first c e);
     entries = (fun () -> Tss.entries c);
     clear = (fun () -> Tss.clear c);
   }
@@ -64,5 +77,7 @@ let remove t key = t.ops.remove key
 let size t = t.ops.size ()
 let lookup t flow = t.ops.lookup flow
 let lookup_disjoint t flow = t.ops.lookup_disjoint flow
+let replay_disjoint t entry ~prev_work = t.ops.replay_disjoint entry ~prev_work
+let prepare_replay t entry = t.ops.prepare_replay entry
 let entries t = t.ops.entries ()
 let clear t = t.ops.clear ()

@@ -189,6 +189,51 @@ let lookup_first t flow =
   in
   go t.rank_head 0
 
+(* Replay support for memoised first-match lookups: recompute the probe
+   count a live [lookup_first] would pay {e right now} to reach [entry]'s
+   tuple (its rank position changes as other flows promote their tuples),
+   and apply the same promotion side effect — without re-masking the flow
+   or re-probing any bucket.  Sound whenever [entry] is still present and
+   entries are pairwise disjoint, even across unrelated inserts/removals:
+   the positional walk counts exactly the tuples a live walk would probe
+   before the (unique) match (see [Megaflow.lookup_memo]). *)
+let replay_first t (entry : 'a Entry.t) =
+  match Mask.Tbl.find_opt t.tuples (Fmatch.mask entry.Entry.fmatch) with
+  | None -> None
+  | Some tuple ->
+      let rec pos node probes =
+        match node with
+        | None -> None
+        | Some tu ->
+            if tu == tuple then Some (probes + 1) else pos tu.rank_next (probes + 1)
+      in
+      (match pos t.rank_head 0 with
+      | None -> None
+      | Some probes ->
+          rank_promote t tuple;
+          Some probes)
+
+(* Compiled form of [replay_first]: locate the entry's tuple once (one mask
+   hash), and return a closure that does only the positional walk and the
+   promotion.  The captured tuple object stays the entry's container for as
+   long as the entry is in the classifier (entries never migrate between
+   tuples), so callers may hold the closure until the entry is removed. *)
+let prepare_first t (entry : 'a Entry.t) =
+  match Mask.Tbl.find_opt t.tuples (Fmatch.mask entry.Entry.fmatch) with
+  | None -> None
+  | Some tuple ->
+      Some
+        (fun () ->
+          let rec pos node probes =
+            match node with
+            | None -> invalid_arg "Tss.prepare_first: tuple left the rank list"
+            | Some tu ->
+                if tu == tuple then probes + 1 else pos tu.rank_next (probes + 1)
+          in
+          let probes = pos t.rank_head 0 in
+          rank_promote t tuple;
+          probes)
+
 let entries t = Hashtbl.fold (fun _ e acc -> e :: acc) t.by_key []
 
 let clear t =

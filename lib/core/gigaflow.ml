@@ -99,6 +99,11 @@ let in_fallback t = t.adaptive.fallback
 let lookup t ~now ~pipeline flow =
   Ltm_cache.lookup t.cache ~now ~entry_tag:(Pipeline.entry pipeline) flow
 
+let lookup_memo t ~now ~pipeline ~flow_id flow =
+  Ltm_cache.lookup_memo t.cache ~now ~entry_tag:(Pipeline.entry pipeline) ~flow_id flow
+
+let prepare_replay t ~flow_id = Ltm_cache.prepare_replay t.cache ~flow_id
+
 type install_outcome = {
   install : Ltm_cache.install_result;
   segments : Partitioner.segment list;

@@ -49,6 +49,20 @@ val lookup :
   Ltm_cache.hit option * int
 (** LTM cache lookup (the entry tag is the pipeline's entry table). *)
 
+val lookup_memo :
+  t ->
+  now:float ->
+  pipeline:Gf_pipeline.Pipeline.t ->
+  flow_id:int ->
+  Gf_flow.Flow.t ->
+  Ltm_cache.hit option * int
+(** {!Ltm_cache.lookup_memo} with the pipeline's entry tag: observably
+    identical to {!lookup}, with repeat flows replayed from the per-flow
+    memo while the cache's entry set is unchanged. *)
+
+val prepare_replay : t -> flow_id:int -> (now:float -> int option) option
+(** {!Ltm_cache.prepare_replay} on the underlying LTM cache. *)
+
 type install_outcome = {
   install : Ltm_cache.install_result;
   segments : Partitioner.segment list;

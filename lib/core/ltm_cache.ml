@@ -9,11 +9,26 @@ type install_result =
   | Installed of { fresh : int; shared : int; pressure_evicted : int }
   | Rejected
 
+(* Per-flow lookup memo (see [lookup_memo]): result, work and the matched
+   entries (the walk's touch set) of the last lookup for a flow id, valid
+   while [generation] is unchanged — i.e. while no install/eviction has
+   changed any table's entry set.  Touch-only mutations (last-used /
+   last-hit refreshes, share counts) deliberately do not invalidate:
+   replay reapplies them exactly. *)
+type memo = {
+  mutable m_gen : int;
+  mutable m_result : hit option;
+  mutable m_work : int;
+  mutable m_touched : Ltm_table.stored list; (* reverse match order, as walked *)
+}
+
 type t = {
   config : Config.t;
   rng : Gf_util.Rng.t;
   tables : Ltm_table.t array;
   stats : Cache_stats.t;
+  memo_tbl : (int, memo) Hashtbl.t; (* flow id -> last lookup *)
+  mutable generation : int; (* bumped on any structural entry-set change *)
 }
 
 let create ?(rng_seed = 0x61F) config =
@@ -27,6 +42,8 @@ let create ?(rng_seed = 0x61F) config =
       Array.init config.Config.tables (fun _ ->
           Ltm_table.create ~capacity:config.Config.table_capacity);
     stats = Cache_stats.create ();
+    memo_tbl = Hashtbl.create 256;
+    generation = 0;
   }
 
 let config t = t.config
@@ -42,7 +59,7 @@ let available_tables t =
 let apply_commit commit flow =
   List.fold_left (fun f (field, v) -> Flow.set f field v) flow commit
 
-let lookup t ~now ~entry_tag flow =
+let lookup_core t ~now ~entry_tag flow =
   let k = Array.length t.tables in
   let matched_entries = ref [] in
   let rec walk i tag flow matched work =
@@ -71,7 +88,63 @@ let lookup t ~now ~entry_tag flow =
   if Option.is_some result then
     List.iter (fun s -> s.Ltm_table.last_hit <- now) !matched_entries;
   Cache_stats.record_lookup t.stats ~hit:(Option.is_some result);
+  (result, work, !matched_entries)
+
+let lookup t ~now ~entry_tag flow =
+  let result, work, _ = lookup_core t ~now ~entry_tag flow in
   (result, work)
+
+(* Memoised lookup keyed by trace flow id.  While no install/eviction has
+   changed any table's entry set (generation guard), a repeat packet of a
+   known flow replays the previous walk: same result and work (tag gating
+   and priority scans are deterministic over a fixed entry set), same
+   touch side effects on the matched entries.  Observably identical to
+   {!lookup}; callers must present the same [flow] value for a given
+   [flow_id]. *)
+let lookup_memo t ~now ~entry_tag ~flow_id flow =
+  match Hashtbl.find_opt t.memo_tbl flow_id with
+  | Some m when m.m_gen = t.generation ->
+      List.iter (fun s -> s.Ltm_table.last_used <- now) m.m_touched;
+      if Option.is_some m.m_result then
+        List.iter (fun s -> s.Ltm_table.last_hit <- now) m.m_touched;
+      Cache_stats.record_lookup t.stats ~hit:(Option.is_some m.m_result);
+      (m.m_result, m.m_work)
+  | memo ->
+      let result, work, touched = lookup_core t ~now ~entry_tag flow in
+      (match memo with
+      | Some m ->
+          m.m_gen <- t.generation;
+          m.m_result <- result;
+          m.m_work <- work;
+          m.m_touched <- touched
+      | None ->
+          Hashtbl.replace t.memo_tbl flow_id
+            { m_gen = t.generation; m_result = result; m_work = work; m_touched = touched });
+      (result, work)
+
+(* Compiled hit replay for the datapath's per-flow fast path: after
+   {!lookup_memo} stored a hit for [flow_id], a closure performing just
+   that hit's per-packet side effects (touch the matched entries, stats)
+   with the memo find hoisted out.  The LTM walk's work and touch set
+   depend on every table's contents (tag gating, priority scan order), so
+   validity is the generation guard plus the memo still holding the same
+   result; [None] once stale. *)
+let prepare_replay t ~flow_id =
+  match Hashtbl.find_opt t.memo_tbl flow_id with
+  | Some ({ m_result = Some _ as result0; _ } as m) ->
+      Some
+        (fun ~now ->
+          if m.m_gen = t.generation && m.m_result == result0 then begin
+            List.iter
+              (fun s ->
+                s.Ltm_table.last_used <- now;
+                s.Ltm_table.last_hit <- now)
+              m.m_touched;
+            Cache_stats.record_lookup t.stats ~hit:true;
+            Some m.m_work
+          end
+          else None)
+  | Some { m_result = None; _ } | None -> None
 
 (* Placement planning: segments must land in strictly increasing table
    positions; segment i (0-based, m total) must sit at a position p with
@@ -200,6 +273,8 @@ let install t ~now rules =
   match attempt (2 * k) with
   | None ->
       t.stats.Cache_stats.rejected <- t.stats.Cache_stats.rejected + 1;
+      (* A failed plan may still have evicted victims while replanning. *)
+      if !pressure > 0 then t.generation <- t.generation + 1;
       Rejected
   | Some placements ->
       let fresh = ref 0 and shared = ref 0 in
@@ -217,6 +292,9 @@ let install t ~now rules =
         placements;
       t.stats.Cache_stats.installs <- t.stats.Cache_stats.installs + !fresh;
       t.stats.Cache_stats.shared <- t.stats.Cache_stats.shared + !shared;
+      (* Reuse-only installs touch recency/shares but change no entry set:
+         memoised lookups stay valid. *)
+      if !fresh > 0 || !pressure > 0 then t.generation <- t.generation + 1;
       Installed { fresh = !fresh; shared = !shared; pressure_evicted = !pressure }
 
 let expire t ~now ~max_idle =
@@ -231,6 +309,7 @@ let expire t ~now ~max_idle =
       total := !total + List.length victims)
     t.tables;
   t.stats.Cache_stats.evictions <- t.stats.Cache_stats.evictions + !total;
+  if !total > 0 then t.generation <- t.generation + 1;
   !total
 
 (* Re-derive the rule a stored entry should be and compare signatures. *)
@@ -279,6 +358,7 @@ let revalidate t pipeline =
       evicted := !evicted + List.length victims)
     t.tables;
   t.stats.Cache_stats.evictions <- t.stats.Cache_stats.evictions + !evicted;
+  if !evicted > 0 then t.generation <- t.generation + 1;
   (!evicted, !work)
 
 let sharing_histogram t =
@@ -329,4 +409,5 @@ let clear t =
   Array.iteri
     (fun i _ ->
       t.tables.(i) <- Ltm_table.create ~capacity:t.config.Config.table_capacity)
-    t.tables
+    t.tables;
+  t.generation <- t.generation + 1

@@ -45,6 +45,25 @@ val lookup : t -> now:float -> entry_tag:int -> Gf_flow.Flow.t -> hit option * i
 (** [entry_tag] is the pipeline's entry table id.  Returns the hit (if the
     walk completed) and total work units. Touches matched entries. *)
 
+val lookup_memo :
+  t -> now:float -> entry_tag:int -> flow_id:int -> Gf_flow.Flow.t -> hit option * int
+(** Observably identical to {!lookup}, but repeat packets of a known flow
+    replay the memoised walk — result, work and the recency touches on the
+    matched entries — while no install or eviction has changed any table's
+    entry set (a generation counter guards validity).  Requires that a
+    given [flow_id] is always presented with the same [flow] value (true
+    of every {!Gf_workload.Trace} generator). *)
+
+val prepare_replay : t -> flow_id:int -> (now:float -> int option) option
+(** Compiled per-flow hit replay for the batched engine's fast path:
+    after {!lookup_memo} returned a hit for [flow_id], a closure that
+    performs exactly that hit's per-packet side effects (recency touches
+    on the matched entries, stats) with the memo find hoisted out.  Each
+    call re-validates (generation unchanged and the memo still holding
+    the same result) and returns the walk work, or [None] once stale —
+    the caller falls back to {!lookup_memo} and compiles a fresh replay.
+    [None] if the flow's memo is absent or a miss. *)
+
 val install : t -> now:float -> Ltm_rule.t list -> install_result
 (** Install the rules of one partitioned traversal, in segment order.  Each
     segment reuses an identical existing entry when one exists in a

@@ -1,0 +1,24 @@
+(* A fixed-size packet batch in struct-of-arrays layout, allocated once
+   and recycled through the engine's batch pool — the steady state moves
+   no per-packet heap at all.  [len = -1] is the end-of-stream poison the
+   source pushes after the last real batch. *)
+
+type t = {
+  times : float array;
+  flow_ids : int array;
+  flows : Gf_flow.Flow.t array;
+  mutable len : int;
+}
+
+let create ~size =
+  if size <= 0 then invalid_arg "Batch.create: size must be positive";
+  {
+    times = Array.make size 0.0;
+    flow_ids = Array.make size 0;
+    flows = Array.make size Gf_flow.Flow.zero;
+    len = 0;
+  }
+
+let size b = Array.length b.times
+let poison = { times = [||]; flow_ids = [||]; flows = [||]; len = -1 }
+let is_poison b = b.len < 0

@@ -1,0 +1,25 @@
+(** Fixed-size packet batches in struct-of-arrays layout.
+
+    Batches are allocated once per engine run (a small pool per worker
+    link) and recycled over the return ring, so the steady-state datapath
+    allocates nothing per packet.  Only the first [len] entries of each
+    array are meaningful. *)
+
+type t = {
+  times : float array;
+  flow_ids : int array;
+  flows : Gf_flow.Flow.t array;
+  mutable len : int;  (** valid prefix length; [-1] marks end-of-stream *)
+}
+
+val create : size:int -> t
+(** A zeroed batch of capacity [size] ([len = 0]). *)
+
+val size : t -> int
+(** Capacity (array length), not current [len]. *)
+
+val poison : t
+(** The shared end-of-stream marker ([len = -1], empty arrays).  Pushed by
+    the source after the last real batch; never recycled. *)
+
+val is_poison : t -> bool

@@ -55,6 +55,19 @@ module type LEVEL = sig
   val view : view
   val lookup : now:float -> Gf_flow.Flow.t -> hit option * int
 
+  val lookup_memo : now:float -> flow_id:int -> Gf_flow.Flow.t -> hit option * int
+  (** Observably identical to [lookup], but backends that support it replay
+      memoised per-flow results while their entry set is unchanged (the
+      batched engine's amortisation; see [Datapath.process_memo]).  Levels
+      whose live lookup is already O(1) (the EMC) just delegate. *)
+
+  val prepare_replay : flow_id:int -> (now:float -> int option) option
+  (** Compiled per-flow hit replay (see [Megaflow.prepare_replay] /
+      [Ltm_cache.prepare_replay]): after [lookup_memo] returned a hit for
+      [flow_id], a closure applying just that hit's per-packet side
+      effects and returning its work, or [None] per call once stale.
+      Levels without a memo (the EMC) return [None] outright. *)
+
   val install_from_traversal :
     now:float -> version:int -> Gf_pipeline.Traversal.t -> install_report
 
@@ -73,6 +86,8 @@ let name t = (descriptor t).name
 let tier t = (descriptor t).tier
 let view (module L : LEVEL) = L.view
 let lookup (module L : LEVEL) = L.lookup
+let lookup_memo (module L : LEVEL) = L.lookup_memo
+let prepare_replay (module L : LEVEL) = L.prepare_replay
 let install_from_traversal (module L : LEVEL) = L.install_from_traversal
 let promote (module L : LEVEL) = L.promote
 let expire (module L : LEVEL) = L.expire
@@ -102,6 +117,11 @@ let of_microflow ?(name = "emc") ~max_idle emc : t =
       | Some h ->
           (Some { terminal = h.Microflow.terminal; out_flow = h.Microflow.out_flow }, 1)
       | None -> (None, 1)
+
+    (* Exact-match lookup is already a single hash probe: nothing to
+       amortise. *)
+    let lookup_memo ~now ~flow_id:_ flow = lookup ~now flow
+    let prepare_replay ~flow_id:_ = None
 
     let install_from_traversal ~now:_ ~version:_ _ = no_install
 
@@ -152,6 +172,16 @@ let of_megaflow ?name ~tier ~max_idle mf : t =
         | None -> None),
         work )
 
+    let lookup_memo ~now ~flow_id flow =
+      let hit, work = Megaflow.lookup_memo mf ~now ~flow_id flow in
+      ( (match hit with
+        | Some h ->
+            Some { terminal = h.Megaflow.terminal; out_flow = h.Megaflow.out_flow }
+        | None -> None),
+        work )
+
+    let prepare_replay ~flow_id = Megaflow.prepare_replay mf ~flow_id
+
     let install_from_traversal ~now ~version traversal =
       match Megaflow.install mf ~now ~version traversal with
       | `Installed pressure_evicted -> { no_install with fresh = 1; pressure_evicted }
@@ -187,6 +217,16 @@ let of_gigaflow ?(name = "gf") ~pipeline gf : t =
             Some { terminal = h.Ltm_cache.terminal; out_flow = h.Ltm_cache.out_flow }
         | None -> None),
         work )
+
+    let lookup_memo ~now ~flow_id flow =
+      let hit, work = Gigaflow.lookup_memo gf ~now ~pipeline ~flow_id flow in
+      ( (match hit with
+        | Some h ->
+            Some { terminal = h.Ltm_cache.terminal; out_flow = h.Ltm_cache.out_flow }
+        | None -> None),
+        work )
+
+    let prepare_replay ~flow_id = Gigaflow.prepare_replay gf ~flow_id
 
     let install_from_traversal ~now ~version traversal =
       let o = Gigaflow.install_traversal gf ~now ~version traversal in

@@ -75,6 +75,20 @@ module type LEVEL = sig
   val lookup : now:float -> Gf_flow.Flow.t -> hit option * int
   (** Result and lookup work units (spent whether or not it hit). *)
 
+  val lookup_memo : now:float -> flow_id:int -> Gf_flow.Flow.t -> hit option * int
+  (** Observably identical to [lookup], but backends that support it
+      replay memoised per-flow results while their entry set is unchanged
+      (the batched engine's sub-traversal replay; see
+      {!Datapath.process_memo}).  Requires that a given [flow_id] is
+      always presented with the same flow value. *)
+
+  val prepare_replay : flow_id:int -> (now:float -> int option) option
+  (** Compiled per-flow hit replay: after [lookup_memo] returned a hit
+      for [flow_id], a closure applying just that hit's per-packet side
+      effects and returning its work, re-validating on every call —
+      [None] once the memo is stale.  Levels without a per-flow memo (the
+      EMC) return [None] outright.  See {!Megaflow.prepare_replay}. *)
+
   val install_from_traversal :
     now:float -> version:int -> Gf_pipeline.Traversal.t -> install_report
   (** Offer a slowpath traversal per the level's {!install_policy}. *)
@@ -106,6 +120,8 @@ val name : t -> string
 val tier : t -> tier
 val view : t -> view
 val lookup : t -> now:float -> Gf_flow.Flow.t -> hit option * int
+val lookup_memo : t -> now:float -> flow_id:int -> Gf_flow.Flow.t -> hit option * int
+val prepare_replay : t -> flow_id:int -> (now:float -> int option) option
 
 val install_from_traversal :
   t -> now:float -> version:int -> Gf_pipeline.Traversal.t -> install_report

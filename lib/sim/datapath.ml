@@ -176,6 +176,28 @@ let hw_capacity cfg =
 
 (* ------------------------------ datapath ------------------------------ *)
 
+type outcome = Hw_hit | Sw_hit | Slowpath
+
+(* Compiled per-flow replay of a level-0 hardware hit, used only by
+   [process_memo].  For a repeat flow whose hit stays at the top
+   (hardware) level, every per-packet effect is a constant of the flow:
+   the latency (hardware hit cost ignores work), both histogram bucket
+   indices, the drop decision and the returned triple.  They are computed
+   once on the slowpath walk and replayed with plain mutations; only the
+   backend's own validity check ([p_replay], see
+   [Cache_level.prepare_replay]) runs per packet, returning the exact
+   lookup work or [None] once the memoised entry is stale. *)
+type pmemo = {
+  p_replay : now:float -> int option;
+  p_lat : float;  (* constant hardware hit latency, us *)
+  p_gidx : int;  (* precomputed bucket of [p_lat] in the global histogram *)
+  p_lidx : int;  (* ... and in level 0's histogram *)
+  p_cpw : int;  (* level 0 [cycles_per_work] *)
+  p_name : string;  (* level 0 metrics name, for the telemetry event *)
+  p_is_drop : bool;
+  p_result : outcome * Action.terminal option * float;
+}
+
 type t = {
   cfg : config;
   pipeline : Pipeline.t;
@@ -187,6 +209,14 @@ type t = {
       (* [None] (the default) keeps the per-packet path free of telemetry
          work: every emission site pattern-matches and the [None] branch
          does nothing — no calls, no float boxing. *)
+  traversal_memo : (int, (Traversal.t, unit) result) Hashtbl.t;
+      (* flow id -> memoised [Executor.execute] result, used only by
+         [process_memo].  [Executor.execute] is observably pure over a
+         fixed pipeline, so the memo is valid for a whole run; a pipeline
+         update ([revalidate]) resets it. *)
+  mutable replay_tbl : pmemo option array;
+      (* flow id -> compiled level-0 replay, grown on demand.  Entries
+         self-invalidate through [p_replay]; [revalidate] clears the lot. *)
 }
 
 let create ?telemetry cfg pipeline =
@@ -222,7 +252,17 @@ let create ?telemetry cfg pipeline =
           | Cache_level.Microflow_view _ | Cache_level.Megaflow_view _ -> ())
         levels
   | None -> ());
-  { cfg; pipeline; levels; level_metrics; metrics; last_expire = 0.0; telemetry }
+  {
+    cfg;
+    pipeline;
+    levels;
+    level_metrics;
+    metrics;
+    last_expire = 0.0;
+    telemetry;
+    traversal_memo = Hashtbl.create 256;
+    replay_tbl = Array.make 1024 None;
+  }
 
 let telemetry t = t.telemetry
 let config t = t.cfg
@@ -251,8 +291,6 @@ let hw_occupancy t =
       else acc)
     0 t.levels
 
-type outcome = Hw_hit | Sw_hit | Slowpath
-
 (* Unified idle-expiry sweep: every level evicts on its own descriptor's
    idle budget; per-level eviction counts are recorded (nothing is
    [ignore]d) and hardware-tier evictions also feed the aggregate
@@ -279,6 +317,10 @@ let maybe_expire t ~now =
 (* Unified revalidation sweep (pipeline updated): every level re-checks its
    entries; evictions are accounted per level.  Returns (evicted, work). *)
 let revalidate t =
+  (* The pipeline (possibly) changed: memoised slowpath traversals and
+     compiled replays are stale. *)
+  Hashtbl.reset t.traversal_memo;
+  Array.fill t.replay_tbl 0 (Array.length t.replay_tbl) None;
   let total_evicted = ref 0 and total_work = ref 0 in
   Array.iteri
     (fun i level ->
@@ -299,10 +341,12 @@ let revalidate t =
   (!total_evicted, !total_work)
 
 (* Full slowpath: execute the pipeline once and offer the traversal to every
-   level's install policy.  Returns (terminal option, service latency us). *)
-let slowpath t ~now flow =
+   level's install policy.  Returns (terminal option, service latency us).
+   Split so [process_memo] can feed a memoised execute result to the same
+   install path ([slowpath_installs]). *)
+let slowpath_installs t ~now execute_result =
   let m = t.metrics in
-  match Executor.execute t.pipeline flow with
+  match execute_result with
   | Error _ -> (None, Latency.upcall_us)
   | Ok traversal ->
       let version = Pipeline.version t.pipeline in
@@ -361,6 +405,21 @@ let slowpath t ~now flow =
           ~installs:!installs
       in
       (Some traversal.Traversal.terminal, lat)
+
+let slowpath t ~now flow = slowpath_installs t ~now (Executor.execute t.pipeline flow)
+
+(* Memoising slowpath: the pipeline execute is observably pure over a fixed
+   pipeline, so repeat slowpaths of a flow (expired entries, churn) replay
+   the memoised traversal; the install offers, adaptive-profile updates and
+   all accounting stay live. *)
+let slowpath_memo t ~now ~flow_id flow =
+  match Hashtbl.find_opt t.traversal_memo flow_id with
+  | Some r -> slowpath_installs t ~now r
+  | None ->
+      let r = Executor.execute t.pipeline flow in
+      Hashtbl.replace t.traversal_memo flow_id
+        (match r with Ok tr -> Ok tr | Error _ -> Error ());
+      slowpath_installs t ~now r
 
 let process t ~now flow =
   let m = t.metrics in
@@ -460,6 +519,206 @@ let process t ~now flow =
   if !hw_occ > m.Metrics.hw_entries_peak then m.Metrics.hw_entries_peak <- !hw_occ;
   (outcome, terminal, latency)
 
+(* Grow [replay_tbl] (doubling) until [flow_id] indexes it. *)
+let ensure_replay_slot t flow_id =
+  let n = Array.length t.replay_tbl in
+  if flow_id >= n then begin
+    let n' = ref (max 1024 (2 * n)) in
+    while flow_id >= !n' do
+      n' := 2 * !n'
+    done;
+    let a = Array.make !n' None in
+    Array.blit t.replay_tbl 0 a 0 n;
+    t.replay_tbl <- a
+  end
+
+(* The slow half of [process_memo]: observably identical to [process] —
+   same counters, same latency accumulation, same telemetry events, same
+   occupancy peaks — but amortised for repeat flows.  Lookups go through
+   each level's per-flow memo ([Cache_level.lookup_memo]), repeat
+   slowpaths replay the memoised pipeline traversal ([slowpath_memo]),
+   and the per-packet occupancy-peak scan is skipped when no mutation
+   (expiry sweep, promotion, slowpath install) could have changed any
+   occupancy.  A hit at level 0 on a hardware tier additionally compiles
+   a [pmemo] so subsequent packets of the flow take the fast path in
+   [process_memo].  Kept as a sibling of [process] rather than a
+   parameterisation so the per-packet walker benchmarks stay an honest
+   baseline. *)
+let process_memo_slow t ~now ~flow_id flow =
+  let m = t.metrics in
+  let expired = now -. t.last_expire >= t.cfg.expire_every in
+  maybe_expire t ~now;
+  m.Metrics.packets <- m.Metrics.packets + 1;
+  let n = Array.length t.levels in
+  let mutated = ref expired in
+  let rec walk i =
+    if i >= n then begin
+      m.Metrics.slowpaths <- m.Metrics.slowpaths + 1;
+      mutated := true;
+      let terminal, service_us = slowpath_memo t ~now ~flow_id flow in
+      (Slowpath, terminal, Latency.upcall_us +. Latency.sw_base_us +. service_us, -1)
+    end
+    else begin
+      let level = t.levels.(i) in
+      let d = Cache_level.descriptor level in
+      let hit, work = Cache_level.lookup_memo level ~now ~flow_id flow in
+      let lm = t.level_metrics.(i) in
+      lm.Metrics.work <- lm.Metrics.work + work;
+      m.Metrics.cycles_sw_search <-
+        m.Metrics.cycles_sw_search + (work * d.Cache_level.cycles_per_work);
+      match hit with
+      | None ->
+          lm.Metrics.misses <- lm.Metrics.misses + 1;
+          (match t.telemetry with
+          | Some tel ->
+              Telemetry.event tel ~packet:(m.Metrics.packets - 1) ~time:now
+                ~level:d.Cache_level.name ~latency_us:0.0 ~count:1 Recorder.Miss
+          | None -> ());
+          walk (i + 1)
+      | Some h ->
+          lm.Metrics.hits <- lm.Metrics.hits + 1;
+          for j = 0 to i - 1 do
+            let lj = t.levels.(j) in
+            if
+              (Cache_level.descriptor lj).Cache_level.policy
+              = Cache_level.Promote_on_hit
+            then begin
+              mutated := true;
+              let pe = Cache_level.promote lj ~now flow h in
+              if pe > 0 then begin
+                let lmj = t.level_metrics.(j) in
+                lmj.Metrics.pressure_evictions <-
+                  lmj.Metrics.pressure_evictions + pe;
+                if Cache_level.tier lj = Cache_level.Hardware then
+                  m.Metrics.hw_pressure_evictions <-
+                    m.Metrics.hw_pressure_evictions + pe
+              end;
+              match t.telemetry with
+              | Some tel ->
+                  Telemetry.event tel ~packet:(m.Metrics.packets - 1) ~time:now
+                    ~level:(Cache_level.name lj) ~latency_us:0.0 ~count:1
+                    Recorder.Promote;
+                  if pe > 0 then
+                    Telemetry.event tel ~packet:(m.Metrics.packets - 1) ~time:now
+                      ~level:(Cache_level.name lj) ~latency_us:0.0 ~count:pe
+                      Recorder.Pressure_evict
+              | None -> ()
+            end
+          done;
+          let outcome, lat =
+            match d.Cache_level.tier with
+            | Cache_level.Hardware ->
+                m.Metrics.hw_hits <- m.Metrics.hw_hits + 1;
+                (Hw_hit, d.Cache_level.hit_us ~work)
+            | Cache_level.Software ->
+                m.Metrics.sw_hits <- m.Metrics.sw_hits + 1;
+                ( Sw_hit,
+                  Latency.upcall_us +. Latency.sw_base_us
+                  +. d.Cache_level.hit_us ~work )
+          in
+          lm.Metrics.latency_us <- lm.Metrics.latency_us +. lat;
+          Histogram.record lm.Metrics.latency_hist lat;
+          (match t.telemetry with
+          | Some tel ->
+              Telemetry.event tel ~packet:(m.Metrics.packets - 1) ~time:now
+                ~level:d.Cache_level.name ~latency_us:lat ~count:1 Recorder.Hit
+          | None -> ());
+          (outcome, Some h.Cache_level.terminal, lat, i)
+    end
+  in
+  let outcome, terminal, latency, hit_level = walk 0 in
+  (match terminal with
+  | Some Action.Drop -> m.Metrics.drops <- m.Metrics.drops + 1
+  | Some (Action.Output _ | Action.Controller) | None -> ());
+  Gf_util.Stats.Acc.add m.Metrics.latency latency;
+  Histogram.record m.Metrics.latency_hist latency;
+  (* Occupancies only move on expiry, promotion or slowpath installs: a
+     pure-hit packet cannot raise any peak, so the per-packet scan that
+     [process] pays is elided unless something mutated. *)
+  if !mutated then begin
+    let hw_occ = ref 0 in
+    Array.iteri
+      (fun i level ->
+        let occ = Cache_level.occupancy level in
+        let lm = t.level_metrics.(i) in
+        if occ > lm.Metrics.occupancy_peak then lm.Metrics.occupancy_peak <- occ;
+        if Cache_level.tier level = Cache_level.Hardware then hw_occ := !hw_occ + occ)
+      t.levels;
+    if !hw_occ > m.Metrics.hw_entries_peak then m.Metrics.hw_entries_peak <- !hw_occ
+  end;
+  (* A hardware hit at the top level has constant per-packet effects:
+     compile them so this flow's next packets take [process_memo]'s fast
+     path. *)
+  (if hit_level = 0 && flow_id >= 0 then
+     let level = t.levels.(0) in
+     let d = Cache_level.descriptor level in
+     if d.Cache_level.tier = Cache_level.Hardware then
+       match Cache_level.prepare_replay level ~flow_id with
+       | Some p_replay ->
+           ensure_replay_slot t flow_id;
+           let lm0 = t.level_metrics.(0) in
+           t.replay_tbl.(flow_id) <-
+             Some
+               {
+                 p_replay;
+                 p_lat = latency;
+                 p_gidx = Histogram.index m.Metrics.latency_hist latency;
+                 p_lidx = Histogram.index lm0.Metrics.latency_hist latency;
+                 p_cpw = d.Cache_level.cycles_per_work;
+                 p_name = d.Cache_level.name;
+                 p_is_drop = (terminal = Some Action.Drop);
+                 p_result = (outcome, terminal, latency);
+               }
+       | None -> ());
+  (outcome, terminal, latency)
+
+(* [process] amortised for the batched engine.  Repeat flows hitting the
+   hardware top level replay a compiled constant effect ([pmemo]) — no
+   first-class-module projections, no hash probes, no log2 per packet —
+   every other packet takes [process_memo_slow].  The fast path is only
+   legal when no expiry sweep is due (a due sweep must run, and may evict
+   anything), and it re-validates the memoised entry on every packet
+   through [p_replay], so observable effects stay identical to
+   [process]'s. *)
+let process_memo t ~now ~flow_id flow =
+  if
+    flow_id >= 0
+    && flow_id < Array.length t.replay_tbl
+    && now -. t.last_expire < t.cfg.expire_every
+  then begin
+    match t.replay_tbl.(flow_id) with
+    | Some pm -> (
+        match pm.p_replay ~now with
+        | Some work ->
+            let m = t.metrics in
+            m.Metrics.packets <- m.Metrics.packets + 1;
+            let lm0 = t.level_metrics.(0) in
+            lm0.Metrics.work <- lm0.Metrics.work + work;
+            m.Metrics.cycles_sw_search <-
+              m.Metrics.cycles_sw_search + (work * pm.p_cpw);
+            lm0.Metrics.hits <- lm0.Metrics.hits + 1;
+            m.Metrics.hw_hits <- m.Metrics.hw_hits + 1;
+            lm0.Metrics.latency_us <- lm0.Metrics.latency_us +. pm.p_lat;
+            Histogram.record_at lm0.Metrics.latency_hist pm.p_lidx pm.p_lat;
+            (match t.telemetry with
+            | Some tel ->
+                Telemetry.event tel ~packet:(m.Metrics.packets - 1) ~time:now
+                  ~level:pm.p_name ~latency_us:pm.p_lat ~count:1 Recorder.Hit
+            | None -> ());
+            if pm.p_is_drop then m.Metrics.drops <- m.Metrics.drops + 1;
+            Gf_util.Stats.Acc.add m.Metrics.latency pm.p_lat;
+            Histogram.record_at m.Metrics.latency_hist pm.p_gidx pm.p_lat;
+            pm.p_result
+        | None ->
+            (* Entry left the level (evicted, replaced): drop the stale
+               compilation and walk; a fresh one is compiled on the next
+               top-level hit. *)
+            t.replay_tbl.(flow_id) <- None;
+            process_memo_slow t ~now ~flow_id flow)
+    | None -> process_memo_slow t ~now ~flow_id flow
+  end
+  else process_memo_slow t ~now ~flow_id flow
+
 (* A time-series sample built straight from the live Metrics counters, so
    the final sample of a run agrees with the run's Metrics exactly. *)
 let snapshot t ~time =
@@ -498,6 +757,24 @@ let snapshot t ~time =
            t.levels);
   }
 
+(* End-of-run epilogue, shared by [run] and the batched engine's workers:
+   record final occupancies, flush one unconditional telemetry sample
+   (deduplicated by packet count) at [time] plus a full counter export, so
+   a consumer's last JSONL sample and the Prometheus snapshot both agree
+   with the returned Metrics exactly. *)
+let finalize t ~time =
+  t.metrics.Metrics.hw_entries_final <- hw_occupancy t;
+  Array.iteri
+    (fun i level ->
+      t.level_metrics.(i).Metrics.occupancy_final <- Cache_level.occupancy level)
+    t.levels;
+  (match t.telemetry with
+  | Some tel ->
+      Telemetry.push_sample tel (snapshot t ~time);
+      Metrics.to_registry t.metrics (Telemetry.registry tel)
+  | None -> ());
+  t.metrics
+
 let run ?on_packet ?miss_sink t trace =
   Array.iter
     (fun (pkt : Gf_workload.Trace.packet) ->
@@ -520,24 +797,11 @@ let run ?on_packet ?miss_sink t trace =
       | Some f -> f pkt outcome latency
       | None -> ())
     trace.Gf_workload.Trace.packets;
-  t.metrics.Metrics.hw_entries_final <- hw_occupancy t;
-  Array.iteri
-    (fun i level ->
-      t.level_metrics.(i).Metrics.occupancy_final <- Cache_level.occupancy level)
-    t.levels;
-  (* Final flush: one unconditional sample (deduplicated by packet count)
-     plus a full counter export, so a consumer's last JSONL sample and the
-     Prometheus snapshot both agree with the returned Metrics exactly. *)
-  (match t.telemetry with
-  | Some tel ->
-      let n = Array.length trace.Gf_workload.Trace.packets in
-      let time =
-        if n = 0 then 0.0
-        else trace.Gf_workload.Trace.packets.(n - 1).Gf_workload.Trace.time
-      in
-      Telemetry.push_sample tel (snapshot t ~time);
-      Metrics.to_registry t.metrics (Telemetry.registry tel)
-  | None -> ());
-  t.metrics
+  let n = Array.length trace.Gf_workload.Trace.packets in
+  let time =
+    if n = 0 then 0.0
+    else trace.Gf_workload.Trace.packets.(n - 1).Gf_workload.Trace.time
+  in
+  finalize t ~time
 
 let metrics t = t.metrics

@@ -160,15 +160,39 @@ val process :
     latency in microseconds.  Updates metrics, including the per-level
     breakdown ({!Metrics.levels}). *)
 
+val process_memo :
+  t ->
+  now:float ->
+  flow_id:int ->
+  Gf_flow.Flow.t ->
+  outcome * Gf_pipeline.Action.terminal option * float
+(** The batched engine's walker: observably identical to {!process} — same
+    counters, same latency accumulation and histograms, same telemetry
+    events, same occupancy peaks — but amortised for repeat flows.  Level
+    lookups go through per-flow memos that replay the stored result (and
+    its touch side effects) while the level's entry set is unchanged;
+    repeat slowpaths replay the memoised pipeline traversal (install
+    offers and adaptive-profile updates stay live); and the per-packet
+    occupancy-peak scan is elided when no mutation could have moved an
+    occupancy.  Requires that a given [flow_id] is always presented with
+    the same flow value (true of every {!Gf_workload.Trace} generator). *)
+
 val revalidate : t -> int * int
 (** Sweep every level against the (possibly updated) pipeline; returns
     total [(evicted, work)].  Per-level evictions are recorded in
-    metrics. *)
+    metrics.  Also drops the memoised slowpath traversals
+    ({!process_memo}) — the pipeline may have changed. *)
 
 val snapshot : t -> time:float -> Gf_telemetry.Series.sample
 (** A time-series sample built from the live metrics (and current level
     occupancies), so a snapshot taken after {!run} agrees with the returned
     {!Metrics.t} exactly. *)
+
+val finalize : t -> time:float -> Metrics.t
+(** End-of-run epilogue (called by {!run}; the batched engine calls it
+    directly after draining): records final occupancies, flushes one
+    unconditional telemetry sample at [time] plus a full counter export,
+    and returns the metrics. *)
 
 val run :
   ?on_packet:(Gf_workload.Trace.packet -> outcome -> float -> unit) ->

@@ -15,7 +15,7 @@
 module Trace = Gf_workload.Trace
 module Pipeline = Gf_pipeline.Pipeline
 
-type mode = [ `Domains | `Sequential ]
+type mode = [ `Domains | `Sequential | `Streamed ]
 
 type shard_run = {
   domain_id : int;
@@ -63,6 +63,12 @@ let shard ~domains (trace : Trace.t) =
   end
 
 let replay ?(mode = `Domains) ?(domains = 1) ?telemetry ~cfg pipeline trace =
+  (match mode with
+  | `Streamed ->
+      (* The streaming engine lives above this library (gf_engine depends
+         on gf_sim); [`Streamed] results are built by [Engine.replay]. *)
+      invalid_arg "Parallel.replay: `Streamed mode is run by Gf_engine.Engine.replay"
+  | `Domains | `Sequential -> ());
   let shard_traces = shard ~domains trace in
   (* Each shard gets a private telemetry sink (domains never share one —
      recording is unsynchronised by design); shard sinks are merged after
@@ -108,7 +114,7 @@ let replay ?(mode = `Domains) ?(domains = 1) ?telemetry ~cfg pipeline trace =
   let t0 = Unix.gettimeofday () in
   let shards =
     match mode with
-    | `Sequential -> Array.init domains run_one
+    | `Sequential | `Streamed -> Array.init domains run_one
     | `Domains ->
         Array.init domains (fun i -> Domain.spawn (fun () -> run_one i))
         |> Array.map Domain.join

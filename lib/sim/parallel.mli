@@ -19,7 +19,12 @@ type mode =
     (** same sharding, shards replayed one after another on the calling
         domain — the validation twin of [`Domains], and the per-shard
         timing source that is undistorted by time-slicing when the host
-        has fewer cores than shards *) ]
+        has fewer cores than shards *)
+  | `Streamed
+    (** the batched streaming engine (long-lived workers fed over SPSC
+        rings); results with this mode are produced by
+        [Gf_engine.Engine.replay] — {!replay} rejects it
+        ([invalid_arg]) because the engine lives above this library *) ]
 
 type shard_run = {
   domain_id : int;

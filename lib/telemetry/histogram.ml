@@ -79,6 +79,16 @@ let record t x =
   if x < t.min_v then t.min_v <- x;
   if x > t.max_v then t.max_v <- x
 
+(* [record] with the bucket index precomputed (callers that record a
+   constant value repeatedly hoist the log2 out of their per-sample
+   path); [i] must equal [index t x]. *)
+let record_at t i x =
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. x;
+  if x < t.min_v then t.min_v <- x;
+  if x > t.max_v then t.max_v <- x
+
 (* Bounds of bucket [i]: the underflow bucket spans [0, lo), log bucket
    (e, s) spans lo*2^e*[1 + s/sub, 1 + (s+1)/sub), overflow spans
    [lo*2^octaves, inf). *)

@@ -20,6 +20,16 @@ val create : ?lo:float -> ?hi:float -> ?sub:int -> unit -> t
 
 val record : t -> float -> unit
 
+val index : t -> float -> int
+(** Bucket index {!record} would use for a sample — exposed so hot paths
+    that record the same value repeatedly (the batched engine's compiled
+    hit replay, whose hardware-hit latency is constant) can compute it
+    once and use {!record_at}. *)
+
+val record_at : t -> int -> float -> unit
+(** [record_at t i x] is {!record}[ t x] with the bucket index [i]
+    precomputed; [i] must equal [index t x]. *)
+
 val count : t -> int
 val sum : t -> float
 

@@ -1,4 +1,5 @@
 module Rng = Gf_util.Rng
+module Zipf = Gf_util.Zipf
 
 type packet = { time : float; flow_id : int; flow : Gf_flow.Flow.t }
 
@@ -67,6 +68,89 @@ let churn ?(duration = 60.0) ?(epochs = 30) ?(active = 512) ?(turnover = 0.25)
   { packets = arr; unique_flows = n; duration }
 
 let packet_count t = Array.length t.packets
+
+(* --------------------------- streaming pull --------------------------- *)
+
+type stream = {
+  fill :
+    times:float array ->
+    flow_ids:int array ->
+    flows:Gf_flow.Flow.t array ->
+    max:int ->
+    int;
+  stream_unique_flows : int;
+  stream_duration : float;
+}
+
+let fill s = s.fill
+let stream_unique_flows s = s.stream_unique_flows
+let stream_duration s = s.stream_duration
+
+let stream_of_trace t =
+  let pos = ref 0 in
+  let fill ~times ~flow_ids ~flows ~max =
+    let n = Array.length t.packets in
+    let k = Stdlib.min max (n - !pos) in
+    for i = 0 to k - 1 do
+      let p = t.packets.(!pos + i) in
+      times.(i) <- p.time;
+      flow_ids.(i) <- p.flow_id;
+      flows.(i) <- p.flow
+    done;
+    pos := !pos + k;
+    k
+  in
+  { fill; stream_unique_flows = t.unique_flows; stream_duration = t.duration }
+
+(* Steady-state traffic: every packet picks its flow Zipf-independently, so
+   the popular-flow working set is stable for the whole stream (no flow
+   births/deaths).  Packets are generated batch-at-a-time straight into the
+   caller's buffers — memory use is constant no matter how long the
+   stream. *)
+let steady ?(duration = 60.0) ?(zipf_s = 1.1) ~packets ~seed ~flows () =
+  let rng = Rng.create seed in
+  let n = Array.length flows in
+  assert (n > 0 && packets >= 0);
+  let zipf = Zipf.create ~n ~s:zipf_s in
+  let mean_gap = duration /. float_of_int (Stdlib.max 1 packets) in
+  let time = ref 0.0 in
+  let remaining = ref packets in
+  let fill ~times ~flow_ids ~flows:out ~max =
+    let k = Stdlib.min max !remaining in
+    for i = 0 to k - 1 do
+      let fid = Zipf.sample zipf rng in
+      times.(i) <- !time;
+      flow_ids.(i) <- fid;
+      out.(i) <- flows.(fid);
+      time := !time +. Rng.exponential rng ~mean:mean_gap
+    done;
+    remaining := !remaining - k;
+    k
+  in
+  { fill; stream_unique_flows = n; stream_duration = duration }
+
+(* Materialise a stream (test/debug helper; the steady generator exists
+   precisely so callers can avoid this). *)
+let trace_of_stream ?(batch = 4096) s =
+  let times = Array.make batch 0.0 in
+  let flow_ids = Array.make batch 0 in
+  let flows = Array.make batch Gf_flow.Flow.zero in
+  let acc = ref [] in
+  let rec pull () =
+    let k = s.fill ~times ~flow_ids ~flows ~max:batch in
+    if k > 0 then begin
+      for i = 0 to k - 1 do
+        acc := { time = times.(i); flow_id = flow_ids.(i); flow = flows.(i) } :: !acc
+      done;
+      pull ()
+    end
+  in
+  pull ();
+  {
+    packets = Array.of_list (List.rev !acc);
+    unique_flows = s.stream_unique_flows;
+    duration = s.stream_duration;
+  }
 
 let concat a b ~offset =
   let shifted =

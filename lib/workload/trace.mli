@@ -56,6 +56,54 @@ val churn :
 
 val packet_count : t -> int
 
+(** {1 Streaming}
+
+    A pull-based packet source for the batched engine: the consumer hands
+    over its own buffers and receives up to [max] packets per call, so
+    arbitrarily long traces cost constant memory (no materialised packet
+    array, no global sort). *)
+
+type stream
+
+val fill :
+  stream ->
+  times:float array ->
+  flow_ids:int array ->
+  flows:Gf_flow.Flow.t array ->
+  max:int ->
+  int
+(** Pull the next batch: writes up to [max] packets into the buffer
+    prefixes (all three arrays must have length >= [max]) and returns the
+    count written; [0] means end of stream.  Times are nondecreasing
+    across calls.  A given [flow_id] is always paired with the same flow
+    value (the contract the engine's memoisation relies on). *)
+
+val stream_unique_flows : stream -> int
+val stream_duration : stream -> float
+
+val stream_of_trace : t -> stream
+(** Iterate a materialised trace (one pass; for determinism comparisons
+    against array-based replay). *)
+
+val steady :
+  ?duration:float ->
+  ?zipf_s:float ->
+  packets:int ->
+  seed:int ->
+  flows:Gf_flow.Flow.t array ->
+  unit ->
+  stream
+(** A constant-memory steady-state source: each of [packets] packets draws
+    its flow Zipf(s=[zipf_s], default 1.1) independently over [flows]
+    (rank 0 most popular) with exponential inter-packet gaps averaging
+    [duration / packets] seconds.  The popular-flow working set is stable
+    for the whole stream — the regime where caches (and the engine's
+    memo replay) converge — in contrast to {!generate}'s flow churn.
+    Deterministic in [seed]. *)
+
+val trace_of_stream : ?batch:int -> stream -> t
+(** Materialise a stream (test/debug helper — drains it fully). *)
+
 val concat : t -> t -> offset:float -> t
 (** [concat a b ~offset] shifts [b]'s packets by [offset] seconds and merges
     (for the paper's Fig. 18 dynamic-arrival experiment).  Flow ids of [b]

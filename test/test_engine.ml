@@ -1,0 +1,179 @@
+(* Tests for gigaflow.engine: SPSC ring, batches, and the streaming
+   engine's determinism against sequential sharded replay. *)
+
+module Ring = Gf_engine.Ring
+module Batch = Gf_engine.Batch
+module Engine = Gf_engine.Engine
+module Datapath = Gf_sim.Datapath
+module Metrics = Gf_sim.Metrics
+module Parallel = Gf_sim.Parallel
+module Pipebench = Gf_workload.Pipebench
+module Ruleset = Gf_workload.Ruleset
+module Trace = Gf_workload.Trace
+module Catalog = Gf_pipelines.Catalog
+module Histogram = Gf_telemetry.Histogram
+
+(* ------------------------------- ring -------------------------------- *)
+
+let test_ring_capacity_blocking () =
+  let r = Ring.create ~capacity:5 in
+  let cap = Ring.capacity r in
+  Alcotest.(check int) "rounds up to a power of two" 8 cap;
+  for i = 0 to cap - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "push %d accepted" i)
+      true (Ring.try_push r i)
+  done;
+  Alcotest.(check bool) "push refused at capacity" false (Ring.try_push r 99);
+  Alcotest.(check (option int)) "fifo head" (Some 0) (Ring.try_pop r);
+  Alcotest.(check bool) "space after pop" true (Ring.try_push r cap);
+  for i = 1 to cap do
+    Alcotest.(check (option int))
+      (Printf.sprintf "fifo %d" i)
+      (Some i) (Ring.try_pop r)
+  done;
+  Alcotest.(check (option int)) "empty pops None" None (Ring.try_pop r)
+
+let prop_ring_spsc =
+  QCheck2.Test.make
+    ~name:"spsc ring: fifo, no loss, no dup across a domain pair" ~count:15
+    QCheck2.Gen.(pair (1 -- 32) (list_size (0 -- 400) small_int))
+    (fun (capacity, xs) ->
+      let r = Ring.create ~capacity in
+      let n = List.length xs in
+      (* Consumer domain blocks on [pop]; the producer blocks on [push]
+         when the ring fills — any loss, duplication or reorder shows up
+         as a mismatched list (a lost item deadlocks into the test
+         timeout instead of passing). *)
+      let consumer =
+        Domain.spawn (fun () -> List.init n (fun _ -> Ring.pop r))
+      in
+      List.iter (fun x -> Ring.push r x) xs;
+      let got = Domain.join consumer in
+      got = xs)
+
+(* ------------------------------- batch ------------------------------- *)
+
+let test_batch_pool_roundtrip () =
+  let b = Batch.create ~size:64 in
+  Alcotest.(check int) "size" 64 (Batch.size b);
+  Alcotest.(check int) "created empty" 0 b.Batch.len;
+  Alcotest.(check bool) "not poison" false (Batch.is_poison b);
+  Alcotest.(check bool) "poison is poison" true (Batch.is_poison Batch.poison)
+
+(* ------------------------- engine determinism ------------------------- *)
+
+let small_profile =
+  {
+    Gf_workload.Classbench.acl_profile with
+    Gf_workload.Classbench.endpoints = 128;
+    subnets = 16;
+    services = 32;
+  }
+
+(* Strong fingerprint: every merged counter that must agree between the
+   engine and sequential sharded replay — aggregates, the full per-level
+   breakdown, occupancy peaks, and the exact latency sum (compared as
+   bits: the merge order is fixed, so even float addition order must
+   coincide). *)
+let strong_fingerprint (m : Metrics.t) =
+  let f x = Int64.to_string (Int64.bits_of_float x) in
+  String.concat ","
+    ([
+       string_of_int m.Metrics.packets; string_of_int m.Metrics.hw_hits;
+       string_of_int m.Metrics.sw_hits; string_of_int m.Metrics.slowpaths;
+       string_of_int m.Metrics.drops; string_of_int m.Metrics.hw_installs;
+       string_of_int m.Metrics.hw_shared; string_of_int m.Metrics.hw_rejected;
+       string_of_int m.Metrics.hw_evictions;
+       string_of_int m.Metrics.hw_pressure_evictions;
+       string_of_int m.Metrics.cycles_userspace;
+       string_of_int m.Metrics.cycles_partition;
+       string_of_int m.Metrics.cycles_rulegen;
+       string_of_int m.Metrics.cycles_sw_search;
+       string_of_int m.Metrics.hw_entries_peak;
+       string_of_int m.Metrics.hw_entries_final;
+       string_of_int (Gf_util.Stats.Acc.count m.Metrics.latency);
+       f (Gf_util.Stats.Acc.total m.Metrics.latency);
+       string_of_int (Histogram.count m.Metrics.latency_hist);
+       f (Histogram.sum m.Metrics.latency_hist);
+     ]
+    @ List.concat_map
+        (fun (l : Metrics.level) ->
+          [
+            l.Metrics.level_name; string_of_int l.Metrics.hits;
+            string_of_int l.Metrics.misses; string_of_int l.Metrics.installs;
+            string_of_int l.Metrics.shared; string_of_int l.Metrics.rejected;
+            string_of_int l.Metrics.evictions;
+            string_of_int l.Metrics.pressure_evictions;
+            string_of_int l.Metrics.work; f l.Metrics.latency_us;
+            string_of_int l.Metrics.occupancy_peak;
+            string_of_int l.Metrics.occupancy_final;
+            string_of_int (Histogram.count l.Metrics.latency_hist);
+          ])
+        (Metrics.levels m))
+
+let steady_trace () =
+  let w =
+    Pipebench.make ~profile:small_profile ~combos:512 ~unique_flows:1000
+      ~duration:20.0
+      ~info:(Option.get (Catalog.find "PSC"))
+      ~locality:Ruleset.High ~seed:77 ()
+  in
+  let stream =
+    Trace.steady ~duration:5.0 ~zipf_s:1.1 ~packets:20_000 ~seed:11
+      ~flows:w.Pipebench.flows ()
+  in
+  (Pipebench.pipeline w, Trace.trace_of_stream stream)
+
+let test_engine_matches_sequential () =
+  let pipeline, strace = steady_trace () in
+  List.iter
+    (fun (name, cfg) ->
+      List.iter
+        (fun domains ->
+          let seq =
+            Parallel.replay ~mode:`Sequential ~domains ~cfg pipeline strace
+          in
+          let eng =
+            Engine.replay ~batch_size:256 ~domains ~cfg pipeline
+              (Trace.stream_of_trace strace)
+          in
+          Alcotest.(check string)
+            (Printf.sprintf "%s d=%d merged metrics" name domains)
+            (strong_fingerprint seq.Parallel.merged)
+            (strong_fingerprint eng.Parallel.merged))
+        [ 1; 2; 4 ])
+    [
+      ("emc_mf_sw", Datapath.emc_mf_sw ());
+      ("emc_gf_sw", Datapath.emc_gf_sw ());
+    ]
+
+let test_engine_batch_size_invariant () =
+  let pipeline, strace = steady_trace () in
+  let cfg = Datapath.emc_mf_sw () in
+  let run bs =
+    strong_fingerprint
+      (Engine.replay ~batch_size:bs ~domains:2 ~cfg pipeline
+         (Trace.stream_of_trace strace))
+        .Parallel.merged
+  in
+  let ref_fp = run 256 in
+  List.iter
+    (fun bs ->
+      Alcotest.(check string)
+        (Printf.sprintf "batch=%d = batch=256" bs)
+        ref_fp (run bs))
+    [ 1; 17; 1024 ]
+
+let suite =
+  [
+    Alcotest.test_case "ring capacity + blocking" `Quick
+      test_ring_capacity_blocking;
+    Alcotest.test_case "batch pool roundtrip" `Quick test_batch_pool_roundtrip;
+    Alcotest.test_case "engine = sequential (presets x domains)" `Slow
+      test_engine_matches_sequential;
+    Alcotest.test_case "engine invariant to batch size" `Slow
+      test_engine_batch_size_invariant;
+  ]
+
+let props = [ prop_ring_spsc ]

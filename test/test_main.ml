@@ -19,4 +19,6 @@ let () =
       Helpers.qsuite "sim:props" Test_sim.props;
       ("telemetry", Test_telemetry.suite);
       Helpers.qsuite "telemetry:props" Test_telemetry.props;
+      ("engine", Test_engine.suite);
+      Helpers.qsuite "engine:props" Test_engine.props;
     ]

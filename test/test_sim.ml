@@ -410,8 +410,10 @@ module Cache_level = Gf_sim.Cache_level
    These fingerprints are captured on the fixed-seed small workload; any
    drift in hit/miss/install/eviction counts, cycle accounting or total
    latency is a behaviour change, not a refactor.  (Recaptured once when
-   [Rng.int] switched from modulo to exactly-uniform rejection sampling —
-   a sanctioned stream change.  The default [Reject]/[Lru] replacement
+   [Rng.int] switched from modulo to exactly-uniform rejection sampling,
+   and again when [Zipf.sample] switched from CDF binary search to
+   Walker's alias method — sanctioned stream changes: same distribution,
+   different fixed-seed sequence.  The default [Reject]/[Lru] replacement
    policies reproduce these numbers bit-identically.) *)
 let test_hierarchy_regression () =
   let check_cfg name cfg expected expected_lat =
@@ -431,21 +433,21 @@ let test_hierarchy_regression () =
       (Gf_util.Stats.Acc.total m.Metrics.latency)
   in
   check_cfg "emc_mf_sw" (Datapath.emc_mf_sw ())
-    [ 10615; 9721; 61; 833; 0; 833; 0; 0; 832; 9458400; 0; 0; 37880550; 832; 1 ]
-    102657.646153846;
+    [ 10615; 9725; 65; 825; 0; 825; 0; 0; 825; 9469350; 0; 0; 35466750; 825; 0 ]
+    102509.357692308;
   check_cfg "emc_gf_sw" (Datapath.emc_gf_sw ())
     [
-      10615; 10173; 20; 422; 0; 623; 841; 0; 621; 4564500; 3025260; 1171200;
-      13348350; 614; 2;
+      10615; 10193; 27; 395; 0; 591; 785; 0; 587; 4305450; 2872440; 1100800;
+      13129200; 582; 4;
     ]
-    100876.3;
+    100581.611538461;
   check_cfg "emc_mf_sw short idle"
     (Datapath.emc_mf_sw ~max_idle:0.5 ~expire_every:0.25 ())
     [
-      10615; 3786; 5151; 1678; 0; 1678; 0; 0; 1677; 18871350; 0; 0; 75888000;
-      144; 1;
+      10615; 3864; 5047; 1704; 0; 1704; 0; 0; 1703; 19336650; 0; 0; 74490750;
+      139; 1;
     ]
-    125297.161538453
+    125345.673076914
 
 (* Satellite: per-level eviction accounting.  The seed dropped EMC and
    software-cache eviction counts on the floor ([ignore]d); now every
