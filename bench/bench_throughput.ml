@@ -41,6 +41,17 @@ let say fmt = Printf.printf (fmt ^^ "\n%!")
 
 let now () = Unix.gettimeofday ()
 
+let git_commit () =
+  (* Stamp results with the code they measured; benches run from dirty
+     trees too, so failure is soft. *)
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match (Unix.close_process_in ic, line) with
+    | Unix.WEXITED 0, s when s <> "" -> s
+    | _ -> "unknown"
+  with _ -> "unknown"
+
 (* ------------------------------ runs ------------------------------ *)
 
 type seq_run = { wall : float; pps : float; metrics : Metrics.t }
@@ -69,7 +80,8 @@ let counters (m : Metrics.t) =
     m.Metrics.packets; m.Metrics.hw_hits; m.Metrics.sw_hits; m.Metrics.slowpaths;
     m.Metrics.drops; m.Metrics.hw_installs; m.Metrics.hw_shared;
     m.Metrics.hw_rejected; m.Metrics.hw_evictions;
-    m.Metrics.hw_pressure_evictions;
+    m.Metrics.hw_pressure_evictions; m.Metrics.hw_deferred;
+    m.Metrics.hw_demotions;
   ]
 
 let run_parallel cfg pipeline trace ~domains ~seq_wall =
@@ -192,8 +204,8 @@ let () =
   let mf_cfg = Datapath.emc_mf_sw ~mf_capacity:(scaled 32_768) () in
   let gf_cfg = Datapath.emc_gf_sw ~gf:scaled_gf () in
   j "{\n";
-  j "  \"meta\": {\"seed\": %d, \"scale\": %s, \"pipeline\": \"PSC\", \"locality\": \"high\",\n"
-    !seed (jfloat !scale);
+  j "  \"meta\": {\"seed\": %d, \"scale\": %s, \"commit\": \"%s\", \"pipeline\": \"PSC\", \"locality\": \"high\",\n"
+    !seed (jfloat !scale) (git_commit ());
   j "           \"packets\": %d, \"unique_flows\": %d, \"host_cores\": %d},\n"
     (Trace.packet_count trace) trace.Trace.unique_flows
     (Domain.recommended_domain_count ());
@@ -536,6 +548,105 @@ let () =
             policies)
         caps)
     [ ("megaflow", "mf_sw"); ("gigaflow", "gf_sw") ];
+  j "    ]\n";
+  j "  },\n";
+  (* Skew-aware admission: constrained hardware capacity on elephant/mice
+     and drifting-skew traces — heavy-hitter admission [mf_sw_hh/gf_sw_hh]
+     vs install-on-miss with the Reject pressure policy [mf_sw/gf_sw] vs
+     install-on-miss with LRU, per backend.  The geometries are
+     deliberately tight (slots << elephants + mice churn): with room to
+     spare install-on-miss also captures the elephants eventually and
+     admission has nothing left to earn. *)
+  say "  [offload] heavy-hitter admission vs reject/LRU under constrained HW";
+  let ele_w =
+    Pipebench.make_elephant ~combos:8192 ~unique_flows:20_000 ~info
+      ~locality:Ruleset.High ~seed:!seed ()
+  in
+  let drift_w =
+    Pipebench.make_drift ~combos:8192 ~unique_flows:20_000 ~info
+      ~locality:Ruleset.High ~seed:!seed ()
+  in
+  let offload_geoms =
+    [
+      ("megaflow", "elephant", 1, 16, ele_w);
+      ("megaflow", "drift", 1, 64, drift_w);
+      ("gigaflow", "elephant", 2, 8, ele_w);
+      ("gigaflow", "drift", 2, 8, drift_w);
+    ]
+  in
+  let offload_run cfg pipeline trace =
+    (* End-to-end pps here is the *modeled* datapath rate — the reciprocal
+       of simulated mean per-packet latency — which is deterministic in
+       the seed.  Simulator wall clock (how fast OCaml replays 32k
+       packets) is kept as reference only: at these trace sizes it is
+       scheduler noise, and it measures the simulator, not the system
+       under study.  Timing hygiene as in the streaming section. *)
+    let metrics, wall =
+      timed_best ~repeats:3 (fun () ->
+          Datapath.run
+            (Datapath.create cfg (Gf_pipeline.Pipeline.copy pipeline))
+            trace)
+    in
+    let modeled_pps = 1e6 /. Metrics.mean_latency_us metrics in
+    (metrics, modeled_pps, float_of_int metrics.Metrics.packets /. wall)
+  in
+  j "  \"offload\": {\n";
+  j "    \"meta\": {\"elephants\": 16, \"elephant_share\": 0.8, \"drift_epochs\": 8,\n";
+  j "             \"drift\": 64, \"unique_flows\": 20000, \"seed\": %d},\n" !seed;
+  j "    \"rows\": [\n";
+  let n_rows = 3 * List.length offload_geoms in
+  let row = ref 0 in
+  List.iter
+    (fun (backend, tracename, tables, cap, w) ->
+      let off_pipeline = Pipebench.pipeline w in
+      let off_trace = w.Pipebench.trace in
+      let gf = Gf_core.Config.v ~tables ~table_capacity:cap () in
+      let mk name =
+        Option.get (Datapath.preset ~gf ~mf_capacity:(tables * cap) name)
+      in
+      let hh_name, base_name =
+        if backend = "megaflow" then ("mf_sw_hh", "mf_sw") else ("gf_sw_hh", "gf_sw")
+      in
+      List.iter
+        (fun (variant, cfg) ->
+          let m, modeled_pps, wall_pps = offload_run cfg off_pipeline off_trace in
+          let seq_ref =
+            Parallel.replay ~mode:`Sequential ~domains:2 ~cfg off_pipeline off_trace
+          in
+          let par =
+            Parallel.replay ~mode:`Domains ~domains:2 ~cfg off_pipeline off_trace
+          in
+          let matches = counters par.Parallel.merged = counters seq_ref.Parallel.merged in
+          say
+            "  [offload] %-8s %-8s %dx%-3d %-7s: hw hit %6.2f%%, %.0f pps \
+             (modeled), mean lat %.2f us, deferred %d, demoted %d, merged ok: %b"
+            backend tracename tables cap variant
+            (100.0 *. Metrics.hw_hit_rate m)
+            modeled_pps (Metrics.mean_latency_us m) m.Metrics.hw_deferred
+            m.Metrics.hw_demotions matches;
+          incr row;
+          j "      {\"backend\": \"%s\", \"trace\": \"%s\", \"tables\": %d, \
+             \"table_capacity\": %d,\n"
+            backend tracename tables cap;
+          j "       \"admission\": \"%s\", \"policy\": \"%s\", \"hw_hit_rate\": %s,\n"
+            variant
+            (Gf_offload.Heavy_hitter.policy_to_string cfg.Datapath.admission)
+            (jfloat (Metrics.hw_hit_rate m));
+          j "       \"modeled_pps\": %s, \"sim_wall_pps\": %s, \
+             \"mean_latency_us\": %s, \"slowpaths\": %d,\n"
+            (jfloat modeled_pps) (jfloat wall_pps)
+            (jfloat (Metrics.mean_latency_us m))
+            m.Metrics.slowpaths;
+          j "       \"hw_deferred\": %d, \"hw_demotions\": %d, \
+             \"matches_sequential\": %b}%s\n"
+            m.Metrics.hw_deferred m.Metrics.hw_demotions matches
+            (if !row = n_rows then "" else ","))
+        [
+          ("hh", mk hh_name);
+          ("reject", mk base_name);
+          ("lru", Datapath.with_policy Gf_cache.Evict.Lru (mk base_name));
+        ])
+    offload_geoms;
   j "    ]\n";
   j "  },\n";
   j "  \"total_bench_seconds\": %s\n" (jfloat (now () -. t_start));

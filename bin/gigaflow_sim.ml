@@ -120,6 +120,81 @@ let churn_epochs_arg =
     value & opt int 30
     & info [ "churn-epochs" ] ~docv:"N" ~doc:"Churn mode: number of epochs.")
 
+let admission_conv =
+  let parse s =
+    match Gf_offload.Heavy_hitter.policy_of_string s with
+    | Ok p -> Ok p
+    | Error e -> Error (`Msg e)
+  in
+  let print ppf p =
+    Format.pp_print_string ppf (Gf_offload.Heavy_hitter.policy_to_string p)
+  in
+  Arg.conv (parse, print)
+
+let admission_arg =
+  Arg.(
+    value
+    & opt (some admission_conv) None
+    & info [ "admission" ] ~docv:"POLICY"
+        ~doc:
+          "Hardware-slot admission policy: $(b,all) installs every slowpath            into every level (the non-hh presets' default); $(b,hh)[:K] gates            hardware installs on a top-K space-saving sketch (K defaults to            128) — cold flows stay in the software tier until they get hot,            and a periodic sweep demotes entries whose flows went cold (the            *_hh presets' default).")
+
+let hh_threshold_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "hh-threshold" ] ~docv:"N"
+        ~doc:
+          "Heavy-hitter admission: minimum guaranteed sketch count            (count minus overestimation error) before a flow earns a            hardware slot (default 4).")
+
+let sw_level_arg =
+  Arg.(
+    value
+    & opt (some (Arg.enum [ ("megaflow", `Megaflow); ("cuckoo", `Cuckoo) ])) None
+    & info [ "sw-level" ] ~docv:"KIND"
+        ~doc:
+          "Software cache flavour: $(b,megaflow) (wildcard entries,            classifier search) or $(b,cuckoo) (exact-match 2-choice cuckoo            table, two probes per lookup — the cheap home for mice under            heavy-hitter admission).")
+
+let sw_search_arg =
+  Arg.(
+    value
+    & opt
+        (some
+           (Arg.enum
+              [ ("tss", `Tss); ("nuevomatch", `Nuevomatch); ("linear", `Linear) ]))
+        None
+    & info [ "sw-search" ] ~docv:"ALGO"
+        ~doc:
+          "Software wildcard cache search algorithm: $(b,tss) (tuple-space            search, the default), $(b,nuevomatch) (learned range-matching            model) or $(b,linear).")
+
+let trace_kind_arg =
+  Arg.(
+    value
+    & opt
+        (Arg.enum
+           [
+             ("caida", `Caida);
+             ("churn", `Churn);
+             ("elephant", `Elephant);
+             ("drift", `Drift);
+           ])
+        `Caida
+    & info [ "trace" ] ~docv:"KIND"
+        ~doc:
+          "Trace generator: $(b,caida) (heavy-tailed flow sizes, the            default), $(b,churn) (rotating active window; same as            $(b,--churn)), $(b,elephant) (a few elephants over a sea of            one-shot mice; see $(b,--elephants), $(b,--elephant-share)) or            $(b,drift) (Zipf popularity whose heavy-hitter identity set            rotates each epoch).")
+
+let elephants_arg =
+  Arg.(
+    value & opt int 16
+    & info [ "elephants" ] ~docv:"N"
+        ~doc:"Elephant trace: number of elephant flows.")
+
+let elephant_share_arg =
+  Arg.(
+    value & opt float 0.8
+    & info [ "elephant-share" ] ~docv:"F"
+        ~doc:"Elephant trace: fraction of packets carried by the elephants.")
+
 let find_pipeline code =
   match Catalog.find code with
   | Some info -> info
@@ -185,15 +260,23 @@ let prom_path jsonl_path = Filename.remove_extension jsonl_path ^ ".prom"
 let run_cmd =
   let run code locality seed flows combos hierarchy tables capacity policy
       level_policies max_idle churn churn_active churn_turnover churn_epochs
-      engine batch_size domains telemetry_out sample_every trace_events =
+      trace_kind elephants elephant_share admission hh_threshold sw_level
+      sw_search engine batch_size domains telemetry_out sample_every
+      trace_events =
     let info = find_pipeline code in
     Printf.printf "Building workload: %s, %s locality, %d flows...\n%!" info.Catalog.code
       (Ruleset.locality_name locality) flows;
+    let trace_kind = if churn then `Churn else trace_kind in
     let w =
-      if churn then
-        Pipebench.make_churn ~combos ~unique_flows:flows ~active:churn_active
-          ~turnover:churn_turnover ~epochs:churn_epochs ~info ~locality ~seed ()
-      else Pipebench.make ~combos ~unique_flows:flows ~info ~locality ~seed ()
+      match trace_kind with
+      | `Churn ->
+          Pipebench.make_churn ~combos ~unique_flows:flows ~active:churn_active
+            ~turnover:churn_turnover ~epochs:churn_epochs ~info ~locality ~seed ()
+      | `Elephant ->
+          Pipebench.make_elephant ~combos ~unique_flows:flows ~elephants
+            ~elephant_share ~info ~locality ~seed ()
+      | `Drift -> Pipebench.make_drift ~combos ~unique_flows:flows ~info ~locality ~seed ()
+      | `Caida -> Pipebench.make ~combos ~unique_flows:flows ~info ~locality ~seed ()
     in
     (* Gigaflow-based presets take the LTM geometry; Megaflow-based ones get
        the same total entry budget (tables x capacity) in one table. *)
@@ -201,12 +284,24 @@ let run_cmd =
       Option.get
         (Datapath.preset
            ~gf:(Gf_core.Config.v ~tables ~table_capacity:capacity ())
-           ~mf_capacity:(tables * capacity) ?policy ?max_idle hierarchy)
+           ~mf_capacity:(tables * capacity) ?policy ?max_idle ?sw_search ?admission
+           hierarchy)
     in
     let cfg =
       List.fold_left
         (fun cfg (level, p) -> Datapath.with_level_policy ~level p cfg)
         cfg level_policies
+    in
+    let cfg =
+      match sw_level with Some k -> Datapath.with_sw_level k cfg | None -> cfg
+    in
+    let cfg =
+      match hh_threshold with
+      | Some th ->
+          Datapath.with_admission
+            (Gf_offload.Heavy_hitter.policy_with_threshold cfg.Datapath.admission th)
+            cfg
+      | None -> cfg
     in
     let tel_config =
       if String.equal telemetry_out "" then None
@@ -231,6 +326,12 @@ let run_cmd =
       add "installs" (Tablefmt.fmt_int m.Metrics.hw_installs);
       add "shared sub-traversals" (Tablefmt.fmt_int m.Metrics.hw_shared);
       add "pressure evictions" (Tablefmt.fmt_int m.Metrics.hw_pressure_evictions);
+      add "admission"
+        (Gf_offload.Heavy_hitter.policy_to_string cfg.Datapath.admission);
+      if m.Metrics.hw_deferred > 0 then
+        add "deferred installs" (Tablefmt.fmt_int m.Metrics.hw_deferred);
+      if m.Metrics.hw_demotions > 0 then
+        add "admission demotions" (Tablefmt.fmt_int m.Metrics.hw_demotions);
       add "mean latency" (Printf.sprintf "%.2f us" (Metrics.mean_latency_us m));
       Tablefmt.print t;
       Printf.printf "Per-level breakdown:\n";
@@ -317,6 +418,15 @@ let run_cmd =
               (Tablefmt.fmt_si !max_cov);
             Printf.printf "Mean sub-traversal sharing (peak): %.2f\n" !max_share
         | None -> ());
+        (match Datapath.heavy_hitter dp with
+        | Some hh ->
+            Printf.printf "Top heavy hitters (sketch count / overestimation):\n";
+            List.iter
+              (fun (f, c, e) ->
+                Printf.printf "  %-40s count=%d err=%d\n" (Gf_flow.Flow.to_string f)
+                  c e)
+              (Gf_offload.Heavy_hitter.top hh ~n:8)
+        | None -> ());
         Option.iter write_telemetry telemetry
   in
   let term =
@@ -324,7 +434,9 @@ let run_cmd =
       const run $ pipeline_arg $ locality_arg $ seed_arg $ flows_arg $ combos_arg
       $ hierarchy_arg $ tables_arg $ capacity_arg $ evict_policy_arg
       $ evict_policy_level_arg $ max_idle_arg $ churn_arg $ churn_active_arg
-      $ churn_turnover_arg $ churn_epochs_arg $ engine_arg $ batch_size_arg
+      $ churn_turnover_arg $ churn_epochs_arg $ trace_kind_arg $ elephants_arg
+      $ elephant_share_arg $ admission_arg $ hh_threshold_arg $ sw_level_arg
+      $ sw_search_arg $ engine_arg $ batch_size_arg
       $ domains_arg $ telemetry_out_arg $ sample_every_arg $ trace_events_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run an end-to-end datapath simulation.") term

@@ -71,4 +71,29 @@ if grep -qi 'nan' "$TDIR/batched.out" "$TDIR/batched4.out"; then
   echo "NaN leaked into batched engine output" >&2; exit 1
 fi
 
+echo "== offload admission smoke"
+# Constrained hardware slots + elephant/mice trace: heavy-hitter admission
+# must strictly beat install-on-miss on SmartNIC hit rate, emit defer
+# events into telemetry that still validates, and keep NaN out of the
+# output.
+dune exec --no-build -- gigaflow-sim run -p PSC --flows 20000 --combos 8192 --seed 77 \
+  --trace elephant --hierarchy mf_sw --tables 1 --capacity 16 \
+  > "$TDIR/offload_reject.out"
+dune exec --no-build -- gigaflow-sim run -p PSC --flows 20000 --combos 8192 --seed 77 \
+  --trace elephant --hierarchy mf_sw_hh --tables 1 --capacity 16 \
+  --telemetry-out "$TDIR/offload.jsonl" --sample-every 2000 --trace-events 4 \
+  > "$TDIR/offload_hh.out"
+dune exec --no-build -- gigaflow-sim telemetry-check "$TDIR/offload.jsonl"
+hh=$(grep -F '| SmartNIC hit rate' "$TDIR/offload_hh.out" | grep -Eo '[0-9]+\.[0-9]+')
+rj=$(grep -F '| SmartNIC hit rate' "$TDIR/offload_reject.out" | grep -Eo '[0-9]+\.[0-9]+')
+awk -v hh="$hh" -v rj="$rj" 'BEGIN { exit !(hh + 0 > rj + 0) }' || {
+  echo "heavy-hitter admission did not beat reject baseline (hh=$hh% vs reject=$rj%)" >&2
+  exit 1
+}
+grep -q '"kind":"defer"' "$TDIR/offload.jsonl" || {
+  echo "no defer events in heavy-hitter telemetry" >&2; exit 1; }
+if grep -qi 'nan' "$TDIR/offload_hh.out" "$TDIR/offload_reject.out"; then
+  echo "NaN leaked into offload smoke output" >&2; exit 1
+fi
+
 echo "check.sh: all gates passed"

@@ -298,6 +298,22 @@ let expire t ~now ~max_idle =
   if stale <> [] then t.generation <- t.generation + 1;
   List.length stale
 
+(* Admission-sweep demotion: drop entries whose representative flow went
+   cold according to the caller's hotness predicate (heavy-hitter sketch),
+   freeing hardware slots for the current hot set.  Same machinery as
+   {!expire}: removed entries flip [live] and bump the generation so memos
+   and compiled replays self-invalidate. *)
+let demote t ~is_hot =
+  let cold =
+    Hashtbl.fold
+      (fun key (_, payload) acc ->
+        if is_hot payload.parent_input then acc else key :: acc)
+      t.by_key []
+  in
+  List.iter (remove_key t) cold;
+  if cold <> [] then t.generation <- t.generation + 1;
+  List.length cold
+
 let revalidate t pipeline =
   let work = ref 0 in
   let victims =

@@ -84,6 +84,11 @@ val install : t -> now:float -> version:int -> Gf_pipeline.Traversal.t ->
 val expire : t -> now:float -> max_idle:float -> int
 (** Evict entries idle longer than [max_idle]; returns how many. *)
 
+val demote : t -> is_hot:(Gf_flow.Flow.t -> bool) -> int
+(** Admission re-partition sweep: evict every entry whose representative
+    flow ([parent_input]) fails [is_hot], freeing hardware slots for the
+    current heavy hitters.  Returns how many entries were demoted. *)
+
 val revalidate : t -> Gf_pipeline.Pipeline.t -> int * int
 (** Re-run every entry's parent flow through the (possibly updated) pipeline
     and evict entries whose regenerated match/action differ (paper

@@ -200,5 +200,6 @@ let handle_miss t ~now ~pipeline flow =
         }
 
 let expire t ~now = Ltm_cache.expire t.cache ~now ~max_idle:t.config.Config.max_idle
+let demote t ~is_hot = Ltm_cache.demote t.cache ~is_hot
 
 let revalidate t pipeline = Ltm_cache.revalidate t.cache pipeline

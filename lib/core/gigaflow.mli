@@ -90,5 +90,8 @@ val handle_miss :
 val expire : t -> now:float -> int
 (** Max-idle eviction using the configured idle budget. *)
 
+val demote : t -> is_hot:(Gf_flow.Flow.t -> bool) -> int
+(** See {!Ltm_cache.demote}. *)
+
 val revalidate : t -> Gf_pipeline.Pipeline.t -> int * int
 (** See {!Ltm_cache.revalidate}. *)

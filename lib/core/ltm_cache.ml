@@ -312,6 +312,31 @@ let expire t ~now ~max_idle =
   if !total > 0 then t.generation <- t.generation + 1;
   !total
 
+(* Admission re-partition sweep: evict stored rules whose originating flow
+   went cold under the caller's hotness predicate.  Shared rules (shares >
+   0) are kept — their single recorded parent flow is not representative
+   of every traversal reusing them.  Like {!expire}, no tag-chain-safety
+   filter is needed: evicting a predecessor just dead-ends its consumers
+   to the slowpath. *)
+let demote t ~is_hot =
+  let total = ref 0 in
+  Array.iter
+    (fun table ->
+      let victims =
+        Ltm_table.fold table ~init:[] ~f:(fun acc stored ->
+            if
+              stored.Ltm_table.shares = 0
+              && not (is_hot stored.Ltm_table.rule.Ltm_rule.origin.Ltm_rule.parent_flow)
+            then stored :: acc
+            else acc)
+      in
+      List.iter (Ltm_table.remove table) victims;
+      total := !total + List.length victims)
+    t.tables;
+  t.stats.Cache_stats.evictions <- t.stats.Cache_stats.evictions + !total;
+  if !total > 0 then t.generation <- t.generation + 1;
+  !total
+
 (* Re-derive the rule a stored entry should be and compare signatures. *)
 let revalidate_stored pipeline (stored : Ltm_table.stored) =
   let rule = stored.Ltm_table.rule in

@@ -90,6 +90,12 @@ val expire : t -> now:float -> max_idle:float -> int
 (** Evict entries idle longer than [max_idle]; returns how many.  This is
     the selective sub-traversal eviction of paper section 4.3.2. *)
 
+val demote : t -> is_hot:(Gf_flow.Flow.t -> bool) -> int
+(** Admission re-partition sweep: evict unshared stored rules whose
+    originating parent flow fails [is_hot] (shared rules are kept — one
+    recorded parent is not representative of every traversal reusing
+    them).  Returns how many rules were demoted. *)
+
 val revalidate : t -> Gf_pipeline.Pipeline.t -> int * int
 (** Re-trace every entry's parent flow from its tagged vSwitch table for the
     entry's sub-traversal length and evict entries whose regenerated

@@ -28,6 +28,11 @@ let hw_hit_us = 9.0
    vector, no wildcard search. *)
 let emc_hit_us = 0.4
 
+(* Cuckoo exact-match hit: up to two bucket probes (8 slots / 2 cache
+   lines) over the full header vector — a shade above the EMC's single
+   probe, far below any wildcard search. *)
+let cuckoo_hit_us = 0.55
+
 (* One PCIe round trip plus ring handoff and wakeup: calibrated so that a
    software cache hit lands at the paper's OVS/DPDK figure (~12.6 us). *)
 let upcall_us = 5.5

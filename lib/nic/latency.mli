@@ -37,6 +37,10 @@ val emc_hit_us : float
 (** Exact-match (EMC/Microflow) cache hit: one hash probe, no wildcard
     search.  Added on top of [upcall_us + sw_base_us]. *)
 
+val cuckoo_hit_us : float
+(** Cuckoo exact-match hit: up to two bucket probes over the full header
+    vector.  Added on top of [upcall_us + sw_base_us]. *)
+
 val sw_base_us : float
 (** Fixed software forwarding cost (parse, action execution, transmit);
     [upcall_us + sw_base_us + sw_search_us] reproduces the paper's

@@ -1,0 +1,211 @@
+module Flow = Gf_flow.Flow
+
+(* Stream-summary layout: rows [0, size) of the flat arrays hold the tracked
+   entries sorted by count descending.  [index] maps a tracked flow to its
+   row; [boundary] maps a count value to the leftmost row holding it.  An
+   increment of row [i] swaps it with the leftmost row of its equal-count
+   run (one O(1) swap keeps the array sorted), then bumps the count there.
+   The minimum entry is always row [size - 1]. *)
+type t = {
+  k : int;
+  flows : Flow.t array;
+  counts : int array;
+  errs : int array;
+  index : int Flow.Tbl.t;
+  boundary : (int, int) Hashtbl.t;
+  mutable size : int;
+  mutable observed : int;
+}
+
+let create ~k =
+  if k < 1 then invalid_arg "Heavy_hitter.create: k must be >= 1";
+  {
+    k;
+    flows = Array.make k Flow.zero;
+    counts = Array.make k 0;
+    errs = Array.make k 0;
+    index = Flow.Tbl.create (2 * k);
+    boundary = Hashtbl.create (2 * k);
+    size = 0;
+    observed = 0;
+  }
+
+let k t = t.k
+let size t = t.size
+let observed t = t.observed
+
+(* Move row [i] (count c) to the head of its run and bump it to c+1,
+   maintaining the sorted order and the boundary map. *)
+let bump t i =
+  let c = t.counts.(i) in
+  let j = match Hashtbl.find_opt t.boundary c with Some j -> j | None -> i in
+  if j <> i then begin
+    let fi = t.flows.(i) and fj = t.flows.(j) in
+    t.flows.(i) <- fj;
+    t.flows.(j) <- fi;
+    let tmp = t.errs.(i) in
+    t.errs.(i) <- t.errs.(j);
+    t.errs.(j) <- tmp;
+    (* counts are equal by construction; no swap needed *)
+    Flow.Tbl.replace t.index fi j;
+    Flow.Tbl.replace t.index fj i
+  end;
+  (* shrink (or drop) the run of [c], which now starts one row later *)
+  if j + 1 < t.size && t.counts.(j + 1) = c then
+    Hashtbl.replace t.boundary c (j + 1)
+  else Hashtbl.remove t.boundary c;
+  t.counts.(j) <- c + 1;
+  (* row [j] is now the rightmost of the (c+1)-run; it only becomes the
+     boundary if no (c+1)-run existed before *)
+  if not (Hashtbl.mem t.boundary (c + 1)) then
+    Hashtbl.replace t.boundary (c + 1) j
+
+let observe t flow =
+  t.observed <- t.observed + 1;
+  match Flow.Tbl.find_opt t.index flow with
+  | Some i -> bump t i
+  | None ->
+      if t.size < t.k then begin
+        let i = t.size in
+        t.flows.(i) <- flow;
+        t.counts.(i) <- 0;
+        t.errs.(i) <- 0;
+        Flow.Tbl.replace t.index flow i;
+        if not (Hashtbl.mem t.boundary 0) then Hashtbl.replace t.boundary 0 i;
+        t.size <- t.size + 1;
+        bump t i
+      end
+      else begin
+        (* replace the minimum entry; its count becomes the newcomer's
+           error bound (space-saving inheritance) *)
+        let i = t.k - 1 in
+        let victim = t.flows.(i) in
+        let c = t.counts.(i) in
+        Flow.Tbl.remove t.index victim;
+        t.flows.(i) <- flow;
+        t.errs.(i) <- c;
+        Flow.Tbl.replace t.index flow i;
+        bump t i
+      end
+
+let count t flow =
+  match Flow.Tbl.find_opt t.index flow with
+  | Some i -> t.counts.(i)
+  | None -> 0
+
+let guaranteed t flow =
+  match Flow.Tbl.find_opt t.index flow with
+  | Some i -> t.counts.(i) - t.errs.(i)
+  | None -> 0
+
+let hot t ~threshold flow = guaranteed t flow >= threshold
+
+let rebuild_boundary t =
+  Hashtbl.reset t.boundary;
+  for i = t.size - 1 downto 0 do
+    Hashtbl.replace t.boundary t.counts.(i) i
+  done
+
+let decay t =
+  let live = ref 0 in
+  for i = 0 to t.size - 1 do
+    let c = t.counts.(i) / 2 in
+    if c = 0 then Flow.Tbl.remove t.index t.flows.(i)
+    else begin
+      let j = !live in
+      if j <> i then begin
+        t.flows.(j) <- t.flows.(i);
+        Flow.Tbl.replace t.index t.flows.(j) j
+      end;
+      t.counts.(j) <- c;
+      t.errs.(j) <- t.errs.(i) / 2;
+      incr live
+    end
+  done;
+  (* halving is monotone, so the surviving prefix is still sorted *)
+  t.size <- !live;
+  rebuild_boundary t
+
+let top t ~n =
+  let rows = ref [] in
+  for i = t.size - 1 downto 0 do
+    rows := (t.flows.(i), t.counts.(i), t.errs.(i)) :: !rows
+  done;
+  let cmp (f1, c1, e1) (f2, c2, e2) =
+    if c1 <> c2 then compare c2 c1
+    else if e1 <> e2 then compare e1 e2
+    else Flow.compare f1 f2
+  in
+  let sorted = List.stable_sort cmp !rows in
+  List.filteri (fun i _ -> i < n) sorted
+
+let merge a b =
+  let k = max a.k b.k in
+  let acc = Flow.Tbl.create (2 * k) in
+  let add t =
+    for i = 0 to t.size - 1 do
+      let f = t.flows.(i) in
+      let c, e =
+        match Flow.Tbl.find_opt acc f with
+        | Some (c, e) -> (c, e)
+        | None -> (0, 0)
+      in
+      Flow.Tbl.replace acc f (c + t.counts.(i), e + t.errs.(i))
+    done
+  in
+  add a;
+  add b;
+  let rows = Flow.Tbl.fold (fun f (c, e) l -> (f, c, e) :: l) acc [] in
+  let cmp (f1, c1, e1) (f2, c2, e2) =
+    if c1 <> c2 then compare c2 c1
+    else if e1 <> e2 then compare e1 e2
+    else Flow.compare f1 f2
+  in
+  let sorted = List.stable_sort cmp rows in
+  let merged = create ~k in
+  List.iteri
+    (fun i (f, c, e) ->
+      if i < k then begin
+        merged.flows.(i) <- f;
+        merged.counts.(i) <- c;
+        merged.errs.(i) <- e;
+        Flow.Tbl.replace merged.index f i;
+        merged.size <- i + 1
+      end)
+    sorted;
+  merged.observed <- a.observed + b.observed;
+  rebuild_boundary merged;
+  merged
+
+(* ---------------------------------------------------------------- *)
+(* Admission policy                                                 *)
+(* ---------------------------------------------------------------- *)
+
+type policy = Admit_all | Heavy_hitter of { k : int; threshold : int }
+
+let default_k = 128
+let default_threshold = 4
+
+let policy_to_string = function
+  | Admit_all -> "all"
+  | Heavy_hitter { k; threshold } -> Printf.sprintf "hh:%d@%d" k threshold
+
+let policy_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "all" | "none" | "off" -> Ok Admit_all
+  | "hh" ->
+      Ok (Heavy_hitter { k = default_k; threshold = default_threshold })
+  | s when String.length s > 3 && String.sub s 0 3 = "hh:" -> (
+      let rest = String.sub s 3 (String.length s - 3) in
+      match int_of_string_opt rest with
+      | Some k when k >= 1 ->
+          Ok (Heavy_hitter { k; threshold = default_threshold })
+      | _ -> Error (Printf.sprintf "bad heavy-hitter K in %S" s))
+  | _ ->
+      Error
+        (Printf.sprintf "unknown admission policy %S (expected all|hh|hh:K)" s)
+
+let policy_with_threshold p threshold =
+  match p with
+  | Admit_all -> Admit_all
+  | Heavy_hitter { k; _ } -> Heavy_hitter { k; threshold }

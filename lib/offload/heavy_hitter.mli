@@ -1,0 +1,83 @@
+(** Space-saving (Misra–Gries / "stream-summary") top-K heavy-hitter sketch
+    over flow keys.
+
+    Tracks at most [k] flows.  Every observation is O(1): the tracked
+    entries live in a flat array kept sorted by count (descending), and a
+    count → leftmost-index map lets an increment move an entry across its
+    equal-count run with a single swap.  When an untracked flow arrives and
+    the sketch is full, the minimum entry is replaced and its count is
+    inherited as the newcomer's error bound — the classic space-saving
+    guarantee: [count f] over-estimates the true frequency by at most
+    [err f], so [count f - err f] (the {e guaranteed} count) never
+    over-estimates.
+
+    Determinism: observations are pure state-machine transitions (no RNG,
+    no wall clock), so per-shard sketches over disjoint RSS flow sets are
+    reproducible and {!merge} is deterministic — the `Domains==Sequential`
+    bit-identity property survives admission decisions made from the
+    sketch. *)
+
+type t
+
+val create : k:int -> t
+(** [create ~k] tracks up to [k] flows ([k >= 1]).  All storage is
+    preallocated; steady-state observation does not allocate. *)
+
+val k : t -> int
+val size : t -> int
+(** Number of flows currently tracked (<= k). *)
+
+val observed : t -> int
+(** Total observations since creation (not reset by {!decay}). *)
+
+val observe : t -> Gf_flow.Flow.t -> unit
+(** Count one packet for [flow].  O(1). *)
+
+val count : t -> Gf_flow.Flow.t -> int
+(** Estimated frequency (upper bound); 0 if untracked. *)
+
+val guaranteed : t -> Gf_flow.Flow.t -> int
+(** [count - err]: hits definitely attributed to this flow since it entered
+    the sketch.  Never over-estimates the true frequency.  0 if
+    untracked. *)
+
+val hot : t -> threshold:int -> Gf_flow.Flow.t -> bool
+(** [hot t ~threshold f] is [guaranteed t f >= threshold] — the admission
+    predicate.  Using the guaranteed count makes admission robust to the
+    inherited-error over-estimate: a mouse that just replaced the minimum
+    entry starts with [guaranteed = 1] no matter how large the inherited
+    count is. *)
+
+val decay : t -> unit
+(** Halve every count and error bound and drop entries that reach zero —
+    the periodic aging step that lets the hot set track drifting skew.
+    O(k); run it on the expiry-sweep cadence, not per packet. *)
+
+val top : t -> n:int -> (Gf_flow.Flow.t * int * int) list
+(** [(flow, count, err)] for the [n] highest-count entries, count
+    descending (ties broken by [Flow.compare] for determinism). *)
+
+val merge : t -> t -> t
+(** Combine two sketches into a fresh one of the same [k] (the larger of
+    the two if they differ): flows tracked by both sum their counts and
+    errors; the union is re-ranked and truncated to the top [k].  With
+    RSS-disjoint shards this is exact union.  Deterministic: ties are
+    broken by [Flow.compare]. *)
+
+(** {1 Admission policy} *)
+
+type policy =
+  | Admit_all  (** legacy behaviour: every slowpath installs everywhere *)
+  | Heavy_hitter of { k : int; threshold : int }
+      (** hardware tiers only admit flows with [guaranteed >= threshold] *)
+
+val default_k : int
+val default_threshold : int
+
+val policy_to_string : policy -> string
+
+val policy_of_string : string -> (policy, string) result
+(** Accepts ["all"], ["hh"], ["hh:K"] (e.g. ["hh:256"]). *)
+
+val policy_with_threshold : policy -> int -> policy
+(** Override the threshold; identity on [Admit_all]. *)

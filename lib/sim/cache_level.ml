@@ -49,6 +49,7 @@ type view =
   | Microflow_view of Microflow.t
   | Megaflow_view of Megaflow.t
   | Gigaflow_view of Gigaflow.t
+  | Cuckoo_view of Gf_cache.Cuckoo.t
 
 module type LEVEL = sig
   val descriptor : descriptor
@@ -73,6 +74,13 @@ module type LEVEL = sig
 
   val promote : now:float -> Gf_flow.Flow.t -> hit -> int
   val expire : now:float -> int
+
+  val demote : is_hot:(Gf_flow.Flow.t -> bool) -> int
+  (** Admission re-partition sweep (see [Megaflow.demote] /
+      [Ltm_cache.demote]): evict entries whose flows went cold under the
+      hotness predicate.  Only meaningful for hardware tiers — exact-match
+      software levels return 0 (their entries age out via [expire]). *)
+
   val revalidate : Gf_pipeline.Pipeline.t -> int * int
   val occupancy : unit -> int
   val capacity : unit -> int
@@ -91,6 +99,7 @@ let prepare_replay (module L : LEVEL) = L.prepare_replay
 let install_from_traversal (module L : LEVEL) = L.install_from_traversal
 let promote (module L : LEVEL) = L.promote
 let expire (module L : LEVEL) = L.expire
+let demote (module L : LEVEL) = L.demote
 let revalidate (module L : LEVEL) = L.revalidate
 let occupancy (module L : LEVEL) = L.occupancy ()
 let capacity (module L : LEVEL) = L.capacity ()
@@ -130,6 +139,7 @@ let of_microflow ?(name = "emc") ~max_idle emc : t =
         { Microflow.terminal = h.terminal; out_flow = h.out_flow }
 
     let expire ~now = Microflow.expire emc ~now ~max_idle
+    let demote ~is_hot:_ = 0
 
     (* Exact-match entries carry no dependency information: the only safe
        response to a pipeline change is a flush (OVS does the same). *)
@@ -137,6 +147,76 @@ let of_microflow ?(name = "emc") ~max_idle emc : t =
     let occupancy () = Microflow.occupancy emc
     let capacity () = Microflow.capacity emc
     let stats () = Microflow.stats emc
+  end)
+
+(* The cuckoo level is an exact-match software cache for the long tail:
+   installs collapse the slowpath traversal to (input flow, committed
+   output flow, terminal) — exactly the result that packet produced — so
+   a mouse's second packet short-circuits in two bucket probes without
+   ever earning a wildcard or hardware slot. *)
+let of_cuckoo ?(name = "sw-ck") ~max_idle ck : t =
+  (module struct
+    let descriptor =
+      {
+        name;
+        tier = Software;
+        policy = Install_on_miss;
+        max_idle;
+        hit_us = (fun ~work:_ -> Latency.cuckoo_hit_us);
+        cycles_per_work = 0;
+      }
+
+    let view = Cuckoo_view ck
+
+    let lookup ~now flow =
+      match Gf_cache.Cuckoo.lookup ck ~now flow with
+      | Some h ->
+          ( Some
+              {
+                terminal = h.Gf_cache.Cuckoo.terminal;
+                out_flow = h.Gf_cache.Cuckoo.out_flow;
+              },
+            1 )
+      | None -> (None, 1)
+
+    (* Bounded-probe exact lookup: nothing to amortise. *)
+    let lookup_memo ~now ~flow_id:_ flow = lookup ~now flow
+    let prepare_replay ~flow_id:_ = None
+
+    let install_from_traversal ~now ~version:_ traversal =
+      let open Gf_pipeline in
+      let input = traversal.Traversal.input in
+      let commit =
+        Traversal.segment_commit traversal ~first:0
+          ~last:(Array.length traversal.Traversal.steps - 1)
+      in
+      let hit =
+        {
+          Gf_cache.Cuckoo.terminal = traversal.Traversal.terminal;
+          out_flow = Gf_flow.Flow.update input commit;
+        }
+      in
+      let before_rejects = (Gf_cache.Cuckoo.stats ck).Gf_cache.Cache_stats.rejected in
+      let pressure_evicted = Gf_cache.Cuckoo.install ck ~now input hit in
+      let rejected =
+        (Gf_cache.Cuckoo.stats ck).Gf_cache.Cache_stats.rejected - before_rejects
+      in
+      if rejected > 0 then { no_install with rejected }
+      else { no_install with fresh = 1; pressure_evicted }
+
+    let promote ~now flow h =
+      Gf_cache.Cuckoo.install ck ~now flow
+        { Gf_cache.Cuckoo.terminal = h.terminal; out_flow = h.out_flow }
+
+    let expire ~now = Gf_cache.Cuckoo.expire ck ~now ~max_idle
+    let demote ~is_hot:_ = 0
+
+    (* Exact-match entries carry no dependency information: flush on any
+       pipeline change, like the EMC. *)
+    let revalidate _ = (Gf_cache.Cuckoo.invalidate_all ck, 0)
+    let occupancy () = Gf_cache.Cuckoo.occupancy ck
+    let capacity () = Gf_cache.Cuckoo.capacity ck
+    let stats () = Gf_cache.Cuckoo.stats ck
   end)
 
 let of_megaflow ?name ~tier ~max_idle mf : t =
@@ -190,6 +270,7 @@ let of_megaflow ?name ~tier ~max_idle mf : t =
 
     let promote ~now:_ _ _ = 0
     let expire ~now = Megaflow.expire mf ~now ~max_idle
+    let demote ~is_hot = Megaflow.demote mf ~is_hot
     let revalidate pipeline = Megaflow.revalidate mf pipeline
     let occupancy () = Megaflow.occupancy mf
     let capacity () = Megaflow.capacity mf
@@ -247,6 +328,7 @@ let of_gigaflow ?(name = "gf") ~pipeline gf : t =
 
     let promote ~now:_ _ _ = 0
     let expire ~now = Gigaflow.expire gf ~now
+    let demote ~is_hot = Gigaflow.demote gf ~is_hot
     let revalidate pipeline = Gigaflow.revalidate gf pipeline
     let occupancy () = Ltm_cache.occupancy (Gigaflow.cache gf)
     let capacity () = Gf_core.Config.total_capacity (Gigaflow.config gf)
@@ -268,6 +350,7 @@ type spec =
       max_idle : float option;
       evict : Evict.policy option;
     }
+  | Sw_cuckoo of { capacity : int; max_idle : float option; evict : Evict.policy option }
   | Gf_ltm of { gf : Gf_core.Config.t; max_idle : float option }
 
 (* [Gf_ltm] carries its policy inside the Gigaflow config. *)
@@ -276,10 +359,11 @@ let spec_with_evict spec policy =
   | Emc e -> Emc { e with evict = Some policy }
   | Nic_megaflow e -> Nic_megaflow { e with evict = Some policy }
   | Sw_megaflow e -> Sw_megaflow { e with evict = Some policy }
+  | Sw_cuckoo e -> Sw_cuckoo { e with evict = Some policy }
   | Gf_ltm e -> Gf_ltm { e with gf = { e.gf with Gf_core.Config.policy } }
 
 let spec_evict = function
-  | Emc { evict; _ } -> Option.value evict ~default:Evict.Lru
+  | Emc { evict; _ } | Sw_cuckoo { evict; _ } -> Option.value evict ~default:Evict.Lru
   | Nic_megaflow { evict; _ } | Sw_megaflow { evict; _ } ->
       Option.value evict ~default:Evict.Reject
   | Gf_ltm { gf; _ } -> gf.Gf_core.Config.policy
@@ -288,15 +372,18 @@ let spec_name = function
   | Emc _ -> "emc"
   | Nic_megaflow _ -> "nic-mf"
   | Sw_megaflow _ -> "sw-mf"
+  | Sw_cuckoo _ -> "sw-ck"
   | Gf_ltm _ -> "gf"
 
 let spec_tier = function
-  | Emc _ | Sw_megaflow _ -> Software
+  | Emc _ | Sw_megaflow _ | Sw_cuckoo _ -> Software
   | Nic_megaflow _ | Gf_ltm _ -> Hardware
 
 let spec_capacity = function
-  | Emc { capacity; _ } | Nic_megaflow { capacity; _ } | Sw_megaflow { capacity; _ }
-    ->
+  | Emc { capacity; _ }
+  | Nic_megaflow { capacity; _ }
+  | Sw_megaflow { capacity; _ }
+  | Sw_cuckoo { capacity; _ } ->
       capacity
   | Gf_ltm { gf; _ } -> Gf_core.Config.total_capacity gf
 
@@ -317,6 +404,11 @@ let build ?name ~default_max_idle ~pipeline spec =
       let max_idle = Option.value max_idle ~default:(4.0 *. default_max_idle) in
       of_megaflow ?name ~tier:Software ~max_idle
         (Megaflow.create ~search ~policy:(spec_evict spec) ~capacity ())
+  | Sw_cuckoo { capacity; max_idle; _ } ->
+      (* Same host-DRAM idle budget as the software megaflow it replaces. *)
+      let max_idle = Option.value max_idle ~default:(4.0 *. default_max_idle) in
+      of_cuckoo ?name ~max_idle
+        (Gf_cache.Cuckoo.create ~policy:(spec_evict spec) ~capacity ())
   | Gf_ltm { gf; max_idle } ->
       let max_idle = Option.value max_idle ~default:default_max_idle in
       of_gigaflow ?name ~pipeline

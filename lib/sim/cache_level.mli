@@ -67,6 +67,7 @@ type view =
   | Microflow_view of Gf_cache.Microflow.t
   | Megaflow_view of Gf_cache.Megaflow.t
   | Gigaflow_view of Gf_core.Gigaflow.t
+  | Cuckoo_view of Gf_cache.Cuckoo.t
 
 module type LEVEL = sig
   val descriptor : descriptor
@@ -101,6 +102,13 @@ module type LEVEL = sig
   val expire : now:float -> int
   (** Evict entries idle longer than the descriptor's [max_idle]. *)
 
+  val demote : is_hot:(Gf_flow.Flow.t -> bool) -> int
+  (** Admission re-partition sweep: evict entries whose representative
+      flows fail [is_hot], freeing slots for the current heavy hitters.
+      Only meaningful for hardware tiers; exact-match software levels
+      return 0 (their entries age out via [expire]).  See
+      {!Gf_cache.Megaflow.demote} / {!Gf_core.Ltm_cache.demote}. *)
+
   val revalidate : Gf_pipeline.Pipeline.t -> int * int
   (** Re-check entries against a (possibly updated) pipeline; returns
       [(evicted, work)].  Exact-match levels flush (their entries carry no
@@ -128,6 +136,7 @@ val install_from_traversal :
 
 val promote : t -> now:float -> Gf_flow.Flow.t -> hit -> int
 val expire : t -> now:float -> int
+val demote : t -> is_hot:(Gf_flow.Flow.t -> bool) -> int
 val revalidate : t -> Gf_pipeline.Pipeline.t -> int * int
 val occupancy : t -> int
 val capacity : t -> int
@@ -138,6 +147,11 @@ val stats : t -> Gf_cache.Cache_stats.t
 val of_microflow : ?name:string -> max_idle:float -> Gf_cache.Microflow.t -> t
 (** OVS's EMC: software tier, one hash probe per lookup, populated by
     promotion from deeper-level hits. *)
+
+val of_cuckoo : ?name:string -> max_idle:float -> Gf_cache.Cuckoo.t -> t
+(** 2-choice cuckoo exact-match table: software tier, installs the
+    collapsed slowpath result on miss — the cheap home for the long tail
+    of mice that never earn a hardware slot. *)
 
 val of_megaflow :
   ?name:string -> tier:tier -> max_idle:float -> Gf_cache.Megaflow.t -> t
@@ -175,6 +189,11 @@ type spec =
       max_idle : float option;
       evict : Gf_cache.Evict.policy option;
     }
+  | Sw_cuckoo of {
+      capacity : int;
+      max_idle : float option;
+      evict : Gf_cache.Evict.policy option;
+    }
   | Gf_ltm of { gf : Gf_core.Config.t; max_idle : float option }
 
 val spec_with_evict : spec -> Gf_cache.Evict.policy -> spec
@@ -186,7 +205,7 @@ val spec_evict : spec -> Gf_cache.Evict.policy
     level's historical default. *)
 
 val spec_name : spec -> string
-(** Default metrics key: "emc", "nic-mf", "sw-mf", "gf". *)
+(** Default metrics key: "emc", "nic-mf", "sw-mf", "sw-ck", "gf". *)
 
 val spec_tier : spec -> tier
 val spec_capacity : spec -> int

@@ -7,6 +7,8 @@ module Telemetry = Gf_telemetry.Telemetry
 module Recorder = Gf_telemetry.Recorder
 module Histogram = Gf_telemetry.Histogram
 module Series = Gf_telemetry.Series
+module Heavy_hitter = Gf_offload.Heavy_hitter
+module Flow = Gf_flow.Flow
 
 (* ----------------------------- hierarchies ----------------------------- *)
 
@@ -15,6 +17,11 @@ type config = {
   levels : Cache_level.spec list;
   max_idle : float;
   expire_every : float;
+  admission : Heavy_hitter.policy;
+      (* [Admit_all] (the default everywhere but the [*_hh] presets) keeps
+         the historical behaviour: every slowpath installs into every
+         level.  [Heavy_hitter _] gates hardware-tier installs on the
+         space-saving sketch and re-partitions on the expiry sweep. *)
 }
 
 let default_emc_capacity = 8192 (* OVS's EMC default entry count *)
@@ -41,60 +48,118 @@ let gf_spec gf = Cache_level.Gf_ltm { gf; max_idle = None }
 let emc_mf_sw ?(emc_capacity = default_emc_capacity)
     ?(mf_capacity = default_mf_capacity) ?(sw_search = `Tss)
     ?(sw_capacity = default_sw_capacity) ?(max_idle = default_max_idle)
-    ?(expire_every = default_expire_every) () =
+    ?(expire_every = default_expire_every)
+    ?(admission = Heavy_hitter.Admit_all) () =
   {
     name = "emc_mf_sw";
     levels =
       [ nic_mf_spec mf_capacity; emc_spec emc_capacity; sw_mf_spec sw_search sw_capacity ];
     max_idle;
     expire_every;
+    admission;
   }
 
 let emc_gf_sw ?(gf = Gf_core.Config.default) ?(emc_capacity = default_emc_capacity)
     ?(sw_search = `Tss) ?(sw_capacity = default_sw_capacity)
-    ?(max_idle = default_max_idle) ?(expire_every = default_expire_every) () =
+    ?(max_idle = default_max_idle) ?(expire_every = default_expire_every)
+    ?(admission = Heavy_hitter.Admit_all) () =
   {
     name = "emc_gf_sw";
     levels = [ gf_spec gf; emc_spec emc_capacity; sw_mf_spec sw_search sw_capacity ];
     max_idle;
     expire_every;
+    admission;
   }
 
 let mf_sw ?(mf_capacity = default_mf_capacity) ?(sw_search = `Tss)
     ?(sw_capacity = default_sw_capacity) ?(max_idle = default_max_idle)
-    ?(expire_every = default_expire_every) () =
+    ?(expire_every = default_expire_every)
+    ?(admission = Heavy_hitter.Admit_all) () =
   {
     name = "mf_sw";
     levels = [ nic_mf_spec mf_capacity; sw_mf_spec sw_search sw_capacity ];
     max_idle;
     expire_every;
+    admission;
   }
 
 (* The paper-faithful hybrid (Fig. 2b without the EMC): Gigaflow LTM on the
    NIC backed by the software Megaflow. *)
 let gf_sw ?(gf = Gf_core.Config.default) ?(sw_search = `Tss)
     ?(sw_capacity = default_sw_capacity) ?(max_idle = default_max_idle)
-    ?(expire_every = default_expire_every) () =
+    ?(expire_every = default_expire_every)
+    ?(admission = Heavy_hitter.Admit_all) () =
   {
     name = "gf_sw";
     levels = [ gf_spec gf; sw_mf_spec sw_search sw_capacity ];
     max_idle;
     expire_every;
+    admission;
   }
 
 let gf_only ?(gf = Gf_core.Config.default) ?(max_idle = default_max_idle)
-    ?(expire_every = default_expire_every) () =
-  { name = "gf_only"; levels = [ gf_spec gf ]; max_idle; expire_every }
+    ?(expire_every = default_expire_every)
+    ?(admission = Heavy_hitter.Admit_all) () =
+  { name = "gf_only"; levels = [ gf_spec gf ]; max_idle; expire_every; admission }
 
 let mf_only ?(mf_capacity = default_mf_capacity) ?(max_idle = default_max_idle)
-    ?(expire_every = default_expire_every) () =
-  { name = "mf_only"; levels = [ nic_mf_spec mf_capacity ]; max_idle; expire_every }
+    ?(expire_every = default_expire_every)
+    ?(admission = Heavy_hitter.Admit_all) () =
+  {
+    name = "mf_only";
+    levels = [ nic_mf_spec mf_capacity ];
+    max_idle;
+    expire_every;
+    admission;
+  }
+
+let sw_ck_spec capacity =
+  Cache_level.Sw_cuckoo { capacity; max_idle = None; evict = None }
+
+let default_admission =
+  Heavy_hitter.Heavy_hitter
+    { k = Heavy_hitter.default_k; threshold = Heavy_hitter.default_threshold }
+
+(* Skew-aware hybrids: the hardware level only admits flows the
+   space-saving sketch says are hot; everything else lives in the cuckoo
+   exact-match software table (two probes per lookup, no classifier
+   search).  The paper-faithful hierarchies above keep [Admit_all]. *)
+let mf_sw_hh ?(mf_capacity = default_mf_capacity)
+    ?(sw_capacity = default_sw_capacity) ?(max_idle = default_max_idle)
+    ?(expire_every = default_expire_every) ?(admission = default_admission) () =
+  {
+    name = "mf_sw_hh";
+    levels = [ nic_mf_spec mf_capacity; sw_ck_spec sw_capacity ];
+    max_idle;
+    expire_every;
+    admission;
+  }
+
+let gf_sw_hh ?(gf = Gf_core.Config.default) ?(sw_capacity = default_sw_capacity)
+    ?(max_idle = default_max_idle) ?(expire_every = default_expire_every)
+    ?(admission = default_admission) () =
+  {
+    name = "gf_sw_hh";
+    levels = [ gf_spec gf; sw_ck_spec sw_capacity ];
+    max_idle;
+    expire_every;
+    admission;
+  }
 
 let preset_names =
-  [ "emc_gf_sw"; "emc_mf_sw"; "gf_sw"; "mf_sw"; "gf_only"; "mf_only" ]
+  [
+    "emc_gf_sw";
+    "emc_mf_sw";
+    "gf_sw";
+    "mf_sw";
+    "gf_sw_hh";
+    "mf_sw_hh";
+    "gf_only";
+    "mf_only";
+  ]
 
 let preset ?gf ?mf_capacity ?emc_capacity ?sw_search ?sw_capacity ?max_idle
-    ?expire_every ?policy name =
+    ?expire_every ?policy ?admission name =
   let apply cfg =
     match policy with
     | None -> cfg
@@ -108,15 +173,23 @@ let preset ?gf ?mf_capacity ?emc_capacity ?sw_search ?sw_capacity ?max_idle
   @@
   match name with
   | "emc_gf_sw" ->
-      Some (emc_gf_sw ?gf ?emc_capacity ?sw_search ?sw_capacity ?max_idle ?expire_every ())
+      Some
+        (emc_gf_sw ?gf ?emc_capacity ?sw_search ?sw_capacity ?max_idle ?expire_every
+           ?admission ())
   | "emc_mf_sw" ->
       Some
         (emc_mf_sw ?mf_capacity ?emc_capacity ?sw_search ?sw_capacity ?max_idle
-           ?expire_every ())
-  | "gf_sw" -> Some (gf_sw ?gf ?sw_search ?sw_capacity ?max_idle ?expire_every ())
-  | "mf_sw" -> Some (mf_sw ?mf_capacity ?sw_search ?sw_capacity ?max_idle ?expire_every ())
-  | "gf_only" -> Some (gf_only ?gf ?max_idle ?expire_every ())
-  | "mf_only" -> Some (mf_only ?mf_capacity ?max_idle ?expire_every ())
+           ?expire_every ?admission ())
+  | "gf_sw" ->
+      Some (gf_sw ?gf ?sw_search ?sw_capacity ?max_idle ?expire_every ?admission ())
+  | "mf_sw" ->
+      Some
+        (mf_sw ?mf_capacity ?sw_search ?sw_capacity ?max_idle ?expire_every ?admission ())
+  | "gf_sw_hh" -> Some (gf_sw_hh ?gf ?sw_capacity ?max_idle ?expire_every ?admission ())
+  | "mf_sw_hh" ->
+      Some (mf_sw_hh ?mf_capacity ?sw_capacity ?max_idle ?expire_every ?admission ())
+  | "gf_only" -> Some (gf_only ?gf ?max_idle ?expire_every ?admission ())
+  | "mf_only" -> Some (mf_only ?mf_capacity ?max_idle ?expire_every ?admission ())
   | _ -> None
 
 (* ------------------------- config combinators ------------------------- *)
@@ -142,6 +215,25 @@ let with_sw_search algo cfg =
   }
 
 let with_max_idle max_idle cfg = { cfg with max_idle }
+let with_admission admission cfg = { cfg with admission }
+
+(* Swap the software cache flavour: the wildcard Megaflow (classifier
+   search, handles any traffic) vs the cuckoo exact-match table (two
+   probes, the cheap home for mice under heavy-hitter admission).
+   Capacity, idle budget and any eviction override carry over. *)
+let with_sw_level kind cfg =
+  let levels =
+    List.map
+      (fun s ->
+        match (s, kind) with
+        | Cache_level.Sw_megaflow { capacity; max_idle; evict; _ }, `Cuckoo ->
+            Cache_level.Sw_cuckoo { capacity; max_idle; evict }
+        | Cache_level.Sw_cuckoo { capacity; max_idle; evict }, `Megaflow ->
+            Cache_level.Sw_megaflow { search = `Tss; capacity; max_idle; evict }
+        | other, _ -> other)
+      cfg.levels
+  in
+  { cfg with levels }
 
 let with_policy policy cfg =
   {
@@ -217,6 +309,15 @@ type t = {
   mutable replay_tbl : pmemo option array;
       (* flow id -> compiled level-0 replay, grown on demand.  Entries
          self-invalidate through [p_replay]; [revalidate] clears the lot. *)
+  hh : Heavy_hitter.t option;
+      (* [Some] iff [cfg.admission] is [Heavy_hitter _]; observed once per
+         packet on every packet path so walker and batched replay agree
+         bit-for-bit. *)
+  hh_threshold : int;
+  hh_attempted : unit Flow.Tbl.t;
+      (* Flows already offered a hardware promotion this sweep interval —
+         rate-limits the promotion path to once per flow per sweep; cleared
+         by the admission sweep in [maybe_expire]. *)
 }
 
 let create ?telemetry cfg pipeline =
@@ -249,9 +350,17 @@ let create ?telemetry cfg pipeline =
           match Cache_level.view l with
           | Cache_level.Gigaflow_view g ->
               Gf_core.Gigaflow.attach_telemetry g (Telemetry.registry tel)
-          | Cache_level.Microflow_view _ | Cache_level.Megaflow_view _ -> ())
+          | Cache_level.Microflow_view _ | Cache_level.Megaflow_view _
+          | Cache_level.Cuckoo_view _ ->
+              ())
         levels
   | None -> ());
+  let hh, hh_threshold =
+    match cfg.admission with
+    | Heavy_hitter.Admit_all -> (None, 0)
+    | Heavy_hitter.Heavy_hitter { k; threshold } ->
+        (Some (Heavy_hitter.create ~k), threshold)
+  in
   {
     cfg;
     pipeline;
@@ -262,9 +371,13 @@ let create ?telemetry cfg pipeline =
     telemetry;
     traversal_memo = Hashtbl.create 256;
     replay_tbl = Array.make 1024 None;
+    hh;
+    hh_threshold;
+    hh_attempted = Flow.Tbl.create 64;
   }
 
 let telemetry t = t.telemetry
+let heavy_hitter t = t.hh
 let config t = t.cfg
 let pipeline t = t.pipeline
 let levels t = Array.to_list t.levels
@@ -311,7 +424,39 @@ let maybe_expire t ~now =
               ~level:(Cache_level.name level) ~latency_us:0.0 ~count:evicted
               Recorder.Evict
         | Some _ | None -> ())
-      t.levels
+      t.levels;
+    (* Admission re-partition: decay the sketch (so yesterday's elephants
+       must keep earning their slots), reopen the per-sweep promotion
+       budget, then demote hardware entries whose flows went cold.  Runs
+       on the expiry cadence so walker and batched replay sweep at the
+       same packet boundaries. *)
+    match t.hh with
+    | None -> ()
+    | Some hh ->
+        Heavy_hitter.decay hh;
+        Flow.Tbl.reset t.hh_attempted;
+        let is_hot = Heavy_hitter.hot hh ~threshold:t.hh_threshold in
+        Array.iteri
+          (fun i level ->
+            if Cache_level.tier level = Cache_level.Hardware then begin
+              let demoted = Cache_level.demote level ~is_hot in
+              if demoted > 0 then begin
+                let lm = t.level_metrics.(i) in
+                lm.Metrics.demotions <- lm.Metrics.demotions + demoted;
+                lm.Metrics.evictions <- lm.Metrics.evictions + demoted;
+                t.metrics.Metrics.hw_demotions <-
+                  t.metrics.Metrics.hw_demotions + demoted;
+                t.metrics.Metrics.hw_evictions <-
+                  t.metrics.Metrics.hw_evictions + demoted;
+                match t.telemetry with
+                | Some tel ->
+                    Telemetry.event tel ~packet:t.metrics.Metrics.packets ~time:now
+                      ~level:(Cache_level.name level) ~latency_us:0.0 ~count:demoted
+                      Recorder.Demote
+                | None -> ()
+              end
+            end)
+          t.levels
   end
 
 (* Unified revalidation sweep (pipeline updated): every level re-checks its
@@ -350,11 +495,40 @@ let slowpath_installs t ~now execute_result =
   | Error _ -> (None, Latency.upcall_us)
   | Ok traversal ->
       let version = Pipeline.version t.pipeline in
+      (* Heavy-hitter admission: hardware slots are scarce, so a flow the
+         sketch does not (yet) consider hot is not offered to hardware
+         install-on-miss levels — it lands in the software tier and earns a
+         slot through the promotion path once its count clears the
+         threshold.  The guaranteed count (count - err) is used, so a mouse
+         that inherited a large victim count is not admitted. *)
+      let admit_hw =
+        match t.hh with
+        | None -> true
+        | Some hh ->
+            Heavy_hitter.hot hh ~threshold:t.hh_threshold traversal.Traversal.input
+      in
       let installs = ref 0 and partition_work = ref 0 and rulegen_work = ref 0 in
       Array.iteri
         (fun i level ->
-          let r = Cache_level.install_from_traversal level ~now ~version traversal in
           let lm = t.level_metrics.(i) in
+          let deferred =
+            (not admit_hw)
+            && Cache_level.tier level = Cache_level.Hardware
+            && (Cache_level.descriptor level).Cache_level.policy
+               = Cache_level.Install_on_miss
+          in
+          if deferred then begin
+            lm.Metrics.deferred <- lm.Metrics.deferred + 1;
+            m.Metrics.hw_deferred <- m.Metrics.hw_deferred + 1;
+            match t.telemetry with
+            | Some tel ->
+                Telemetry.event tel ~packet:(m.Metrics.packets - 1) ~time:now
+                  ~level:(Cache_level.name level) ~latency_us:0.0 ~count:1
+                  Recorder.Defer
+            | None -> ()
+          end
+          else begin
+          let r = Cache_level.install_from_traversal level ~now ~version traversal in
           lm.Metrics.installs <- lm.Metrics.installs + r.Cache_level.fresh;
           lm.Metrics.shared <- lm.Metrics.shared + r.Cache_level.shared;
           lm.Metrics.rejected <- lm.Metrics.rejected + r.Cache_level.rejected;
@@ -385,6 +559,7 @@ let slowpath_installs t ~now execute_result =
             (* PCIe table writes: only NIC-resident levels pay per-install
                latency. *)
             installs := !installs + r.Cache_level.fresh
+          end
           end)
         t.levels;
       let pipeline_lookups = Traversal.length traversal in
@@ -421,10 +596,105 @@ let slowpath_memo t ~now ~flow_id flow =
         (match r with Ok tr -> Ok tr | Error _ -> Error ());
       slowpath_installs t ~now r
 
+(* Asynchronous hardware promotion of a flow that got hot while living in
+   the software tier: offer its slowpath traversal to the hardware-tier
+   install-on-miss levels only.  Models the revalidator thread pushing a
+   proven elephant down to the NIC off the packet path — install,
+   partition and rule-generation accounting is real (the work happens),
+   but no packet latency is charged.  [Executor.execute] is pure, so the
+   walker (fresh execute) and the batched engine (memoised traversal)
+   account identically.  Returns [true] iff any cache mutated. *)
+let hh_offer_hw t ~now ~flow_id flow =
+  let execute_result =
+    if flow_id >= 0 then (
+      match Hashtbl.find_opt t.traversal_memo flow_id with
+      | Some r -> r
+      | None ->
+          let r =
+            match Executor.execute t.pipeline flow with
+            | Ok tr -> Ok tr
+            | Error _ -> Error ()
+          in
+          Hashtbl.replace t.traversal_memo flow_id r;
+          r)
+    else
+      match Executor.execute t.pipeline flow with
+      | Ok tr -> Ok tr
+      | Error _ -> Error ()
+  in
+  match execute_result with
+  | Error () -> false
+  | Ok traversal ->
+      let m = t.metrics in
+      let version = Pipeline.version t.pipeline in
+      let mutated = ref false in
+      let partition_work = ref 0 and rulegen_work = ref 0 in
+      Array.iteri
+        (fun i level ->
+          let d = Cache_level.descriptor level in
+          if
+            d.Cache_level.tier = Cache_level.Hardware
+            && d.Cache_level.policy = Cache_level.Install_on_miss
+          then begin
+            let r = Cache_level.install_from_traversal level ~now ~version traversal in
+            let lm = t.level_metrics.(i) in
+            lm.Metrics.installs <- lm.Metrics.installs + r.Cache_level.fresh;
+            lm.Metrics.shared <- lm.Metrics.shared + r.Cache_level.shared;
+            lm.Metrics.rejected <- lm.Metrics.rejected + r.Cache_level.rejected;
+            lm.Metrics.pressure_evictions <-
+              lm.Metrics.pressure_evictions + r.Cache_level.pressure_evicted;
+            m.Metrics.hw_installs <- m.Metrics.hw_installs + r.Cache_level.fresh;
+            m.Metrics.hw_shared <- m.Metrics.hw_shared + r.Cache_level.shared;
+            m.Metrics.hw_rejected <- m.Metrics.hw_rejected + r.Cache_level.rejected;
+            m.Metrics.hw_pressure_evictions <-
+              m.Metrics.hw_pressure_evictions + r.Cache_level.pressure_evicted;
+            partition_work := !partition_work + r.Cache_level.partition_work;
+            rulegen_work := !rulegen_work + r.Cache_level.rulegen_work;
+            if r.Cache_level.fresh > 0 || r.Cache_level.pressure_evicted > 0 then
+              mutated := true;
+            match t.telemetry with
+            | Some tel ->
+                let packet = m.Metrics.packets - 1 in
+                let name = Cache_level.name level in
+                if r.Cache_level.fresh > 0 then
+                  Telemetry.event tel ~packet ~time:now ~level:name ~latency_us:0.0
+                    ~count:r.Cache_level.fresh Recorder.Install;
+                if r.Cache_level.rejected > 0 then
+                  Telemetry.event tel ~packet ~time:now ~level:name ~latency_us:0.0
+                    ~count:r.Cache_level.rejected Recorder.Reject;
+                if r.Cache_level.pressure_evicted > 0 then
+                  Telemetry.event tel ~packet ~time:now ~level:name ~latency_us:0.0
+                    ~count:r.Cache_level.pressure_evicted Recorder.Pressure_evict
+            | None -> ()
+          end)
+        t.levels;
+      m.Metrics.cycles_partition <-
+        m.Metrics.cycles_partition
+        + Latency.cycles_partition ~partition_work:!partition_work;
+      m.Metrics.cycles_rulegen <-
+        m.Metrics.cycles_rulegen + Latency.cycles_rulegen ~rulegen_work:!rulegen_work;
+      !mutated
+
+(* Promotion trigger, shared by [process] and [process_memo_slow]: a
+   software-tier hit of a flow the sketch now calls hot means an elephant
+   is stuck below the hardware line (its install was deferred while cold,
+   or it was demoted) — offer it hardware residence, at most once per flow
+   per sweep interval. *)
+let maybe_promote_hot t ~now ~flow_id flow tier =
+  match t.hh with
+  | Some hh
+    when tier = Cache_level.Software
+         && Heavy_hitter.hot hh ~threshold:t.hh_threshold flow
+         && not (Flow.Tbl.mem t.hh_attempted flow) ->
+      Flow.Tbl.replace t.hh_attempted flow ();
+      hh_offer_hw t ~now ~flow_id flow
+  | Some _ | None -> false
+
 let process t ~now flow =
   let m = t.metrics in
   maybe_expire t ~now;
   m.Metrics.packets <- m.Metrics.packets + 1;
+  (match t.hh with Some hh -> Heavy_hitter.observe hh flow | None -> ());
   let n = Array.length t.levels in
   (* Walk the hierarchy: first hit wins, misses fall through. *)
   let rec walk i =
@@ -481,6 +751,7 @@ let process t ~now flow =
               | None -> ()
             end
           done;
+          ignore (maybe_promote_hot t ~now ~flow_id:(-1) flow d.Cache_level.tier);
           let outcome, lat =
             match d.Cache_level.tier with
             | Cache_level.Hardware ->
@@ -549,6 +820,7 @@ let process_memo_slow t ~now ~flow_id flow =
   let expired = now -. t.last_expire >= t.cfg.expire_every in
   maybe_expire t ~now;
   m.Metrics.packets <- m.Metrics.packets + 1;
+  (match t.hh with Some hh -> Heavy_hitter.observe hh flow | None -> ());
   let n = Array.length t.levels in
   let mutated = ref expired in
   let rec walk i =
@@ -605,6 +877,8 @@ let process_memo_slow t ~now ~flow_id flow =
               | None -> ()
             end
           done;
+          if maybe_promote_hot t ~now ~flow_id flow d.Cache_level.tier then
+            mutated := true;
           let outcome, lat =
             match d.Cache_level.tier with
             | Cache_level.Hardware ->
@@ -692,6 +966,7 @@ let process_memo t ~now ~flow_id flow =
         | Some work ->
             let m = t.metrics in
             m.Metrics.packets <- m.Metrics.packets + 1;
+            (match t.hh with Some hh -> Heavy_hitter.observe hh flow | None -> ());
             let lm0 = t.level_metrics.(0) in
             lm0.Metrics.work <- lm0.Metrics.work + work;
             m.Metrics.cycles_sw_search <-
@@ -776,6 +1051,24 @@ let finalize t ~time =
   t.metrics
 
 let run ?on_packet ?miss_sink t trace =
+  (* Time-series sampling cadence, hoisted to a countdown: the per-packet
+     [Telemetry.sample_due] call (a projection plus a [mod]) showed up in
+     walker profiles, and [Series.due] fires exactly when the packet count
+     crosses a multiple of [sample_every] — which a decrementing counter
+     reproduces without touching the telemetry module per packet.  Packet
+     counts only ever increase inside a run, so the duplicate-sample guard
+     in [Series.due] is vacuous here. *)
+  let sample_every =
+    match t.telemetry with
+    | Some tel -> (Telemetry.config tel).Telemetry.sample_every
+    | None -> 0
+  in
+  let countdown =
+    ref
+      (if sample_every > 0 then
+         sample_every - (t.metrics.Metrics.packets mod sample_every)
+       else max_int)
+  in
   Array.iter
     (fun (pkt : Gf_workload.Trace.packet) ->
       let before = Metrics.total_cycles t.metrics in
@@ -787,12 +1080,16 @@ let run ?on_packet ?miss_sink t trace =
           sink ~flow_id:pkt.Gf_workload.Trace.flow_id
             ~cycles:(Metrics.total_cycles t.metrics - before)
       | (Hw_hit | Sw_hit | Slowpath), _ -> ());
-      (match t.telemetry with
-      | Some tel ->
-          if Telemetry.sample_due tel ~packets:t.metrics.Metrics.packets then
-            Telemetry.push_sample tel
-              (snapshot t ~time:pkt.Gf_workload.Trace.time)
-      | None -> ());
+      if sample_every > 0 then begin
+        decr countdown;
+        if !countdown = 0 then begin
+          countdown := sample_every;
+          match t.telemetry with
+          | Some tel ->
+              Telemetry.push_sample tel (snapshot t ~time:pkt.Gf_workload.Trace.time)
+          | None -> ()
+        end
+      end;
       match on_packet with
       | Some f -> f pkt outcome latency
       | None -> ())

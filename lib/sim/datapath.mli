@@ -23,6 +23,15 @@ type config = {
       (** Default idle eviction budget, seconds.  Levels may override via
           their spec; the software wildcard cache defaults to 4x this. *)
   expire_every : float;  (** Period of the eviction sweep, seconds. *)
+  admission : Gf_offload.Heavy_hitter.policy;
+      (** [Admit_all] (every preset's default except the [*_hh] hybrids)
+          keeps the historical behaviour: every slowpath traversal is
+          offered to every level.  [Heavy_hitter _] gates hardware-tier
+          installs on a space-saving top-K sketch: cold flows are deferred
+          to the software tier, flows that get hot there are promoted to
+          hardware off the packet path, and a re-partition sweep
+          (piggybacked on the eviction sweep) demotes entries whose flows
+          went cold. *)
 }
 
 (** {1 Preset hierarchies}
@@ -37,6 +46,7 @@ val emc_mf_sw :
   ?sw_capacity:int ->
   ?max_idle:float ->
   ?expire_every:float ->
+  ?admission:Gf_offload.Heavy_hitter.policy ->
   unit ->
   config
 (** The paper's baseline: SmartNIC Megaflow offload (32K entries) in front
@@ -49,6 +59,7 @@ val emc_gf_sw :
   ?sw_capacity:int ->
   ?max_idle:float ->
   ?expire_every:float ->
+  ?admission:Gf_offload.Heavy_hitter.policy ->
   unit ->
   config
 (** The paper's headline configuration: Gigaflow LTM (4 tables x 8K) in
@@ -60,6 +71,7 @@ val mf_sw :
   ?sw_capacity:int ->
   ?max_idle:float ->
   ?expire_every:float ->
+  ?admission:Gf_offload.Heavy_hitter.policy ->
   unit ->
   config
 (** Megaflow offload without an EMC. *)
@@ -70,17 +82,50 @@ val gf_sw :
   ?sw_capacity:int ->
   ?max_idle:float ->
   ?expire_every:float ->
+  ?admission:Gf_offload.Heavy_hitter.policy ->
   unit ->
   config
 (** Gigaflow + software wildcard cache, no EMC (the paper's Fig. 2b
     hybrid). *)
 
+val mf_sw_hh :
+  ?mf_capacity:int ->
+  ?sw_capacity:int ->
+  ?max_idle:float ->
+  ?expire_every:float ->
+  ?admission:Gf_offload.Heavy_hitter.policy ->
+  unit ->
+  config
+(** Skew-aware Megaflow hybrid: hardware Megaflow under heavy-hitter
+    admission, cuckoo exact-match software table for the long tail. *)
+
+val gf_sw_hh :
+  ?gf:Gf_core.Config.t ->
+  ?sw_capacity:int ->
+  ?max_idle:float ->
+  ?expire_every:float ->
+  ?admission:Gf_offload.Heavy_hitter.policy ->
+  unit ->
+  config
+(** Skew-aware Gigaflow hybrid: Gigaflow LTM under heavy-hitter admission,
+    cuckoo exact-match software table for the long tail. *)
+
 val gf_only :
-  ?gf:Gf_core.Config.t -> ?max_idle:float -> ?expire_every:float -> unit -> config
+  ?gf:Gf_core.Config.t ->
+  ?max_idle:float ->
+  ?expire_every:float ->
+  ?admission:Gf_offload.Heavy_hitter.policy ->
+  unit ->
+  config
 (** Gigaflow with no software levels: every LTM miss is a slowpath. *)
 
 val mf_only :
-  ?mf_capacity:int -> ?max_idle:float -> ?expire_every:float -> unit -> config
+  ?mf_capacity:int ->
+  ?max_idle:float ->
+  ?expire_every:float ->
+  ?admission:Gf_offload.Heavy_hitter.policy ->
+  unit ->
+  config
 (** SmartNIC Megaflow alone. *)
 
 val preset_names : string list
@@ -94,11 +139,15 @@ val preset :
   ?max_idle:float ->
   ?expire_every:float ->
   ?policy:Gf_cache.Evict.policy ->
+  ?admission:Gf_offload.Heavy_hitter.policy ->
   string ->
   config option
 (** Look a preset up by name (see {!preset_names}); optional arguments
     override the preset's defaults where they apply.  [policy] applies
-    the replacement policy to {e every} level (see {!with_policy}). *)
+    the replacement policy to {e every} level (see {!with_policy});
+    [admission] overrides the preset's admission policy (the [*_hh]
+    presets default to heavy-hitter admission, everything else to
+    [Admit_all]). *)
 
 (** {1 Config combinators} *)
 
@@ -109,6 +158,15 @@ val with_sw_search : Gf_classifier.Searcher.algo -> config -> config
 (** Swap the software wildcard cache's search algorithm (Fig. 17 axis). *)
 
 val with_max_idle : float -> config -> config
+
+val with_admission : Gf_offload.Heavy_hitter.policy -> config -> config
+(** Override the hierarchy's hardware admission policy. *)
+
+val with_sw_level : [ `Cuckoo | `Megaflow ] -> config -> config
+(** Swap the software cache flavour: the wildcard Megaflow (classifier
+    search) vs the cuckoo exact-match table (two probes per lookup).
+    Capacity, idle budget and eviction override carry over; the Megaflow
+    flavour comes back with TSS search. *)
 
 val with_policy : Gf_cache.Evict.policy -> config -> config
 (** Apply one replacement policy to every level (the Gigaflow LTM's
@@ -136,6 +194,11 @@ val create : ?telemetry:Gf_telemetry.Telemetry.t -> config -> Gf_pipeline.Pipeli
     site is a no-op pattern match — the hot path stays allocation-free. *)
 
 val telemetry : t -> Gf_telemetry.Telemetry.t option
+
+val heavy_hitter : t -> Gf_offload.Heavy_hitter.t option
+(** The live admission sketch ([None] under [Admit_all]) — diagnostics
+    (top-K reporting) only; the datapath owns its mutation. *)
+
 val config : t -> config
 val pipeline : t -> Gf_pipeline.Pipeline.t
 

@@ -16,6 +16,12 @@ type level = {
   mutable rejected : int;
   mutable evictions : int;
   mutable pressure_evictions : int;
+  mutable deferred : int;
+      (* hardware installs withheld by the admission policy (flow not yet
+         hot enough for a slot) *)
+  mutable demotions : int;
+      (* entries evicted by the admission re-partition sweep (flow went
+         cold); also included in [evictions] *)
   mutable work : int;
   mutable latency_us : float;
   mutable occupancy_peak : int;
@@ -33,6 +39,8 @@ let level_create name =
     rejected = 0;
     evictions = 0;
     pressure_evictions = 0;
+    deferred = 0;
+    demotions = 0;
     work = 0;
     latency_us = 0.0;
     occupancy_peak = 0;
@@ -51,6 +59,8 @@ type t = {
   mutable hw_rejected : int;
   mutable hw_evictions : int;
   mutable hw_pressure_evictions : int;
+  mutable hw_deferred : int;
+  mutable hw_demotions : int;
   latency : Gf_util.Stats.Acc.t;
   mutable cycles_userspace : int;
   mutable cycles_partition : int;
@@ -74,6 +84,8 @@ let create () =
     hw_rejected = 0;
     hw_evictions = 0;
     hw_pressure_evictions = 0;
+    hw_deferred = 0;
+    hw_demotions = 0;
     latency = Gf_util.Stats.Acc.create ();
     cycles_userspace = 0;
     cycles_partition = 0;
@@ -111,6 +123,8 @@ let merge_level ~into:(into : level) (src : level) =
   into.rejected <- into.rejected + src.rejected;
   into.evictions <- into.evictions + src.evictions;
   into.pressure_evictions <- into.pressure_evictions + src.pressure_evictions;
+  into.deferred <- into.deferred + src.deferred;
+  into.demotions <- into.demotions + src.demotions;
   into.work <- into.work + src.work;
   into.latency_us <- into.latency_us +. src.latency_us;
   into.occupancy_peak <- into.occupancy_peak + src.occupancy_peak;
@@ -132,6 +146,8 @@ let merge ~into src =
   into.hw_rejected <- into.hw_rejected + src.hw_rejected;
   into.hw_evictions <- into.hw_evictions + src.hw_evictions;
   into.hw_pressure_evictions <- into.hw_pressure_evictions + src.hw_pressure_evictions;
+  into.hw_deferred <- into.hw_deferred + src.hw_deferred;
+  into.hw_demotions <- into.hw_demotions + src.hw_demotions;
   Gf_util.Stats.Acc.merge ~into:into.latency src.latency;
   Histogram.merge ~into:into.latency_hist src.latency_hist;
   into.cycles_userspace <- into.cycles_userspace + src.cycles_userspace;
@@ -190,12 +206,13 @@ let pp_levels fmt t =
       let q p = if Histogram.count l.latency_hist = 0 then 0.0 else p l.latency_hist in
       Format.fprintf fmt
         "level %-*s hits=%9d misses=%9d hit=%6.2f%% installs=%8d shared=%7d \
-         rejected=%6d evictions=%7d pressure=%6d work=%10d occ=%7d peak=%7d \
-         p50=%8.2fus p99=%8.2fus@."
+         rejected=%6d evictions=%7d pressure=%6d defer=%6d demote=%6d \
+         work=%10d occ=%7d peak=%7d p50=%8.2fus p99=%8.2fus@."
         name_w l.level_name l.hits l.misses
         (100.0 *. level_hit_rate l)
-        l.installs l.shared l.rejected l.evictions l.pressure_evictions l.work
-        l.occupancy_final l.occupancy_peak (q Histogram.p50) (q Histogram.p99))
+        l.installs l.shared l.rejected l.evictions l.pressure_evictions l.deferred
+        l.demotions l.work l.occupancy_final l.occupancy_peak (q Histogram.p50)
+        (q Histogram.p99))
     t.levels
 
 (* Export every counter into [registry] under stable Prometheus-style
@@ -225,6 +242,10 @@ let to_registry t registry =
   set "gigaflow_hw_evictions_total" "Hardware entries evicted" t.hw_evictions;
   set "gigaflow_hw_pressure_evictions_total"
     "Hardware entries evicted under capacity pressure" t.hw_pressure_evictions;
+  set "gigaflow_hw_deferred_total"
+    "Hardware installs withheld by the admission policy" t.hw_deferred;
+  set "gigaflow_hw_demotions_total"
+    "Hardware entries demoted by the admission re-partition sweep" t.hw_demotions;
   set "gigaflow_cycles_total" "Slowpath CPU cycles by component"
     ~labels:[ ("component", "userspace") ]
     t.cycles_userspace;
@@ -252,6 +273,10 @@ let to_registry t registry =
       set "gigaflow_level_evictions_total" "Evictions by level" ~labels l.evictions;
       set "gigaflow_level_pressure_evictions_total"
         "Capacity-pressure evictions by level" ~labels l.pressure_evictions;
+      set "gigaflow_level_deferred_total"
+        "Admission-deferred installs by level" ~labels l.deferred;
+      set "gigaflow_level_demotions_total"
+        "Admission-sweep demotions by level" ~labels l.demotions;
       set "gigaflow_level_work_total" "Classifier work units by level" ~labels l.work;
       setg "gigaflow_level_occupancy" "Level occupancy (end of run)" ~labels
         (float_of_int l.occupancy_final);

@@ -14,6 +14,12 @@ type level = {
   mutable pressure_evictions : int;
       (** entries evicted to admit an install at capacity (replacement
           policy), counted separately from [evictions] *)
+  mutable deferred : int;
+      (** hardware installs withheld by the admission policy (flow not yet
+          hot enough for a slot) *)
+  mutable demotions : int;
+      (** entries evicted by the admission re-partition sweep (flow went
+          cold); also included in [evictions] *)
   mutable work : int;  (** lookup work units spent at this level *)
   mutable latency_us : float;  (** total latency attributed to hits here *)
   mutable occupancy_peak : int;
@@ -37,6 +43,10 @@ type t = {
   mutable hw_pressure_evictions : int;
       (** hardware-tier capacity-pressure evictions (see level
           [pressure_evictions]) *)
+  mutable hw_deferred : int;
+      (** hardware-tier installs withheld by the admission policy *)
+  mutable hw_demotions : int;
+      (** hardware-tier admission-sweep demotions (also in [hw_evictions]) *)
   latency : Gf_util.Stats.Acc.t;  (** per-packet end-to-end latency, us *)
   mutable cycles_userspace : int;
   mutable cycles_partition : int;

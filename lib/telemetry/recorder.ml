@@ -13,6 +13,8 @@ type kind =
   | Revalidate
   | Reject
   | Pressure_evict
+  | Defer
+  | Demote
 
 let kind_name = function
   | Hit -> "hit"
@@ -23,6 +25,8 @@ let kind_name = function
   | Revalidate -> "revalidate"
   | Reject -> "reject"
   | Pressure_evict -> "pressure_evict"
+  | Defer -> "defer"
+  | Demote -> "demote"
 
 type event = {
   seq : int;  (* candidate index within this recorder, 0-based *)

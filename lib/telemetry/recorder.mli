@@ -15,6 +15,8 @@ type kind =
   | Revalidate
   | Reject
   | Pressure_evict
+  | Defer
+  | Demote
 
 val kind_name : kind -> string
 (** Lower-case wire name ("hit", "miss", ...). *)

@@ -24,4 +24,28 @@ let make_churn ?profile ?combos ?(unique_flows = 100_000) ?duration ?epochs ?act
   in
   { ruleset; flows; trace; locality }
 
+let make_elephant ?profile ?combos ?(unique_flows = 100_000) ?duration ?elephants
+    ?elephant_share ?packets ~info ~locality ~seed () =
+  let ruleset = Ruleset.build ?profile ?combos ~info ~seed () in
+  let flows =
+    Ruleset.sample_flows ruleset ~seed:(seed lxor 0xF10) ~locality ~n:unique_flows
+  in
+  let trace =
+    Trace.elephant_mice ?duration ?elephants ?elephant_share ?packets
+      ~seed:(seed lxor 0x7ACE) ~flows ()
+  in
+  { ruleset; flows; trace; locality }
+
+let make_drift ?profile ?combos ?(unique_flows = 100_000) ?duration ?epochs ?zipf_s
+    ?drift ?packets_per_epoch ~info ~locality ~seed () =
+  let ruleset = Ruleset.build ?profile ?combos ~info ~seed () in
+  let flows =
+    Ruleset.sample_flows ruleset ~seed:(seed lxor 0xF10) ~locality ~n:unique_flows
+  in
+  let trace =
+    Trace.drifting_skew ?duration ?epochs ?zipf_s ?drift ?packets_per_epoch
+      ~seed:(seed lxor 0x7ACE) ~flows ()
+  in
+  { ruleset; flows; trace; locality }
+
 let pipeline w = Ruleset.pipeline w.ruleset

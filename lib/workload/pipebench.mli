@@ -42,4 +42,38 @@ val make_churn :
     [epochs] epochs) that keeps every fixed-capacity cache under install
     pressure.  Same ruleset/flow determinism as {!make}. *)
 
+val make_elephant :
+  ?profile:Classbench.profile ->
+  ?combos:int ->
+  ?unique_flows:int ->
+  ?duration:float ->
+  ?elephants:int ->
+  ?elephant_share:float ->
+  ?packets:int ->
+  info:Gf_pipelines.Catalog.info ->
+  locality:Ruleset.locality ->
+  seed:int ->
+  unit ->
+  workload
+(** Like {!make} but the trace comes from {!Trace.elephant_mice}: a few
+    elephants carry most packets over a sea of one-shot mice — the
+    hardware-slot admission benchmark workload. *)
+
+val make_drift :
+  ?profile:Classbench.profile ->
+  ?combos:int ->
+  ?unique_flows:int ->
+  ?duration:float ->
+  ?epochs:int ->
+  ?zipf_s:float ->
+  ?drift:int ->
+  ?packets_per_epoch:int ->
+  info:Gf_pipelines.Catalog.info ->
+  locality:Ruleset.locality ->
+  seed:int ->
+  unit ->
+  workload
+(** Like {!make} but the trace comes from {!Trace.drifting_skew}: Zipf
+    traffic whose heavy-hitter identity set rotates each epoch. *)
+
 val pipeline : workload -> Gf_pipeline.Pipeline.t

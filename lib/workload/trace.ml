@@ -67,6 +67,63 @@ let churn ?(duration = 60.0) ?(epochs = 30) ?(active = 512) ?(turnover = 0.25)
   Array.sort (fun a b -> compare a.time b.time) arr;
   { packets = arr; unique_flows = n; duration }
 
+(* Elephant/mice: a tiny set of elephants carries [elephant_share] of the
+   packets; every other packet picks a mouse uniformly from the rest of
+   the flow array.  With thousands of mice and tens of thousands of
+   packets each mouse shows up only a handful of times — below any sane
+   hotness threshold — which is exactly the regime where admission policy
+   decides who owns the scarce hardware slots. *)
+let elephant_mice ?(duration = 60.0) ?(elephants = 16) ?(elephant_share = 0.8)
+    ?(packets = 32_768) ~seed ~flows () =
+  let rng = Rng.create seed in
+  let n = Array.length flows in
+  assert (n > 0 && packets >= 0);
+  let elephants = max 1 (min elephants n) in
+  let mice = n - elephants in
+  let mean_gap = duration /. float_of_int (Stdlib.max 1 packets) in
+  let time = ref 0.0 in
+  let arr =
+    Array.init packets (fun _ ->
+        let flow_id =
+          if mice = 0 || Rng.float rng 1.0 < elephant_share then
+            Rng.int rng elephants
+          else elephants + Rng.int rng mice
+        in
+        let p = { time = !time; flow_id; flow = flows.(flow_id) } in
+        time := !time +. Rng.exponential rng ~mean:mean_gap;
+        p)
+  in
+  { packets = arr; unique_flows = n; duration }
+
+(* Drifting skew: Zipf-popular traffic whose rank -> flow mapping rotates
+   by [drift] flows every epoch, so the elephant identity set slides over
+   the flow array.  Yesterday's heavy hitters go cold while still holding
+   cache entries — the trace that separates admission policies that track
+   drift (decay + demotion) from ones that only gate installs. *)
+let drifting_skew ?(duration = 60.0) ?(epochs = 8) ?(zipf_s = 1.2) ?(drift = 64)
+    ?(packets_per_epoch = 4096) ~seed ~flows () =
+  let rng = Rng.create seed in
+  let n = Array.length flows in
+  assert (n > 0 && epochs > 0 && packets_per_epoch >= 0);
+  let zipf = Zipf.create ~n ~s:zipf_s in
+  let epoch_len = duration /. float_of_int epochs in
+  let mean_gap = epoch_len /. float_of_int (Stdlib.max 1 packets_per_epoch) in
+  let arr = Array.make (epochs * packets_per_epoch) { time = 0.0; flow_id = 0; flow = Gf_flow.Flow.zero } in
+  for e = 0 to epochs - 1 do
+    let offset = e * drift in
+    let time = ref (float_of_int e *. epoch_len) in
+    for i = 0 to packets_per_epoch - 1 do
+      let flow_id = (Zipf.sample zipf rng + offset) mod n in
+      arr.((e * packets_per_epoch) + i) <-
+        { time = !time; flow_id; flow = flows.(flow_id) };
+      time := !time +. Rng.exponential rng ~mean:mean_gap
+    done
+  done;
+  (* Exponential gaps can overshoot an epoch boundary; restore the global
+     nondecreasing-times contract the streaming consumers rely on. *)
+  Array.sort (fun a b -> compare a.time b.time) arr;
+  { packets = arr; unique_flows = n; duration }
+
 let packet_count t = Array.length t.packets
 
 (* --------------------------- streaming pull --------------------------- *)

@@ -54,6 +54,40 @@ val churn :
     regime where replacement policy choice matters.  Deterministic in
     [seed]. *)
 
+val elephant_mice :
+  ?duration:float ->
+  ?elephants:int ->
+  ?elephant_share:float ->
+  ?packets:int ->
+  seed:int ->
+  flows:Gf_flow.Flow.t array ->
+  unit ->
+  t
+(** A two-population skew trace: the first [elephants] flows (default 16)
+    carry [elephant_share] of the [packets] (defaults 0.8 and 32768); the
+    rest are mice drawn uniformly — each appears only a handful of times
+    over the whole trace.  The regime where hardware-slot admission policy
+    dominates: any slot spent on a mouse is wasted.  Deterministic in
+    [seed]. *)
+
+val drifting_skew :
+  ?duration:float ->
+  ?epochs:int ->
+  ?zipf_s:float ->
+  ?drift:int ->
+  ?packets_per_epoch:int ->
+  seed:int ->
+  flows:Gf_flow.Flow.t array ->
+  unit ->
+  t
+(** Zipf(s=[zipf_s], default 1.2) traffic whose rank -> flow mapping
+    rotates by [drift] flows (default 64) each of [epochs] epochs
+    (default 8 x 4096 packets): the heavy-hitter identity set slides, so
+    entries for yesterday's elephants go cold while still holding cache
+    space.  Separates admission schemes that track drift (decay +
+    demotion) from ones that only gate installs.  Deterministic in
+    [seed]. *)
+
 val packet_count : t -> int
 
 (** {1 Streaming}

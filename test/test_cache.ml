@@ -354,6 +354,43 @@ let prop_megaflow_any_match_correct =
       done;
       !ok)
 
+(* Satellite: Priority_aware under capacity churn.  Whatever the
+   interleaving of installs, refreshing lookups and expiry sweeps at a full
+   table, the policy must (a) always admit the incoming entry by evicting
+   exactly one admissible victim, (b) keep occupancy at/below capacity, and
+   (c) count every pressure eviction exactly once in the stats. *)
+let prop_priority_aware_churn =
+  QCheck2.Test.make ~name:"priority-aware eviction under capacity churn"
+    ~count:40
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Gf_util.Rng.create seed in
+      let capacity = 2 + Gf_util.Rng.int rng 6 in
+      let c =
+        Microflow.create ~policy:Gf_cache.Evict.Priority_aware ~capacity ()
+      in
+      let f i = Flow.make [ (Field.Vlan, i) ] in
+      let pressure = ref 0 in
+      let ok = ref true in
+      for i = 1 to 300 do
+        let now = float_of_int i in
+        let key = 1 + Gf_util.Rng.int rng 40 in
+        (match Gf_util.Rng.int rng 4 with
+        | 0 | 1 ->
+            let evicted = Microflow.install c ~now (f key) a_hit in
+            pressure := !pressure + evicted;
+            (* The incoming entry is always admitted (Priority_aware never
+               rejects), and at most one victim pays for it. *)
+            if evicted > 1 then ok := false;
+            if Microflow.lookup c ~now (f key) = None then ok := false
+        | 2 -> ignore (Microflow.lookup c ~now (f key))
+        | _ -> if i mod 60 = 0 then ignore (Microflow.expire c ~now ~max_idle:25.0));
+        if Microflow.occupancy c > capacity then ok := false
+      done;
+      !ok
+      && !pressure = (Microflow.stats c).Cache_stats.pressure_evictions
+      && (Microflow.stats c).Cache_stats.rejected = 0)
+
 let test_megaflow_search_algos_agree () =
   let rng = Gf_util.Rng.create 25 in
   let p = random_pipeline rng ~tables:4 ~rules_per_table:10 in
@@ -402,4 +439,5 @@ let props =
     prop_megaflow_revalidate_sound;
     prop_megaflow_invariants_under_churn;
     prop_megaflow_any_match_correct;
+    prop_priority_aware_churn;
   ]

@@ -105,6 +105,8 @@ let strong_fingerprint (m : Metrics.t) =
             string_of_int l.Metrics.shared; string_of_int l.Metrics.rejected;
             string_of_int l.Metrics.evictions;
             string_of_int l.Metrics.pressure_evictions;
+            string_of_int l.Metrics.deferred;
+            string_of_int l.Metrics.demotions;
             string_of_int l.Metrics.work; f l.Metrics.latency_us;
             string_of_int l.Metrics.occupancy_peak;
             string_of_int l.Metrics.occupancy_final;
@@ -146,6 +148,11 @@ let test_engine_matches_sequential () =
     [
       ("emc_mf_sw", Datapath.emc_mf_sw ());
       ("emc_gf_sw", Datapath.emc_gf_sw ());
+      (* Capacity small enough that heavy-hitter admission actually defers,
+         promotes and demotes during the run. *)
+      ("mf_sw_hh", Datapath.mf_sw_hh ~mf_capacity:32 ());
+      ( "gf_sw_hh",
+        Datapath.gf_sw_hh ~gf:(Gf_core.Config.v ~tables:2 ~table_capacity:16 ()) () );
     ]
 
 let test_engine_batch_size_invariant () =

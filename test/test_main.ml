@@ -15,6 +15,8 @@ let () =
       ("interop", Test_interop.suite);
       ("pipelines", Test_pipelines.suite);
       ("workload", Test_workload.suite);
+      ("offload", Test_offload.suite);
+      Helpers.qsuite "offload:props" Test_offload.props;
       ("sim", Test_sim.suite);
       Helpers.qsuite "sim:props" Test_sim.props;
       ("telemetry", Test_telemetry.suite);

@@ -1,0 +1,327 @@
+(* Tests for gigaflow.offload (the heavy-hitter admission sketch), the
+   cuckoo software cache level and the end-to-end skew-aware admission
+   path. *)
+
+module Field = Gf_flow.Field
+module Flow = Gf_flow.Flow
+module Action = Gf_pipeline.Action
+module Heavy_hitter = Gf_offload.Heavy_hitter
+module Cuckoo = Gf_cache.Cuckoo
+module Cache_stats = Gf_cache.Cache_stats
+module Catalog = Gf_pipelines.Catalog
+module Ruleset = Gf_workload.Ruleset
+module Pipebench = Gf_workload.Pipebench
+module Trace = Gf_workload.Trace
+module Datapath = Gf_sim.Datapath
+module Metrics = Gf_sim.Metrics
+
+let flow i = Flow.make [ (Field.Vlan, i) ]
+
+(* ------------------------------ sketch ------------------------------ *)
+
+let test_hh_exact_when_small () =
+  (* With at most k distinct flows the sketch is an exact counter. *)
+  let t = Heavy_hitter.create ~k:8 in
+  for round = 1 to 5 do
+    for i = 1 to 4 do
+      if i <= round then Heavy_hitter.observe t (flow i)
+    done
+  done;
+  (* flow i observed (5 - i + 1) times for i in 1..4 *)
+  List.iter
+    (fun i ->
+      Alcotest.(check int)
+        (Printf.sprintf "count flow %d" i)
+        (6 - i)
+        (Heavy_hitter.count t (flow i));
+      Alcotest.(check int)
+        (Printf.sprintf "guaranteed flow %d" i)
+        (6 - i)
+        (Heavy_hitter.guaranteed t (flow i)))
+    [ 1; 2; 3; 4 ];
+  Alcotest.(check int) "size" 4 (Heavy_hitter.size t);
+  Alcotest.(check int) "observed" 14 (Heavy_hitter.observed t);
+  Alcotest.(check bool) "untracked counts 0" true
+    (Heavy_hitter.count t (flow 99) = 0)
+
+let test_hh_replacement_inherits_error () =
+  let t = Heavy_hitter.create ~k:2 in
+  Heavy_hitter.observe t (flow 1);
+  Heavy_hitter.observe t (flow 1);
+  Heavy_hitter.observe t (flow 2);
+  (* Full: flow 3 replaces the minimum (flow 2, count 1) and inherits its
+     count as error. *)
+  Heavy_hitter.observe t (flow 3);
+  Alcotest.(check int) "count = victim + 1" 2 (Heavy_hitter.count t (flow 3));
+  Alcotest.(check int) "guaranteed strips inherited" 1
+    (Heavy_hitter.guaranteed t (flow 3));
+  Alcotest.(check bool) "victim gone" true (Heavy_hitter.count t (flow 2) = 0);
+  Alcotest.(check bool) "not hot on inherited count" false
+    (Heavy_hitter.hot t ~threshold:2 (flow 3));
+  Alcotest.(check bool) "hot at its guaranteed count" true
+    (Heavy_hitter.hot t ~threshold:1 (flow 3))
+
+let test_hh_decay () =
+  let t = Heavy_hitter.create ~k:4 in
+  for _ = 1 to 8 do
+    Heavy_hitter.observe t (flow 1)
+  done;
+  Heavy_hitter.observe t (flow 2);
+  Heavy_hitter.decay t;
+  Alcotest.(check int) "halved" 4 (Heavy_hitter.count t (flow 1));
+  Alcotest.(check int) "floor-halving prunes singletons" 0
+    (Heavy_hitter.count t (flow 2));
+  Alcotest.(check int) "size shrank" 1 (Heavy_hitter.size t);
+  (* The sketch must keep working after compaction. *)
+  Heavy_hitter.observe t (flow 3);
+  Alcotest.(check int) "fresh insert after decay" 1 (Heavy_hitter.count t (flow 3))
+
+let test_hh_top_order () =
+  let t = Heavy_hitter.create ~k:8 in
+  List.iter
+    (fun (i, n) ->
+      for _ = 1 to n do
+        Heavy_hitter.observe t (flow i)
+      done)
+    [ (1, 3); (2, 7); (3, 5) ];
+  let ranks = List.map (fun (_, c, _) -> c) (Heavy_hitter.top t ~n:3) in
+  Alcotest.(check (list int)) "descending counts" [ 7; 5; 3 ] ranks
+
+(* Sketch property: for any observation stream, count over-estimates and
+   guaranteed = count - err under-estimates the true per-flow frequency,
+   and the tracked set never exceeds k. *)
+let prop_hh_bounds =
+  QCheck2.Test.make ~name:"space-saving count/guaranteed bracket the truth"
+    ~count:50
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Gf_util.Rng.create seed in
+      let k = 1 + Gf_util.Rng.int rng 8 in
+      let universe = 1 + Gf_util.Rng.int rng 24 in
+      let t = Heavy_hitter.create ~k in
+      let truth = Hashtbl.create 32 in
+      let ok = ref true in
+      for _ = 1 to 400 do
+        let i = 1 + Gf_util.Rng.int rng universe in
+        Heavy_hitter.observe t (flow i);
+        Hashtbl.replace truth i (1 + Option.value ~default:0 (Hashtbl.find_opt truth i));
+        if Heavy_hitter.size t > k then ok := false
+      done;
+      Hashtbl.iter
+        (fun i true_count ->
+          let c = Heavy_hitter.count t (flow i) in
+          let g = Heavy_hitter.guaranteed t (flow i) in
+          if c > 0 && (c < true_count || g > true_count) then ok := false)
+        truth;
+      !ok)
+
+(* Merge property: merging per-shard sketches is deterministic (stable
+   tie-breaks) and preserves the union's summed counts for flows tracked
+   on exactly one side — the cross-shard reporting path. *)
+let prop_hh_merge =
+  QCheck2.Test.make ~name:"sketch merge is deterministic and sums counts"
+    ~count:50
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Gf_util.Rng.create seed in
+      let k = 2 + Gf_util.Rng.int rng 6 in
+      let a = Heavy_hitter.create ~k and b = Heavy_hitter.create ~k in
+      (* Disjoint shards: even flows to [a], odd flows to [b] (RSS-style). *)
+      for _ = 1 to 300 do
+        let i = 1 + Gf_util.Rng.int rng 16 in
+        Heavy_hitter.observe (if i mod 2 = 0 then a else b) (flow i)
+      done;
+      let fingerprint m =
+        List.map
+          (fun (f, c, e) -> Printf.sprintf "%d:%d:%d" (Flow.hash f) c e)
+          (Heavy_hitter.top m ~n:k)
+      in
+      let m1 = Heavy_hitter.merge a b and m2 = Heavy_hitter.merge a b in
+      let deterministic = fingerprint m1 = fingerprint m2 in
+      let observed_ok =
+        Heavy_hitter.observed m1
+        = Heavy_hitter.observed a + Heavy_hitter.observed b
+      in
+      (* Any flow surviving into the merge carries at least the count either
+         side tracked for it (disjoint shards: the other side contributes
+         nothing). *)
+      let counts_ok =
+        List.for_all
+          (fun (f, c, _) ->
+            c >= Heavy_hitter.count a f && c >= Heavy_hitter.count b f)
+          (Heavy_hitter.top m1 ~n:k)
+      in
+      deterministic && observed_ok && counts_ok)
+
+let test_hh_policy_strings () =
+  let roundtrip s expect =
+    match Heavy_hitter.policy_of_string s with
+    | Ok p -> Alcotest.(check string) s expect (Heavy_hitter.policy_to_string p)
+    | Error e -> Alcotest.fail e
+  in
+  roundtrip "all" "all";
+  roundtrip "hh" (Printf.sprintf "hh:%d@%d" Heavy_hitter.default_k Heavy_hitter.default_threshold);
+  roundtrip "hh:32" (Printf.sprintf "hh:32@%d" Heavy_hitter.default_threshold);
+  Alcotest.(check bool) "garbage rejected" true
+    (Result.is_error (Heavy_hitter.policy_of_string "hh:zero"))
+
+(* ------------------------------ cuckoo ------------------------------ *)
+
+let a_hit = { Cuckoo.terminal = Action.Output 1; out_flow = Flow.zero }
+
+let test_cuckoo_roundtrip () =
+  let c = Cuckoo.create ~capacity:64 () in
+  Alcotest.(check bool) "miss first" true (Cuckoo.lookup c ~now:0.0 (flow 1) = None);
+  ignore (Cuckoo.install c ~now:0.0 (flow 1) a_hit);
+  (match Cuckoo.lookup c ~now:1.0 (flow 1) with
+  | Some h -> Alcotest.(check bool) "terminal" true (h.Cuckoo.terminal = Action.Output 1)
+  | None -> Alcotest.fail "installed flow missing");
+  Alcotest.(check int) "occupancy" 1 (Cuckoo.occupancy c);
+  (* Same-key reinstall replaces, does not duplicate. *)
+  ignore (Cuckoo.install c ~now:2.0 (flow 1) { a_hit with terminal = Action.Drop });
+  Alcotest.(check int) "still one entry" 1 (Cuckoo.occupancy c);
+  match Cuckoo.lookup c ~now:3.0 (flow 1) with
+  | Some h -> Alcotest.(check bool) "replaced" true (h.Cuckoo.terminal = Action.Drop)
+  | None -> Alcotest.fail "replaced flow missing"
+
+let test_cuckoo_expire_and_flush () =
+  let c = Cuckoo.create ~capacity:64 () in
+  ignore (Cuckoo.install c ~now:0.0 (flow 1) a_hit);
+  ignore (Cuckoo.install c ~now:5.0 (flow 2) a_hit);
+  Alcotest.(check int) "one expired" 1 (Cuckoo.expire c ~now:11.0 ~max_idle:10.0);
+  Alcotest.(check bool) "old gone" true (Cuckoo.lookup c ~now:11.0 (flow 1) = None);
+  Alcotest.(check bool) "fresh kept" true (Cuckoo.lookup c ~now:11.0 (flow 2) <> None);
+  Alcotest.(check int) "flush" 1 (Cuckoo.invalidate_all c);
+  Alcotest.(check int) "empty" 0 (Cuckoo.occupancy c)
+
+let test_cuckoo_reject_at_capacity () =
+  let c = Cuckoo.create ~policy:Gf_cache.Evict.Reject ~capacity:4 () in
+  for i = 1 to 4 do
+    ignore (Cuckoo.install c ~now:(float_of_int i) (flow i) a_hit)
+  done;
+  Alcotest.(check int) "full" 4 (Cuckoo.occupancy c);
+  Alcotest.(check int) "reject evicts nothing" 0
+    (Cuckoo.install c ~now:5.0 (flow 5) a_hit);
+  Alcotest.(check int) "occupancy capped" 4 (Cuckoo.occupancy c);
+  Alcotest.(check bool) "newcomer absent" true (Cuckoo.lookup c ~now:6.0 (flow 5) = None);
+  Alcotest.(check int) "rejection counted" 1 (Cuckoo.stats c).Cache_stats.rejected;
+  (* Existing entries survive the refused install. *)
+  for i = 1 to 4 do
+    Alcotest.(check bool)
+      (Printf.sprintf "flow %d intact" i)
+      true
+      (Cuckoo.lookup c ~now:6.0 (flow i) <> None)
+  done
+
+(* Under random install/lookup/expire churn, occupancy must track the set
+   of live keys exactly: every install either finds its key or frees a slot
+   first, so [occupancy] = |distinct keys resident| <= capacity + drift
+   from pressure evictions already subtracted. *)
+let prop_cuckoo_churn =
+  QCheck2.Test.make ~name:"cuckoo size accounting under churn" ~count:50
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Gf_util.Rng.create seed in
+      let policy =
+        Gf_util.Rng.pick rng
+          [|
+            Gf_cache.Evict.Reject; Gf_cache.Evict.Lru; Gf_cache.Evict.Random;
+            Gf_cache.Evict.Priority_aware;
+          |]
+      in
+      let capacity = 4 + Gf_util.Rng.int rng 12 in
+      let c = Cuckoo.create ~policy ~capacity () in
+      let ok = ref true in
+      for i = 1 to 400 do
+        let now = float_of_int i in
+        let f = flow (1 + Gf_util.Rng.int rng 64) in
+        (match Gf_util.Rng.int rng 3 with
+        | 0 -> ignore (Cuckoo.install c ~now f a_hit)
+        | 1 ->
+            (* A lookup hit must return exactly what an install wrote. *)
+            ignore (Cuckoo.lookup c ~now f)
+        | _ -> if i mod 50 = 0 then ignore (Cuckoo.expire c ~now ~max_idle:30.0));
+        if Cuckoo.occupancy c > Cuckoo.slots c then ok := false
+      done;
+      (* Count live keys by probing the whole key universe: occupancy must
+         agree with what lookup can actually reach. *)
+      let reachable = ref 0 in
+      for i = 1 to 64 do
+        if Cuckoo.lookup c ~now:1000.0 (flow i) <> None then incr reachable
+      done;
+      !ok && !reachable = Cuckoo.occupancy c)
+
+(* --------------------------- end-to-end ----------------------------- *)
+
+let elephant_workload () =
+  Pipebench.make_elephant
+    ~combos:512 ~unique_flows:4000 ~elephants:16 ~elephant_share:0.8
+    ~packets:16_384
+    ~info:(Option.get (Catalog.find "PSC"))
+    ~locality:Ruleset.High ~seed:7 ()
+
+(* The tentpole acceptance property in miniature: on an elephant/mice trace
+   with constrained hardware capacity, heavy-hitter admission beats the
+   admit-all Reject baseline on hardware hit rate. *)
+let test_admission_beats_reject () =
+  let w = elephant_workload () in
+  let run cfg =
+    let dp = Datapath.create cfg (Pipebench.pipeline w) in
+    Metrics.hw_hit_rate (Datapath.run dp w.Pipebench.trace)
+  in
+  let hh = run (Datapath.mf_sw_hh ~mf_capacity:16 ()) in
+  let reject = run (Datapath.mf_sw ~mf_capacity:16 ()) in
+  let lru =
+    run (Datapath.with_policy Gf_cache.Evict.Lru (Datapath.mf_sw ~mf_capacity:16 ()))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "hh (%.3f) > reject (%.3f)" hh reject)
+    true (hh > reject);
+  Alcotest.(check bool)
+    (Printf.sprintf "hh (%.3f) > lru (%.3f)" hh lru)
+    true (hh > lru)
+
+(* Walker and batched engine must stay bit-identical under admission: the
+   sketch is observed exactly once per packet on every packet path. *)
+let test_admission_walker_engine_agree () =
+  let w = elephant_workload () in
+  let cfg = Datapath.gf_sw_hh ~gf:(Gf_core.Config.v ~tables:2 ~table_capacity:8 ()) () in
+  let pipeline = Pipebench.pipeline w in
+  let seq =
+    Gf_sim.Parallel.replay ~mode:`Sequential ~domains:1 ~cfg pipeline
+      w.Pipebench.trace
+  in
+  let eng =
+    Gf_engine.Engine.replay ~batch_size:256 ~domains:1 ~cfg pipeline
+      (Trace.stream_of_trace w.Pipebench.trace)
+  in
+  let fp (m : Metrics.t) =
+    ( m.Metrics.packets, m.Metrics.hw_hits, m.Metrics.sw_hits,
+      m.Metrics.slowpaths, m.Metrics.hw_installs, m.Metrics.hw_deferred,
+      m.Metrics.hw_demotions, m.Metrics.hw_evictions )
+  in
+  Alcotest.(check bool)
+    "walker = engine under admission" true
+    (fp seq.Gf_sim.Parallel.merged = fp eng.Gf_sim.Parallel.merged)
+
+(* ---------------------------- registry ------------------------------ *)
+
+let suite =
+  [
+    Alcotest.test_case "sketch exact when small" `Quick test_hh_exact_when_small;
+    Alcotest.test_case "sketch replacement inherits error" `Quick
+      test_hh_replacement_inherits_error;
+    Alcotest.test_case "sketch decay" `Quick test_hh_decay;
+    Alcotest.test_case "sketch top order" `Quick test_hh_top_order;
+    Alcotest.test_case "policy strings" `Quick test_hh_policy_strings;
+    Alcotest.test_case "cuckoo roundtrip" `Quick test_cuckoo_roundtrip;
+    Alcotest.test_case "cuckoo expire + flush" `Quick test_cuckoo_expire_and_flush;
+    Alcotest.test_case "cuckoo reject at capacity" `Quick
+      test_cuckoo_reject_at_capacity;
+    Alcotest.test_case "hh admission beats reject + lru" `Slow
+      test_admission_beats_reject;
+    Alcotest.test_case "walker = engine under admission" `Slow
+      test_admission_walker_engine_agree;
+  ]
+
+let props = [ prop_hh_bounds; prop_hh_merge; prop_cuckoo_churn ]

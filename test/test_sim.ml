@@ -559,6 +559,7 @@ let test_parallel_custom_hierarchy () =
         ];
       max_idle = 2.0;
       expire_every = 0.5;
+      admission = Gf_offload.Heavy_hitter.Admit_all;
     }
   in
   let pipeline = Pipebench.pipeline w in

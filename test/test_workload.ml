@@ -214,6 +214,96 @@ let test_trace_churn_shape () =
   let t' = churn () in
   Alcotest.(check bool) "deterministic" true (t.Trace.packets = t'.Trace.packets)
 
+(* Satellite: streaming edge cases.  A zero-packet stream must terminate
+   immediately, and a fill whose batch exceeds the remaining packets must
+   return exactly the remainder, then 0 forever. *)
+let test_stream_edge_cases () =
+  let flows = Array.init 8 (fun i -> Flow.make [ (Gf_flow.Field.Vlan, i) ]) in
+  let buffers n = (Array.make n 0.0, Array.make n 0, Array.make n Flow.zero) in
+  (* Zero-packet stream: first pull already reports end of stream. *)
+  let empty = Trace.steady ~packets:0 ~seed:3 ~flows () in
+  let times, ids, fls = buffers 16 in
+  Alcotest.(check int) "empty stream yields 0" 0
+    (Trace.fill empty ~times ~flow_ids:ids ~flows:fls ~max:16);
+  Alcotest.(check int) "still 0 on re-pull" 0
+    (Trace.fill empty ~times ~flow_ids:ids ~flows:fls ~max:16);
+  (* Batch larger than the remaining packets: the short tail comes back in
+     one partial fill. *)
+  let s = Trace.steady ~packets:10 ~seed:4 ~flows () in
+  let times, ids, fls = buffers 64 in
+  Alcotest.(check int) "first pull drains 7" 7
+    (Trace.fill s ~times ~flow_ids:ids ~flows:fls ~max:7);
+  Alcotest.(check int) "oversized batch returns remainder" 3
+    (Trace.fill s ~times ~flow_ids:ids ~flows:fls ~max:64);
+  Alcotest.(check int) "exhausted" 0
+    (Trace.fill s ~times ~flow_ids:ids ~flows:fls ~max:64);
+  (* Same edge cases through the materialised-trace adapter. *)
+  let t = Trace.generate ~duration:1.0 ~seed:5 ~flows () in
+  let st = Trace.stream_of_trace t in
+  let n = Trace.packet_count t in
+  let times, ids, fls = buffers (n + 32) in
+  Alcotest.(check int) "oversized pull drains the trace" n
+    (Trace.fill st ~times ~flow_ids:ids ~flows:fls ~max:(n + 32));
+  Alcotest.(check int) "trace stream exhausted" 0
+    (Trace.fill st ~times ~flow_ids:ids ~flows:fls ~max:(n + 32))
+
+let test_trace_elephant_mice_shape () =
+  let flows = Array.init 1000 (fun i -> Flow.make [ (Gf_flow.Field.Vlan, i) ]) in
+  let t =
+    Trace.elephant_mice ~duration:10.0 ~elephants:8 ~elephant_share:0.8
+      ~packets:4000 ~seed:21 ~flows ()
+  in
+  Alcotest.(check int) "packet count" 4000 (Trace.packet_count t);
+  let elephant_packets =
+    Array.fold_left
+      (fun acc p -> if p.Trace.flow_id < 8 then acc + 1 else acc)
+      0 t.Trace.packets
+  in
+  (* Bernoulli(0.8) over 4000 draws: stay well inside 5 sigma. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "elephant share ~0.8 (got %d/4000)" elephant_packets)
+    true
+    (elephant_packets > 3000 && elephant_packets < 3400);
+  let sorted = ref true in
+  for i = 0 to Array.length t.Trace.packets - 2 do
+    if t.Trace.packets.(i).Trace.time > t.Trace.packets.(i + 1).Trace.time then
+      sorted := false
+  done;
+  Alcotest.(check bool) "sorted by time" true !sorted;
+  (* Determinism in seed. *)
+  let t' =
+    Trace.elephant_mice ~duration:10.0 ~elephants:8 ~elephant_share:0.8
+      ~packets:4000 ~seed:21 ~flows ()
+  in
+  Alcotest.(check bool) "deterministic" true (t.Trace.packets = t'.Trace.packets)
+
+let test_trace_drifting_skew_shape () =
+  let flows = Array.init 500 (fun i -> Flow.make [ (Gf_flow.Field.Vlan, i) ]) in
+  let t =
+    Trace.drifting_skew ~duration:8.0 ~epochs:4 ~drift:100 ~packets_per_epoch:1000
+      ~seed:22 ~flows ()
+  in
+  Alcotest.(check int) "packet count" 4000 (Trace.packet_count t);
+  let sorted = ref true in
+  for i = 0 to Array.length t.Trace.packets - 2 do
+    if t.Trace.packets.(i).Trace.time > t.Trace.packets.(i + 1).Trace.time then
+      sorted := false
+  done;
+  Alcotest.(check bool) "sorted by time" true !sorted;
+  (* The popular set drifts: the most frequent flow of the first quarter
+     differs from the most frequent flow of the last quarter. *)
+  let mode lo hi =
+    let counts = Hashtbl.create 64 in
+    for i = lo to hi - 1 do
+      let id = t.Trace.packets.(i).Trace.flow_id in
+      Hashtbl.replace counts id (1 + Option.value ~default:0 (Hashtbl.find_opt counts id))
+    done;
+    Hashtbl.fold (fun id c (bid, bc) -> if c > bc then (id, c) else (bid, bc)) counts (-1, 0)
+    |> fst
+  in
+  Alcotest.(check bool) "heavy-hitter identity rotates" true
+    (mode 0 1000 <> mode 3000 4000)
+
 let test_pipebench_churn_shares_population () =
   (* make_churn must derive the identical ruleset and flow population as
      make for the same seed — only the packet schedule differs. *)
@@ -260,6 +350,9 @@ let suite =
     ("trace deterministic", `Quick, test_trace_deterministic);
     ("trace concat", `Quick, test_trace_concat);
     ("trace churn shape", `Quick, test_trace_churn_shape);
+    ("stream edge cases", `Quick, test_stream_edge_cases);
+    ("trace elephant/mice shape", `Quick, test_trace_elephant_mice_shape);
+    ("trace drifting skew shape", `Quick, test_trace_drifting_skew_shape);
     ("pipebench churn", `Quick, test_pipebench_churn_shares_population);
     ("pipebench end-to-end", `Quick, test_pipebench_end_to_end);
   ]
