@@ -124,6 +124,57 @@ let repeat_best f iters =
   let c = time_iters f iters in
   Float.min a (Float.min b c)
 
+(* Overhead comparisons (telemetry on vs off) need tighter hygiene than a
+   wall-clock stopwatch: on a shared host the wall clock drifts by
+   double-digit percentages across consecutive 10-second runs, which swamps
+   a ~1% effect no matter how many sequential repeats get medianed.  Three
+   defences, in order of importance: process CPU time instead of wall time
+   (descheduling by noisy neighbours stops the clock), the two sides
+   interleaved in pairs with the order alternated pair to pair (slow drift
+   hits both halves of a pair equally; alternation cancels any
+   first-in-pair bias), and the median of the per-pair ratios (a one-sided
+   outlier — a GC ramp, a frequency excursion — moves one pair, not the
+   estimate).  Each timed run starts from a compacted heap, and both sides
+   get one discarded warmup before any pair is timed. *)
+let cpu_now () =
+  let t = Unix.times () in
+  t.Unix.tms_utime +. t.Unix.tms_stime
+
+let paired_overhead ?(pairs = 5) plain_f tel_f =
+  let timed f =
+    Gc.compact ();
+    let t0 = cpu_now () in
+    let r = f () in
+    (cpu_now () -. t0, r)
+  in
+  let plain_result = ref None and tel_result = ref None in
+  ignore (plain_f ());
+  ignore (tel_f ());
+  let samples =
+    Array.init pairs (fun i ->
+        if i land 1 = 0 then begin
+          let p, pr = timed plain_f in
+          let t, tr = timed tel_f in
+          plain_result := Some pr;
+          tel_result := Some tr;
+          (t /. p, p, t)
+        end
+        else begin
+          let t, tr = timed tel_f in
+          let p, pr = timed plain_f in
+          plain_result := Some pr;
+          tel_result := Some tr;
+          (t /. p, p, t)
+        end)
+  in
+  Array.sort (fun (a, _, _) (b, _, _) -> compare a b) samples;
+  let ratio, p_cpu, t_cpu = samples.(pairs / 2) in
+  ( Option.get !plain_result,
+    Option.get !tel_result,
+    p_cpu,
+    t_cpu,
+    100.0 *. (ratio -. 1.0) )
+
 let micro_mask_apply () =
   let mask = Mask.make [ (Field.Ip_dst, 0xFFFFFF00); (Field.Tp_dst, 0xFFFF) ] in
   let flow = Flow.make [ (Field.Ip_dst, 0x0A000001); (Field.Tp_dst, 443) ] in
@@ -298,43 +349,51 @@ let () =
   j "  },\n";
   (* Telemetry overhead: the gigaflow sequential replay again, with the full
      telemetry stack on (registry + time-series sampler + flight recorder),
-     against the telemetry-off run above.  The instrumented run must produce
-     identical metrics — telemetry observes, never perturbs. *)
+     against the telemetry-off run.  The instrumented run must produce
+     identical metrics — telemetry observes, never perturbs.  Both sides are
+     timed by [paired_overhead]: interleaved pairs on CPU time, median of
+     the per-pair ratios. *)
   say "  [telemetry] instrumented gigaflow replay (overhead vs telemetry-off)";
-  let tel =
-    Gf_telemetry.Telemetry.create
-      ~config:
-        {
-          Gf_telemetry.Telemetry.sample_every = 10_000;
-          event_capacity = 4096;
-          event_sample_every = 16;
-        }
-      ()
+  let full_tel_config =
+    {
+      Gf_telemetry.Telemetry.sample_every = 10_000;
+      event_capacity = 4096;
+      event_sample_every = 16;
+    }
   in
-  let dp = Datapath.create ~telemetry:tel gf_cfg (Gf_pipeline.Pipeline.copy pipeline) in
-  let t0 = now () in
-  let tm = Datapath.run dp trace in
-  let tel_wall = now () -. t0 in
-  let tel_pps = float_of_int tm.Metrics.packets /. tel_wall in
-  let base = List.assoc "gigaflow" seq_runs in
-  let overhead_pct = 100.0 *. ((base.pps /. tel_pps) -. 1.0) in
+  let base_metrics, (tm, tel), base_cpu, tel_cpu, overhead_pct =
+    paired_overhead
+      (fun () ->
+        Datapath.run
+          (Datapath.create gf_cfg (Gf_pipeline.Pipeline.copy pipeline))
+          trace)
+      (fun () ->
+        let tel = Gf_telemetry.Telemetry.create ~config:full_tel_config () in
+        let dp =
+          Datapath.create ~telemetry:tel gf_cfg
+            (Gf_pipeline.Pipeline.copy pipeline)
+        in
+        (Datapath.run dp trace, tel))
+  in
+  let tel_pps = float_of_int tm.Metrics.packets /. tel_cpu in
+  let base_pps = float_of_int base_metrics.Metrics.packets /. base_cpu in
   let n_samples = List.length (Gf_telemetry.Telemetry.samples tel) in
   let n_events = List.length (Gf_telemetry.Telemetry.events tel) in
-  let matches = counters tm = counters base.metrics in
+  let matches = counters tm = counters base_metrics in
   say
-    "  [telemetry] %.2fs, %.0f pps (off: %.0f pps, overhead %.1f%%), %d samples, \
-     %d events, metrics match: %b"
-    tel_wall tel_pps base.pps overhead_pct n_samples n_events matches;
+    "  [telemetry] %.2fs cpu, %.0f pps (off: %.0f pps, overhead %.1f%%), %d \
+     samples, %d events, metrics match: %b"
+    tel_cpu tel_pps base_pps overhead_pct n_samples n_events matches;
   if !telemetry_out <> "" then begin
     let oc = open_out !telemetry_out in
     Gf_telemetry.Telemetry.write_jsonl oc tel;
     close_out oc;
     say "  [telemetry] wrote %s" !telemetry_out
   end;
-  j "  \"telemetry\": {\"wall_seconds\": %s, \"packets_per_second\": %s,\n"
-    (jfloat tel_wall) (jfloat tel_pps);
-  j "   \"baseline_pps\": %s, \"overhead_pct\": %s,\n" (jfloat base.pps)
-    (jfloat overhead_pct);
+  j "  \"telemetry\": {\"cpu_seconds\": %s, \"packets_per_second\": %s,\n"
+    (jfloat tel_cpu) (jfloat tel_pps);
+  j "   \"baseline_cpu_seconds\": %s, \"baseline_pps\": %s, \"overhead_pct\": %s,\n"
+    (jfloat base_cpu) (jfloat base_pps) (jfloat overhead_pct);
   j "   \"samples\": %d, \"events\": %d, \"matches_baseline_metrics\": %b},\n"
     n_samples n_events matches;
   (* Streaming engine: the batched push-based datapath (SPSC rings into
@@ -380,7 +439,7 @@ let () =
   j "             \"unique_flows\": 5000, \"seed\": 7},\n";
   j "    \"rows\": [\n";
   let stream_pipeline = Pipebench.pipeline stream_w in
-  let mf_walker_wall = ref nan and mf_strace = ref None in
+  let straces = ref [] in
   List.iteri
     (fun ri (preset, cfg, nflows, zipf_s) ->
       let flows = Array.sub stream_w.Pipebench.flows 0 nflows in
@@ -397,10 +456,7 @@ let () =
       in
       let w_pps = float_of_int wm.Metrics.packets /. w_wall in
       say "  [streaming] %s walker: %.2fs, %.0f pps" preset w_wall w_pps;
-      if preset = "emc_mf_sw" then begin
-        mf_walker_wall := w_wall;
-        mf_strace := Some strace
-      end;
+      straces := (preset, strace) :: !straces;
       j "      {\"preset\": \"%s\", \"zipf_s\": %s, \"flows\": %d,\n" preset
         (jfloat zipf_s) nflows;
       j "       \"walker_wall_seconds\": %s, \"walker_pps\": %s, \"engine\": [\n"
@@ -443,7 +499,13 @@ let () =
   (* Per-batch telemetry amortisation: the walker checks the sampling
      cadence per packet; the engine once per batch.  Same stream, same
      telemetry config — the overhead each pays over its own uninstrumented
-     run is the before/after of satellite's amortisation claim. *)
+     run is the before/after of the pull-model telemetry claim.  Both
+     sides of each comparison go through [paired_overhead] (interleaved
+     pairs on CPU time, median of per-pair ratios): a baseline borrowed
+     from the rows section above, or a sequential wall-clock median, was
+     measured against a different allocator state or a drifted clock and
+     regularly produced double-digit phantom "overhead" in either
+     direction. *)
   say "  [streaming] telemetry amortisation (per-packet vs per-batch cadence)";
   let tel_config =
     {
@@ -452,48 +514,50 @@ let () =
       event_sample_every = 0;
     }
   in
-  let mf_cfg_s = Datapath.emc_mf_sw () in
-  let mf_strace = Option.get !mf_strace in
-  let _, walker_tel_wall =
-    timed_best (fun () ->
-        Datapath.run
-          (Datapath.create
-             ~telemetry:(Gf_telemetry.Telemetry.create ~config:tel_config ())
-             mf_cfg_s
-             (Gf_pipeline.Pipeline.copy stream_pipeline))
-          mf_strace)
-  in
-  let _, engine_plain_wall =
-    timed_best (fun () ->
-        Engine.replay ~batch_size:stream_batch ~domains:1 ~cfg:mf_cfg_s
-          stream_pipeline
-          (Trace.stream_of_trace mf_strace))
-  in
-  let _, engine_tel_wall =
-    timed_best (fun () ->
-        Engine.replay ~telemetry:tel_config ~batch_size:stream_batch ~domains:1
-          ~cfg:mf_cfg_s stream_pipeline
-          (Trace.stream_of_trace mf_strace))
-  in
-  let walker_overhead_pct =
-    100.0 *. ((walker_tel_wall /. !mf_walker_wall) -. 1.0)
-  in
-  let engine_overhead_pct =
-    100.0 *. ((engine_tel_wall /. engine_plain_wall) -. 1.0)
-  in
-  say
-    "  [streaming] telemetry overhead: walker %.1f%% (%.2fs -> %.2fs), engine \
-     %.1f%% (%.2fs -> %.2fs)"
-    walker_overhead_pct !mf_walker_wall walker_tel_wall engine_overhead_pct
-    engine_plain_wall engine_tel_wall;
-  j "    \"telemetry_amortisation\": {\n";
-  j "      \"walker_wall_seconds\": %s, \"walker_telemetry_wall_seconds\": %s,\n"
-    (jfloat !mf_walker_wall) (jfloat walker_tel_wall);
-  j "      \"engine_wall_seconds\": %s, \"engine_telemetry_wall_seconds\": %s,\n"
-    (jfloat engine_plain_wall) (jfloat engine_tel_wall);
-  j "      \"walker_overhead_pct\": %s, \"engine_overhead_pct\": %s\n"
-    (jfloat walker_overhead_pct) (jfloat engine_overhead_pct);
-  j "    }\n";
+  j "    \"telemetry_amortisation\": [\n";
+  List.iteri
+    (fun ri (preset, cfg, _, _) ->
+      let strace = List.assoc preset !straces in
+      let _, _, walker_plain_cpu, walker_tel_cpu, walker_overhead_pct =
+        paired_overhead
+          (fun () ->
+            Datapath.run
+              (Datapath.create cfg (Gf_pipeline.Pipeline.copy stream_pipeline))
+              strace)
+          (fun () ->
+            Datapath.run
+              (Datapath.create
+                 ~telemetry:(Gf_telemetry.Telemetry.create ~config:tel_config ())
+                 cfg
+                 (Gf_pipeline.Pipeline.copy stream_pipeline))
+              strace)
+      in
+      let _, _, engine_plain_cpu, engine_tel_cpu, engine_overhead_pct =
+        paired_overhead
+          (fun () ->
+            Engine.replay ~batch_size:stream_batch ~domains:1 ~cfg
+              stream_pipeline
+              (Trace.stream_of_trace strace))
+          (fun () ->
+            Engine.replay ~telemetry:tel_config ~batch_size:stream_batch
+              ~domains:1 ~cfg stream_pipeline
+              (Trace.stream_of_trace strace))
+      in
+      say
+        "  [streaming] %s telemetry overhead: walker %.1f%% (%.2fs -> %.2fs \
+         cpu), engine %.1f%% (%.2fs -> %.2fs cpu)"
+        preset walker_overhead_pct walker_plain_cpu walker_tel_cpu
+        engine_overhead_pct engine_plain_cpu engine_tel_cpu;
+      j "      {\"preset\": \"%s\",\n" preset;
+      j "       \"walker_cpu_seconds\": %s, \"walker_telemetry_cpu_seconds\": %s,\n"
+        (jfloat walker_plain_cpu) (jfloat walker_tel_cpu);
+      j "       \"engine_cpu_seconds\": %s, \"engine_telemetry_cpu_seconds\": %s,\n"
+        (jfloat engine_plain_cpu) (jfloat engine_tel_cpu);
+      j "       \"walker_overhead_pct\": %s, \"engine_overhead_pct\": %s}%s\n"
+        (jfloat walker_overhead_pct) (jfloat engine_overhead_pct)
+        (if ri = List.length stream_regimes - 1 then "" else ","))
+    stream_regimes;
+  j "    ]\n";
   j "  },\n";
   (* Capacity sweep: hit rate vs capacity, Megaflow vs Gigaflow, under each
      replacement policy, on a churn trace.  The rotating flow population keeps

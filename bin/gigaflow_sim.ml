@@ -443,8 +443,13 @@ let run_cmd =
 
 (* Validate a telemetry JSONL file: every line must parse as JSON, the
    stream must carry a meta line and at least one time-series sample, and
-   samples/events must expose the documented fields.  Exits non-zero on the
-   first violation — check.sh uses this as the telemetry smoke gate. *)
+   samples/events must expose the documented fields.  Loadtest JSONL
+   streams (loadtest_meta/loadtest_window/loadtest_summary lines) are
+   validated under their own schema.  [--bench] additionally walks a
+   benchmark JSON document and rejects any *overhead_pct key below the
+   noise floor (a negative "overhead" beyond jitter means the baseline
+   timing is broken).  Exits non-zero on the first violation — check.sh
+   uses this as the telemetry smoke gate. *)
 let telemetry_check_cmd =
   let module J = Gf_util.Json in
   let fail line_no msg =
@@ -456,74 +461,368 @@ let telemetry_check_cmd =
     | Some (J.Int _), `Num | Some (J.Float _), `Num -> ()
     | Some (J.Str _), `Str -> ()
     | Some (J.List _), `List -> ()
+    | Some (J.Bool _), `Bool -> ()
     | Some _, _ -> fail line_no (Printf.sprintf "field %S has the wrong type" field)
     | None, _ -> fail line_no (Printf.sprintf "missing field %S" field)
   in
-  let check file =
+  let check_bench ~floor file =
+    let bfail msg =
+      Printf.eprintf "telemetry-check: %s: %s\n" file msg;
+      exit 1
+    in
     let ic = open_in file in
-    let metas = ref 0 and samples = ref 0 and events = ref 0 in
-    let line_no = ref 0 in
-    (try
-       while true do
-         let line = input_line ic in
-         incr line_no;
-         if String.trim line <> "" then
-           match J.of_string line with
-           | Error e -> fail !line_no ("not valid JSON: " ^ e)
-           | Ok json -> (
-               match Option.bind (J.member "type" json) J.to_string_opt with
-               | Some "meta" ->
-                   incr metas;
-                   require !line_no json "samples" `Num
-               | Some "sample" ->
-                   incr samples;
-                   List.iter
-                     (fun f -> require !line_no json f `Num)
-                     [
-                       "packet"; "time"; "hw_hits"; "sw_hits"; "slowpaths";
-                       "hw_hit_rate"; "mean_us"; "p50_us"; "p90_us"; "p99_us";
-                       "p999_us";
-                     ];
-                   require !line_no json "levels" `List;
-                   let levels =
-                     Option.value ~default:[]
-                       (Option.bind (J.member "levels" json) J.to_list_opt)
-                   in
-                   List.iter
-                     (fun l ->
-                       require !line_no l "level" `Str;
-                       require !line_no l "tier" `Str;
+    let n = in_channel_length ic in
+    let text = really_input_string ic n in
+    close_in ic;
+    match J.of_string text with
+    | Error e -> bfail ("not valid JSON: " ^ e)
+    | Ok json ->
+        let contains_overhead name =
+          let needle = "overhead_pct" in
+          let nl = String.length needle and l = String.length name in
+          let rec has i =
+            i + nl <= l && (String.sub name i nl = needle || has (i + 1))
+          in
+          has 0
+        in
+        let checked = ref 0 in
+        let rec walk path j =
+          match j with
+          | J.Obj fields ->
+              List.iter
+                (fun (name, v) ->
+                  let p = if path = "" then name else path ^ "." ^ name in
+                  (if contains_overhead name then
+                     match J.to_float_opt v with
+                     | Some x ->
+                         incr checked;
+                         if x < floor then
+                           bfail
+                             (Printf.sprintf "%s = %.2f is below the %.2f noise floor"
+                                p x floor)
+                     | None -> bfail (Printf.sprintf "%s is not numeric" p));
+                  walk p v)
+                fields
+          | J.List items ->
+              List.iteri
+                (fun i v -> walk (Printf.sprintf "%s[%d]" path i) v)
+                items
+          | J.Null | J.Bool _ | J.Int _ | J.Float _ | J.Str _ -> ()
+        in
+        walk "" json;
+        Printf.printf "%s: OK (%d overhead figure%s >= %.2f%%)\n" file !checked
+          (if !checked = 1 then "" else "s")
+          floor
+  in
+  let check file bench floor =
+    (match file with
+    | None -> ()
+    | Some file ->
+        let ic = open_in file in
+        let metas = ref 0 and samples = ref 0 and events = ref 0 in
+        let lt_metas = ref 0 and lt_windows = ref 0 and lt_summaries = ref 0 in
+        let line_no = ref 0 in
+        (try
+           while true do
+             let line = input_line ic in
+             incr line_no;
+             if String.trim line <> "" then
+               match J.of_string line with
+               | Error e -> fail !line_no ("not valid JSON: " ^ e)
+               | Ok json -> (
+                   match Option.bind (J.member "type" json) J.to_string_opt with
+                   | Some "meta" ->
+                       incr metas;
+                       require !line_no json "samples" `Num
+                   | Some "sample" ->
+                       incr samples;
                        List.iter
-                         (fun f -> require !line_no l f `Num)
-                         [ "hits"; "misses"; "hit_rate"; "occupancy"; "p50_us"; "p99_us" ])
-                     levels
-               | Some "event" ->
-                   incr events;
-                   require !line_no json "kind" `Str;
-                   require !line_no json "level" `Str;
-                   List.iter
-                     (fun f -> require !line_no json f `Num)
-                     [ "seq"; "packet"; "time"; "latency_us"; "count" ]
-               | Some other ->
-                   fail !line_no (Printf.sprintf "unknown line type %S" other)
-               | None -> fail !line_no "missing \"type\" field")
-       done
-     with End_of_file -> close_in ic);
-    if !metas = 0 then fail !line_no "no meta line found";
-    if !samples = 0 then fail !line_no "no time-series samples found";
-    Printf.printf "%s: OK (%d meta, %d samples, %d events)\n" file !metas !samples
-      !events
+                         (fun f -> require !line_no json f `Num)
+                         [
+                           "packet"; "time"; "hw_hits"; "sw_hits"; "slowpaths";
+                           "hw_hit_rate"; "mean_us"; "p50_us"; "p90_us"; "p99_us";
+                           "p999_us";
+                         ];
+                       require !line_no json "levels" `List;
+                       let levels =
+                         Option.value ~default:[]
+                           (Option.bind (J.member "levels" json) J.to_list_opt)
+                       in
+                       List.iter
+                         (fun l ->
+                           require !line_no l "level" `Str;
+                           require !line_no l "tier" `Str;
+                           List.iter
+                             (fun f -> require !line_no l f `Num)
+                             [ "hits"; "misses"; "hit_rate"; "occupancy"; "p50_us"; "p99_us" ])
+                         levels
+                   | Some "event" ->
+                       incr events;
+                       require !line_no json "kind" `Str;
+                       require !line_no json "level" `Str;
+                       List.iter
+                         (fun f -> require !line_no json f `Num)
+                         [ "seq"; "packet"; "time"; "latency_us"; "count" ]
+                   | Some "loadtest_meta" ->
+                       incr lt_metas;
+                       List.iter
+                         (fun f -> require !line_no json f `Num)
+                         [
+                           "rate_pps"; "warmup"; "window"; "windows";
+                           "queue_budget_us"; "slo_p50_us"; "slo_p99_us";
+                           "slo_p999_us"; "slo_drop_rate"; "slo_hw_hit_rate";
+                         ]
+                   | Some "loadtest_window" ->
+                       incr lt_windows;
+                       List.iter
+                         (fun f -> require !line_no json f `Num)
+                         [
+                           "index"; "offered"; "processed"; "dropped";
+                           "drop_rate"; "mean_us"; "p50_us"; "p99_us"; "p999_us";
+                           "hw_hit_rate";
+                         ];
+                       require !line_no json "violations" `List
+                   | Some "loadtest_summary" ->
+                       incr lt_summaries;
+                       require !line_no json "pass" `Bool;
+                       List.iter
+                         (fun f -> require !line_no json f `Num)
+                         [
+                           "windows"; "total_offered"; "total_processed";
+                           "total_dropped"; "violations";
+                         ]
+                   | Some other ->
+                       fail !line_no (Printf.sprintf "unknown line type %S" other)
+                   | None -> fail !line_no "missing \"type\" field")
+           done
+         with End_of_file -> close_in ic);
+        if !lt_metas + !lt_windows + !lt_summaries > 0 then begin
+          (* Loadtest stream: meta, at least one window, one summary. *)
+          if !lt_metas = 0 then fail !line_no "no loadtest_meta line found";
+          if !lt_windows = 0 then fail !line_no "no loadtest_window lines found";
+          if !lt_summaries = 0 then fail !line_no "no loadtest_summary line found";
+          Printf.printf "%s: OK (%d loadtest meta, %d windows, %d summary)\n" file
+            !lt_metas !lt_windows !lt_summaries
+        end
+        else begin
+          if !metas = 0 then fail !line_no "no meta line found";
+          if !samples = 0 then fail !line_no "no time-series samples found";
+          Printf.printf "%s: OK (%d meta, %d samples, %d events)\n" file !metas
+            !samples !events
+        end);
+    (match bench with
+    | Some bench -> check_bench ~floor bench
+    | None -> ());
+    if file = None && bench = None then begin
+      Printf.eprintf "telemetry-check: nothing to check (pass FILE and/or --bench)\n";
+      exit 2
+    end
   in
   let file_arg =
     Arg.(
-      required
+      value
       & pos 0 (some string) None
       & info [] ~docv:"FILE" ~doc:"Telemetry JSONL file to validate.")
+  in
+  let bench_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bench" ] ~docv:"JSON"
+          ~doc:
+            "Also validate a benchmark JSON document: every key containing \
+             $(i,overhead_pct) must be numeric and at or above the noise \
+             floor ($(b,--overhead-floor)).")
+  in
+  let floor_arg =
+    Arg.(
+      value & opt float (-3.0)
+      & info [ "overhead-floor" ] ~docv:"PCT"
+          ~doc:
+            "Lowest acceptable overhead figure in $(b,--bench) mode; \
+             anything below it means the baseline timing is noise-broken.")
   in
   Cmd.v
     (Cmd.info "telemetry-check"
        ~doc:"Validate a telemetry JSONL file (parseability + required series).")
-    Term.(const check $ file_arg)
+    Term.(const check $ file_arg $ bench_arg $ floor_arg)
+
+(* Fixed-rate SLO load test (packetblaster-style): sustained offered load
+   through a single-server queue in front of the datapath, p50/p99/p99.9
+   sojourn + drop-rate + hardware-hit-rate objectives per measurement
+   window, a machine-readable JSONL report, and --gate turning SLO
+   violations into a non-zero exit for CI. *)
+let loadtest_cmd =
+  let module Loadtest = Gf_engine.Loadtest in
+  let rate_arg =
+    Arg.(
+      value & opt float 1e6
+      & info [ "rate" ] ~docv:"PPS" ~doc:"Offered load, packets per second.")
+  in
+  let warmup_arg =
+    Arg.(
+      value & opt int 50_000
+      & info [ "warmup" ] ~docv:"N"
+          ~doc:"Offered packets before measurement starts (caches converge).")
+  in
+  let window_arg =
+    Arg.(
+      value & opt int 100_000
+      & info [ "window" ] ~docv:"N" ~doc:"Offered packets per measurement window.")
+  in
+  let windows_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "windows" ] ~docv:"K" ~doc:"Measurement windows after warmup.")
+  in
+  let queue_budget_arg =
+    Arg.(
+      value & opt float 500.0
+      & info [ "queue-budget" ] ~docv:"US"
+          ~doc:
+            "Tail-drop threshold: a packet whose queueing delay would exceed \
+             $(docv) microseconds is dropped before reaching the datapath.")
+  in
+  let zipf_arg =
+    Arg.(
+      value & opt float 1.1
+      & info [ "zipf" ] ~docv:"S"
+          ~doc:"Zipf skew of the steady-state traffic over the flow population.")
+  in
+  let slo_p50_arg =
+    Arg.(
+      value & opt float Loadtest.default_slo.Loadtest.slo_p50_us
+      & info [ "slo-p50" ] ~docv:"US" ~doc:"SLO: sojourn median bound.")
+  in
+  let slo_p99_arg =
+    Arg.(
+      value & opt float Loadtest.default_slo.Loadtest.slo_p99_us
+      & info [ "slo-p99" ] ~docv:"US" ~doc:"SLO: sojourn p99 bound.")
+  in
+  let slo_p999_arg =
+    Arg.(
+      value & opt float Loadtest.default_slo.Loadtest.slo_p999_us
+      & info [ "slo-p999" ] ~docv:"US" ~doc:"SLO: sojourn p99.9 bound.")
+  in
+  let slo_drop_arg =
+    Arg.(
+      value & opt float Loadtest.default_slo.Loadtest.slo_drop_rate
+      & info [ "slo-drop-rate" ] ~docv:"F"
+          ~doc:"SLO: dropped/offered bound per window.")
+  in
+  let slo_hit_arg =
+    Arg.(
+      value & opt float Loadtest.default_slo.Loadtest.slo_hw_hit_rate
+      & info [ "slo-hit-rate" ] ~docv:"F"
+          ~doc:"SLO: hardware hits / processed floor per window.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "o"; "out" ] ~docv:"PATH"
+          ~doc:
+            "Write the JSONL report (loadtest_meta + one loadtest_window per \
+             window + loadtest_summary) to $(docv).")
+  in
+  let gate_arg =
+    Arg.(
+      value & flag
+      & info [ "gate" ]
+          ~doc:"Exit non-zero when any measurement window violates the SLO.")
+  in
+  let run code locality seed flows combos hierarchy tables capacity rate warmup
+      window windows queue_budget zipf slo_p50 slo_p99 slo_p999 slo_drop slo_hit
+      out gate =
+    let info = find_pipeline code in
+    let w = Pipebench.make ~combos ~unique_flows:flows ~info ~locality ~seed () in
+    let cfg =
+      Option.get
+        (Datapath.preset
+           ~gf:(Gf_core.Config.v ~tables ~table_capacity:capacity ())
+           ~mf_capacity:(tables * capacity) hierarchy)
+    in
+    let packets = warmup + (windows * window) in
+    let stream =
+      Gf_workload.Trace.steady ~zipf_s:zipf ~packets ~seed:(seed + 1)
+        ~flows:w.Pipebench.flows ()
+    in
+    let slo =
+      {
+        Loadtest.slo_p50_us = slo_p50;
+        slo_p99_us = slo_p99;
+        slo_p999_us = slo_p999;
+        slo_drop_rate = slo_drop;
+        slo_hw_hit_rate = slo_hit;
+      }
+    in
+    Printf.printf
+      "Loadtest: %s on %s, %s pkt/s offered, %d warmup + %d x %d measured...\n%!"
+      cfg.Datapath.name info.Catalog.code (Tablefmt.fmt_si rate) warmup windows
+      window;
+    let r =
+      Loadtest.run ~queue_budget_us:queue_budget ~warmup ~window ~windows ~rate
+        ~slo cfg (Pipebench.pipeline w) stream
+    in
+    let t =
+      Tablefmt.create
+        [ "Window"; "Offered"; "Dropped"; "p50 us"; "p99 us"; "p99.9 us";
+          "HW hit"; "SLO" ]
+    in
+    List.iter
+      (fun (wr : Loadtest.window) ->
+        Tablefmt.add_row t
+          [
+            string_of_int wr.Loadtest.w_index;
+            Tablefmt.fmt_int wr.Loadtest.w_offered;
+            Tablefmt.fmt_int wr.Loadtest.w_dropped;
+            Printf.sprintf "%.2f" wr.Loadtest.w_p50_us;
+            Printf.sprintf "%.2f" wr.Loadtest.w_p99_us;
+            Printf.sprintf "%.2f" wr.Loadtest.w_p999_us;
+            Tablefmt.fmt_pct wr.Loadtest.w_hw_hit_rate;
+            (if wr.Loadtest.w_violations = [] then "ok"
+             else String.concat "; " wr.Loadtest.w_violations);
+          ])
+      r.Loadtest.windows;
+    Tablefmt.print t;
+    Printf.printf "SLO gate: %s (%d/%d windows clean, %d dropped of %d offered)\n"
+      (if r.Loadtest.pass then "PASS" else "FAIL")
+      (List.length
+         (List.filter
+            (fun (wr : Loadtest.window) -> wr.Loadtest.w_violations = [])
+            r.Loadtest.windows))
+      (List.length r.Loadtest.windows)
+      r.Loadtest.total_dropped r.Loadtest.total_offered;
+    if out <> "" then begin
+      let meta =
+        [
+          ("pipeline", Gf_util.Json.Str info.Catalog.code);
+          ("hierarchy", Gf_util.Json.Str cfg.Datapath.name);
+          ("seed", Gf_util.Json.Int seed);
+          ("flows", Gf_util.Json.Int flows);
+          ("zipf_s", Gf_util.Json.Float zipf);
+        ]
+      in
+      let oc = open_out out in
+      Loadtest.write_jsonl ~meta oc r;
+      close_out oc;
+      Printf.printf "Loadtest JSONL: %s\n" out
+    end;
+    if gate && not r.Loadtest.pass then exit 1
+  in
+  let term =
+    Term.(
+      const run $ pipeline_arg $ locality_arg $ seed_arg $ flows_arg $ combos_arg
+      $ hierarchy_arg $ tables_arg $ capacity_arg $ rate_arg $ warmup_arg
+      $ window_arg $ windows_arg $ queue_budget_arg $ zipf_arg $ slo_p50_arg
+      $ slo_p99_arg $ slo_p999_arg $ slo_drop_arg $ slo_hit_arg $ out_arg
+      $ gate_arg)
+  in
+  Cmd.v
+    (Cmd.info "loadtest"
+       ~doc:
+         "Offer a sustained fixed-rate load and judge latency/drop/hit-rate \
+          SLOs per measurement window.")
+    term
 
 let pipelines_cmd =
   let show () =
@@ -618,6 +917,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            run_cmd; pipelines_cmd; workload_cmd; resources_cmd; export_p4_cmd;
-            dump_flows_cmd; export_trace_cmd; telemetry_check_cmd;
+            run_cmd; loadtest_cmd; pipelines_cmd; workload_cmd; resources_cmd;
+            export_p4_cmd; dump_flows_cmd; export_trace_cmd; telemetry_check_cmd;
           ]))

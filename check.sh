@@ -96,4 +96,32 @@ if grep -qi 'nan' "$TDIR/offload_hh.out" "$TDIR/offload_reject.out"; then
   echo "NaN leaked into offload smoke output" >&2; exit 1
 fi
 
+echo "== loadtest SLO gate smoke"
+# Healthy operating point: a 10 kpps offered load on the PSC workload with
+# SLO bounds it comfortably meets must PASS (exit 0) with --gate, and its
+# JSONL report must validate.  The same workload oversubscribed at 2 Mpps
+# against a zero-drop SLO must FAIL (non-zero exit) — the gate both passes
+# and fails for the right reasons.
+dune exec --no-build -- gigaflow-sim loadtest -p PSC --flows 2000 --combos 512 --seed 77 \
+  --rate 1e4 --warmup 4000 --window 4000 --windows 3 \
+  --slo-p50 50 --slo-p99 1500 --slo-p999 3000 --gate -o "$TDIR/loadtest.jsonl" \
+  > "$TDIR/loadtest.out"
+dune exec --no-build -- gigaflow-sim telemetry-check "$TDIR/loadtest.jsonl"
+grep -q 'SLO gate: PASS' "$TDIR/loadtest.out" || {
+  echo "healthy loadtest did not report PASS" >&2; exit 1; }
+if dune exec --no-build -- gigaflow-sim loadtest -p PSC --flows 2000 --combos 512 --seed 77 \
+  --rate 2e6 --warmup 4000 --window 4000 --windows 3 \
+  --slo-drop-rate 0.0 --gate > "$TDIR/loadtest_fail.out" 2>&1; then
+  echo "oversubscribed loadtest passed a zero-drop SLO gate" >&2; exit 1
+fi
+grep -q 'SLO gate: FAIL' "$TDIR/loadtest_fail.out" || {
+  echo "oversubscribed loadtest did not report FAIL" >&2; exit 1; }
+
+echo "== bench overhead floor"
+# The committed benchmark figures must not contain nonsense overhead
+# numbers: any *overhead_pct below the noise floor means the bench's
+# baseline was mismeasured (the telemetry run cannot be faster than the
+# uninstrumented one by more than timing noise).
+dune exec --no-build -- gigaflow-sim telemetry-check --bench BENCH_throughput.json
+
 echo "check.sh: all gates passed"

@@ -54,12 +54,12 @@ let process_batch dp ~flow_cycles (b : Batch.t) =
           + Option.value ~default:0 (Hashtbl.find_opt flow_cycles fid))
     | Datapath.Hw_hit | Datapath.Sw_hit -> ()
   done;
-  match Datapath.telemetry dp with
-  | Some tel ->
-      if Telemetry.sample_due tel ~packets:m.Metrics.packets then
-        Telemetry.push_sample tel
-          (Datapath.snapshot dp ~time:b.Batch.times.(b.Batch.len - 1))
-  | None -> ()
+  (* Per-batch sampler tick: the pull side of the passive telemetry.
+     [maybe_sample] flushes the datapath's passive rings and pushes a
+     time-series sample when the batch crossed the cadence, so histogram
+     bucketing and recorder sampling run here, not in the packet loop. *)
+  if b.Batch.len > 0 then
+    Datapath.maybe_sample dp ~time:b.Batch.times.(b.Batch.len - 1)
 
 let shard_run ~domain_id ~t0 dp ~flow_cycles ~last_time =
   let metrics = Datapath.finalize dp ~time:last_time in

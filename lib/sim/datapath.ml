@@ -7,6 +7,7 @@ module Telemetry = Gf_telemetry.Telemetry
 module Recorder = Gf_telemetry.Recorder
 module Histogram = Gf_telemetry.Histogram
 module Series = Gf_telemetry.Series
+module Passive = Gf_telemetry.Passive
 module Heavy_hitter = Gf_offload.Heavy_hitter
 module Flow = Gf_flow.Flow
 
@@ -285,7 +286,6 @@ type pmemo = {
   p_gidx : int;  (* precomputed bucket of [p_lat] in the global histogram *)
   p_lidx : int;  (* ... and in level 0's histogram *)
   p_cpw : int;  (* level 0 [cycles_per_work] *)
-  p_name : string;  (* level 0 metrics name, for the telemetry event *)
   p_is_drop : bool;
   p_result : outcome * Action.terminal option * float;
 }
@@ -301,6 +301,13 @@ type t = {
       (* [None] (the default) keeps the per-packet path free of telemetry
          work: every emission site pattern-matches and the [None] branch
          does nothing — no calls, no float boxing. *)
+  psv : Passive.t option;
+      (* [Some] iff [telemetry] is: the pull-model write targets.  Per-
+         packet emission sites bump the flat counter records and append
+         raw latencies / event candidates to the preallocated rings; all
+         histogram bucket aggregation, series building and recorder
+         sampling happens when the sampler flushes ([snapshot] /
+         [maybe_sample] / ring-full), off the packet loop. *)
   traversal_memo : (int, (Traversal.t, unit) result) Hashtbl.t;
       (* flow id -> memoised [Executor.execute] result, used only by
          [process_memo].  [Executor.execute] is observably pure over a
@@ -361,6 +368,14 @@ let create ?telemetry cfg pipeline =
     | Heavy_hitter.Heavy_hitter { k; threshold } ->
         (Some (Heavy_hitter.create ~k), threshold)
   in
+  let psv =
+    Option.map
+      (fun tel ->
+        Passive.create
+          ~level_names:(Array.map Cache_level.name levels)
+          ~recorder:(Telemetry.recorder tel) ())
+      telemetry
+  in
   {
     cfg;
     pipeline;
@@ -369,6 +384,7 @@ let create ?telemetry cfg pipeline =
     metrics;
     last_expire = 0.0;
     telemetry;
+    psv;
     traversal_memo = Hashtbl.create 256;
     replay_tbl = Array.make 1024 None;
     hh;
@@ -418,11 +434,14 @@ let maybe_expire t ~now =
         lm.Metrics.evictions <- lm.Metrics.evictions + evicted;
         if Cache_level.tier level = Cache_level.Hardware then
           t.metrics.Metrics.hw_evictions <- t.metrics.Metrics.hw_evictions + evicted;
-        match t.telemetry with
-        | Some tel when evicted > 0 ->
-            Telemetry.event tel ~packet:t.metrics.Metrics.packets ~time:now
-              ~level:(Cache_level.name level) ~latency_us:0.0 ~count:evicted
-              Recorder.Evict
+        match t.psv with
+        | Some p when evicted > 0 ->
+            let c = p.Passive.counters.(i) in
+            c.Passive.c_evicts <- c.Passive.c_evicts + evicted;
+            if p.Passive.events_on then
+              Passive.note p ~kind:Recorder.Evict ~level:i
+                ~packet:t.metrics.Metrics.packets ~time:now ~lat:0.0
+                ~count:evicted
         | Some _ | None -> ())
       t.levels;
     (* Admission re-partition: decay the sketch (so yesterday's elephants
@@ -448,11 +467,14 @@ let maybe_expire t ~now =
                   t.metrics.Metrics.hw_demotions + demoted;
                 t.metrics.Metrics.hw_evictions <-
                   t.metrics.Metrics.hw_evictions + demoted;
-                match t.telemetry with
-                | Some tel ->
-                    Telemetry.event tel ~packet:t.metrics.Metrics.packets ~time:now
-                      ~level:(Cache_level.name level) ~latency_us:0.0 ~count:demoted
-                      Recorder.Demote
+                match t.psv with
+                | Some p ->
+                    let c = p.Passive.counters.(i) in
+                    c.Passive.c_demotes <- c.Passive.c_demotes + demoted;
+                    if p.Passive.events_on then
+                      Passive.note p ~kind:Recorder.Demote ~level:i
+                        ~packet:t.metrics.Metrics.packets ~time:now ~lat:0.0
+                        ~count:demoted
                 | None -> ()
               end
             end)
@@ -476,11 +498,13 @@ let revalidate t =
         t.metrics.Metrics.hw_evictions <- t.metrics.Metrics.hw_evictions + evicted;
       total_evicted := !total_evicted + evicted;
       total_work := !total_work + work;
-      match t.telemetry with
-      | Some tel ->
-          Telemetry.event tel ~packet:t.metrics.Metrics.packets ~time:0.0
-            ~level:(Cache_level.name level) ~latency_us:0.0 ~count:evicted
-            Recorder.Revalidate
+      match t.psv with
+      | Some p ->
+          let c = p.Passive.counters.(i) in
+          c.Passive.c_revalidates <- c.Passive.c_revalidates + evicted;
+          if p.Passive.events_on then
+            Passive.note p ~kind:Recorder.Revalidate ~level:i
+              ~packet:t.metrics.Metrics.packets ~time:0.0 ~lat:0.0 ~count:evicted
       | None -> ())
     t.levels;
   (!total_evicted, !total_work)
@@ -520,11 +544,13 @@ let slowpath_installs t ~now execute_result =
           if deferred then begin
             lm.Metrics.deferred <- lm.Metrics.deferred + 1;
             m.Metrics.hw_deferred <- m.Metrics.hw_deferred + 1;
-            match t.telemetry with
-            | Some tel ->
-                Telemetry.event tel ~packet:(m.Metrics.packets - 1) ~time:now
-                  ~level:(Cache_level.name level) ~latency_us:0.0 ~count:1
-                  Recorder.Defer
+            match t.psv with
+            | Some p ->
+                let c = p.Passive.counters.(i) in
+                c.Passive.c_defers <- c.Passive.c_defers + 1;
+                if p.Passive.events_on then
+                  Passive.note p ~kind:Recorder.Defer ~level:i
+                    ~packet:(m.Metrics.packets - 1) ~time:now ~lat:0.0 ~count:1
             | None -> ()
           end
           else begin
@@ -536,19 +562,25 @@ let slowpath_installs t ~now execute_result =
             lm.Metrics.pressure_evictions + r.Cache_level.pressure_evicted;
           partition_work := !partition_work + r.Cache_level.partition_work;
           rulegen_work := !rulegen_work + r.Cache_level.rulegen_work;
-          (match t.telemetry with
-          | Some tel ->
-              let packet = m.Metrics.packets - 1 in
-              let name = Cache_level.name level in
-              if r.Cache_level.fresh > 0 then
-                Telemetry.event tel ~packet ~time:now ~level:name ~latency_us:0.0
-                  ~count:r.Cache_level.fresh Recorder.Install;
-              if r.Cache_level.rejected > 0 then
-                Telemetry.event tel ~packet ~time:now ~level:name ~latency_us:0.0
-                  ~count:r.Cache_level.rejected Recorder.Reject;
-              if r.Cache_level.pressure_evicted > 0 then
-                Telemetry.event tel ~packet ~time:now ~level:name ~latency_us:0.0
-                  ~count:r.Cache_level.pressure_evicted Recorder.Pressure_evict
+          (match t.psv with
+          | Some p ->
+              let c = p.Passive.counters.(i) in
+              c.Passive.c_installs <- c.Passive.c_installs + r.Cache_level.fresh;
+              c.Passive.c_rejects <- c.Passive.c_rejects + r.Cache_level.rejected;
+              c.Passive.c_pressure_evicts <-
+                c.Passive.c_pressure_evicts + r.Cache_level.pressure_evicted;
+              if p.Passive.events_on then begin
+                let packet = m.Metrics.packets - 1 in
+                if r.Cache_level.fresh > 0 then
+                  Passive.note p ~kind:Recorder.Install ~level:i ~packet
+                    ~time:now ~lat:0.0 ~count:r.Cache_level.fresh;
+                if r.Cache_level.rejected > 0 then
+                  Passive.note p ~kind:Recorder.Reject ~level:i ~packet
+                    ~time:now ~lat:0.0 ~count:r.Cache_level.rejected;
+                if r.Cache_level.pressure_evicted > 0 then
+                  Passive.note p ~kind:Recorder.Pressure_evict ~level:i ~packet
+                    ~time:now ~lat:0.0 ~count:r.Cache_level.pressure_evicted
+              end
           | None -> ());
           if Cache_level.tier level = Cache_level.Hardware then begin
             m.Metrics.hw_installs <- m.Metrics.hw_installs + r.Cache_level.fresh;
@@ -652,19 +684,25 @@ let hh_offer_hw t ~now ~flow_id flow =
             rulegen_work := !rulegen_work + r.Cache_level.rulegen_work;
             if r.Cache_level.fresh > 0 || r.Cache_level.pressure_evicted > 0 then
               mutated := true;
-            match t.telemetry with
-            | Some tel ->
-                let packet = m.Metrics.packets - 1 in
-                let name = Cache_level.name level in
-                if r.Cache_level.fresh > 0 then
-                  Telemetry.event tel ~packet ~time:now ~level:name ~latency_us:0.0
-                    ~count:r.Cache_level.fresh Recorder.Install;
-                if r.Cache_level.rejected > 0 then
-                  Telemetry.event tel ~packet ~time:now ~level:name ~latency_us:0.0
-                    ~count:r.Cache_level.rejected Recorder.Reject;
-                if r.Cache_level.pressure_evicted > 0 then
-                  Telemetry.event tel ~packet ~time:now ~level:name ~latency_us:0.0
-                    ~count:r.Cache_level.pressure_evicted Recorder.Pressure_evict
+            match t.psv with
+            | Some p ->
+                let c = p.Passive.counters.(i) in
+                c.Passive.c_installs <- c.Passive.c_installs + r.Cache_level.fresh;
+                c.Passive.c_rejects <- c.Passive.c_rejects + r.Cache_level.rejected;
+                c.Passive.c_pressure_evicts <-
+                  c.Passive.c_pressure_evicts + r.Cache_level.pressure_evicted;
+                if p.Passive.events_on then begin
+                  let packet = m.Metrics.packets - 1 in
+                  if r.Cache_level.fresh > 0 then
+                    Passive.note p ~kind:Recorder.Install ~level:i ~packet
+                      ~time:now ~lat:0.0 ~count:r.Cache_level.fresh;
+                  if r.Cache_level.rejected > 0 then
+                    Passive.note p ~kind:Recorder.Reject ~level:i ~packet
+                      ~time:now ~lat:0.0 ~count:r.Cache_level.rejected;
+                  if r.Cache_level.pressure_evicted > 0 then
+                    Passive.note p ~kind:Recorder.Pressure_evict ~level:i ~packet
+                      ~time:now ~lat:0.0 ~count:r.Cache_level.pressure_evicted
+                end
             | None -> ()
           end)
         t.levels;
@@ -714,10 +752,13 @@ let process t ~now flow =
       match hit with
       | None ->
           lm.Metrics.misses <- lm.Metrics.misses + 1;
-          (match t.telemetry with
-          | Some tel ->
-              Telemetry.event tel ~packet:(m.Metrics.packets - 1) ~time:now
-                ~level:d.Cache_level.name ~latency_us:0.0 ~count:1 Recorder.Miss
+          (match t.psv with
+          | Some p ->
+              let c = p.Passive.counters.(i) in
+              c.Passive.c_misses <- c.Passive.c_misses + 1;
+              if p.Passive.events_on then
+                Passive.note p ~kind:Recorder.Miss ~level:i
+                  ~packet:(m.Metrics.packets - 1) ~time:now ~lat:0.0 ~count:1
           | None -> ());
           walk (i + 1)
       | Some h ->
@@ -739,15 +780,21 @@ let process t ~now flow =
                   m.Metrics.hw_pressure_evictions <-
                     m.Metrics.hw_pressure_evictions + pe
               end;
-              match t.telemetry with
-              | Some tel ->
-                  Telemetry.event tel ~packet:(m.Metrics.packets - 1) ~time:now
-                    ~level:(Cache_level.name lj) ~latency_us:0.0 ~count:1
-                    Recorder.Promote;
+              match t.psv with
+              | Some p ->
+                  let cj = p.Passive.counters.(j) in
+                  cj.Passive.c_promotes <- cj.Passive.c_promotes + 1;
                   if pe > 0 then
-                    Telemetry.event tel ~packet:(m.Metrics.packets - 1) ~time:now
-                      ~level:(Cache_level.name lj) ~latency_us:0.0 ~count:pe
-                      Recorder.Pressure_evict
+                    cj.Passive.c_pressure_evicts <-
+                      cj.Passive.c_pressure_evicts + pe;
+                  if p.Passive.events_on then begin
+                    Passive.note p ~kind:Recorder.Promote ~level:j
+                      ~packet:(m.Metrics.packets - 1) ~time:now ~lat:0.0 ~count:1;
+                    if pe > 0 then
+                      Passive.note p ~kind:Recorder.Pressure_evict ~level:j
+                        ~packet:(m.Metrics.packets - 1) ~time:now ~lat:0.0
+                        ~count:pe
+                  end
               | None -> ()
             end
           done;
@@ -764,12 +811,16 @@ let process t ~now flow =
                   +. d.Cache_level.hit_us ~work )
           in
           lm.Metrics.latency_us <- lm.Metrics.latency_us +. lat;
-          Histogram.record lm.Metrics.latency_hist lat;
-          (match t.telemetry with
-          | Some tel ->
-              Telemetry.event tel ~packet:(m.Metrics.packets - 1) ~time:now
-                ~level:d.Cache_level.name ~latency_us:lat ~count:1 Recorder.Hit
-          | None -> ());
+          (match t.psv with
+          | Some p ->
+              Passive.lat_note p.Passive.lat_levels.(i) lm.Metrics.latency_hist
+                lat;
+              let c = p.Passive.counters.(i) in
+              c.Passive.c_hits <- c.Passive.c_hits + 1;
+              if p.Passive.events_on then
+                Passive.note p ~kind:Recorder.Hit ~level:i
+                  ~packet:(m.Metrics.packets - 1) ~time:now ~lat ~count:1
+          | None -> Histogram.record lm.Metrics.latency_hist lat);
           (outcome, Some h.Cache_level.terminal, lat)
     end
   in
@@ -778,7 +829,9 @@ let process t ~now flow =
   | Some Action.Drop -> m.Metrics.drops <- m.Metrics.drops + 1
   | Some (Action.Output _ | Action.Controller) | None -> ());
   Gf_util.Stats.Acc.add m.Metrics.latency latency;
-  Histogram.record m.Metrics.latency_hist latency;
+  (match t.psv with
+  | Some p -> Passive.lat_note p.Passive.lat_global m.Metrics.latency_hist latency
+  | None -> Histogram.record m.Metrics.latency_hist latency);
   let hw_occ = ref 0 in
   Array.iteri
     (fun i level ->
@@ -841,10 +894,13 @@ let process_memo_slow t ~now ~flow_id flow =
       match hit with
       | None ->
           lm.Metrics.misses <- lm.Metrics.misses + 1;
-          (match t.telemetry with
-          | Some tel ->
-              Telemetry.event tel ~packet:(m.Metrics.packets - 1) ~time:now
-                ~level:d.Cache_level.name ~latency_us:0.0 ~count:1 Recorder.Miss
+          (match t.psv with
+          | Some p ->
+              let c = p.Passive.counters.(i) in
+              c.Passive.c_misses <- c.Passive.c_misses + 1;
+              if p.Passive.events_on then
+                Passive.note p ~kind:Recorder.Miss ~level:i
+                  ~packet:(m.Metrics.packets - 1) ~time:now ~lat:0.0 ~count:1
           | None -> ());
           walk (i + 1)
       | Some h ->
@@ -865,15 +921,21 @@ let process_memo_slow t ~now ~flow_id flow =
                   m.Metrics.hw_pressure_evictions <-
                     m.Metrics.hw_pressure_evictions + pe
               end;
-              match t.telemetry with
-              | Some tel ->
-                  Telemetry.event tel ~packet:(m.Metrics.packets - 1) ~time:now
-                    ~level:(Cache_level.name lj) ~latency_us:0.0 ~count:1
-                    Recorder.Promote;
+              match t.psv with
+              | Some p ->
+                  let cj = p.Passive.counters.(j) in
+                  cj.Passive.c_promotes <- cj.Passive.c_promotes + 1;
                   if pe > 0 then
-                    Telemetry.event tel ~packet:(m.Metrics.packets - 1) ~time:now
-                      ~level:(Cache_level.name lj) ~latency_us:0.0 ~count:pe
-                      Recorder.Pressure_evict
+                    cj.Passive.c_pressure_evicts <-
+                      cj.Passive.c_pressure_evicts + pe;
+                  if p.Passive.events_on then begin
+                    Passive.note p ~kind:Recorder.Promote ~level:j
+                      ~packet:(m.Metrics.packets - 1) ~time:now ~lat:0.0 ~count:1;
+                    if pe > 0 then
+                      Passive.note p ~kind:Recorder.Pressure_evict ~level:j
+                        ~packet:(m.Metrics.packets - 1) ~time:now ~lat:0.0
+                        ~count:pe
+                  end
               | None -> ()
             end
           done;
@@ -891,12 +953,16 @@ let process_memo_slow t ~now ~flow_id flow =
                   +. d.Cache_level.hit_us ~work )
           in
           lm.Metrics.latency_us <- lm.Metrics.latency_us +. lat;
-          Histogram.record lm.Metrics.latency_hist lat;
-          (match t.telemetry with
-          | Some tel ->
-              Telemetry.event tel ~packet:(m.Metrics.packets - 1) ~time:now
-                ~level:d.Cache_level.name ~latency_us:lat ~count:1 Recorder.Hit
-          | None -> ());
+          (match t.psv with
+          | Some p ->
+              Passive.lat_note p.Passive.lat_levels.(i) lm.Metrics.latency_hist
+                lat;
+              let c = p.Passive.counters.(i) in
+              c.Passive.c_hits <- c.Passive.c_hits + 1;
+              if p.Passive.events_on then
+                Passive.note p ~kind:Recorder.Hit ~level:i
+                  ~packet:(m.Metrics.packets - 1) ~time:now ~lat ~count:1
+          | None -> Histogram.record lm.Metrics.latency_hist lat);
           (outcome, Some h.Cache_level.terminal, lat, i)
     end
   in
@@ -905,7 +971,9 @@ let process_memo_slow t ~now ~flow_id flow =
   | Some Action.Drop -> m.Metrics.drops <- m.Metrics.drops + 1
   | Some (Action.Output _ | Action.Controller) | None -> ());
   Gf_util.Stats.Acc.add m.Metrics.latency latency;
-  Histogram.record m.Metrics.latency_hist latency;
+  (match t.psv with
+  | Some p -> Passive.lat_note p.Passive.lat_global m.Metrics.latency_hist latency
+  | None -> Histogram.record m.Metrics.latency_hist latency);
   (* Occupancies only move on expiry, promotion or slowpath installs: a
      pure-hit packet cannot raise any peak, so the per-packet scan that
      [process] pays is elided unless something mutated. *)
@@ -939,7 +1007,6 @@ let process_memo_slow t ~now ~flow_id flow =
                  p_gidx = Histogram.index m.Metrics.latency_hist latency;
                  p_lidx = Histogram.index lm0.Metrics.latency_hist latency;
                  p_cpw = d.Cache_level.cycles_per_work;
-                 p_name = d.Cache_level.name;
                  p_is_drop = (terminal = Some Action.Drop);
                  p_result = (outcome, terminal, latency);
                }
@@ -974,15 +1041,26 @@ let process_memo t ~now ~flow_id flow =
             lm0.Metrics.hits <- lm0.Metrics.hits + 1;
             m.Metrics.hw_hits <- m.Metrics.hw_hits + 1;
             lm0.Metrics.latency_us <- lm0.Metrics.latency_us +. pm.p_lat;
-            Histogram.record_at lm0.Metrics.latency_hist pm.p_lidx pm.p_lat;
-            (match t.telemetry with
-            | Some tel ->
-                Telemetry.event tel ~packet:(m.Metrics.packets - 1) ~time:now
-                  ~level:pm.p_name ~latency_us:pm.p_lat ~count:1 Recorder.Hit
-            | None -> ());
+            (match t.psv with
+            | Some p ->
+                Passive.lat_note_at p.Passive.lat_levels.(0)
+                  lm0.Metrics.latency_hist ~idx:pm.p_lidx pm.p_lat;
+                let c = p.Passive.counters.(0) in
+                c.Passive.c_hits <- c.Passive.c_hits + 1;
+                if p.Passive.events_on then
+                  Passive.note p ~kind:Recorder.Hit ~level:0
+                    ~packet:(m.Metrics.packets - 1) ~time:now ~lat:pm.p_lat
+                    ~count:1
+            | None ->
+                Histogram.record_at lm0.Metrics.latency_hist pm.p_lidx pm.p_lat);
             if pm.p_is_drop then m.Metrics.drops <- m.Metrics.drops + 1;
             Gf_util.Stats.Acc.add m.Metrics.latency pm.p_lat;
-            Histogram.record_at m.Metrics.latency_hist pm.p_gidx pm.p_lat;
+            (match t.psv with
+            | Some p ->
+                Passive.lat_note_at p.Passive.lat_global m.Metrics.latency_hist
+                  ~idx:pm.p_gidx pm.p_lat
+            | None ->
+                Histogram.record_at m.Metrics.latency_hist pm.p_gidx pm.p_lat);
             pm.p_result
         | None ->
             (* Entry left the level (evicted, replaced): drop the stale
@@ -994,9 +1072,29 @@ let process_memo t ~now ~flow_id flow =
   end
   else process_memo_slow t ~now ~flow_id flow
 
+(* Drain every passive ring into its pull-side sink: raw latencies into
+   their histograms, event candidates into the flight recorder.  Runs at
+   every sampler tick and at finalize; ring-full flushes inside the
+   emission helpers make it total.  Flush order (global, then levels in
+   walk order, then events) is fixed, and each ring feeds exactly one
+   sink, so the merged result is independent of how often this ran. *)
+let flush_passive t =
+  match t.psv with
+  | Some p ->
+      Passive.flush_lat p.Passive.lat_global t.metrics.Metrics.latency_hist;
+      Array.iteri
+        (fun i r ->
+          Passive.flush_lat r t.level_metrics.(i).Metrics.latency_hist)
+        p.Passive.lat_levels;
+      Passive.flush_events p
+  | None -> ()
+
 (* A time-series sample built straight from the live Metrics counters, so
-   the final sample of a run agrees with the run's Metrics exactly. *)
+   the final sample of a run agrees with the run's Metrics exactly.
+   Flushes the passive rings first so the histogram-derived quantiles see
+   every latency recorded up to this packet. *)
 let snapshot t ~time =
+  flush_passive t;
   let m = t.metrics in
   let h = m.Metrics.latency_hist in
   let q f = if Histogram.count h = 0 then 0.0 else f h in
@@ -1046,9 +1144,22 @@ let finalize t ~time =
   (match t.telemetry with
   | Some tel ->
       Telemetry.push_sample tel (snapshot t ~time);
-      Metrics.to_registry t.metrics (Telemetry.registry tel)
+      Metrics.to_registry t.metrics (Telemetry.registry tel);
+      (match t.psv with
+      | Some p -> Passive.to_registry p (Telemetry.registry tel)
+      | None -> ())
   | None -> ());
   t.metrics
+
+(* The streaming engine's per-batch sampler hook: push a time-series
+   sample iff the batch crossed the sampling cadence.  [snapshot] flushes
+   the passive rings, so the sampler — not the packet loop — pays the
+   histogram bucketing and recorder sampling. *)
+let maybe_sample t ~time =
+  match t.telemetry with
+  | Some tel when Telemetry.sample_due tel ~packets:t.metrics.Metrics.packets ->
+      Telemetry.push_sample tel (snapshot t ~time)
+  | Some _ | None -> ()
 
 let run ?on_packet ?miss_sink t trace =
   (* Time-series sampling cadence, hoisted to a countdown: the per-packet

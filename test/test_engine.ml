@@ -12,6 +12,7 @@ module Ruleset = Gf_workload.Ruleset
 module Trace = Gf_workload.Trace
 module Catalog = Gf_pipelines.Catalog
 module Histogram = Gf_telemetry.Histogram
+module Telemetry = Gf_telemetry.Telemetry
 
 (* ------------------------------- ring -------------------------------- *)
 
@@ -172,6 +173,160 @@ let test_engine_batch_size_invariant () =
         ref_fp (run bs))
     [ 1; 17; 1024 ]
 
+(* --------------------- sampler cadence transparency --------------------- *)
+
+let cadence_presets () =
+  [|
+    ("mf_sw_hh", Datapath.mf_sw_hh ~mf_capacity:32 ());
+    ( "gf_sw_hh",
+      Datapath.gf_sw_hh ~gf:(Gf_core.Config.v ~tables:2 ~table_capacity:16 ()) ()
+    );
+  |]
+
+(* The pull-model sampler's cadence is an observation schedule, not a
+   semantic knob: whatever [sample_every] (including 0 = series off), the
+   merged metrics must be bit-identical to the uninstrumented run.  Runs
+   on the admission presets, whose defer/promote/demote paths exercise
+   every passive emission site.  Plain fingerprints are memoised per
+   (preset, domains) — the property draws only the cadence fresh. *)
+let prop_engine_sampler_cadence_transparent =
+  let setup =
+    lazy
+      (let pipeline, strace = steady_trace () in
+       (pipeline, strace, cadence_presets (), Hashtbl.create 8))
+  in
+  QCheck2.Test.make
+    ~name:"engine telemetry: sampler cadence leaves merged metrics bit-identical"
+    ~count:12
+    QCheck2.Gen.(triple (0 -- 1) (1 -- 2) (oneofl [ 0; 1; 17; 700; 5000 ]))
+    (fun (pi, domains, sample_every) ->
+      let pipeline, strace, presets, plain = Lazy.force setup in
+      let name, cfg = presets.(pi) in
+      let fp_plain =
+        match Hashtbl.find_opt plain (name, domains) with
+        | Some fp -> fp
+        | None ->
+            let r =
+              Engine.replay ~batch_size:256 ~domains ~cfg pipeline
+                (Trace.stream_of_trace strace)
+            in
+            let fp = strong_fingerprint r.Parallel.merged in
+            Hashtbl.add plain (name, domains) fp;
+            fp
+      in
+      let telemetry =
+        { Telemetry.sample_every; event_capacity = 256; event_sample_every = 5 }
+      in
+      let r =
+        Engine.replay ~telemetry ~batch_size:256 ~domains ~cfg pipeline
+          (Trace.stream_of_trace strace)
+      in
+      strong_fingerprint r.Parallel.merged = fp_plain)
+
+(* Beyond the metrics: the retained flight-recorder events and the final
+   registry export are cadence-invariant too (the time-series length is
+   not — that is the knob's whole job). *)
+let test_engine_cadence_invariant_exports () =
+  let pipeline, strace = steady_trace () in
+  Array.iter
+    (fun (name, cfg) ->
+      List.iter
+        (fun domains ->
+          let run sample_every =
+            let telemetry =
+              {
+                Telemetry.sample_every;
+                event_capacity = 256;
+                event_sample_every = 5;
+              }
+            in
+            Option.get
+              (Engine.replay ~telemetry ~batch_size:256 ~domains ~cfg pipeline
+                 (Trace.stream_of_trace strace))
+                .Parallel.telemetry
+          in
+          let tel0 = run 1 in
+          List.iter
+            (fun every ->
+              let tel = run every in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s d=%d every=%d events" name domains every)
+                true
+                (Telemetry.events tel0 = Telemetry.events tel);
+              Alcotest.(check string)
+                (Printf.sprintf "%s d=%d every=%d registry" name domains every)
+                (Telemetry.prometheus tel0) (Telemetry.prometheus tel))
+            [ 700; 0 ])
+        [ 1; 2 ])
+    (cadence_presets ())
+
+(* ------------------------------- soak -------------------------------- *)
+
+(* A million-packet steady-state run with the full telemetry stack on:
+   after the first measurement window (memo tables, ring and recorder
+   warm-up), the live heap must stay flat — the passive records are
+   preallocated and the packet path allocation-free, so any growth is a
+   leak. *)
+let test_soak_live_heap_flat () =
+  let w =
+    Pipebench.make ~profile:small_profile ~combos:512 ~unique_flows:1000
+      ~duration:20.0
+      ~info:(Option.get (Catalog.find "PSC"))
+      ~locality:Ruleset.High ~seed:77 ()
+  in
+  let total = 1_200_000 and window = 200_000 in
+  let stream =
+    Trace.steady ~duration:60.0 ~zipf_s:1.1 ~packets:total ~seed:11
+      ~flows:w.Pipebench.flows ()
+  in
+  let telemetry =
+    Telemetry.create
+      ~config:
+        { Telemetry.sample_every = 10_000; event_capacity = 512; event_sample_every = 7 }
+      ()
+  in
+  let dp =
+    Datapath.create ~telemetry (Datapath.emc_gf_sw ()) (Pipebench.pipeline w)
+  in
+  let batch = 1024 in
+  let times = Array.make batch 0.0 in
+  let flow_ids = Array.make batch 0 in
+  let flows = Array.make batch Gf_flow.Flow.zero in
+  let processed = ref 0 in
+  let live = ref [] in
+  let continue = ref true in
+  while !continue do
+    let k = Trace.fill stream ~times ~flow_ids ~flows ~max:batch in
+    if k = 0 then continue := false
+    else begin
+      for i = 0 to k - 1 do
+        ignore
+          (Datapath.process_memo dp ~now:times.(i) ~flow_id:flow_ids.(i)
+             flows.(i))
+      done;
+      Datapath.maybe_sample dp ~time:times.(k - 1);
+      let before = !processed in
+      processed := !processed + k;
+      if !processed / window > before / window then begin
+        Gc.full_major ();
+        live := float_of_int (Gc.stat ()).Gc.live_words :: !live
+      end
+    end
+  done;
+  ignore (Datapath.finalize dp ~time:60.0);
+  Alcotest.(check int) "soaked the full stream" total !processed;
+  match List.rev !live with
+  | _warmup :: (ref0 :: _ as steady) when List.length steady >= 3 ->
+      List.iteri
+        (fun i lw ->
+          let drift = Float.abs (lw -. ref0) /. ref0 in
+          Alcotest.(check bool)
+            (Printf.sprintf "window %d live-word drift %.4f <= 5%%" (i + 2)
+               drift)
+            true (drift <= 0.05))
+        steady
+  | ws -> Alcotest.failf "soak produced only %d windows" (List.length ws)
+
 let suite =
   [
     Alcotest.test_case "ring capacity + blocking" `Quick
@@ -181,6 +336,10 @@ let suite =
       test_engine_matches_sequential;
     Alcotest.test_case "engine invariant to batch size" `Slow
       test_engine_batch_size_invariant;
+    Alcotest.test_case "cadence-invariant events + registry" `Slow
+      test_engine_cadence_invariant_exports;
+    Alcotest.test_case "soak: live heap flat over 1.2M packets" `Slow
+      test_soak_live_heap_flat;
   ]
 
-let props = [ prop_ring_spsc ]
+let props = [ prop_ring_spsc; prop_engine_sampler_cadence_transparent ]

@@ -5,6 +5,7 @@
 
 module Histogram = Gf_telemetry.Histogram
 module Recorder = Gf_telemetry.Recorder
+module Passive = Gf_telemetry.Passive
 module Series = Gf_telemetry.Series
 module Registry = Gf_telemetry.Registry
 module Export = Gf_telemetry.Export
@@ -189,6 +190,120 @@ let test_recorder_merge_concatenates () =
   let packets = List.map (fun e -> e.Recorder.packet) (Recorder.drain a) in
   Alcotest.(check (list int)) "a's stream then b's" [ 0; 1; 2; 100; 101; 102 ]
     packets
+
+(* ------------------------------ passive ------------------------------ *)
+
+(* The latency ring must be an exact deferral of inline recording: same
+   buckets, same left-to-right float sum (compared as bits), same exact
+   extremes — through any number of mid-stream auto-flushes. *)
+let test_passive_lat_ring_bit_identity () =
+  let rng = Gf_util.Rng.create 5 in
+  let samples = Array.init 1000 (fun _ -> 0.2 +. Gf_util.Rng.float rng 5000.0) in
+  let inline = Histogram.create () in
+  Array.iter (Histogram.record inline) samples;
+  let ringed = Histogram.create () in
+  let p =
+    Passive.create ~lat_capacity:16 ~event_capacity:4 ~level_names:[| "gf" |]
+      ~recorder:None ()
+  in
+  (* Alternate the computed-index and precomputed-index append paths. *)
+  Array.iteri
+    (fun i x ->
+      if i mod 2 = 0 then Passive.lat_note p.Passive.lat_global ringed x
+      else
+        Passive.lat_note_at p.Passive.lat_global ringed
+          ~idx:(Histogram.index ringed x) x)
+    samples;
+  Passive.flush_lat p.Passive.lat_global ringed;
+  Alcotest.(check int) "count" (Histogram.count inline) (Histogram.count ringed);
+  Alcotest.(check int64) "sum bits"
+    (Int64.bits_of_float (Histogram.sum inline))
+    (Int64.bits_of_float (Histogram.sum ringed));
+  Alcotest.(check int64) "min bits"
+    (Int64.bits_of_float (Histogram.min_value inline))
+    (Int64.bits_of_float (Histogram.min_value ringed));
+  Alcotest.(check int64) "max bits"
+    (Int64.bits_of_float (Histogram.max_value inline))
+    (Int64.bits_of_float (Histogram.max_value ringed));
+  Alcotest.(check bool) "buckets identical" true
+    (buckets_of inline = buckets_of ringed)
+
+let passive_kinds =
+  [|
+    Recorder.Hit; Recorder.Miss; Recorder.Install; Recorder.Evict;
+    Recorder.Promote; Recorder.Revalidate; Recorder.Reject;
+    Recorder.Pressure_evict; Recorder.Defer; Recorder.Demote;
+  |]
+
+(* Candidates funnelled through the event ring must leave the recorder in
+   the same state as offering each directly at emission time — whatever
+   the ring capacity (i.e. however many mid-stream flushes happened),
+   because ingest samples against the recorder's persistent census. *)
+let test_passive_event_flush_cadence () =
+  let levels = [| "gf"; "sw-mf" |] in
+  let n = 100 in
+  let candidate i =
+    ( passive_kinds.(i mod Array.length passive_kinds),
+      i mod 2,
+      i,
+      float_of_int i,
+      float_of_int (i mod 7),
+      1 + (i mod 3) )
+  in
+  let direct = Recorder.create ~capacity:32 ~sample_every:3 () in
+  for i = 0 to n - 1 do
+    let kind, level, packet, time, lat, count = candidate i in
+    Recorder.record direct ~packet ~time ~level:levels.(level) ~latency_us:lat
+      ~count kind
+  done;
+  let via_ring event_capacity =
+    let r = Recorder.create ~capacity:32 ~sample_every:3 () in
+    let p =
+      Passive.create ~event_capacity ~level_names:levels ~recorder:(Some r) ()
+    in
+    for i = 0 to n - 1 do
+      let kind, level, packet, time, lat, count = candidate i in
+      Passive.note p ~kind ~level ~packet ~time ~lat ~count
+    done;
+    Passive.flush_events p;
+    r
+  in
+  List.iter
+    (fun (name, r) ->
+      Alcotest.(check int) (name ^ " seen") (Recorder.seen direct)
+        (Recorder.seen r);
+      Alcotest.(check int) (name ^ " recorded") (Recorder.recorded direct)
+        (Recorder.recorded r);
+      Alcotest.(check bool) (name ^ " events identical") true
+        (Recorder.drain direct = Recorder.drain r))
+    [ ("tiny ring", via_ring 7); ("big ring", via_ring 512) ]
+
+let test_passive_census_and_registry () =
+  let p =
+    Passive.create ~level_names:[| "gf"; "sw-mf" |] ~recorder:None ()
+  in
+  let c0 = p.Passive.counters.(0) and c1 = p.Passive.counters.(1) in
+  c0.Passive.c_hits <- 41;
+  c0.Passive.c_promotes <- 2;
+  c1.Passive.c_evicts <- 3;
+  Alcotest.(check int) "total candidates" 46 (Passive.total_candidates p);
+  (* note is a no-op without a recorder: the event ring never grows. *)
+  Passive.note p ~kind:Recorder.Hit ~level:0 ~packet:0 ~time:0.0 ~lat:1.0
+    ~count:1;
+  Alcotest.(check int) "event ring untouched" 0 p.Passive.ev_len;
+  let reg = Registry.create () in
+  Passive.to_registry p reg;
+  Passive.to_registry p reg;
+  (* export is set-not-add: idempotent *)
+  let v kind level =
+    !(Registry.counter reg
+        ~labels:[ ("kind", kind); ("level", level) ]
+        "gigaflow_events_total")
+  in
+  Alcotest.(check int) "hits exported" 41 (v "hit" "gf");
+  Alcotest.(check int) "promotes exported" 2 (v "promote" "gf");
+  Alcotest.(check int) "evicts exported" 3 (v "evict" "sw-mf");
+  Alcotest.(check int) "absent kind zero" 0 (v "miss" "gf")
 
 (* ------------------------------ series ------------------------------ *)
 
@@ -394,6 +509,9 @@ let suite =
     ("histogram empty + clamping", `Quick, test_histogram_empty_and_edges);
     ("histogram merge = concat", `Quick, test_histogram_merge_is_concat);
     ("histogram layout mismatch", `Quick, test_histogram_layout_mismatch);
+    ("passive lat ring = inline records", `Quick, test_passive_lat_ring_bit_identity);
+    ("passive event flush cadence", `Quick, test_passive_event_flush_cadence);
+    ("passive census + registry export", `Quick, test_passive_census_and_registry);
     ("recorder ring keeps newest", `Quick, test_recorder_ring_keeps_newest);
     ("recorder sampling rate", `Quick, test_recorder_sampling_rate);
     ("recorder merge concatenates", `Quick, test_recorder_merge_concatenates);
