@@ -359,6 +359,7 @@ let () =
       Gf_telemetry.Telemetry.sample_every = 10_000;
       event_capacity = 4096;
       event_sample_every = 16;
+      trace_sample_every = 0;
     }
   in
   let base_metrics, (tm, tel), base_cpu, tel_cpu, overhead_pct =
@@ -512,6 +513,7 @@ let () =
       Gf_telemetry.Telemetry.sample_every = 10_000;
       event_capacity = 4096;
       event_sample_every = 0;
+      trace_sample_every = 0;
     }
   in
   j "    \"telemetry_amortisation\": [\n";
@@ -532,13 +534,30 @@ let () =
                  (Gf_pipeline.Pipeline.copy stream_pipeline))
               strace)
       in
+      (* The engine replays the stream several times per timed side (its
+         single pass is ~10x shorter than the walker's, which leaves a
+         sub-percent effect under the per-pair CPU jitter) and gets more
+         pairs to median over. *)
+      let engine_reps = 3 in
       let _, _, engine_plain_cpu, engine_tel_cpu, engine_overhead_pct =
-        paired_overhead
+        paired_overhead ~pairs:9
           (fun () ->
+            for _ = 2 to engine_reps do
+              ignore
+                (Engine.replay ~batch_size:stream_batch ~domains:1 ~cfg
+                   stream_pipeline
+                   (Trace.stream_of_trace strace))
+            done;
             Engine.replay ~batch_size:stream_batch ~domains:1 ~cfg
               stream_pipeline
               (Trace.stream_of_trace strace))
           (fun () ->
+            for _ = 2 to engine_reps do
+              ignore
+                (Engine.replay ~telemetry:tel_config ~batch_size:stream_batch
+                   ~domains:1 ~cfg stream_pipeline
+                   (Trace.stream_of_trace strace))
+            done;
             Engine.replay ~telemetry:tel_config ~batch_size:stream_batch
               ~domains:1 ~cfg stream_pipeline
               (Trace.stream_of_trace strace))
@@ -555,6 +574,62 @@ let () =
         (jfloat engine_plain_cpu) (jfloat engine_tel_cpu);
       j "       \"walker_overhead_pct\": %s, \"engine_overhead_pct\": %s}%s\n"
         (jfloat walker_overhead_pct) (jfloat engine_overhead_pct)
+        (if ri = List.length stream_regimes - 1 then "" else ","))
+    stream_regimes;
+  j "    ],\n";
+  (* Traversal-tracer overhead: spans at --sample 1/256 plus the
+     always-on miss-cause census, against the same telemetry config with
+     tracing off.  The per-packet cost when not sampled is one countdown
+     decrement plus (on a miss) one census increment, so the figure must
+     sit inside the paired-CPU noise gate on both presets. *)
+  say "  [streaming] traversal tracer overhead (--sample 1/256)";
+  let trace_config =
+    { tel_config with Gf_telemetry.Telemetry.trace_sample_every = 256 }
+  in
+  j "    \"profile_overhead\": [\n";
+  List.iteri
+    (fun ri (preset, cfg, _, _) ->
+      let strace = List.assoc preset !straces in
+      let walker tel () =
+        Datapath.run
+          (Datapath.create
+             ~telemetry:(Gf_telemetry.Telemetry.create ~config:tel ())
+             cfg
+             (Gf_pipeline.Pipeline.copy stream_pipeline))
+          strace
+      in
+      (* Same repetition hygiene as the amortisation rows: one engine
+         pass is too short to resolve a sub-percent effect. *)
+      let engine tel () =
+        for _ = 2 to 4 do
+          ignore
+            (Engine.replay ~telemetry:tel ~batch_size:stream_batch ~domains:1
+               ~cfg stream_pipeline
+               (Trace.stream_of_trace strace))
+        done;
+        Engine.replay ~telemetry:tel ~batch_size:stream_batch ~domains:1 ~cfg
+          stream_pipeline
+          (Trace.stream_of_trace strace)
+      in
+      let _, _, walker_off_cpu, walker_on_cpu, walker_trace_overhead_pct =
+        paired_overhead (walker tel_config) (walker trace_config)
+      in
+      let _, _, engine_off_cpu, engine_on_cpu, engine_trace_overhead_pct =
+        paired_overhead ~pairs:9 (engine tel_config) (engine trace_config)
+      in
+      say
+        "  [streaming] %s tracer overhead: walker %.1f%% (%.2fs -> %.2fs \
+         cpu), engine %.1f%% (%.2fs -> %.2fs cpu)"
+        preset walker_trace_overhead_pct walker_off_cpu walker_on_cpu
+        engine_trace_overhead_pct engine_off_cpu engine_on_cpu;
+      j "      {\"preset\": \"%s\", \"trace_sample_every\": 256,\n" preset;
+      j "       \"walker_cpu_seconds\": %s, \"walker_traced_cpu_seconds\": %s,\n"
+        (jfloat walker_off_cpu) (jfloat walker_on_cpu);
+      j "       \"engine_cpu_seconds\": %s, \"engine_traced_cpu_seconds\": %s,\n"
+        (jfloat engine_off_cpu) (jfloat engine_on_cpu);
+      j "       \"walker_trace_overhead_pct\": %s, \
+         \"engine_trace_overhead_pct\": %s}%s\n"
+        (jfloat walker_trace_overhead_pct) (jfloat engine_trace_overhead_pct)
         (if ri = List.length stream_regimes - 1 then "" else ","))
     stream_regimes;
   j "    ]\n";

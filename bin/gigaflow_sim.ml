@@ -311,6 +311,7 @@ let run_cmd =
             Gf_telemetry.Telemetry.sample_every;
             event_capacity = 4096;
             event_sample_every = trace_events;
+            trace_sample_every = 0;
           }
     in
     let print_metrics (m : Metrics.t) =
@@ -441,6 +442,203 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Run an end-to-end datapath simulation.") term
 
+(* Sub-traversal tracing profiler: replay a workload with the traversal
+   tracer on, then render the pulled spans as a folded-stack flamegraph,
+   a chrome://tracing timeline, profile JSONL and a Prometheus snapshot,
+   plus a per-(level, cause) miss-attribution table on stdout.  The
+   census is exact (every miss is charged to exactly one cause), so the
+   command exits non-zero if it fails to reconcile with the metrics. *)
+let profile_cmd =
+  let module Telemetry = Gf_telemetry.Telemetry in
+  let module Tracer = Gf_telemetry.Tracer in
+  let module Attribution = Gf_telemetry.Attribution in
+  let sample_conv =
+    let parse s =
+      let v =
+        match String.index_opt s '/' with
+        | Some i when String.sub s 0 i = "1" ->
+            int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+        | Some _ -> None
+        | None -> int_of_string_opt s
+      in
+      match v with
+      | Some n when n >= 1 -> Ok n
+      | Some _ | None ->
+          Error
+            (`Msg (Printf.sprintf "invalid sampling cadence %S (use N or 1/N)" s))
+    in
+    Arg.conv (parse, fun ppf n -> Format.fprintf ppf "1/%d" n)
+  in
+  let sample_arg =
+    Arg.(
+      value & opt sample_conv 256
+      & info [ "sample" ] ~docv:"1/N"
+          ~doc:
+            "Trace every $(i,N)-th packet (accepts $(b,1/N) or plain \
+             $(b,N); default 1/256).  The miss-cause census is always \
+             exact regardless of the cadence — sampling only thins the \
+             span streams behind the flamegraph and timeline.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "profile"
+      & info [ "o"; "out" ] ~docv:"PREFIX"
+          ~doc:
+            "Output prefix: writes $(docv).folded (flamegraph.pl / \
+             speedscope), $(docv).trace.json (chrome://tracing / \
+             Perfetto), $(docv).jsonl (profile lines) and $(docv).prom \
+             (Prometheus snapshot).")
+  in
+  let run code locality seed flows combos hierarchy tables capacity policy
+      level_policies max_idle churn churn_active churn_turnover churn_epochs
+      trace_kind elephants elephant_share admission hh_threshold sw_level
+      sw_search engine batch_size domains sample out =
+    let info = find_pipeline code in
+    let trace_kind = if churn then `Churn else trace_kind in
+    Printf.printf "Building workload: %s, %s locality, %d flows...\n%!"
+      info.Catalog.code
+      (Ruleset.locality_name locality)
+      flows;
+    let w =
+      match trace_kind with
+      | `Churn ->
+          Pipebench.make_churn ~combos ~unique_flows:flows ~active:churn_active
+            ~turnover:churn_turnover ~epochs:churn_epochs ~info ~locality ~seed ()
+      | `Elephant ->
+          Pipebench.make_elephant ~combos ~unique_flows:flows ~elephants
+            ~elephant_share ~info ~locality ~seed ()
+      | `Drift -> Pipebench.make_drift ~combos ~unique_flows:flows ~info ~locality ~seed ()
+      | `Caida -> Pipebench.make ~combos ~unique_flows:flows ~info ~locality ~seed ()
+    in
+    let cfg =
+      Option.get
+        (Datapath.preset
+           ~gf:(Gf_core.Config.v ~tables ~table_capacity:capacity ())
+           ~mf_capacity:(tables * capacity) ?policy ?max_idle ?sw_search ?admission
+           hierarchy)
+    in
+    let cfg =
+      List.fold_left
+        (fun cfg (level, p) -> Datapath.with_level_policy ~level p cfg)
+        cfg level_policies
+    in
+    let cfg =
+      match sw_level with Some k -> Datapath.with_sw_level k cfg | None -> cfg
+    in
+    let cfg =
+      match hh_threshold with
+      | Some th ->
+          Datapath.with_admission
+            (Gf_offload.Heavy_hitter.policy_with_threshold cfg.Datapath.admission th)
+            cfg
+      | None -> cfg
+    in
+    let tel_config =
+      {
+        Telemetry.sample_every = 10_000;
+        event_capacity = 4096;
+        event_sample_every = 0;
+        trace_sample_every = sample;
+      }
+    in
+    let metrics, tel =
+      match engine with
+      | `Batched ->
+          Printf.printf
+            "Profiling %d packets (batched engine, %d domain%s, 1/%d sampled)...\n%!"
+            (Gf_workload.Trace.packet_count w.Pipebench.trace)
+            domains
+            (if domains = 1 then "" else "s")
+            sample;
+          let r =
+            Engine.replay ~telemetry:tel_config ~batch_size ~domains ~cfg
+              (Pipebench.pipeline w)
+              (Gf_workload.Trace.stream_of_trace w.Pipebench.trace)
+          in
+          (r.Parallel.merged, Option.get r.Parallel.telemetry)
+      | `Walker ->
+          Printf.printf "Profiling %d packets (walker, 1/%d sampled)...\n%!"
+            (Gf_workload.Trace.packet_count w.Pipebench.trace)
+            sample;
+          let tel = Telemetry.create ~config:tel_config () in
+          let dp = Datapath.create ~telemetry:tel cfg (Pipebench.pipeline w) in
+          (Datapath.run dp w.Pipebench.trace, tel)
+    in
+    let tr =
+      match Telemetry.tracer tel with
+      | Some tr -> tr
+      | None ->
+          Printf.eprintf "profile: tracer never attached (internal error)\n";
+          exit 1
+    in
+    let attr = Tracer.attribution tr in
+    let total_misses =
+      List.fold_left
+        (fun acc lm -> acc + lm.Metrics.misses)
+        0 (Metrics.levels metrics)
+    in
+    let write path contents =
+      let oc = open_out path in
+      output_string oc contents;
+      close_out oc
+    in
+    write (out ^ ".folded") (Attribution.folded attr);
+    write (out ^ ".trace.json")
+      (Attribution.chrome_json ~us_of_cycles:Gf_nic.Latency.us_of_cycles attr);
+    let meta =
+      [
+        ("pipeline", Gf_util.Json.Str info.Catalog.code);
+        ("locality", Gf_util.Json.Str (Ruleset.locality_name locality));
+        ("hierarchy", Gf_util.Json.Str cfg.Datapath.name);
+        ( "engine",
+          Gf_util.Json.Str
+            (match engine with `Walker -> "walker" | `Batched -> "batched") );
+        ("seed", Gf_util.Json.Int seed);
+        ("sample_every", Gf_util.Json.Int sample);
+      ]
+    in
+    let oc = open_out (out ^ ".jsonl") in
+    Attribution.write_jsonl ~meta ~total_misses oc attr;
+    close_out oc;
+    write (out ^ ".prom") (Telemetry.prometheus tel);
+    Printf.printf "Sampled %s of %s packets (%s spans)\n"
+      (Tablefmt.fmt_int (Attribution.sampled_packets attr))
+      (Tablefmt.fmt_int metrics.Metrics.packets)
+      (Tablefmt.fmt_int (Attribution.spans attr));
+    let t = Tablefmt.create [ "Level"; "Miss cause"; "Misses" ] in
+    List.iter
+      (fun (level, cause, n) ->
+        Tablefmt.add_row t [ level; cause; Tablefmt.fmt_int n ])
+      (Attribution.top_causes ~n:12 attr);
+    Tablefmt.print t;
+    let census = Attribution.census_total attr in
+    let reconciled = census = total_misses in
+    Printf.printf "Miss census: %s of %s metrics misses attributed (%s)\n"
+      (Tablefmt.fmt_int census)
+      (Tablefmt.fmt_int total_misses)
+      (if reconciled then "reconciled" else "MISMATCH");
+    Printf.printf "Profile: %s.folded, %s.trace.json, %s.jsonl, %s.prom\n" out
+      out out out;
+    if not reconciled then exit 1
+  in
+  let term =
+    Term.(
+      const run $ pipeline_arg $ locality_arg $ seed_arg $ flows_arg $ combos_arg
+      $ hierarchy_arg $ tables_arg $ capacity_arg $ evict_policy_arg
+      $ evict_policy_level_arg $ max_idle_arg $ churn_arg $ churn_active_arg
+      $ churn_turnover_arg $ churn_epochs_arg $ trace_kind_arg $ elephants_arg
+      $ elephant_share_arg $ admission_arg $ hh_threshold_arg $ sw_level_arg
+      $ sw_search_arg $ engine_arg $ batch_size_arg $ domains_arg $ sample_arg
+      $ out_arg)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Replay a workload with sub-traversal tracing on and emit \
+          flamegraph, chrome trace, JSONL and Prometheus profile outputs \
+          with per-cause miss attribution.")
+    term
+
 (* Validate a telemetry JSONL file: every line must parse as JSON, the
    stream must carry a meta line and at least one time-series sample, and
    samples/events must expose the documented fields.  Loadtest JSONL
@@ -514,13 +712,55 @@ let telemetry_check_cmd =
           (if !checked = 1 then "" else "s")
           floor
   in
-  let check file bench floor =
+  (* chrome://tracing JSON: a traceEvents array of complete events, each
+     with the fields the trace viewers require. *)
+  let check_chrome file =
+    let cfail msg =
+      Printf.eprintf "telemetry-check: %s: %s\n" file msg;
+      exit 1
+    in
+    let ic = open_in file in
+    let n = in_channel_length ic in
+    let text = really_input_string ic n in
+    close_in ic;
+    match J.of_string text with
+    | Error e -> cfail ("not valid JSON: " ^ e)
+    | Ok json -> (
+        match Option.bind (J.member "traceEvents" json) J.to_list_opt with
+        | None -> cfail "missing \"traceEvents\" array"
+        | Some events ->
+            List.iteri
+              (fun i ev ->
+                let evfail f =
+                  cfail
+                    (Printf.sprintf "traceEvents[%d]: missing or mistyped %S" i f)
+                in
+                let str f =
+                  if Option.bind (J.member f ev) J.to_string_opt = None then
+                    evfail f
+                and num f =
+                  if Option.bind (J.member f ev) J.to_float_opt = None then
+                    evfail f
+                in
+                str "name";
+                str "ph";
+                num "ts";
+                num "dur";
+                num "pid";
+                num "tid")
+              events;
+            Printf.printf "%s: OK (%d trace events)\n" file (List.length events))
+  in
+  let check file bench floor chrome =
     (match file with
     | None -> ()
     | Some file ->
         let ic = open_in file in
         let metas = ref 0 and samples = ref 0 and events = ref 0 in
         let lt_metas = ref 0 and lt_windows = ref 0 and lt_summaries = ref 0 in
+        let p_metas = ref 0 and p_lines = ref 0 and p_summaries = ref 0 in
+        let p_cause_sum = ref 0 in
+        let p_census = ref 0 and p_misses = ref 0 and p_reconciled = ref false in
         let line_no = ref 0 in
         (try
            while true do
@@ -566,6 +806,9 @@ let telemetry_check_cmd =
                    | Some "loadtest_meta" ->
                        incr lt_metas;
                        List.iter
+                         (fun f -> require !line_no json f `Str)
+                         [ "commit"; "preset"; "engine" ];
+                       List.iter
                          (fun f -> require !line_no json f `Num)
                          [
                            "rate_pps"; "warmup"; "window"; "windows";
@@ -591,12 +834,77 @@ let telemetry_check_cmd =
                            "windows"; "total_offered"; "total_processed";
                            "total_dropped"; "violations";
                          ]
+                   | Some "profile_meta" ->
+                       incr p_metas;
+                       require !line_no json "sampled_packets" `Num;
+                       require !line_no json "spans" `Num;
+                       require !line_no json "levels" `List
+                   | Some "profile_level" ->
+                       incr p_lines;
+                       require !line_no json "level" `Str;
+                       require !line_no json "outcome" `Str;
+                       require !line_no json "spans" `Num;
+                       require !line_no json "cycles" `Num
+                   | Some "profile_table" ->
+                       incr p_lines;
+                       List.iter
+                         (fun f -> require !line_no json f `Num)
+                         [ "table"; "visits"; "cycles" ]
+                   | Some "profile_depth" ->
+                       incr p_lines;
+                       List.iter
+                         (fun f -> require !line_no json f `Num)
+                         [ "depth"; "spans" ]
+                   | Some "profile_cause" ->
+                       incr p_lines;
+                       require !line_no json "level" `Str;
+                       require !line_no json "cause" `Str;
+                       require !line_no json "count" `Num;
+                       p_cause_sum :=
+                         !p_cause_sum
+                         + Option.value ~default:0
+                             (Option.bind (J.member "count" json) J.to_int_opt)
+                   | Some "profile_summary" ->
+                       incr p_summaries;
+                       require !line_no json "census_total" `Num;
+                       require !line_no json "total_misses" `Num;
+                       require !line_no json "reconciled" `Bool;
+                       let geti f =
+                         Option.value ~default:0
+                           (Option.bind (J.member f json) J.to_int_opt)
+                       in
+                       p_census := geti "census_total";
+                       p_misses := geti "total_misses";
+                       p_reconciled :=
+                         J.member "reconciled" json = Some (J.Bool true)
                    | Some other ->
                        fail !line_no (Printf.sprintf "unknown line type %S" other)
                    | None -> fail !line_no "missing \"type\" field")
            done
          with End_of_file -> close_in ic);
-        if !lt_metas + !lt_windows + !lt_summaries > 0 then begin
+        if !p_metas + !p_lines + !p_summaries > 0 then begin
+          (* Profile stream: meta, at least one aggregate line, one
+             summary whose census reconciles — both against the run's
+             metrics misses and internally against the emitted
+             per-cause lines. *)
+          if !p_metas = 0 then fail !line_no "no profile_meta line found";
+          if !p_lines = 0 then fail !line_no "no profile aggregate lines found";
+          if !p_summaries = 0 then fail !line_no "no profile_summary line found";
+          if not !p_reconciled then
+            fail !line_no
+              (Printf.sprintf
+                 "miss census (%d) does not reconcile with metrics misses (%d)"
+                 !p_census !p_misses);
+          if !p_cause_sum <> !p_census then
+            fail !line_no
+              (Printf.sprintf
+                 "profile_cause counts sum to %d but census_total is %d"
+                 !p_cause_sum !p_census);
+          Printf.printf
+            "%s: OK (%d profile meta, %d aggregate lines, census %d reconciled)\n"
+            file !p_metas !p_lines !p_census
+        end
+        else if !lt_metas + !lt_windows + !lt_summaries > 0 then begin
           (* Loadtest stream: meta, at least one window, one summary. *)
           if !lt_metas = 0 then fail !line_no "no loadtest_meta line found";
           if !lt_windows = 0 then fail !line_no "no loadtest_window lines found";
@@ -613,8 +921,10 @@ let telemetry_check_cmd =
     (match bench with
     | Some bench -> check_bench ~floor bench
     | None -> ());
-    if file = None && bench = None then begin
-      Printf.eprintf "telemetry-check: nothing to check (pass FILE and/or --bench)\n";
+    (match chrome with Some chrome -> check_chrome chrome | None -> ());
+    if file = None && bench = None && chrome = None then begin
+      Printf.eprintf
+        "telemetry-check: nothing to check (pass FILE, --bench and/or --chrome)\n";
       exit 2
     end
   in
@@ -642,10 +952,20 @@ let telemetry_check_cmd =
             "Lowest acceptable overhead figure in $(b,--bench) mode; \
              anything below it means the baseline timing is noise-broken.")
   in
+  let chrome_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"JSON"
+          ~doc:
+            "Also validate a chrome://tracing JSON file (as written by \
+             $(b,gigaflow-sim profile)): a $(i,traceEvents) array whose \
+             events carry name/ph/ts/dur/pid/tid.")
+  in
   Cmd.v
     (Cmd.info "telemetry-check"
        ~doc:"Validate a telemetry JSONL file (parseability + required series).")
-    Term.(const check $ file_arg $ bench_arg $ floor_arg)
+    Term.(const check $ file_arg $ bench_arg $ floor_arg $ chrome_arg)
 
 (* Fixed-rate SLO load test (packetblaster-style): sustained offered load
    through a single-server queue in front of the datapath, p50/p99/p99.9
@@ -917,6 +1237,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            run_cmd; loadtest_cmd; pipelines_cmd; workload_cmd; resources_cmd;
-            export_p4_cmd; dump_flows_cmd; export_trace_cmd; telemetry_check_cmd;
+            run_cmd; profile_cmd; loadtest_cmd; pipelines_cmd; workload_cmd;
+            resources_cmd; export_p4_cmd; dump_flows_cmd; export_trace_cmd;
+            telemetry_check_cmd;
           ]))

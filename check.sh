@@ -117,6 +117,22 @@ fi
 grep -q 'SLO gate: FAIL' "$TDIR/loadtest_fail.out" || {
   echo "oversubscribed loadtest did not report FAIL" >&2; exit 1; }
 
+echo "== profile smoke"
+# Sub-traversal tracing profiler on the drift trace: folded stacks must
+# be non-empty, the chrome trace must be schema-valid JSON, and the
+# miss-cause census must reconcile exactly with the Metrics miss
+# counters (the profile command exits non-zero on a mismatch;
+# telemetry-check re-verifies the JSONL reconciliation independently).
+dune exec --no-build -- gigaflow-sim profile -p PSC --flows 20000 --combos 8192 --seed 77 \
+  --trace drift --hierarchy gf_sw_hh --sample 1/64 --out "$TDIR/profile" \
+  > "$TDIR/profile.out"
+test -s "$TDIR/profile.folded" || {
+  echo "profile produced empty folded stacks" >&2; exit 1; }
+grep -q '(reconciled)' "$TDIR/profile.out" || {
+  echo "profile census did not reconcile" >&2; exit 1; }
+dune exec --no-build -- gigaflow-sim telemetry-check \
+  --chrome "$TDIR/profile.trace.json" "$TDIR/profile.jsonl"
+
 echo "== bench overhead floor"
 # The committed benchmark figures must not contain nonsense overhead
 # numbers: any *overhead_pct below the noise floor means the bench's

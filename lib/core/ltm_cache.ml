@@ -29,6 +29,11 @@ type t = {
   stats : Cache_stats.t;
   memo_tbl : (int, memo) Hashtbl.t; (* flow id -> last lookup *)
   mutable generation : int; (* bumped on any structural entry-set change *)
+  mutable last_depth : int;
+      (* tables matched by the most recent lookup: the tag-chain reuse
+         depth on a hit, the partial-prefix progress on a miss (non-zero
+         means the chain matched a prefix then dead-ended — a stall).
+         Observability only; never read by the datapath logic. *)
 }
 
 let create ?(rng_seed = 0x61F) config =
@@ -44,10 +49,12 @@ let create ?(rng_seed = 0x61F) config =
     stats = Cache_stats.create ();
     memo_tbl = Hashtbl.create 256;
     generation = 0;
+    last_depth = 0;
   }
 
 let config t = t.config
 let stats t = t.stats
+let last_depth t = t.last_depth
 
 let occupancy t = Array.fold_left (fun acc table -> acc + Ltm_table.occupancy table) 0 t.tables
 
@@ -88,6 +95,7 @@ let lookup_core t ~now ~entry_tag flow =
   if Option.is_some result then
     List.iter (fun s -> s.Ltm_table.last_hit <- now) !matched_entries;
   Cache_stats.record_lookup t.stats ~hit:(Option.is_some result);
+  t.last_depth <- List.length !matched_entries;
   (result, work, !matched_entries)
 
 let lookup t ~now ~entry_tag flow =
@@ -108,6 +116,7 @@ let lookup_memo t ~now ~entry_tag ~flow_id flow =
       if Option.is_some m.m_result then
         List.iter (fun s -> s.Ltm_table.last_hit <- now) m.m_touched;
       Cache_stats.record_lookup t.stats ~hit:(Option.is_some m.m_result);
+      t.last_depth <- List.length m.m_touched;
       (m.m_result, m.m_work)
   | memo ->
       let result, work, touched = lookup_core t ~now ~entry_tag flow in

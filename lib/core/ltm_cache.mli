@@ -32,6 +32,13 @@ val create : ?rng_seed:int -> Config.t -> t
 val config : t -> Config.t
 val stats : t -> Gf_cache.Cache_stats.t
 
+val last_depth : t -> int
+(** Tables matched by the most recent {!lookup} / {!lookup_memo}: the
+    tag-chain reuse depth on a hit, the partial-prefix progress on a miss
+    (non-zero means the chain dead-ended — a tag-chain stall).
+    Observability hook for the traversal tracer; never feeds back into
+    cache behaviour. *)
+
 val occupancy : t -> int
 (** Total entries across all tables. *)
 

@@ -59,12 +59,26 @@ type report = {
   window_packets : int;
   queue_budget_us : float;
   slo : slo;
+  preset : string;
+  engine : string;
   windows : window list;
   total_offered : int;
   total_processed : int;
   total_dropped : int;
   pass : bool;
 }
+
+(* Stamp reports with the code that produced them, so an archived
+   loadtest JSONL is traceable to a commit; runs outside a work tree
+   degrade to "unknown" rather than failing. *)
+let git_commit () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match (Unix.close_process_in ic, line) with
+    | Unix.WEXITED 0, s when s <> "" -> s
+    | _ -> "unknown"
+  with _ -> "unknown"
 
 (* SLO checks for one measurement window; violation strings are
    machine-greppable "<metric> <observed> <cmp> <bound>". *)
@@ -190,6 +204,8 @@ let run ?(queue_budget_us = 500.0) ?(warmup = 50_000) ?(window = 100_000)
     window_packets = window;
     queue_budget_us;
     slo;
+    preset = cfg.Datapath.name;
+    engine = "memo";
     windows = ws;
     total_offered = !offered;
     total_processed = !processed_total;
@@ -203,6 +219,9 @@ let meta_json ?(meta = []) r =
   Json.Obj
     ((("type", Json.Str "loadtest_meta") :: meta)
     @ [
+        ("commit", Json.Str (git_commit ()));
+        ("preset", Json.Str r.preset);
+        ("engine", Json.Str r.engine);
         ("rate_pps", Json.Float r.rate_pps);
         ("warmup", Json.Int r.warmup);
         ("window", Json.Int r.window_packets);

@@ -49,6 +49,8 @@ type report = {
   window_packets : int;
   queue_budget_us : float;
   slo : slo;
+  preset : string;  (** Hierarchy preset name the run used. *)
+  engine : string;  (** Replay engine flavour ("memo"). *)
   windows : window list;
   total_offered : int;
   total_processed : int;
@@ -77,6 +79,8 @@ val run :
     exercises the passive pull path per packet). *)
 
 val write_jsonl : ?meta:(string * Gf_util.Json.t) list -> out_channel -> report -> unit
-(** One [loadtest_meta] line ([meta] pairs prepended), one
-    [loadtest_window] line per window, one [loadtest_summary] line
-    carrying the machine-readable pass/fail gate. *)
+(** One [loadtest_meta] line ([meta] pairs prepended; always carries the
+    [commit] hash of the measuring tree, the [preset] name and the
+    [engine] flavour), one [loadtest_window] line per window, one
+    [loadtest_summary] line carrying the machine-readable pass/fail
+    gate. *)

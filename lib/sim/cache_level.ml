@@ -85,6 +85,12 @@ module type LEVEL = sig
   val occupancy : unit -> int
   val capacity : unit -> int
   val stats : unit -> Gf_cache.Cache_stats.t
+
+  val last_depth : unit -> int
+  (** Tag-chain steps matched by this level's most recent lookup: the
+      sub-traversal reuse depth for the LTM (non-zero on a miss means the
+      chain matched a prefix then dead-ended — a stall); unchained levels
+      report 0.  Observability hook for the traversal tracer. *)
 end
 
 type t = (module LEVEL)
@@ -104,6 +110,7 @@ let revalidate (module L : LEVEL) = L.revalidate
 let occupancy (module L : LEVEL) = L.occupancy ()
 let capacity (module L : LEVEL) = L.capacity ()
 let stats (module L : LEVEL) = L.stats ()
+let last_depth (module L : LEVEL) = L.last_depth ()
 
 (* ------------------------------ adapters ------------------------------ *)
 
@@ -147,6 +154,7 @@ let of_microflow ?(name = "emc") ~max_idle emc : t =
     let occupancy () = Microflow.occupancy emc
     let capacity () = Microflow.capacity emc
     let stats () = Microflow.stats emc
+    let last_depth () = 0
   end)
 
 (* The cuckoo level is an exact-match software cache for the long tail:
@@ -217,6 +225,7 @@ let of_cuckoo ?(name = "sw-ck") ~max_idle ck : t =
     let occupancy () = Gf_cache.Cuckoo.occupancy ck
     let capacity () = Gf_cache.Cuckoo.capacity ck
     let stats () = Gf_cache.Cuckoo.stats ck
+    let last_depth () = 0
   end)
 
 let of_megaflow ?name ~tier ~max_idle mf : t =
@@ -275,6 +284,7 @@ let of_megaflow ?name ~tier ~max_idle mf : t =
     let occupancy () = Megaflow.occupancy mf
     let capacity () = Megaflow.capacity mf
     let stats () = Megaflow.stats mf
+    let last_depth () = 0
   end)
 
 let of_gigaflow ?(name = "gf") ~pipeline gf : t =
@@ -333,6 +343,7 @@ let of_gigaflow ?(name = "gf") ~pipeline gf : t =
     let occupancy () = Ltm_cache.occupancy (Gigaflow.cache gf)
     let capacity () = Gf_core.Config.total_capacity (Gigaflow.config gf)
     let stats () = Ltm_cache.stats (Gigaflow.cache gf)
+    let last_depth () = Ltm_cache.last_depth (Gigaflow.cache gf)
   end)
 
 (* ------------------------------- specs ------------------------------- *)

@@ -117,6 +117,12 @@ module type LEVEL = sig
   val occupancy : unit -> int
   val capacity : unit -> int
   val stats : unit -> Gf_cache.Cache_stats.t
+
+  val last_depth : unit -> int
+  (** Tag-chain steps matched by this level's most recent lookup: the
+      sub-traversal reuse depth for the LTM (non-zero on a miss means the
+      chain matched a prefix then dead-ended — a stall); unchained levels
+      report 0.  Observability hook for the traversal tracer. *)
 end
 
 type t = (module LEVEL)
@@ -141,6 +147,7 @@ val revalidate : t -> Gf_pipeline.Pipeline.t -> int * int
 val occupancy : t -> int
 val capacity : t -> int
 val stats : t -> Gf_cache.Cache_stats.t
+val last_depth : t -> int
 
 (** {1 Adapters} *)
 

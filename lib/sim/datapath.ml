@@ -8,6 +8,8 @@ module Recorder = Gf_telemetry.Recorder
 module Histogram = Gf_telemetry.Histogram
 module Series = Gf_telemetry.Series
 module Passive = Gf_telemetry.Passive
+module Tracer = Gf_telemetry.Tracer
+module Attribution = Gf_telemetry.Attribution
 module Heavy_hitter = Gf_offload.Heavy_hitter
 module Flow = Gf_flow.Flow
 
@@ -287,6 +289,7 @@ type pmemo = {
   p_lidx : int;  (* ... and in level 0's histogram *)
   p_cpw : int;  (* level 0 [cycles_per_work] *)
   p_is_drop : bool;
+  p_depth : int;  (* tag-chain reuse depth of the compiled hit (tracer) *)
   p_result : outcome * Action.terminal option * float;
 }
 
@@ -325,6 +328,34 @@ type t = {
       (* Flows already offered a hardware promotion this sweep interval —
          rate-limits the promotion path to once per flow per sweep; cleared
          by the admission sweep in [maybe_expire]. *)
+  tracer : Tracer.t option;
+      (* [Some] iff telemetry is attached with [trace_sample_every > 0]:
+         the traversal tracer.  Sampled packets append probe / slowpath
+         spans to its ring; every miss — sampled or not — is charged to a
+         cause via the flow-state arrays below, so the census reconciles
+         with [Metrics] misses exactly.  [None] keeps the packet path
+         free of tracer work (one pattern match per site). *)
+  level_is_ltm : bool array;  (* walk order: level is the Gigaflow LTM *)
+  level_is_hw : bool array;
+  level_max_idle : float array;  (* descriptor idle budgets, for Expired *)
+  mutable reval_gen : int;
+      (* bumped by [revalidate]; flow-state install generations older
+         than it resolve misses to [Revalidation] *)
+  (* Per-level, per-flow admission history (tracer only; empty otherwise):
+     what happened to this flow at this level last, when it was last
+     seen there, and under which revalidation generation it installed.
+     Flat arrays indexed by flow id with doubling growth (they saturate
+     at the trace's flow count, keeping the soak test's heap flat). *)
+  mutable fs_cap : int;
+  fs_state : Bytes.t array;
+      (* '\000' never installed, '\001' installed, '\002' admission-
+         deferred, '\003' install-rejected *)
+  fs_gen : int array array;
+  fs_seen : float array array;
+  mutable fs_seen0 : float array;
+      (* alias of [fs_seen.(0)], re-pointed on growth: the memo fast
+         path touches level-0 recency once per packet and skips the
+         double indirection *)
 }
 
 let create ?telemetry cfg pipeline =
@@ -376,6 +407,22 @@ let create ?telemetry cfg pipeline =
           ~recorder:(Telemetry.recorder tel) ())
       telemetry
   in
+  let tracer =
+    match telemetry with
+    | Some tel when (Telemetry.config tel).Telemetry.trace_sample_every > 0 ->
+        let tr =
+          Tracer.create
+            ~sample_every:(Telemetry.config tel).Telemetry.trace_sample_every
+            ~level_names:(Array.map Cache_level.name levels)
+            ()
+        in
+        Telemetry.set_tracer tel tr;
+        Some tr
+    | Some _ | None -> None
+  in
+  let n_levels = Array.length levels in
+  let fs_cap = if tracer = None then 0 else 1024 in
+  let fs_seen = Array.init n_levels (fun _ -> Array.make fs_cap neg_infinity) in
   {
     cfg;
     pipeline;
@@ -390,6 +437,26 @@ let create ?telemetry cfg pipeline =
     hh;
     hh_threshold;
     hh_attempted = Flow.Tbl.create 64;
+    tracer;
+    level_is_ltm =
+      Array.map
+        (fun l ->
+          match Cache_level.view l with
+          | Cache_level.Gigaflow_view _ -> true
+          | Cache_level.Microflow_view _ | Cache_level.Megaflow_view _
+          | Cache_level.Cuckoo_view _ ->
+              false)
+        levels;
+    level_is_hw =
+      Array.map (fun l -> Cache_level.tier l = Cache_level.Hardware) levels;
+    level_max_idle =
+      Array.map (fun l -> (Cache_level.descriptor l).Cache_level.max_idle) levels;
+    reval_gen = 0;
+    fs_cap;
+    fs_state = Array.init n_levels (fun _ -> Bytes.make fs_cap '\000');
+    fs_gen = Array.init n_levels (fun _ -> Array.make fs_cap 0);
+    fs_seen;
+    fs_seen0 = (if n_levels > 0 then fs_seen.(0) else [||]);
   }
 
 let telemetry t = t.telemetry
@@ -488,6 +555,7 @@ let revalidate t =
      compiled replays are stale. *)
   Hashtbl.reset t.traversal_memo;
   Array.fill t.replay_tbl 0 (Array.length t.replay_tbl) None;
+  t.reval_gen <- t.reval_gen + 1;
   let total_evicted = ref 0 and total_work = ref 0 in
   Array.iteri
     (fun i level ->
@@ -509,11 +577,145 @@ let revalidate t =
     t.levels;
   (!total_evicted, !total_work)
 
+(* ---------------------------- tracer hooks ---------------------------- *)
+
+(* Grow the per-flow admission-history arrays (doubling) until [fid]
+   indexes them. *)
+let ensure_flow_slot t fid =
+  if fid >= t.fs_cap then begin
+    let cap = ref (max 1024 (2 * t.fs_cap)) in
+    while fid >= !cap do
+      cap := 2 * !cap
+    done;
+    let cap = !cap in
+    Array.iteri
+      (fun i b ->
+        let b' = Bytes.make cap '\000' in
+        Bytes.blit b 0 b' 0 t.fs_cap;
+        t.fs_state.(i) <- b')
+      t.fs_state;
+    Array.iteri
+      (fun i g ->
+        let g' = Array.make cap 0 in
+        Array.blit g 0 g' 0 t.fs_cap;
+        t.fs_gen.(i) <- g')
+      t.fs_gen;
+    Array.iteri
+      (fun i s ->
+        let s' = Array.make cap neg_infinity in
+        Array.blit s 0 s' 0 t.fs_cap;
+        t.fs_seen.(i) <- s')
+      t.fs_seen;
+    t.fs_seen0 <- (if Array.length t.fs_seen > 0 then t.fs_seen.(0) else [||]);
+    t.fs_cap <- cap
+  end
+
+(* Record an admission outcome for [fid] at level [i] (tracer only). *)
+let fs_mark t ~level:i fid st =
+  if fid >= 0 then begin
+    ensure_flow_slot t fid;
+    Bytes.unsafe_set t.fs_state.(i) fid st
+  end
+
+let fs_install t ~level:i ~now fid =
+  if fid >= 0 then begin
+    ensure_flow_slot t fid;
+    Bytes.unsafe_set t.fs_state.(i) fid '\001';
+    t.fs_gen.(i).(fid) <- t.reval_gen;
+    t.fs_seen.(i).(fid) <- now
+  end
+
+let fs_touch t ~level:i ~now fid =
+  if fid >= 0 then begin
+    ensure_flow_slot t fid;
+    (* [ensure_flow_slot] guarantees [fid < fs_cap]. *)
+    Array.unsafe_set t.fs_seen.(i) fid now
+  end
+
+(* Host-cycle width of a probe span: the software search cycles when the
+   level burns host CPU, the NIC probe pipeline cost for hardware levels
+   (whose [cycles_per_work] is 0 on the host — the span still needs a
+   non-degenerate width to show up in a flamegraph). *)
+let span_cycles ~cpw ~work = work * (if cpw > 0 then cpw else Latency.probe_cycles)
+
+(* Resolve the cause of a miss at level [i] — reading the level the way an
+   operator would: an LTM chain that matched a prefix then dead-ended is a
+   tag-chain stall; a flow never installed here is cold;
+   admission-deferred and install-rejected flows keep their recorded
+   state; an installed flow that missed lost its entry — to revalidation
+   if its install predates the last pipeline update, to idle expiry if it
+   outlived the level's idle budget, to admission demotion if the sketch
+   stopped calling it hot (hardware under heavy-hitter admission), else to
+   capacity pressure. *)
+let miss_cause t ~level:i ~now ~depth ~flow fid =
+  if depth > 0 then Attribution.Tag_chain_stall
+  else if fid < 0 || fid >= t.fs_cap then Attribution.Cold
+  else
+    match Bytes.unsafe_get t.fs_state.(i) fid with
+    | '\000' -> Attribution.Cold
+    | '\002' -> Attribution.Deferred_admission
+    | '\003' -> Attribution.Pressure_evicted
+    | _ -> (
+        if t.fs_gen.(i).(fid) < t.reval_gen then Attribution.Revalidation
+        else if now -. t.fs_seen.(i).(fid) > t.level_max_idle.(i) then
+          Attribution.Expired
+        else
+          match t.hh with
+          | Some hh
+            when t.level_is_hw.(i)
+                 && not (Heavy_hitter.hot hh ~threshold:t.hh_threshold flow) ->
+              Attribution.Deferred_admission
+          | Some _ | None -> Attribution.Pressure_evicted)
+
+(* Inlined per-packet tracer countdown: the non-sampled case (N-1 of N
+   packets) is a compare plus two stores with no cross-module call; the
+   sampled case falls through to [Tracer.on_packet], which re-reads
+   [until] = 0, notes the sampled packet and resets the countdown.
+   Small enough for ocamlopt's classic inliner. *)
+let tracer_tick tr =
+  if tr.Tracer.until = 0 then ignore (Tracer.on_packet tr : bool)
+  else begin
+    tr.Tracer.until <- tr.Tracer.until - 1;
+    tr.Tracer.active <- false
+  end
+
+(* Per-miss tracer hook, shared by [process] and [process_memo_slow]: one
+   census increment always (so the per-cause totals reconcile with
+   [Metrics] misses exactly); a miss span when the packet is sampled. *)
+let trace_miss t tr ~level:i ~now ~work ~cpw ~flow fid =
+  let depth =
+    if t.level_is_ltm.(i) then Cache_level.last_depth t.levels.(i) else 0
+  in
+  Tracer.miss tr ~level:i (miss_cause t ~level:i ~now ~depth ~flow fid);
+  if tr.Tracer.active then
+    Tracer.span tr
+      ~packet:(t.metrics.Metrics.packets - 1)
+      ~time:now ~level:i ~table:(-1) ~depth
+      ~cycles:(span_cycles ~cpw ~work)
+      ~outcome:Attribution.outcome_miss
+
+(* Per-hit tracer hook: refresh the flow's idle clock at the hit level and
+   emit a probe span when sampled. *)
+let trace_hit t tr ~level:i ~now ~work ~cpw fid =
+  fs_touch t ~level:i ~now fid;
+  if tr.Tracer.active then begin
+    let depth =
+      if t.level_is_ltm.(i) then Cache_level.last_depth t.levels.(i) else 1
+    in
+    Tracer.span tr
+      ~packet:(t.metrics.Metrics.packets - 1)
+      ~time:now ~level:i ~table:(-1) ~depth
+      ~cycles:(span_cycles ~cpw ~work)
+      ~outcome:Attribution.outcome_hit
+  end
+
+(* ------------------------------ slowpath ------------------------------ *)
+
 (* Full slowpath: execute the pipeline once and offer the traversal to every
    level's install policy.  Returns (terminal option, service latency us).
    Split so [process_memo] can feed a memoised execute result to the same
    install path ([slowpath_installs]). *)
-let slowpath_installs t ~now execute_result =
+let slowpath_installs t ~now ~flow_id execute_result =
   let m = t.metrics in
   match execute_result with
   | Error _ -> (None, Latency.upcall_us)
@@ -544,6 +746,9 @@ let slowpath_installs t ~now execute_result =
           if deferred then begin
             lm.Metrics.deferred <- lm.Metrics.deferred + 1;
             m.Metrics.hw_deferred <- m.Metrics.hw_deferred + 1;
+            (match t.tracer with
+            | Some _ -> fs_mark t ~level:i flow_id '\002'
+            | None -> ());
             match t.psv with
             | Some p ->
                 let c = p.Passive.counters.(i) in
@@ -562,6 +767,12 @@ let slowpath_installs t ~now execute_result =
             lm.Metrics.pressure_evictions + r.Cache_level.pressure_evicted;
           partition_work := !partition_work + r.Cache_level.partition_work;
           rulegen_work := !rulegen_work + r.Cache_level.rulegen_work;
+          (match t.tracer with
+          | Some _ ->
+              if r.Cache_level.rejected > 0 then fs_mark t ~level:i flow_id '\003'
+              else if r.Cache_level.fresh + r.Cache_level.shared > 0 then
+                fs_install t ~level:i ~now flow_id
+          | None -> ());
           (match t.psv with
           | Some p ->
               let c = p.Passive.counters.(i) in
@@ -594,6 +805,22 @@ let slowpath_installs t ~now execute_result =
           end
           end)
         t.levels;
+      (* Sampled packets attribute the slowpath table-by-table: one span
+         per traversal step, costed at that step's share of the userspace
+         lookup cycles (the per-step costs sum to the charged total). *)
+      (match t.tracer with
+      | Some tr when tr.Tracer.active ->
+          let packet = m.Metrics.packets - 1 in
+          Array.iter
+            (fun (s : Traversal.step) ->
+              Tracer.span tr ~packet ~time:now ~level:(-1)
+                ~table:s.Traversal.table_id ~depth:0
+                ~cycles:
+                  (Latency.cycles_userspace ~pipeline_lookups:1
+                     ~tuple_probes:s.Traversal.probes)
+                ~outcome:Attribution.outcome_slowpath)
+            traversal.Traversal.steps
+      | Some _ | None -> ());
       let pipeline_lookups = Traversal.length traversal in
       let tuple_probes =
         Array.fold_left
@@ -613,7 +840,8 @@ let slowpath_installs t ~now execute_result =
       in
       (Some traversal.Traversal.terminal, lat)
 
-let slowpath t ~now flow = slowpath_installs t ~now (Executor.execute t.pipeline flow)
+let slowpath t ~now ~flow_id flow =
+  slowpath_installs t ~now ~flow_id (Executor.execute t.pipeline flow)
 
 (* Memoising slowpath: the pipeline execute is observably pure over a fixed
    pipeline, so repeat slowpaths of a flow (expired entries, churn) replay
@@ -621,12 +849,12 @@ let slowpath t ~now flow = slowpath_installs t ~now (Executor.execute t.pipeline
    all accounting stay live. *)
 let slowpath_memo t ~now ~flow_id flow =
   match Hashtbl.find_opt t.traversal_memo flow_id with
-  | Some r -> slowpath_installs t ~now r
+  | Some r -> slowpath_installs t ~now ~flow_id r
   | None ->
       let r = Executor.execute t.pipeline flow in
       Hashtbl.replace t.traversal_memo flow_id
         (match r with Ok tr -> Ok tr | Error _ -> Error ());
-      slowpath_installs t ~now r
+      slowpath_installs t ~now ~flow_id r
 
 (* Asynchronous hardware promotion of a flow that got hot while living in
    the software tier: offer its slowpath traversal to the hardware-tier
@@ -684,6 +912,13 @@ let hh_offer_hw t ~now ~flow_id flow =
             rulegen_work := !rulegen_work + r.Cache_level.rulegen_work;
             if r.Cache_level.fresh > 0 || r.Cache_level.pressure_evicted > 0 then
               mutated := true;
+            (match t.tracer with
+            | Some _ ->
+                if r.Cache_level.rejected > 0 then
+                  fs_mark t ~level:i flow_id '\003'
+                else if r.Cache_level.fresh + r.Cache_level.shared > 0 then
+                  fs_install t ~level:i ~now flow_id
+            | None -> ());
             match t.psv with
             | Some p ->
                 let c = p.Passive.counters.(i) in
@@ -728,17 +963,20 @@ let maybe_promote_hot t ~now ~flow_id flow tier =
       hh_offer_hw t ~now ~flow_id flow
   | Some _ | None -> false
 
-let process t ~now flow =
+let process ?(flow_id = -1) t ~now flow =
   let m = t.metrics in
   maybe_expire t ~now;
   m.Metrics.packets <- m.Metrics.packets + 1;
+  (match t.tracer with
+  | Some tr -> tracer_tick tr
+  | None -> ());
   (match t.hh with Some hh -> Heavy_hitter.observe hh flow | None -> ());
   let n = Array.length t.levels in
   (* Walk the hierarchy: first hit wins, misses fall through. *)
   let rec walk i =
     if i >= n then begin
       m.Metrics.slowpaths <- m.Metrics.slowpaths + 1;
-      let terminal, service_us = slowpath t ~now flow in
+      let terminal, service_us = slowpath t ~now ~flow_id flow in
       (Slowpath, terminal, Latency.upcall_us +. Latency.sw_base_us +. service_us)
     end
     else begin
@@ -752,6 +990,11 @@ let process t ~now flow =
       match hit with
       | None ->
           lm.Metrics.misses <- lm.Metrics.misses + 1;
+          (match t.tracer with
+          | Some tr ->
+              trace_miss t tr ~level:i ~now ~work
+                ~cpw:d.Cache_level.cycles_per_work ~flow flow_id
+          | None -> ());
           (match t.psv with
           | Some p ->
               let c = p.Passive.counters.(i) in
@@ -763,6 +1006,11 @@ let process t ~now flow =
           walk (i + 1)
       | Some h ->
           lm.Metrics.hits <- lm.Metrics.hits + 1;
+          (match t.tracer with
+          | Some tr ->
+              trace_hit t tr ~level:i ~now ~work
+                ~cpw:d.Cache_level.cycles_per_work flow_id
+          | None -> ());
           (* Let shallower promote-on-hit levels (the EMC) learn the
              decision for subsequent packets of this flow. *)
           for j = 0 to i - 1 do
@@ -772,6 +1020,9 @@ let process t ~now flow =
               = Cache_level.Promote_on_hit
             then begin
               let pe = Cache_level.promote lj ~now flow h in
+              (match t.tracer with
+              | Some _ -> fs_install t ~level:j ~now flow_id
+              | None -> ());
               if pe > 0 then begin
                 let lmj = t.level_metrics.(j) in
                 lmj.Metrics.pressure_evictions <-
@@ -798,7 +1049,7 @@ let process t ~now flow =
               | None -> ()
             end
           done;
-          ignore (maybe_promote_hot t ~now ~flow_id:(-1) flow d.Cache_level.tier);
+          ignore (maybe_promote_hot t ~now ~flow_id flow d.Cache_level.tier);
           let outcome, lat =
             match d.Cache_level.tier with
             | Cache_level.Hardware ->
@@ -873,6 +1124,9 @@ let process_memo_slow t ~now ~flow_id flow =
   let expired = now -. t.last_expire >= t.cfg.expire_every in
   maybe_expire t ~now;
   m.Metrics.packets <- m.Metrics.packets + 1;
+  (match t.tracer with
+  | Some tr -> tracer_tick tr
+  | None -> ());
   (match t.hh with Some hh -> Heavy_hitter.observe hh flow | None -> ());
   let n = Array.length t.levels in
   let mutated = ref expired in
@@ -894,6 +1148,11 @@ let process_memo_slow t ~now ~flow_id flow =
       match hit with
       | None ->
           lm.Metrics.misses <- lm.Metrics.misses + 1;
+          (match t.tracer with
+          | Some tr ->
+              trace_miss t tr ~level:i ~now ~work
+                ~cpw:d.Cache_level.cycles_per_work ~flow flow_id
+          | None -> ());
           (match t.psv with
           | Some p ->
               let c = p.Passive.counters.(i) in
@@ -905,6 +1164,11 @@ let process_memo_slow t ~now ~flow_id flow =
           walk (i + 1)
       | Some h ->
           lm.Metrics.hits <- lm.Metrics.hits + 1;
+          (match t.tracer with
+          | Some tr ->
+              trace_hit t tr ~level:i ~now ~work
+                ~cpw:d.Cache_level.cycles_per_work flow_id
+          | None -> ());
           for j = 0 to i - 1 do
             let lj = t.levels.(j) in
             if
@@ -913,6 +1177,9 @@ let process_memo_slow t ~now ~flow_id flow =
             then begin
               mutated := true;
               let pe = Cache_level.promote lj ~now flow h in
+              (match t.tracer with
+              | Some _ -> fs_install t ~level:j ~now flow_id
+              | None -> ());
               if pe > 0 then begin
                 let lmj = t.level_metrics.(j) in
                 lmj.Metrics.pressure_evictions <-
@@ -1008,6 +1275,9 @@ let process_memo_slow t ~now ~flow_id flow =
                  p_lidx = Histogram.index lm0.Metrics.latency_hist latency;
                  p_cpw = d.Cache_level.cycles_per_work;
                  p_is_drop = (terminal = Some Action.Drop);
+                 p_depth =
+                   (if t.level_is_ltm.(0) then Cache_level.last_depth level
+                    else 1);
                  p_result = (outcome, terminal, latency);
                }
        | None -> ());
@@ -1033,6 +1303,21 @@ let process_memo t ~now ~flow_id flow =
         | Some work ->
             let m = t.metrics in
             m.Metrics.packets <- m.Metrics.packets + 1;
+            (match t.tracer with
+            | Some tr ->
+                tracer_tick tr;
+                if tr.Tracer.active then
+                  Tracer.span tr
+                    ~packet:(m.Metrics.packets - 1)
+                    ~time:now ~level:0 ~table:(-1) ~depth:pm.p_depth
+                    ~cycles:(span_cycles ~cpw:pm.p_cpw ~work)
+                    ~outcome:Attribution.outcome_hit;
+                (* Inlined [fs_touch ~level:0] — [flow_id >= 0] is
+                   checked at entry, so one bounds test suffices. *)
+                if flow_id < t.fs_cap then
+                  Array.unsafe_set t.fs_seen0 flow_id now
+                else fs_touch t ~level:0 ~now flow_id
+            | None -> ());
             (match t.hh with Some hh -> Heavy_hitter.observe hh flow | None -> ());
             let lm0 = t.level_metrics.(0) in
             lm0.Metrics.work <- lm0.Metrics.work + work;
@@ -1079,6 +1364,7 @@ let process_memo t ~now ~flow_id flow =
    walk order, then events) is fixed, and each ring feeds exactly one
    sink, so the merged result is independent of how often this ran. *)
 let flush_passive t =
+  (match t.tracer with Some tr -> Tracer.flush tr | None -> ());
   match t.psv with
   | Some p ->
       Passive.flush_lat p.Passive.lat_global t.metrics.Metrics.latency_hist;
@@ -1147,6 +1433,10 @@ let finalize t ~time =
       Metrics.to_registry t.metrics (Telemetry.registry tel);
       (match t.psv with
       | Some p -> Passive.to_registry p (Telemetry.registry tel)
+      | None -> ());
+      (match t.tracer with
+      | Some tr ->
+          Attribution.to_registry (Tracer.attribution tr) (Telemetry.registry tel)
       | None -> ())
   | None -> ());
   t.metrics
@@ -1184,7 +1474,8 @@ let run ?on_packet ?miss_sink t trace =
     (fun (pkt : Gf_workload.Trace.packet) ->
       let before = Metrics.total_cycles t.metrics in
       let outcome, _terminal, latency =
-        process t ~now:pkt.Gf_workload.Trace.time pkt.Gf_workload.Trace.flow
+        process t ~flow_id:pkt.Gf_workload.Trace.flow_id
+          ~now:pkt.Gf_workload.Trace.time pkt.Gf_workload.Trace.flow
       in
       (match (outcome, miss_sink) with
       | Slowpath, Some sink ->

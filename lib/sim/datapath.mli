@@ -220,11 +220,17 @@ val hw_occupancy : t -> int
 type outcome = Hw_hit | Sw_hit | Slowpath
 
 val process :
-  t -> now:float -> Gf_flow.Flow.t -> outcome * Gf_pipeline.Action.terminal option * float
+  ?flow_id:int ->
+  t ->
+  now:float ->
+  Gf_flow.Flow.t ->
+  outcome * Gf_pipeline.Action.terminal option * float
 (** Handle one packet: returns the path taken, the forwarding decision
     ([None] if the slowpath failed, e.g. a pipeline loop) and the modelled
     latency in microseconds.  Updates metrics, including the per-level
-    breakdown ({!Metrics.levels}). *)
+    breakdown ({!Metrics.levels}).  [flow_id] (default [-1], unknown)
+    only feeds the traversal tracer's per-flow miss attribution — it
+    never affects the forwarding result. *)
 
 val process_memo :
   t ->

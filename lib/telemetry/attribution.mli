@@ -1,0 +1,94 @@
+(** Attribution: aggregates spans pulled from the traversal {!Tracer} into
+    per-level probe-cost breakdowns, per-pipeline-table cycle totals,
+    sub-traversal reuse-depth histograms and a miss-cause census, exported
+    as folded-stack text, chrome://tracing JSON, Prometheus series and
+    profile JSONL.  Runs entirely off the packet loop. *)
+
+(** Why a datapath miss happened, resolved at the point the miss is
+    charged so every [Metrics] miss maps to exactly one cause. *)
+type cause =
+  | Cold  (** flow never installed at this level (or unknown flow id) *)
+  | Deferred_admission  (** heavy-hitter admission kept/demoted it cold *)
+  | Pressure_evicted  (** install rejected or entry pressure-evicted *)
+  | Expired  (** flow idle past the level's max-idle window *)
+  | Revalidation  (** rule-update revalidation dropped the entry *)
+  | Tag_chain_stall  (** LTM matched a chain prefix that dead-ended *)
+
+val n_causes : int
+val cause_index : cause -> int
+val cause_name : cause -> string
+val all_causes : cause list
+
+(** Span outcome codes shared with {!Tracer}. *)
+
+val outcome_miss : int
+val outcome_hit : int
+val outcome_slowpath : int
+val outcome_name : int -> string
+
+type t
+
+val create : ?retain:int -> level_names:string array -> unit -> t
+(** [retain] bounds the spans kept verbatim for the chrome trace (default
+    4096); the {e first} sampled spans are retained so the set is
+    independent of flush cadence. *)
+
+val level_names : t -> string array
+val sampled_packets : t -> int
+val spans : t -> int
+
+val ingest_span :
+  t ->
+  packet:int ->
+  time:float ->
+  level:int ->
+  table:int ->
+  depth:int ->
+  cycles:int ->
+  outcome:int ->
+  unit
+(** Fold one span into the aggregates.  Probe spans ([outcome_miss] /
+    [outcome_hit]) charge (level, outcome); slowpath spans charge pipeline
+    table [table].  [depth] is the LTM tag-chain reuse depth (1/0 for
+    unchained levels). *)
+
+val note_sampled_packet : t -> unit
+
+val miss_cause : t -> level:int -> cause -> unit
+(** Charge one miss at [level] to [cause].  Allocation-free (one int-array
+    increment) — called on the packet path for {e every} miss, sampled or
+    not, so the census reconciles with [Metrics]. *)
+
+val census_get : t -> level:int -> cause -> int
+val census_total : t -> int
+
+val top_causes : ?n:int -> t -> (string * string * int) list
+(** [(level, cause, count)] rows sorted by count descending (deterministic
+    tie order), optionally truncated to the top [n]. *)
+
+val merge : into:t -> t -> unit
+(** Sum aggregates and census; retained spans concatenate in merge order,
+    capped at [into]'s retain bound.  [src] is unchanged. *)
+
+val folded : t -> string
+(** Folded-stack text ("frame;frame count" lines, counts in modeled
+    cycles) for flamegraph.pl / speedscope; sorted, deterministic. *)
+
+val chrome_json : ?us_of_cycles:(int -> float) -> t -> string
+(** chrome://tracing JSON ("X" complete events from the retained spans;
+    ts = virtual time in µs, dur via [us_of_cycles], default 1 GHz). *)
+
+val to_registry : t -> Registry.t -> unit
+(** Export as [gigaflow_profile_*] series (values set, so re-export is
+    idempotent; shard registries still sum under [Registry.merge]). *)
+
+val write_jsonl :
+  ?meta:(string * Gf_util.Json.t) list ->
+  total_misses:int ->
+  out_channel ->
+  t ->
+  unit
+(** Emit profile JSONL: [profile_meta], per-(level,outcome)
+    [profile_level] lines, [profile_table], [profile_depth],
+    [profile_cause] and a [profile_summary] reconciling the census
+    against the caller's [Metrics] miss total. *)

@@ -47,6 +47,7 @@ type lat_ring = {
   lr_vals : float array;
   lr_idxs : int array;  (* lr_idxs.(k) = Histogram.index h lr_vals.(k) *)
   mutable lr_len : int;
+  mutable lr_wraps : int;  (* ring-full auto-flushes (capacity wraps) *)
 }
 
 type t = {
@@ -61,6 +62,7 @@ type t = {
   ev_time : float array;
   ev_lat : float array;
   mutable ev_len : int;
+  mutable ev_wraps : int;  (* event-ring-full auto-flushes *)
   level_names : string array;
   recorder : Recorder.t option;
   events_on : bool;
@@ -98,6 +100,7 @@ let create ?(lat_capacity = default_lat_capacity)
       lr_vals = Array.make lat_capacity 0.0;
       lr_idxs = Array.make lat_capacity 0;
       lr_len = 0;
+      lr_wraps = 0;
     }
   in
   {
@@ -111,6 +114,7 @@ let create ?(lat_capacity = default_lat_capacity)
     ev_time = Array.make event_capacity 0.0;
     ev_lat = Array.make event_capacity 0.0;
     ev_len = 0;
+    ev_wraps = 0;
     level_names;
     recorder;
     events_on = Option.is_some recorder;
@@ -131,7 +135,10 @@ let lat_note_at r h ~idx x =
   r.lr_vals.(k) <- x;
   r.lr_idxs.(k) <- idx;
   r.lr_len <- k + 1;
-  if k + 1 = Array.length r.lr_vals then flush_lat r h
+  if k + 1 = Array.length r.lr_vals then begin
+    r.lr_wraps <- r.lr_wraps + 1;
+    flush_lat r h
+  end
 
 let lat_note r h x = lat_note_at r h ~idx:(Histogram.index h x) x
 
@@ -158,7 +165,10 @@ let note t ~kind ~level ~packet ~time ~lat ~count =
     t.ev_time.(k) <- time;
     t.ev_lat.(k) <- lat;
     t.ev_len <- k + 1;
-    if k + 1 = Array.length t.ev_kind then flush_events t
+    if k + 1 = Array.length t.ev_kind then begin
+      t.ev_wraps <- t.ev_wraps + 1;
+      flush_events t
+    end
   end
 
 (* ------------------------------- export -------------------------------- *)
@@ -192,7 +202,29 @@ let to_registry t registry =
           in
           r := v)
         c)
-    t.counters
+    t.counters;
+  (* Ring-full auto-flush counts: a non-zero value means the sampler's
+     pull cadence is slower than the ring fills — the records still stay
+     exact (flushes are order-preserving), but the misconfiguration is
+     now observable instead of silent. *)
+  let fhelp = "Ring-full auto-flushes of the passive records" in
+  let setf ring v =
+    let r =
+      Registry.counter registry
+        ~labels:[ ("ring", ring) ]
+        ~help:fhelp "gigaflow_passive_ring_flushes_total"
+    in
+    r := v
+  in
+  setf "latency_global" t.lat_global.lr_wraps;
+  Array.iteri
+    (fun i r -> setf ("latency:" ^ t.level_names.(i)) r.lr_wraps)
+    t.lat_levels;
+  setf "events" t.ev_wraps
+
+let ring_flushes t =
+  t.lat_global.lr_wraps + t.ev_wraps
+  + Array.fold_left (fun acc r -> acc + r.lr_wraps) 0 t.lat_levels
 
 let total_candidates t =
   Array.fold_left

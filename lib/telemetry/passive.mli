@@ -36,6 +36,9 @@ type lat_ring = {
   lr_vals : float array;
   lr_idxs : int array;  (** [lr_idxs.(k) = Histogram.index h lr_vals.(k)] *)
   mutable lr_len : int;
+  mutable lr_wraps : int;
+      (** ring-full auto-flushes — non-zero means the sampler cadence is
+          slower than the ring fills *)
 }
 (** Raw-latency ring: samples with their precomputed bucket indices,
     bulk-recorded into the owning histogram on flush
@@ -52,6 +55,7 @@ type t = {
   ev_time : float array;
   ev_lat : float array;
   mutable ev_len : int;
+  mutable ev_wraps : int;  (** event-ring-full auto-flushes *)
   level_names : string array;
   recorder : Recorder.t option;
   events_on : bool;
@@ -102,9 +106,15 @@ val flush_events : t -> unit
     candidate to [Recorder.record] at emission time. *)
 
 val to_registry : t -> Registry.t -> unit
-(** Export the candidate census as [gigaflow_events_total{level,kind}].
-    Values are set (not added), so re-export is idempotent; shard
-    registries still sum under {!Registry.merge}. *)
+(** Export the candidate census as [gigaflow_events_total{level,kind}]
+    and the ring-full auto-flush counts as
+    [gigaflow_passive_ring_flushes_total{ring}] (rings: [latency_global],
+    [latency:<level>], [events]).  Values are set (not added), so
+    re-export is idempotent; shard registries still sum under
+    {!Registry.merge}. *)
 
 val total_candidates : t -> int
 (** Sum of every per-level, per-kind census field (test support). *)
+
+val ring_flushes : t -> int
+(** Total ring-full auto-flushes across every ring (test support). *)

@@ -11,16 +11,27 @@ type config = {
   sample_every : int;  (* time-series cadence in packets; 0 disables *)
   event_capacity : int;  (* flight-recorder ring size *)
   event_sample_every : int;  (* record every Nth event; 0 disables *)
+  trace_sample_every : int;  (* traversal-tracer 1-in-N cadence; 0 disables *)
 }
 
 let default_config =
-  { sample_every = 10_000; event_capacity = 4096; event_sample_every = 1 }
+  {
+    sample_every = 10_000;
+    event_capacity = 4096;
+    event_sample_every = 1;
+    trace_sample_every = 0;
+  }
 
 type t = {
   config : config;
   registry : Registry.t;
   recorder : Recorder.t option;
   series : Series.t option;
+  (* The traversal tracer needs level names only the datapath knows, so
+     the datapath attaches it at creation when [trace_sample_every > 0]
+     (mirroring [Gigaflow.attach_telemetry]); [merge] then aggregates
+     shard tracers like every other component. *)
+  mutable tracer : Tracer.t option;
 }
 
 let create ?(config = default_config) () =
@@ -36,12 +47,15 @@ let create ?(config = default_config) () =
     series =
       (if config.sample_every > 0 then Some (Series.create ~every:config.sample_every)
        else None);
+    tracer = None;
   }
 
 let config t = t.config
 let registry t = t.registry
 let recorder t = t.recorder
 let series t = t.series
+let tracer t = t.tracer
+let set_tracer t tr = t.tracer <- Some tr
 
 let event t ~packet ~time ~level ~latency_us ~count kind =
   match t.recorder with
@@ -65,8 +79,15 @@ let merge ~into src =
   (match (into.recorder, src.recorder) with
   | Some a, Some b -> Recorder.merge ~into:a b
   | _ -> ());
-  match (into.series, src.series) with
+  (match (into.series, src.series) with
   | Some a, Some b -> Series.merge ~into:a b
+  | _ -> ());
+  match (into.tracer, src.tracer) with
+  | Some a, Some b -> Tracer.merge ~into:a b
+  | None, Some b ->
+      (* The merge target (a fresh handle) has no datapath, hence no
+         tracer; adopt the first shard's and fold the rest in. *)
+      into.tracer <- Some b
   | _ -> ()
 
 (* ------------------------------ output ------------------------------ *)

@@ -11,11 +11,13 @@ type config = {
   sample_every : int;  (** time-series cadence in packets; 0 disables *)
   event_capacity : int;  (** flight-recorder ring size *)
   event_sample_every : int;  (** record every Nth event; 0 disables *)
+  trace_sample_every : int;
+      (** traversal-tracer 1-in-N cadence; 0 disables tracing *)
 }
 
 val default_config : config
 (** [{ sample_every = 10_000; event_capacity = 4096;
-       event_sample_every = 1 }] *)
+       event_sample_every = 1; trace_sample_every = 0 }] *)
 
 type t
 
@@ -25,6 +27,13 @@ val config : t -> config
 val registry : t -> Registry.t
 val recorder : t -> Recorder.t option
 val series : t -> Series.t option
+
+val tracer : t -> Tracer.t option
+
+val set_tracer : t -> Tracer.t -> unit
+(** Attach the traversal tracer.  Called by the datapath at creation
+    (it alone knows the level names) when [trace_sample_every > 0];
+    last attachment wins. *)
 
 val event :
   t ->
@@ -48,7 +57,8 @@ val push_sample : t -> Series.sample -> unit
 val merge : into:t -> t -> unit
 (** Merge a shard's telemetry: registries merge by (name, labels) with
     exact histogram merge, recorder rings concatenate (newest events win),
-    series interleave by packet index.  [src] is unchanged. *)
+    series interleave by packet index, tracers flush then sum (a target
+    with no tracer adopts the first shard's).  [src] is unchanged. *)
 
 val write_jsonl : ?meta:(string * Gf_util.Json.t) list -> out_channel -> t -> unit
 (** Emit the full JSONL stream: one [{"type":"meta",...}] line (with the

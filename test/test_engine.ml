@@ -215,7 +215,12 @@ let prop_engine_sampler_cadence_transparent =
             fp
       in
       let telemetry =
-        { Telemetry.sample_every; event_capacity = 256; event_sample_every = 5 }
+        {
+          Telemetry.sample_every;
+          event_capacity = 256;
+          event_sample_every = 5;
+          trace_sample_every = 0;
+        }
       in
       let r =
         Engine.replay ~telemetry ~batch_size:256 ~domains ~cfg pipeline
@@ -238,12 +243,25 @@ let test_engine_cadence_invariant_exports () =
                 Telemetry.sample_every;
                 event_capacity = 256;
                 event_sample_every = 5;
+                trace_sample_every = 0;
               }
             in
             Option.get
               (Engine.replay ~telemetry ~batch_size:256 ~domains ~cfg pipeline
                  (Trace.stream_of_trace strace))
                 .Parallel.telemetry
+          in
+          (* The ring-flush diagnostic is the one legitimately
+             cadence-dependent series: a slower sampler pulls less often,
+             so the rings wrap more.  Everything else must be invariant. *)
+          let scrub prom =
+            prom |> String.split_on_char '\n'
+            |> List.filter (fun line ->
+                   not
+                     (String.length line >= 34
+                     && String.equal (String.sub line 0 34)
+                          "gigaflow_passive_ring_flushes_tota"))
+            |> String.concat "\n"
           in
           let tel0 = run 1 in
           List.iter
@@ -255,9 +273,116 @@ let test_engine_cadence_invariant_exports () =
                 (Telemetry.events tel0 = Telemetry.events tel);
               Alcotest.(check string)
                 (Printf.sprintf "%s d=%d every=%d registry" name domains every)
-                (Telemetry.prometheus tel0) (Telemetry.prometheus tel))
+                (scrub (Telemetry.prometheus tel0))
+                (scrub (Telemetry.prometheus tel)))
             [ 700; 0 ])
         [ 1; 2 ])
+    (cadence_presets ())
+
+(* --------------------- tracer transparency + census --------------------- *)
+
+(* The traversal tracer is observation-only: whatever the 1-in-N span
+   cadence, both the walker's and the engine's strong fingerprints must
+   be bit-identical to the trace-off run at every domain count.  Plain
+   fingerprints are memoised; each draw re-runs only the traced side. *)
+let prop_tracer_cadence_transparent =
+  let setup =
+    lazy
+      (let pipeline, strace = steady_trace () in
+       (pipeline, strace, cadence_presets (), Hashtbl.create 8, Hashtbl.create 4))
+  in
+  QCheck2.Test.make
+    ~name:"tracer: cadences {1,17,701} leave walker/engine bit-identical"
+    ~count:10
+    QCheck2.Gen.(triple (0 -- 1) (oneofl [ 1; 2; 4 ]) (oneofl [ 1; 17; 701 ]))
+    (fun (pi, domains, cadence) ->
+      let pipeline, strace, presets, eng_plain, walk_plain =
+        Lazy.force setup
+      in
+      let name, cfg = presets.(pi) in
+      let telemetry trace_sample_every =
+        {
+          Telemetry.sample_every = 5_000;
+          event_capacity = 256;
+          event_sample_every = 0;
+          trace_sample_every;
+        }
+      in
+      let eng_fp trace_every =
+        let r =
+          Engine.replay
+            ~telemetry:(telemetry trace_every)
+            ~batch_size:256 ~domains ~cfg pipeline
+            (Trace.stream_of_trace strace)
+        in
+        strong_fingerprint r.Parallel.merged
+      in
+      let walk_fp trace_every =
+        let tel = Telemetry.create ~config:(telemetry trace_every) () in
+        let dp = Datapath.create ~telemetry:tel cfg pipeline in
+        strong_fingerprint (Datapath.run dp strace)
+      in
+      let memo tbl key f =
+        match Hashtbl.find_opt tbl key with
+        | Some v -> v
+        | None ->
+            let v = f () in
+            Hashtbl.add tbl key v;
+            v
+      in
+      let eng_ref = memo eng_plain (name, domains) (fun () -> eng_fp 0) in
+      let walk_ref = memo walk_plain name (fun () -> walk_fp 0) in
+      eng_fp cadence = eng_ref && walk_fp cadence = walk_ref)
+
+(* Every [Metrics] miss is charged to exactly one census cause at the
+   point it is resolved, so the merged tracer's census total must equal
+   the summed per-level miss counters exactly — at every domain count, on
+   a churn trace against the small heavy-hitter presets (defer, pressure
+   eviction, idle expiry and revalidation all fire). *)
+let test_miss_cause_census_reconciles () =
+  let w =
+    Pipebench.make ~profile:small_profile ~combos:512 ~unique_flows:1000
+      ~duration:20.0
+      ~info:(Option.get (Catalog.find "PSC"))
+      ~locality:Ruleset.High ~seed:77 ()
+  in
+  let strace =
+    Trace.churn ~duration:20.0 ~epochs:12 ~active:256 ~turnover:0.4
+      ~packets_per_epoch:2048 ~seed:23 ~flows:w.Pipebench.flows ()
+  in
+  let telemetry =
+    {
+      Telemetry.sample_every = 5_000;
+      event_capacity = 256;
+      event_sample_every = 0;
+      trace_sample_every = 101;
+    }
+  in
+  Array.iter
+    (fun (name, cfg) ->
+      List.iter
+        (fun domains ->
+          let r =
+            Engine.replay ~telemetry ~batch_size:256 ~domains ~cfg
+              (Pipebench.pipeline w)
+              (Trace.stream_of_trace strace)
+          in
+          let tel = Option.get r.Parallel.telemetry in
+          let tracer = Option.get (Telemetry.tracer tel) in
+          let total_misses =
+            List.fold_left
+              (fun acc (l : Metrics.level) -> acc + l.Metrics.misses)
+              0
+              (Metrics.levels r.Parallel.merged)
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s d=%d: misses observed" name domains)
+            true (total_misses > 0);
+          Alcotest.(check int)
+            (Printf.sprintf "%s d=%d: census = metrics misses" name domains)
+            total_misses
+            (Gf_telemetry.Tracer.census_total tracer))
+        [ 1; 2; 4 ])
     (cadence_presets ())
 
 (* ------------------------------- soak -------------------------------- *)
@@ -282,7 +407,12 @@ let test_soak_live_heap_flat () =
   let telemetry =
     Telemetry.create
       ~config:
-        { Telemetry.sample_every = 10_000; event_capacity = 512; event_sample_every = 7 }
+        {
+          Telemetry.sample_every = 10_000;
+          event_capacity = 512;
+          event_sample_every = 7;
+          trace_sample_every = 0;
+        }
       ()
   in
   let dp =
@@ -338,8 +468,14 @@ let suite =
       test_engine_batch_size_invariant;
     Alcotest.test_case "cadence-invariant events + registry" `Slow
       test_engine_cadence_invariant_exports;
+    Alcotest.test_case "miss-cause census reconciles with metrics" `Slow
+      test_miss_cause_census_reconciles;
     Alcotest.test_case "soak: live heap flat over 1.2M packets" `Slow
       test_soak_live_heap_flat;
   ]
 
-let props = [ prop_ring_spsc; prop_engine_sampler_cadence_transparent ]
+let props =
+  [
+    prop_ring_spsc; prop_engine_sampler_cadence_transparent;
+    prop_tracer_cadence_transparent;
+  ]

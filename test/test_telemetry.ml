@@ -385,7 +385,12 @@ let test_jsonl_stream_parses () =
   let tel =
     Telemetry.create
       ~config:
-        { Telemetry.sample_every = 1; event_capacity = 16; event_sample_every = 1 }
+        {
+          Telemetry.sample_every = 1;
+          event_capacity = 16;
+          event_sample_every = 1;
+          trace_sample_every = 0;
+        }
       ()
   in
   Telemetry.event tel ~packet:0 ~time:0.0 ~level:"gf" ~latency_us:9.0 ~count:1
@@ -438,7 +443,12 @@ let counters (m : Metrics.t) =
   ]
 
 let telemetry_config =
-  { Telemetry.sample_every = 1000; event_capacity = 512; event_sample_every = 7 }
+  {
+    Telemetry.sample_every = 1000;
+    event_capacity = 512;
+    event_sample_every = 7;
+    trace_sample_every = 0;
+  }
 
 let test_datapath_telemetry_is_transparent () =
   let w = small_workload () in
