@@ -167,8 +167,18 @@ let paired_overhead ?(pairs = 5) plain_f tel_f =
           (t /. p, p, t)
         end)
   in
-  Array.sort (fun (a, _, _) (b, _, _) -> compare a b) samples;
-  let ratio, p_cpu, t_cpu = samples.(pairs / 2) in
+  (* Float.compare, not polymorphic compare: a degenerate pair (CPU clock
+     too coarse to see the plain side) yields an inf/nan ratio, which the
+     polymorphic sort orders inconsistently.  Degenerate pairs are dropped
+     before the median so one of them can't become the estimate — and
+     can't leak NaN into BENCH JSON. *)
+  Array.sort (fun (a, _, _) (b, _, _) -> Float.compare a b) samples;
+  let finite =
+    Array.of_list
+      (List.filter (fun (r, _, _) -> Float.is_finite r) (Array.to_list samples))
+  in
+  let pool = if Array.length finite > 0 then finite else samples in
+  let ratio, p_cpu, t_cpu = pool.(Array.length pool / 2) in
   ( Option.get !plain_result,
     Option.get !tel_result,
     p_cpu,
@@ -786,6 +796,110 @@ let () =
           ("lru", Datapath.with_policy Gf_cache.Evict.Lru (mk base_name));
         ])
     offload_geoms;
+  j "    ]\n";
+  j "  },\n";
+  (* Adaptive SLO control: the drifting-skew loadtest where the frozen
+     Reject NIC decays below the hit-rate floor while the controller —
+     observing each window's SLO verdict plus the miss-cause census —
+     flips the NIC to LRU at warmup close and keeps every measured
+     window clean.  Same scenario as the check.sh control smoke and the
+     EXPERIMENTS.md table; windows here are deterministic in the seed,
+     not wall-clock timed. *)
+  say "  [control] adaptive SLO controller vs static config under drift";
+  let module Loadtest = Gf_engine.Loadtest in
+  let module Controller = Gf_control.Controller in
+  let module Telemetry = Gf_telemetry.Telemetry in
+  let ctl_w =
+    Pipebench.make ~combos:8192 ~unique_flows:20_000 ~info
+      ~locality:Ruleset.High ~seed:!seed ()
+  in
+  let ctl_warmup = 20_000 and ctl_window = 20_000 and ctl_windows = 3 in
+  let ctl_slo = { Loadtest.default_slo with Loadtest.slo_p50_us = 50.0 } in
+  let ctl_cfg =
+    Datapath.gf_sw_hh ~gf:(Gf_core.Config.v ~tables:2 ~table_capacity:128 ()) ()
+  in
+  let ctl_run controller =
+    let packets = ctl_warmup + (ctl_windows * ctl_window) in
+    let stream =
+      Trace.stream_of_trace
+        (Trace.drifting_skew ~epochs:6 ~zipf_s:1.2 ~drift:128
+           ~packets_per_epoch:((packets + 5) / 6) ~seed:(!seed + 1)
+           ~flows:ctl_w.Pipebench.flows ())
+    in
+    let c = Option.map (fun () -> Controller.create ()) controller in
+    let telemetry =
+      Option.map
+        (fun _ ->
+          Telemetry.create
+            ~config:
+              {
+                Telemetry.default_config with
+                sample_every = 0;
+                event_sample_every = 0;
+                trace_sample_every = 1 lsl 30;
+              }
+            ())
+        c
+    in
+    let r =
+      Loadtest.run ?telemetry
+        ?controller:(Option.map (fun c dp wr -> Controller.on_window c dp wr) c)
+        ~warmup:ctl_warmup ~window:ctl_window ~windows:ctl_windows ~rate:1e5
+        ~slo:ctl_slo ctl_cfg (Pipebench.pipeline ctl_w) stream
+    in
+    (r, match c with None -> [] | Some c -> Controller.actions c)
+  in
+  let ctl_static, _ = ctl_run None in
+  let ctl_driven, ctl_actions = ctl_run (Some ()) in
+  let ctl_json tag (r : Loadtest.report) =
+    j "    \"%s\": {\"pass\": %b, \"windows\": [\n" tag r.Loadtest.pass;
+    let n = List.length r.Loadtest.windows in
+    List.iteri
+      (fun i (wr : Loadtest.window) ->
+        j "      {\"index\": %d, \"hw_hit_rate\": %s, \"p50_us\": %s, \
+           \"drop_rate\": %s, \"violations\": %d}%s\n"
+          wr.Loadtest.w_index
+          (jfloat wr.Loadtest.w_hw_hit_rate)
+          (jfloat wr.Loadtest.w_p50_us)
+          (jfloat wr.Loadtest.w_drop_rate)
+          (List.length wr.Loadtest.w_violations)
+          (if i = n - 1 then "" else ","))
+      r.Loadtest.windows;
+    j "    ]}"
+  in
+  say "  [control] static: %s, controlled: %s (%d actions)"
+    (if ctl_static.Loadtest.pass then "PASS" else "FAIL")
+    (if ctl_driven.Loadtest.pass then "PASS" else "FAIL")
+    (List.length ctl_actions);
+  List.iter
+    (fun (a : Controller.action) ->
+      say "  [control]   window %d: %s %s %s -> %s" a.Controller.act_window
+        a.Controller.act_knob a.Controller.act_level a.Controller.act_from
+        a.Controller.act_to)
+    ctl_actions;
+  j "  \"control\": {\n";
+  j "    \"meta\": {\"trace\": \"drift\", \"epochs\": 6, \"drift\": 128, \
+     \"zipf_s\": 1.2, \"rate_pps\": 100000,\n";
+  j "             \"warmup\": %d, \"window\": %d, \"windows\": %d, \
+     \"slo_p50_us\": 50.0, \"seed\": %d},\n"
+    ctl_warmup ctl_window ctl_windows !seed;
+  ctl_json "static" ctl_static;
+  j ",\n";
+  ctl_json "controlled" ctl_driven;
+  j ",\n";
+  j "    \"actions\": [\n";
+  let na = List.length ctl_actions in
+  List.iteri
+    (fun i (a : Controller.action) ->
+      j "      {\"window\": %d, \"knob\": %s, \"level\": %s, \"from\": %s, \
+         \"to\": %s}%s\n"
+        a.Controller.act_window
+        (Gf_util.Json.to_string (Gf_util.Json.Str a.Controller.act_knob))
+        (Gf_util.Json.to_string (Gf_util.Json.Str a.Controller.act_level))
+        (Gf_util.Json.to_string (Gf_util.Json.Str a.Controller.act_from))
+        (Gf_util.Json.to_string (Gf_util.Json.Str a.Controller.act_to))
+        (if i = na - 1 then "" else ","))
+    ctl_actions;
   j "    ]\n";
   j "  },\n";
   j "  \"total_bench_seconds\": %s\n" (jfloat (now () -. t_start));

@@ -758,6 +758,7 @@ let telemetry_check_cmd =
         let ic = open_in file in
         let metas = ref 0 and samples = ref 0 and events = ref 0 in
         let lt_metas = ref 0 and lt_windows = ref 0 and lt_summaries = ref 0 in
+        let lt_actions = ref 0 in
         let p_metas = ref 0 and p_lines = ref 0 and p_summaries = ref 0 in
         let p_cause_sum = ref 0 in
         let p_census = ref 0 and p_misses = ref 0 and p_reconciled = ref false in
@@ -824,7 +825,14 @@ let telemetry_check_cmd =
                            "drop_rate"; "mean_us"; "p50_us"; "p99_us"; "p999_us";
                            "hw_hit_rate";
                          ];
+                       require !line_no json "truncated" `Bool;
                        require !line_no json "violations" `List
+                   | Some "controller_action" ->
+                       incr lt_actions;
+                       require !line_no json "window" `Num;
+                       List.iter
+                         (fun f -> require !line_no json f `Str)
+                         [ "knob"; "level"; "from"; "to"; "reason" ]
                    | Some "loadtest_summary" ->
                        incr lt_summaries;
                        require !line_no json "pass" `Bool;
@@ -904,13 +912,17 @@ let telemetry_check_cmd =
             "%s: OK (%d profile meta, %d aggregate lines, census %d reconciled)\n"
             file !p_metas !p_lines !p_census
         end
-        else if !lt_metas + !lt_windows + !lt_summaries > 0 then begin
-          (* Loadtest stream: meta, at least one window, one summary. *)
+        else if !lt_metas + !lt_windows + !lt_summaries + !lt_actions > 0
+        then begin
+          (* Loadtest stream: meta, at least one window, one summary;
+             controller_action lines are optional but only valid here. *)
           if !lt_metas = 0 then fail !line_no "no loadtest_meta line found";
           if !lt_windows = 0 then fail !line_no "no loadtest_window lines found";
           if !lt_summaries = 0 then fail !line_no "no loadtest_summary line found";
-          Printf.printf "%s: OK (%d loadtest meta, %d windows, %d summary)\n" file
-            !lt_metas !lt_windows !lt_summaries
+          Printf.printf
+            "%s: OK (%d loadtest meta, %d windows, %d summary, %d controller \
+             actions)\n"
+            file !lt_metas !lt_windows !lt_summaries !lt_actions
         end
         else begin
           if !metas = 0 then fail !line_no "no meta line found";
@@ -1050,9 +1062,41 @@ let loadtest_cmd =
       & info [ "gate" ]
           ~doc:"Exit non-zero when any measurement window violates the SLO.")
   in
+  let trace_arg =
+    Arg.(
+      value & opt string "steady"
+      & info [ "trace" ] ~docv:"KIND"
+          ~doc:
+            "Traffic shape: $(b,steady) (stable Zipf working set) or \
+             $(b,drift) (the rank->flow mapping rotates each epoch, sliding \
+             the heavy-hitter identity set).")
+  in
+  let epochs_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "epochs" ] ~docv:"E"
+          ~doc:"Drift epochs across the run (with --trace drift).")
+  in
+  let drift_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "drift" ] ~docv:"D"
+          ~doc:"Flows the mapping rotates by per epoch (with --trace drift).")
+  in
+  let controller_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "controller" ] ~docv:"SPEC"
+          ~doc:
+            "Attach the adaptive SLO controller: $(b,slo) optionally followed \
+             by comma-separated key=value overrides (min-threshold, max-k, \
+             max-sw-capacity, cooldown, max-actions).  The controller observes \
+             each window close (plus the warmup) and retunes admission, \
+             eviction policy and software capacity within bounds.")
+  in
   let run code locality seed flows combos hierarchy tables capacity rate warmup
-      window windows queue_budget zipf slo_p50 slo_p99 slo_p999 slo_drop slo_hit
-      out gate =
+      window windows queue_budget zipf trace_kind epochs drift controller_spec
+      slo_p50 slo_p99 slo_p999 slo_drop slo_hit out gate =
     let info = find_pipeline code in
     let w = Pipebench.make ~combos ~unique_flows:flows ~info ~locality ~seed () in
     let cfg =
@@ -1063,8 +1107,46 @@ let loadtest_cmd =
     in
     let packets = warmup + (windows * window) in
     let stream =
-      Gf_workload.Trace.steady ~zipf_s:zipf ~packets ~seed:(seed + 1)
-        ~flows:w.Pipebench.flows ()
+      match trace_kind with
+      | "steady" ->
+          Gf_workload.Trace.steady ~zipf_s:zipf ~packets ~seed:(seed + 1)
+            ~flows:w.Pipebench.flows ()
+      | "drift" ->
+          let per_epoch = (packets + epochs - 1) / epochs in
+          Gf_workload.Trace.stream_of_trace
+            (Gf_workload.Trace.drifting_skew ~epochs ~zipf_s:zipf ~drift
+               ~packets_per_epoch:per_epoch ~seed:(seed + 1)
+               ~flows:w.Pipebench.flows ())
+      | other ->
+          Printf.eprintf "unknown --trace %S (expected steady or drift)\n" other;
+          exit 2
+    in
+    let controller =
+      if controller_spec = "" then None
+      else
+        match Gf_control.Controller.spec_of_string controller_spec with
+        | Error e ->
+            Printf.eprintf "bad --controller spec: %s\n" e;
+            exit 2
+        | Ok spec -> Some (Gf_control.Controller.create ~spec ())
+    in
+    (* The controller steers off the exact miss-cause census, which lives
+       on the traversal tracer: attach a telemetry handle whose tracer
+       samples (expensive) spans essentially never but keeps the
+       (always-on, exact) census. *)
+    let telemetry =
+      Option.map
+        (fun _ ->
+          Gf_telemetry.Telemetry.create
+            ~config:
+              {
+                Gf_telemetry.Telemetry.default_config with
+                sample_every = 0;
+                event_sample_every = 0;
+                trace_sample_every = 1 lsl 30;
+              }
+            ())
+        controller
     in
     let slo =
       {
@@ -1080,8 +1162,13 @@ let loadtest_cmd =
       cfg.Datapath.name info.Catalog.code (Tablefmt.fmt_si rate) warmup windows
       window;
     let r =
-      Loadtest.run ~queue_budget_us:queue_budget ~warmup ~window ~windows ~rate
-        ~slo cfg (Pipebench.pipeline w) stream
+      Loadtest.run ~queue_budget_us:queue_budget ~warmup ~window ~windows
+        ?telemetry
+        ?controller:
+          (Option.map
+             (fun c dp wr -> Gf_control.Controller.on_window c dp wr)
+             controller)
+        ~rate ~slo cfg (Pipebench.pipeline w) stream
     in
     let t =
       Tablefmt.create
@@ -1104,6 +1191,28 @@ let loadtest_cmd =
           ])
       r.Loadtest.windows;
     Tablefmt.print t;
+    (match controller with
+    | Some c when Gf_control.Controller.actions c <> [] ->
+        let at =
+          Tablefmt.create [ "Window"; "Knob"; "Level"; "From"; "To"; "Why" ]
+        in
+        List.iter
+          (fun (a : Gf_control.Controller.action) ->
+            Tablefmt.add_row at
+              [
+                (if a.Gf_control.Controller.act_window < 0 then "warmup"
+                 else string_of_int a.Gf_control.Controller.act_window);
+                a.Gf_control.Controller.act_knob;
+                a.Gf_control.Controller.act_level;
+                a.Gf_control.Controller.act_from;
+                a.Gf_control.Controller.act_to;
+                a.Gf_control.Controller.act_reason;
+              ])
+          (Gf_control.Controller.actions c);
+        Printf.printf "Controller actions:\n";
+        Tablefmt.print at
+    | Some _ -> Printf.printf "Controller actions: none (all windows clean)\n"
+    | None -> ());
     Printf.printf "SLO gate: %s (%d/%d windows clean, %d dropped of %d offered)\n"
       (if r.Loadtest.pass then "PASS" else "FAIL")
       (List.length
@@ -1120,10 +1229,32 @@ let loadtest_cmd =
           ("seed", Gf_util.Json.Int seed);
           ("flows", Gf_util.Json.Int flows);
           ("zipf_s", Gf_util.Json.Float zipf);
+          ("trace", Gf_util.Json.Str trace_kind);
         ]
+        @
+        match controller with
+        | None -> []
+        | Some _ ->
+            [
+              ( "controller",
+                Gf_util.Json.Str
+                  (Gf_control.Controller.spec_to_string
+                     (match
+                        Gf_control.Controller.spec_of_string controller_spec
+                      with
+                     | Ok s -> s
+                     | Error _ -> Gf_control.Controller.default_spec)) );
+            ]
+      in
+      let extra =
+        match controller with
+        | None -> []
+        | Some c ->
+            List.map Gf_control.Controller.action_json
+              (Gf_control.Controller.actions c)
       in
       let oc = open_out out in
-      Loadtest.write_jsonl ~meta oc r;
+      Loadtest.write_jsonl ~meta ~extra oc r;
       close_out oc;
       Printf.printf "Loadtest JSONL: %s\n" out
     end;
@@ -1133,9 +1264,9 @@ let loadtest_cmd =
     Term.(
       const run $ pipeline_arg $ locality_arg $ seed_arg $ flows_arg $ combos_arg
       $ hierarchy_arg $ tables_arg $ capacity_arg $ rate_arg $ warmup_arg
-      $ window_arg $ windows_arg $ queue_budget_arg $ zipf_arg $ slo_p50_arg
-      $ slo_p99_arg $ slo_p999_arg $ slo_drop_arg $ slo_hit_arg $ out_arg
-      $ gate_arg)
+      $ window_arg $ windows_arg $ queue_budget_arg $ zipf_arg $ trace_arg
+      $ epochs_arg $ drift_arg $ controller_arg $ slo_p50_arg $ slo_p99_arg
+      $ slo_p999_arg $ slo_drop_arg $ slo_hit_arg $ out_arg $ gate_arg)
   in
   Cmd.v
     (Cmd.info "loadtest"

@@ -117,6 +117,36 @@ fi
 grep -q 'SLO gate: FAIL' "$TDIR/loadtest_fail.out" || {
   echo "oversubscribed loadtest did not report FAIL" >&2; exit 1; }
 
+echo "== adaptive control smoke"
+# Drifting-skew loadtest on the gf_sw_hh preset: the static configuration
+# (Reject NIC frozen on stale elephants) must FAIL the gate, the same run
+# with --controller slo must PASS it by flipping the NIC to LRU off the
+# blown warmup window, and the JSONL report — controller_action lines
+# included — must validate with no NaN anywhere.
+CTL="-p PSC --flows 20000 --combos 8192 --seed 42 --hierarchy gf_sw_hh \
+  --tables 2 --capacity 128 --trace drift --epochs 6 --drift 128 --zipf 1.2 \
+  --rate 1e5 --warmup 20000 --window 20000 --windows 3 --slo-p50 50"
+if dune exec --no-build -- gigaflow-sim loadtest $CTL --gate \
+  > "$TDIR/ctl_static.out" 2>&1; then
+  echo "static drifting-skew loadtest passed a gate it should fail" >&2; exit 1
+fi
+grep -q 'SLO gate: FAIL' "$TDIR/ctl_static.out" || {
+  echo "static drifting-skew loadtest did not report FAIL" >&2; exit 1; }
+dune exec --no-build -- gigaflow-sim loadtest $CTL --controller slo --gate \
+  -o "$TDIR/ctl.jsonl" > "$TDIR/ctl.out"
+grep -q 'SLO gate: PASS' "$TDIR/ctl.out" || {
+  echo "controlled drifting-skew loadtest did not report PASS" >&2; exit 1; }
+grep -q 'Controller actions:' "$TDIR/ctl.out" || {
+  echo "controller reported no actions" >&2; exit 1; }
+dune exec --no-build -- gigaflow-sim telemetry-check "$TDIR/ctl.jsonl" \
+  | grep -Eq '[1-9][0-9]* controller actions' || {
+  echo "controller_action lines missing from validated JSONL" >&2; exit 1; }
+# \bnan\b, not plain 'nan': action reasons legitimately contain
+# "...-dominant".
+if grep -Eqi '(^|[^a-z])nan([^a-z]|$)' "$TDIR/ctl.out" "$TDIR/ctl.jsonl"; then
+  echo "NaN leaked into adaptive control output" >&2; exit 1
+fi
+
 echo "== profile smoke"
 # Sub-traversal tracing profiler on the drift trace: folded stacks must
 # be non-empty, the chrome trace must be schema-valid JSON, and the

@@ -12,10 +12,10 @@ let max_kicks = 8
 (* Slot-per-index flat arrays; [occupied] disambiguates live slots from the
    dummy fill (Flow.zero is a legal key). *)
 type t = {
-  capacity : int;
+  mutable capacity : int;
   nbuckets : int; (* power of two *)
   bmask : int;
-  policy : Evict.policy;
+  mutable policy : Evict.policy;
   rng : Gf_util.Rng.t;
   keys : Flow.t array;
   hits : hit array;
@@ -54,6 +54,14 @@ let create ?(policy = Evict.Lru) ?(rng_seed = 0xCC00) ~capacity () =
 let capacity t = t.capacity
 let slots t = t.nbuckets * bucket_width
 let policy t = t.policy
+let set_policy t policy = t.policy <- policy
+
+(* The admission bound may move online; physical geometry (buckets/slots)
+   is fixed, so the new bound is clamped to the slot count.  Shrinking does
+   not evict residents — the bound bites on the next install. *)
+let set_capacity t capacity =
+  if capacity < 1 then invalid_arg "Cuckoo.set_capacity: capacity must be >= 1";
+  t.capacity <- min capacity (t.nbuckets * bucket_width)
 let occupancy t = t.size
 let stats t = t.stats
 

@@ -31,6 +31,15 @@ val slots : t -> int
 (** Physical slot count (≥ capacity). *)
 
 val policy : t -> Evict.policy
+
+val set_policy : t -> Evict.policy -> unit
+(** Swap the replacement policy online; applies from the next install. *)
+
+val set_capacity : t -> int -> unit
+(** Retune the admission bound online ([>= 1]), clamped to the physical
+    slot count (bucket geometry is fixed at creation).  Shrinking does not
+    evict residents — the new bound bites on the next install. *)
+
 val occupancy : t -> int
 val stats : t -> Cache_stats.t
 

@@ -39,8 +39,8 @@ type memo = {
 }
 
 type t = {
-  capacity : int;
-  policy : Evict.policy;
+  mutable capacity : int;
+  mutable policy : Evict.policy;
   rng : Gf_util.Rng.t;
   searcher : payload Searcher.t;
   by_fmatch : int Fmatch.Tbl.t; (* match -> classifier key *)
@@ -72,6 +72,15 @@ let create ?(search = `Tss) ?(policy = Evict.Reject) ?(rng_seed = 0x3F1A)
 
 let capacity t = t.capacity
 let policy t = t.policy
+let set_policy t policy = t.policy <- policy
+
+(* Shrinking the bound does not evict residents; it bites on the next
+   install (which then evicts down under the evicting policies). *)
+let set_capacity t capacity =
+  if capacity < 1 then
+    invalid_arg "Megaflow.set_capacity: capacity must be >= 1";
+  t.capacity <- capacity
+
 let occupancy t = Hashtbl.length t.by_key
 let stats t = t.stats
 let search_algo t = Searcher.algo t.searcher

@@ -32,6 +32,15 @@ val create :
 
 val capacity : t -> int
 val policy : t -> Evict.policy
+
+val set_policy : t -> Evict.policy -> unit
+(** Swap the replacement policy online; applies from the next install. *)
+
+val set_capacity : t -> int -> unit
+(** Retune the admission bound online ([>= 1]).  Shrinking does not evict
+    residents — the new bound bites on the next install (which then evicts
+    down under the evicting policies). *)
+
 val occupancy : t -> int
 val stats : t -> Cache_stats.t
 val search_algo : t -> Gf_classifier.Searcher.algo

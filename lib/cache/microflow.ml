@@ -5,8 +5,8 @@ type hit = { terminal : Gf_pipeline.Action.terminal; out_flow : Flow.t }
 type entry = { hit : hit; mutable last_used : float }
 
 type t = {
-  capacity : int;
-  policy : Evict.policy;
+  mutable capacity : int;
+  mutable policy : Evict.policy;
   rng : Gf_util.Rng.t;
   table : entry Flow.Tbl.t; (* monomorphic hash/equal: no polymorphic compare per probe *)
   stats : Cache_stats.t;
@@ -24,6 +24,13 @@ let create ?(policy = Evict.Lru) ?(rng_seed = 0xE3C) ~capacity () =
 
 let capacity t = t.capacity
 let policy t = t.policy
+let set_policy t policy = t.policy <- policy
+
+let set_capacity t capacity =
+  if capacity < 1 then
+    invalid_arg "Microflow.set_capacity: capacity must be >= 1";
+  t.capacity <- capacity
+
 let occupancy t = Flow.Tbl.length t.table
 let stats t = t.stats
 

@@ -18,6 +18,14 @@ val create : ?policy:Evict.policy -> ?rng_seed:int -> capacity:int -> unit -> t
 
 val capacity : t -> int
 val policy : t -> Evict.policy
+
+val set_policy : t -> Evict.policy -> unit
+(** Swap the replacement policy online; applies from the next install. *)
+
+val set_capacity : t -> int -> unit
+(** Retune the admission bound online ([>= 1]).  Shrinking does not evict
+    residents — the new bound bites on the next install. *)
+
 val occupancy : t -> int
 val stats : t -> Cache_stats.t
 

@@ -45,7 +45,7 @@ type probes = {
 }
 
 type t = {
-  config : Config.t;
+  mutable config : Config.t;
   cache : Ltm_cache.t;
   rng : Gf_util.Rng.t;
   adaptive : adaptive_state;
@@ -93,6 +93,10 @@ let attach_telemetry t registry =
 
 let cache t = t.cache
 let config t = t.config
+
+let set_policy t policy =
+  t.config <- { t.config with Config.policy };
+  Ltm_cache.set_policy t.cache policy
 
 let in_fallback t = t.adaptive.fallback
 

@@ -30,6 +30,11 @@ val create : ?rng_seed:int -> Config.t -> t
 val cache : t -> Ltm_cache.t
 val config : t -> Config.t
 
+val set_policy : t -> Gf_cache.Evict.policy -> unit
+(** Swap the LTM replacement policy online (forwards to
+    {!Ltm_cache.set_policy}; {!config} reflects the change).  Geometry is
+    hardware-fixed and cannot be retuned online. *)
+
 val in_fallback : t -> bool
 (** Whether the adaptive traffic-profile monitor (paper section 7; enabled
     by {!Config.t.adaptive}) currently installs whole-traversal

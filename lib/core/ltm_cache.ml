@@ -23,7 +23,7 @@ type memo = {
 }
 
 type t = {
-  config : Config.t;
+  mutable config : Config.t;
   rng : Gf_util.Rng.t;
   tables : Ltm_table.t array;
   stats : Cache_stats.t;
@@ -55,6 +55,10 @@ let create ?(rng_seed = 0x61F) config =
 let config t = t.config
 let stats t = t.stats
 let last_depth t = t.last_depth
+
+(* Replacement policy is read per install from [t.config], so swapping the
+   config record is the whole actuation; geometry fields are untouched. *)
+let set_policy t policy = t.config <- { t.config with Config.policy }
 
 let occupancy t = Array.fold_left (fun acc table -> acc + Ltm_table.occupancy table) 0 t.tables
 

@@ -32,6 +32,11 @@ val create : ?rng_seed:int -> Config.t -> t
 val config : t -> Config.t
 val stats : t -> Gf_cache.Cache_stats.t
 
+val set_policy : t -> Gf_cache.Evict.policy -> unit
+(** Swap the replacement policy online (the policy is consulted per
+    install, so this takes effect on the next infeasible plan); geometry
+    and the rest of the config are untouched. *)
+
 val last_depth : t -> int
 (** Tables matched by the most recent {!lookup} / {!lookup_memo}: the
     tag-chain reuse depth on a hit, the partial-prefix progress on a miss

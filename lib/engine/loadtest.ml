@@ -50,6 +50,9 @@ type window = {
   w_p99_us : float;
   w_p999_us : float;
   w_hw_hit_rate : float;  (* hardware hits / processed, this window *)
+  w_truncated : bool;
+      (* the stream ran dry before the window filled: its quantiles are
+         under-sampled, so it is reported but excluded from SLO gating *)
   w_violations : string list;
 }
 
@@ -97,7 +100,7 @@ let violations slo w =
   List.rev !out
 
 let run ?(queue_budget_us = 500.0) ?(warmup = 50_000) ?(window = 100_000)
-    ?(windows = 5) ?telemetry ~rate ~slo cfg pipeline stream =
+    ?(windows = 5) ?telemetry ?controller ~rate ~slo cfg pipeline stream =
   if rate <= 0.0 then invalid_arg "Loadtest.run: rate must be positive";
   if warmup < 0 then invalid_arg "Loadtest.run: warmup must be non-negative";
   if window < 1 then invalid_arg "Loadtest.run: window must be positive";
@@ -113,9 +116,12 @@ let run ?(queue_budget_us = 500.0) ?(warmup = 50_000) ?(window = 100_000)
   let offered = ref 0 (* total packets offered, warmup included *) in
   let dropped_total = ref 0 in
   let processed_total = ref 0 in
-  (* Current measurement window; index -1 while warming up.  The sojourn
-     histogram is per window (quantiles are window statistics), allocated
-     fresh at each window open — windows are few, packets are not. *)
+  (* Current measurement window; index -1 while warming up — the warmup
+     span is measured like a window (its statistics feed the controller,
+     never the report or the gate) so a controller can already steer
+     before window 0 is judged.  The sojourn histogram is per window
+     (quantiles are window statistics), allocated fresh at each window
+     open — windows are few, packets are not. *)
   let hist = ref (Histogram.create ()) in
   let w_index = ref (-1) in
   let w_offered = ref 0 in
@@ -123,8 +129,13 @@ let run ?(queue_budget_us = 500.0) ?(warmup = 50_000) ?(window = 100_000)
   let w_processed = ref 0 in
   let w_hw_hits0 = ref 0 in
   let acc = ref [] in
+  (* Close the current span: build its window record, append it to the
+     report when it is a real measurement window (index >= 0), and fire
+     the controller hook — control cadence == measurement cadence, and
+     both are pure functions of the stream position, so attaching a
+     controller changes nothing about when datapath state is read. *)
   let close_window () =
-    if !w_index >= 0 && !w_offered > 0 then begin
+    if !w_offered > 0 then begin
       let h = !hist in
       let q f = if Histogram.count h = 0 then 0.0 else f h in
       let processed = !w_processed in
@@ -143,10 +154,13 @@ let run ?(queue_budget_us = 500.0) ?(warmup = 50_000) ?(window = 100_000)
           w_hw_hit_rate =
             (if processed = 0 then 0.0
              else float_of_int hw_delta /. float_of_int processed);
+          w_truncated = !w_index >= 0 && !w_offered < window;
           w_violations = [];
         }
       in
-      acc := { w with w_violations = violations slo w } :: !acc
+      let w = { w with w_violations = violations slo w } in
+      if !w_index >= 0 then acc := w :: !acc;
+      match controller with Some f -> f dp w | None -> ()
     end
   in
   let open_window () =
@@ -172,13 +186,13 @@ let run ?(queue_budget_us = 500.0) ?(warmup = 50_000) ?(window = 100_000)
           end;
           let arrival = float_of_int !offered /. rate in
           incr offered;
-          if in_measure then incr w_offered;
+          incr w_offered;
           let qdelay = !server_free -. arrival in
           let qdelay = if qdelay > 0.0 then qdelay else 0.0 in
           if qdelay > budget_s then begin
             (* Tail drop: the packet never reaches the datapath. *)
             incr dropped_total;
-            if in_measure then incr w_dropped
+            incr w_dropped
           end
           else begin
             let _, _, lat_us =
@@ -187,10 +201,8 @@ let run ?(queue_budget_us = 500.0) ?(warmup = 50_000) ?(window = 100_000)
             in
             server_free := arrival +. qdelay +. (lat_us *. 1e-6);
             incr processed_total;
-            if in_measure then begin
-              incr w_processed;
-              Histogram.record !hist ((qdelay *. 1e6) +. lat_us)
-            end
+            incr w_processed;
+            Histogram.record !hist ((qdelay *. 1e6) +. lat_us)
           end
         end
       done
@@ -198,6 +210,10 @@ let run ?(queue_budget_us = 500.0) ?(warmup = 50_000) ?(window = 100_000)
   close_window ();
   ignore (Datapath.finalize dp ~time:(float_of_int !offered /. rate));
   let ws = List.rev !acc in
+  (* Truncated windows (the stream ran dry mid-window) are reported but
+     not gated: their quantiles are under-sampled and a p99 over a
+     handful of packets can flip the verdict either way. *)
+  let gated = List.filter (fun w -> not w.w_truncated) ws in
   {
     rate_pps = rate;
     warmup;
@@ -210,7 +226,7 @@ let run ?(queue_budget_us = 500.0) ?(warmup = 50_000) ?(window = 100_000)
     total_offered = !offered;
     total_processed = !processed_total;
     total_dropped = !dropped_total;
-    pass = ws <> [] && List.for_all (fun w -> w.w_violations = []) ws;
+    pass = gated <> [] && List.for_all (fun w -> w.w_violations = []) gated;
   }
 
 (* ------------------------------- output -------------------------------- *)
@@ -248,6 +264,7 @@ let window_json w =
       ("p99_us", Json.Float w.w_p99_us);
       ("p999_us", Json.Float w.w_p999_us);
       ("hw_hit_rate", Json.Float w.w_hw_hit_rate);
+      ("truncated", Json.Bool w.w_truncated);
       ("violations", Json.List (List.map (fun v -> Json.Str v) w.w_violations));
     ]
 
@@ -255,19 +272,24 @@ let summary_json r =
   let nviol =
     List.fold_left (fun a w -> a + List.length w.w_violations) 0 r.windows
   in
+  let ntrunc =
+    List.fold_left (fun a w -> a + if w.w_truncated then 1 else 0) 0 r.windows
+  in
   Json.Obj
     [
       ("type", Json.Str "loadtest_summary");
       ("pass", Json.Bool r.pass);
       ("windows", Json.Int (List.length r.windows));
+      ("truncated_windows", Json.Int ntrunc);
       ("total_offered", Json.Int r.total_offered);
       ("total_processed", Json.Int r.total_processed);
       ("total_dropped", Json.Int r.total_dropped);
       ("violations", Json.Int nviol);
     ]
 
-let write_jsonl ?meta oc r =
+let write_jsonl ?meta ?(extra = []) oc r =
   let line j = output_string oc (Json.to_string j ^ "\n") in
   line (meta_json ?meta r);
   List.iter (fun w -> line (window_json w)) r.windows;
+  List.iter line extra;
   line (summary_json r)

@@ -38,9 +38,14 @@ type window = {
   w_p99_us : float;
   w_p999_us : float;
   w_hw_hit_rate : float;
+  w_truncated : bool;
+      (** The stream ran dry before the window filled ([w_offered] short
+          of the configured window size): its quantiles are under-sampled,
+          so the window is reported but excluded from SLO gating. *)
   w_violations : string list;
       (** One ["<metric> <observed> <cmp> <bound>"] line per violated
-          objective; empty iff the window met the SLO. *)
+          objective; empty iff the window met the SLO.  Computed for
+          truncated windows too (diagnostics), but never gated. *)
 }
 
 type report = {
@@ -55,7 +60,9 @@ type report = {
   total_offered : int;
   total_processed : int;
   total_dropped : int;
-  pass : bool;  (** Every measured window met every objective. *)
+  pass : bool;
+      (** Every complete (non-truncated) measured window met every
+          objective; [false] when no complete window was measured. *)
 }
 
 val run :
@@ -64,6 +71,7 @@ val run :
   ?window:int ->
   ?windows:int ->
   ?telemetry:Gf_telemetry.Telemetry.t ->
+  ?controller:(Gf_sim.Datapath.t -> window -> unit) ->
   rate:float ->
   slo:slo ->
   Gf_sim.Datapath.config ->
@@ -72,15 +80,32 @@ val run :
   report
 (** Defaults: [queue_budget_us = 500], [warmup = 50_000],
     [window = 100_000], [windows = 5].  The stream must supply
-    [warmup + windows * window] packets; if it runs dry early, only the
-    complete (and one final partial) windows are reported and [pass]
-    reflects those.  [pass] is [false] when no window was measured.
-    [telemetry] is passed through to the datapath (the loadtest then
-    exercises the passive pull path per packet). *)
+    [warmup + windows * window] packets; if it runs dry early, the final
+    partial window is reported with [w_truncated = true] and excluded
+    from the gate; [pass] is [false] when no complete window was
+    measured.  [telemetry] is passed through to the datapath (the
+    loadtest then exercises the passive pull path per packet).
 
-val write_jsonl : ?meta:(string * Gf_util.Json.t) list -> out_channel -> report -> unit
+    [controller] is the adaptive-control actuation hook: it is invoked
+    once per window close with the live datapath and the just-measured
+    window — control cadence == measurement cadence — plus once when the
+    warmup span ends, with a synthetic window of index [-1] measuring
+    the warmup (never reported, never gated) so a controller can steer
+    before window 0 is judged.  The hook may mutate datapath knobs
+    ([Datapath.set_admission] / [set_evict_policy] /
+    [set_level_capacity]); firing points are a pure function of the
+    stream position, so a hook that never acts leaves the report
+    bit-identical to a run without one. *)
+
+val write_jsonl :
+  ?meta:(string * Gf_util.Json.t) list ->
+  ?extra:Gf_util.Json.t list ->
+  out_channel ->
+  report ->
+  unit
 (** One [loadtest_meta] line ([meta] pairs prepended; always carries the
     [commit] hash of the measuring tree, the [preset] name and the
-    [engine] flavour), one [loadtest_window] line per window, one
-    [loadtest_summary] line carrying the machine-readable pass/fail
-    gate. *)
+    [engine] flavour), one [loadtest_window] line per window, then any
+    [extra] lines (e.g. [controller_action] records from [Gf_control]),
+    then one [loadtest_summary] line carrying the machine-readable
+    pass/fail gate. *)

@@ -7,10 +7,10 @@ module Flow = Gf_flow.Flow
    run (one O(1) swap keeps the array sorted), then bumps the count there.
    The minimum entry is always row [size - 1]. *)
 type t = {
-  k : int;
-  flows : Flow.t array;
-  counts : int array;
-  errs : int array;
+  mutable k : int;
+  mutable flows : Flow.t array;
+  mutable counts : int array;
+  mutable errs : int array;
   index : int Flow.Tbl.t;
   boundary : (int, int) Hashtbl.t;
   mutable size : int;
@@ -125,6 +125,58 @@ let decay t =
   (* halving is monotone, so the surviving prefix is still sorted *)
   t.size <- !live;
   rebuild_boundary t
+
+let retarget t ~k =
+  if k < 1 then invalid_arg "Heavy_hitter.retarget: k must be >= 1";
+  if k <> t.k then begin
+    (* Rows are sorted by count descending, so truncation on shrink drops
+       exactly the lowest-count entries. *)
+    for i = k to t.size - 1 do
+      Flow.Tbl.remove t.index t.flows.(i)
+    done;
+    let size = min t.size k in
+    let flows = Array.make k Flow.zero in
+    let counts = Array.make k 0 in
+    let errs = Array.make k 0 in
+    Array.blit t.flows 0 flows 0 size;
+    Array.blit t.counts 0 counts 0 size;
+    Array.blit t.errs 0 errs 0 size;
+    t.k <- k;
+    t.flows <- flows;
+    t.counts <- counts;
+    t.errs <- errs;
+    t.size <- size;
+    rebuild_boundary t
+  end
+
+let check_invariants t =
+  let ok = ref (t.size >= 0 && t.size <= t.k) in
+  (* counts sorted descending, errors within the space-saving bound *)
+  for i = 0 to t.size - 1 do
+    if i > 0 && t.counts.(i) > t.counts.(i - 1) then ok := false;
+    if t.errs.(i) < 0 || t.errs.(i) > t.counts.(i) then ok := false
+  done;
+  (* index is exactly { flow_i -> i } over the live prefix *)
+  if Flow.Tbl.length t.index <> t.size then ok := false;
+  for i = 0 to t.size - 1 do
+    match Flow.Tbl.find_opt t.index t.flows.(i) with
+    | Some j when j = i -> ()
+    | _ -> ok := false
+  done;
+  (* boundary maps each live count to the leftmost row of its run, and
+     holds no other key *)
+  let runs = Hashtbl.create 16 in
+  for i = t.size - 1 downto 0 do
+    Hashtbl.replace runs t.counts.(i) i
+  done;
+  if Hashtbl.length t.boundary <> Hashtbl.length runs then ok := false;
+  Hashtbl.iter
+    (fun c leftmost ->
+      match Hashtbl.find_opt t.boundary c with
+      | Some j when j = leftmost -> ()
+      | _ -> ok := false)
+    runs;
+  !ok
 
 let top t ~n =
   let rows = ref [] in

@@ -53,6 +53,20 @@ val decay : t -> unit
     the periodic aging step that lets the hot set track drifting skew.
     O(k); run it on the expiry-sweep cadence, not per packet. *)
 
+val retarget : t -> k:int -> unit
+(** Resize the sketch to track up to [k] flows {e in place}, preserving the
+    tracked entries instead of rebuilding from scratch: shrinking truncates
+    the lowest-count rows (the sorted suffix), growing reallocates storage
+    and keeps every entry.  O(k); counts, error bounds and [observed] carry
+    over, so an online controller can retune K without losing the hot set.
+    No-op when [k] already matches. *)
+
+val check_invariants : t -> bool
+(** Structural self-check (test hook): rows [0, size) sorted by count
+    descending with [0 <= err <= count], [index] is exactly the live
+    flow→row map, and [boundary] maps each live count to the leftmost row
+    of its run and nothing else.  O(k). *)
+
 val top : t -> n:int -> (Gf_flow.Flow.t * int * int) list
 (** [(flow, count, err)] for the [n] highest-count entries, count
     descending (ties broken by [Flow.compare] for determinism). *)

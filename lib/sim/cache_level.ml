@@ -84,6 +84,19 @@ module type LEVEL = sig
   val revalidate : Gf_pipeline.Pipeline.t -> int * int
   val occupancy : unit -> int
   val capacity : unit -> int
+
+  val evict_policy : unit -> Evict.policy
+  (** Current replacement policy (the LTM reads it from its config). *)
+
+  val set_evict : Evict.policy -> unit
+  (** Swap the replacement policy online; applies from the next install.
+      Online control-loop actuation. *)
+
+  val set_capacity : int -> unit
+  (** Retune the admission bound online.  Software levels clamp to their
+      physical storage where relevant; hardware geometry (the LTM's MAT
+      shape, SRAM) is fixed at build time, so hardware levels ignore it. *)
+
   val stats : unit -> Gf_cache.Cache_stats.t
 
   val last_depth : unit -> int
@@ -109,6 +122,9 @@ let demote (module L : LEVEL) = L.demote
 let revalidate (module L : LEVEL) = L.revalidate
 let occupancy (module L : LEVEL) = L.occupancy ()
 let capacity (module L : LEVEL) = L.capacity ()
+let evict_policy (module L : LEVEL) = L.evict_policy ()
+let set_evict (module L : LEVEL) = L.set_evict
+let set_capacity (module L : LEVEL) = L.set_capacity
 let stats (module L : LEVEL) = L.stats ()
 let last_depth (module L : LEVEL) = L.last_depth ()
 
@@ -153,6 +169,9 @@ let of_microflow ?(name = "emc") ~max_idle emc : t =
     let revalidate _ = (Microflow.invalidate_all emc, 0)
     let occupancy () = Microflow.occupancy emc
     let capacity () = Microflow.capacity emc
+    let evict_policy () = Microflow.policy emc
+    let set_evict p = Microflow.set_policy emc p
+    let set_capacity c = Microflow.set_capacity emc c
     let stats () = Microflow.stats emc
     let last_depth () = 0
   end)
@@ -224,6 +243,9 @@ let of_cuckoo ?(name = "sw-ck") ~max_idle ck : t =
     let revalidate _ = (Gf_cache.Cuckoo.invalidate_all ck, 0)
     let occupancy () = Gf_cache.Cuckoo.occupancy ck
     let capacity () = Gf_cache.Cuckoo.capacity ck
+    let evict_policy () = Gf_cache.Cuckoo.policy ck
+    let set_evict p = Gf_cache.Cuckoo.set_policy ck p
+    let set_capacity c = Gf_cache.Cuckoo.set_capacity ck c
     let stats () = Gf_cache.Cuckoo.stats ck
     let last_depth () = 0
   end)
@@ -283,6 +305,9 @@ let of_megaflow ?name ~tier ~max_idle mf : t =
     let revalidate pipeline = Megaflow.revalidate mf pipeline
     let occupancy () = Megaflow.occupancy mf
     let capacity () = Megaflow.capacity mf
+    let evict_policy () = Megaflow.policy mf
+    let set_evict p = Megaflow.set_policy mf p
+    let set_capacity c = Megaflow.set_capacity mf c
     let stats () = Megaflow.stats mf
     let last_depth () = 0
   end)
@@ -342,6 +367,12 @@ let of_gigaflow ?(name = "gf") ~pipeline gf : t =
     let revalidate pipeline = Gigaflow.revalidate gf pipeline
     let occupancy () = Ltm_cache.occupancy (Gigaflow.cache gf)
     let capacity () = Gf_core.Config.total_capacity (Gigaflow.config gf)
+    let evict_policy () = (Gigaflow.config gf).Gf_core.Config.policy
+    let set_evict p = Gigaflow.set_policy gf p
+
+    (* LTM geometry (table count, per-table SRAM) is the hardware; only the
+       replacement policy is an online knob. *)
+    let set_capacity _ = ()
     let stats () = Ltm_cache.stats (Gigaflow.cache gf)
     let last_depth () = Ltm_cache.last_depth (Gigaflow.cache gf)
   end)

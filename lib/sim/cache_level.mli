@@ -116,6 +116,19 @@ module type LEVEL = sig
 
   val occupancy : unit -> int
   val capacity : unit -> int
+
+  val evict_policy : unit -> Gf_cache.Evict.policy
+  (** Current replacement policy (the LTM reads it from its config). *)
+
+  val set_evict : Gf_cache.Evict.policy -> unit
+  (** Swap the replacement policy online; applies from the next install.
+      The control loop's per-level actuation. *)
+
+  val set_capacity : int -> unit
+  (** Retune the admission bound online.  Software levels clamp to their
+      physical storage where relevant; hardware geometry (the LTM's MAT
+      shape, SRAM) is fixed at build time, so hardware levels ignore it. *)
+
   val stats : unit -> Gf_cache.Cache_stats.t
 
   val last_depth : unit -> int
@@ -146,6 +159,9 @@ val demote : t -> is_hot:(Gf_flow.Flow.t -> bool) -> int
 val revalidate : t -> Gf_pipeline.Pipeline.t -> int * int
 val occupancy : t -> int
 val capacity : t -> int
+val evict_policy : t -> Gf_cache.Evict.policy
+val set_evict : t -> Gf_cache.Evict.policy -> unit
+val set_capacity : t -> int -> unit
 val stats : t -> Gf_cache.Cache_stats.t
 val last_depth : t -> int
 

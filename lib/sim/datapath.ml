@@ -294,7 +294,10 @@ type pmemo = {
 }
 
 type t = {
-  cfg : config;
+  mutable cfg : config;
+      (* Mutable for the online control knobs ([set_admission],
+         [set_evict_policy], [set_level_capacity]): [config t] always
+         reflects the live settings. *)
   pipeline : Pipeline.t;
   levels : Cache_level.t array;  (* walk order *)
   level_metrics : Metrics.level array;  (* same order *)
@@ -319,11 +322,12 @@ type t = {
   mutable replay_tbl : pmemo option array;
       (* flow id -> compiled level-0 replay, grown on demand.  Entries
          self-invalidate through [p_replay]; [revalidate] clears the lot. *)
-  hh : Heavy_hitter.t option;
+  mutable hh : Heavy_hitter.t option;
       (* [Some] iff [cfg.admission] is [Heavy_hitter _]; observed once per
          packet on every packet path so walker and batched replay agree
-         bit-for-bit. *)
-  hh_threshold : int;
+         bit-for-bit.  Mutable only for [set_admission] transitions to and
+         from [Admit_all]; retuning K retargets the sketch in place. *)
+  mutable hh_threshold : int;
   hh_attempted : unit Flow.Tbl.t;
       (* Flows already offered a hardware promotion this sweep interval —
          rate-limits the promotion path to once per flow per sweep; cleared
@@ -466,6 +470,62 @@ let pipeline t = t.pipeline
 let levels t = Array.to_list t.levels
 
 let find_view f t = Array.find_map (fun l -> f (Cache_level.view l)) t.levels
+
+(* ------------------------- online control knobs ------------------------ *)
+
+let level_names t = Array.map Cache_level.name t.levels
+
+let find_level t name =
+  match
+    Array.find_opt (fun l -> String.equal (Cache_level.name l) name) t.levels
+  with
+  | Some l -> l
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Datapath: no cache level named %S (have: %s)" name
+           (String.concat ", " (Array.to_list (level_names t))))
+
+(* Retune admission online.  K changes retarget the existing sketch in
+   place (counts, error bounds and the tracked hot set carry over — the
+   controller's whole point is not to forget the elephants it just
+   learned); threshold changes are a field write.  Transitions to/from
+   [Admit_all] drop or create the sketch.  [config t] stays truthful. *)
+let set_admission t admission =
+  (match (admission, t.hh) with
+  | Heavy_hitter.Admit_all, _ ->
+      t.hh <- None;
+      t.hh_threshold <- 0;
+      Flow.Tbl.reset t.hh_attempted
+  | Heavy_hitter.Heavy_hitter { k; threshold }, Some hh ->
+      Heavy_hitter.retarget hh ~k;
+      t.hh_threshold <- threshold
+  | Heavy_hitter.Heavy_hitter { k; threshold }, None ->
+      t.hh <- Some (Heavy_hitter.create ~k);
+      t.hh_threshold <- threshold);
+  t.cfg <- { t.cfg with admission }
+
+let set_evict_policy t ~level policy =
+  Cache_level.set_evict (find_level t level) policy;
+  (* Keep the spec list consistent for [config t] readers: the runtime
+     names deduplicate as "base", "base#2", ... in spec order. *)
+  let seen = Hashtbl.create 8 in
+  let levels =
+    List.map
+      (fun spec ->
+        let base = Cache_level.spec_name spec in
+        let n = 1 + Option.value ~default:0 (Hashtbl.find_opt seen base) in
+        Hashtbl.replace seen base n;
+        let name = if n = 1 then base else Printf.sprintf "%s#%d" base n in
+        if String.equal name level then Cache_level.spec_with_evict spec policy
+        else spec)
+      t.cfg.levels
+  in
+  t.cfg <- { t.cfg with levels }
+
+let set_level_capacity t ~level capacity =
+  Cache_level.set_capacity (find_level t level) capacity
+
+let evict_policy t ~level = Cache_level.evict_policy (find_level t level)
 
 let gigaflow t =
   find_view (function Cache_level.Gigaflow_view g -> Some g | _ -> None) t

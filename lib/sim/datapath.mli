@@ -203,10 +203,47 @@ val heavy_hitter : t -> Gf_offload.Heavy_hitter.t option
     (top-K reporting) only; the datapath owns its mutation. *)
 
 val config : t -> config
+(** The live configuration — reflects any online actuation made through
+    {!set_admission} / {!set_evict_policy} since {!create}. *)
+
 val pipeline : t -> Gf_pipeline.Pipeline.t
 
 val levels : t -> Cache_level.t list
 (** The instantiated hierarchy, walk order. *)
+
+(** {1 Online control knobs}
+
+    Actuation points for an adaptive controller (see [Gf_control]).  All
+    of them are deterministic state transitions on the datapath — no RNG,
+    no wall clock — so a controller driven at a deterministic cadence
+    preserves the Domains==Sequential replay guarantees. *)
+
+val level_names : t -> string array
+(** Metric names of the instantiated levels, walk order (deduplicated:
+    "sw-mf", "sw-mf#2", ...) — the [~level] keys below. *)
+
+val set_admission : t -> Gf_offload.Heavy_hitter.policy -> unit
+(** Retune hardware admission online.  Changing [k] {e retargets} the
+    live sketch in place — tracked flows, counts and error bounds carry
+    over (see {!Gf_offload.Heavy_hitter.retarget}) — and changing
+    [threshold] is a field write, so the learned hot set survives the
+    actuation.  Switching to [Admit_all] drops the sketch; switching back
+    starts a fresh one. *)
+
+val set_evict_policy : t -> level:string -> Gf_cache.Evict.policy -> unit
+(** Swap one level's replacement policy online (applies from the next
+    install).  Raises [Invalid_argument] on an unknown level name. *)
+
+val set_level_capacity : t -> level:string -> int -> unit
+(** Retune one level's admission bound online.  Software levels clamp to
+    their physical storage where relevant; hardware geometry is fixed, so
+    hardware levels ignore it.  Shrinking does not evict residents — the
+    bound bites on the next install.  Raises [Invalid_argument] on an
+    unknown level name. *)
+
+val evict_policy : t -> level:string -> Gf_cache.Evict.policy
+(** The level's current replacement policy.  Raises [Invalid_argument] on
+    an unknown level name. *)
 
 val gigaflow : t -> Gf_core.Gigaflow.t option
 (** The first Gigaflow level's instance, if the hierarchy has one. *)

@@ -55,13 +55,37 @@ module Acc = struct
   let max t = if t.count = 0 then nan else t.max
 end
 
+(* NaN samples poison every downstream aggregate (and order arbitrarily
+   under comparison), so the batch helpers drop them up front: a sensor
+   that produced garbage for one sample shouldn't void the whole batch.
+   Returns the input array itself when it is NaN-free (the common case —
+   no copy on the hot path). *)
+let drop_nan xs =
+  let nans = Array.fold_left (fun n x -> if Float.is_nan x then n + 1 else n) 0 xs in
+  if nans = 0 then xs
+  else begin
+    let out = Array.make (Array.length xs - nans) 0.0 in
+    let j = ref 0 in
+    Array.iter
+      (fun x ->
+        if not (Float.is_nan x) then begin
+          out.(!j) <- x;
+          incr j
+        end)
+      xs;
+    out
+  end
+
 let mean xs =
+  let xs = drop_nan xs in
   if Array.length xs = 0 then nan
   else Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
 
 let stddev xs =
+  let xs = drop_nan xs in
   let n = Array.length xs in
-  if n < 2 then nan
+  if n = 0 then nan
+  else if n = 1 then 0.0
   else begin
     let m = mean xs in
     let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
@@ -69,12 +93,16 @@ let stddev xs =
   end
 
 let percentile xs p =
+  (* Not an assert: the bounds check must survive [-noassert] builds —
+     an out-of-range (or NaN) [p] is a caller bug, not a tunable. *)
+  if not (p >= 0.0 && p <= 100.0) then
+    invalid_arg (Printf.sprintf "Stats.percentile: p = %h not in [0, 100]" p);
+  let xs = drop_nan xs in
   let n = Array.length xs in
   if n = 0 then nan
   else begin
-    assert (p >= 0.0 && p <= 100.0);
     let sorted = Array.copy xs in
-    Array.sort compare sorted;
+    Array.sort Float.compare sorted;
     let rank = p /. 100.0 *. float_of_int (n - 1) in
     let lo = int_of_float (Float.floor rank) in
     let hi = int_of_float (Float.ceil rank) in

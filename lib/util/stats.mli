@@ -28,14 +28,26 @@ module Acc : sig
   val max : t -> float
 end
 
-(** {1 Batch helpers} *)
+(** {1 Batch helpers}
+
+    All batch helpers drop NaN samples before aggregating — one garbage
+    sample must not poison (or, under a comparison sort, arbitrarily
+    reorder) the whole batch.  An all-NaN or empty input yields [nan]. *)
 
 val mean : float array -> float
+(** Mean of the non-NaN samples; [nan] when none. *)
+
 val stddev : float array -> float
+(** Unbiased sample standard deviation of the non-NaN samples; [0.0] for a
+    single sample (no observed spread), [nan] when none — callers writing
+    JSON must treat [nan] as "absent", never print it. *)
 
 val percentile : float array -> float -> float
 (** [percentile xs p] with [p] in [\[0, 100\]]; linear interpolation between
-    order statistics. The input array is not modified. *)
+    order statistics of the non-NaN samples ([Float.compare], total order).
+    The input array is not modified.  Raises [Invalid_argument] when [p] is
+    out of range or NaN (a real check, not an [assert] — it survives
+    [-noassert] builds). *)
 
 val median : float array -> float
 

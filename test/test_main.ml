@@ -22,5 +22,6 @@ let () =
       ("telemetry", Test_telemetry.suite);
       Helpers.qsuite "telemetry:props" Test_telemetry.props;
       ("engine", Test_engine.suite);
+      ("control", Test_control.suite);
       Helpers.qsuite "engine:props" Test_engine.props;
     ]

@@ -251,6 +251,81 @@ let prop_cuckoo_churn =
       done;
       !ok && !reachable = Cuckoo.occupancy c)
 
+(* ----------------------------- retarget ------------------------------ *)
+
+let test_hh_retarget_preserves_hot_set () =
+  let t = Heavy_hitter.create ~k:8 in
+  (* Flow i observed (9 - i) times: 1 is the biggest elephant. *)
+  for i = 1 to 8 do
+    for _ = 1 to 9 - i do
+      Heavy_hitter.observe t (flow i)
+    done
+  done;
+  let observed = Heavy_hitter.observed t in
+  (* Shrink: the lowest-count rows fall off, the elephants survive with
+     their counts (not rebuilt from scratch). *)
+  Heavy_hitter.retarget t ~k:3;
+  Alcotest.(check int) "k" 3 (Heavy_hitter.k t);
+  Alcotest.(check int) "size" 3 (Heavy_hitter.size t);
+  Alcotest.(check int) "observed carries over" observed (Heavy_hitter.observed t);
+  List.iter
+    (fun i ->
+      Alcotest.(check int)
+        (Printf.sprintf "count flow %d survives" i)
+        (9 - i)
+        (Heavy_hitter.count t (flow i)))
+    [ 1; 2; 3 ];
+  Alcotest.(check int) "truncated flow forgotten" 0
+    (Heavy_hitter.count t (flow 7));
+  Alcotest.(check bool) "invariants" true (Heavy_hitter.check_invariants t);
+  (* Grow: everything tracked stays, new rows open up. *)
+  Heavy_hitter.retarget t ~k:16;
+  Alcotest.(check int) "k after grow" 16 (Heavy_hitter.k t);
+  Alcotest.(check int) "size after grow" 3 (Heavy_hitter.size t);
+  Alcotest.(check int) "counts after grow" 8 (Heavy_hitter.count t (flow 1));
+  Heavy_hitter.observe t (flow 42);
+  Alcotest.(check int) "new flow admitted" 1 (Heavy_hitter.count t (flow 42));
+  Alcotest.(check bool) "invariants after grow" true
+    (Heavy_hitter.check_invariants t);
+  (* Same k is a no-op; k < 1 is a caller bug. *)
+  Heavy_hitter.retarget t ~k:16;
+  Alcotest.(check int) "no-op keeps size" 4 (Heavy_hitter.size t);
+  match Heavy_hitter.retarget t ~k:0 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "retarget accepted k=0"
+
+(* Structural invariant under arbitrary interleavings of every mutation
+   the sketch supports — observe, decay, merge, retarget: the boundary
+   index must keep mapping each live count to the leftmost row of its
+   run (the O(1) bump-by-swap precondition). *)
+let prop_hh_invariants_under_interleaving =
+  QCheck2.Test.make
+    ~name:"sketch invariants hold under observe/decay/merge/retarget" ~count:80
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Gf_util.Rng.create seed in
+      let t = ref (Heavy_hitter.create ~k:(1 + Gf_util.Rng.int rng 8)) in
+      let ok = ref true in
+      let step () =
+        match Gf_util.Rng.int rng 20 with
+        | 0 -> Heavy_hitter.decay !t
+        | 1 ->
+            (* Retarget to a nearby k, shrink or grow. *)
+            Heavy_hitter.retarget !t ~k:(1 + Gf_util.Rng.int rng 12)
+        | 2 ->
+            let other = Heavy_hitter.create ~k:(1 + Gf_util.Rng.int rng 8) in
+            for _ = 1 to Gf_util.Rng.int rng 40 do
+              Heavy_hitter.observe other (flow (1 + Gf_util.Rng.int rng 24))
+            done;
+            t := Heavy_hitter.merge !t other
+        | _ -> Heavy_hitter.observe !t (flow (1 + Gf_util.Rng.int rng 24))
+      in
+      for _ = 1 to 200 do
+        step ();
+        if not (Heavy_hitter.check_invariants !t) then ok := false
+      done;
+      !ok)
+
 (* --------------------------- end-to-end ----------------------------- *)
 
 let elephant_workload () =
@@ -318,10 +393,16 @@ let suite =
     Alcotest.test_case "cuckoo expire + flush" `Quick test_cuckoo_expire_and_flush;
     Alcotest.test_case "cuckoo reject at capacity" `Quick
       test_cuckoo_reject_at_capacity;
+    Alcotest.test_case "sketch retarget preserves hot set" `Quick
+      test_hh_retarget_preserves_hot_set;
     Alcotest.test_case "hh admission beats reject + lru" `Slow
       test_admission_beats_reject;
     Alcotest.test_case "walker = engine under admission" `Slow
       test_admission_walker_engine_agree;
   ]
 
-let props = [ prop_hh_bounds; prop_hh_merge; prop_cuckoo_churn ]
+let props =
+  [
+    prop_hh_bounds; prop_hh_merge; prop_hh_invariants_under_interleaving;
+    prop_cuckoo_churn;
+  ]

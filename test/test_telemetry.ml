@@ -88,6 +88,43 @@ let buckets_of h =
   Histogram.iter_buckets (fun ~lo ~hi ~count -> acc := (lo, hi, count) :: !acc) h;
   List.rev !acc
 
+let test_histogram_quantile_edges () =
+  (* Out-of-range q clamps into [0, 1], so the rank never exceeds the
+     count (and never reads past the last bucket). *)
+  let h = hist_of_samples [ 1.0; 2.0; 4.0; 8.0 ] in
+  Alcotest.(check (float 1e-9))
+    "q > 1 clamps to the max-rank quantile" (Histogram.quantile h 1.0)
+    (Histogram.quantile h 42.0);
+  Alcotest.(check (float 1e-9))
+    "q < 0 clamps to the min-rank quantile" (Histogram.quantile h 0.0)
+    (Histogram.quantile h (-3.0));
+  Alcotest.(check bool) "q = 1 within exact observed max" true
+    (Histogram.quantile h 1.0 <= Histogram.max_value h);
+  (* A single sample: every q collapses onto it exactly — the bucket
+     representative is clamped into the observed [min, max], which is a
+     point. *)
+  let one = hist_of_samples [ 37.5 ] in
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "single sample q=%g" q)
+        37.5 (Histogram.quantile one q))
+    [ 0.0; 0.5; 0.999; 1.0; 2.0 ]
+
+let test_histogram_merge_quantiles_vs_sorted_oracle () =
+  (* After an exact shard merge, quantiles must still land in the bucket
+     of the true (sorted-array) order statistic of the union stream. *)
+  let rng = Gf_util.Rng.create 29 in
+  let gen n = Array.init n (fun _ -> 0.2 +. Gf_util.Rng.float rng 9000.0) in
+  let a = gen 900 and b = gen 450 in
+  let ha = hist_of_samples (Array.to_list a)
+  and hb = hist_of_samples (Array.to_list b) in
+  Histogram.merge ~into:ha hb;
+  let union = Array.append a b in
+  List.iter
+    (fun q -> check_quantile_in_bucket ha union q)
+    (0.001 :: quantile_points)
+
 let test_histogram_merge_is_concat () =
   let rng = Gf_util.Rng.create 23 in
   let gen n = List.init n (fun _ -> 0.2 +. Gf_util.Rng.float rng 5000.0) in
@@ -517,6 +554,9 @@ let suite =
   [
     ("histogram quantiles vs oracle", `Quick, test_histogram_quantiles_vs_oracle);
     ("histogram empty + clamping", `Quick, test_histogram_empty_and_edges);
+    ("histogram quantile edges", `Quick, test_histogram_quantile_edges);
+    ("histogram merge vs sorted oracle", `Quick,
+     test_histogram_merge_quantiles_vs_sorted_oracle);
     ("histogram merge = concat", `Quick, test_histogram_merge_is_concat);
     ("histogram layout mismatch", `Quick, test_histogram_layout_mismatch);
     ("passive lat ring = inline records", `Quick, test_passive_lat_ring_bit_identity);

@@ -216,6 +216,42 @@ let test_percentile_interpolates () =
   let xs = [| 0.0; 10.0 |] in
   Alcotest.(check (float 1e-9)) "p50 interp" 5.0 (Stats.percentile xs 50.0)
 
+let test_percentile_rejects_bad_p () =
+  let xs = [| 1.0; 2.0 |] in
+  List.iter
+    (fun p ->
+      match Stats.percentile xs p with
+      | exception Invalid_argument _ -> ()
+      | v -> Alcotest.failf "percentile accepted p=%h -> %f" p v)
+    [ -1.0; 100.5; Float.nan; Float.infinity; Float.neg_infinity ]
+
+let test_percentile_ignores_nan () =
+  (* One garbage sample must neither poison the result nor (via a
+     polymorphic-compare sort) scramble the order statistics. *)
+  let xs = [| Float.nan; 3.0; 1.0; Float.nan; 2.0 |] in
+  Alcotest.(check (float 1e-9)) "p0" 1.0 (Stats.percentile xs 0.0);
+  Alcotest.(check (float 1e-9)) "p50" 2.0 (Stats.percentile xs 50.0);
+  Alcotest.(check (float 1e-9)) "p100" 3.0 (Stats.percentile xs 100.0);
+  Alcotest.(check bool) "input not modified" true (Float.is_nan xs.(0));
+  Alcotest.(check bool) "all-nan is nan" true
+    (Float.is_nan (Stats.percentile [| Float.nan; Float.nan |] 50.0));
+  Alcotest.(check bool) "empty is nan" true
+    (Float.is_nan (Stats.percentile [||] 50.0))
+
+let test_batch_mean_stddev_edges () =
+  Alcotest.(check (float 1e-9)) "mean skips nan" 2.0
+    (Stats.mean [| 1.0; Float.nan; 3.0 |]);
+  Alcotest.(check bool) "mean of empty is nan" true
+    (Float.is_nan (Stats.mean [||]));
+  Alcotest.(check (float 0.0)) "single-sample stddev is 0" 0.0
+    (Stats.stddev [| 5.0 |]);
+  Alcotest.(check (float 1e-9)) "stddev skips nan" (Float.sqrt 2.0)
+    (Stats.stddev [| 1.0; Float.nan; 3.0 |]);
+  Alcotest.(check bool) "stddev of empty is nan" true
+    (Float.is_nan (Stats.stddev [||]));
+  Alcotest.(check bool) "stddev of all-nan is nan" true
+    (Float.is_nan (Stats.stddev [| Float.nan |]))
+
 let test_histogram () =
   let h = Stats.Histogram.create ~lo:0.0 ~hi:10.0 ~bins:5 in
   List.iter (Stats.Histogram.add h) [ 0.5; 1.5; 2.5; 9.9; -3.0; 42.0 ];
@@ -335,6 +371,9 @@ let suite =
     ("stats acc empty", `Quick, test_acc_empty_nan);
     ("stats percentile", `Quick, test_percentile);
     ("stats percentile interpolation", `Quick, test_percentile_interpolates);
+    ("stats percentile rejects bad p", `Quick, test_percentile_rejects_bad_p);
+    ("stats percentile ignores nan", `Quick, test_percentile_ignores_nan);
+    ("stats batch mean/stddev edges", `Quick, test_batch_mean_stddev_edges);
     ("stats histogram", `Quick, test_histogram);
     ("tablefmt renders", `Quick, test_tablefmt_renders);
     ("tablefmt arity check", `Quick, test_tablefmt_bad_row);
